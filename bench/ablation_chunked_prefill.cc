@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation (keytakeaway #5) — per-step token budget (chunked
+ * prefill): small budgets keep decode latency steady but stretch
+ * prompt processing; large budgets let long prefills monopolize steps
+ * and delay concurrent decodes — the scheduling interference the
+ * paper describes for token-level schedulers like vLLM.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    for (bool chatbot : {true, false}) {
+        core::Table t(std::string("Ablation: per-step token budget — ") +
+                      (chatbot ? "ShareGPT at 4 QPS"
+                               : "ReAct/HotpotQA at 1.2 QPS"));
+        t.header({"Budget (tokens/step)", "p50", "p95", "Mean",
+                  "Throughput"});
+        for (std::int64_t budget : {128, 256, 512, 1024, 2048}) {
+            ServeConfig cfg;
+            cfg.chatbot = chatbot;
+            cfg.agent = AgentKind::ReAct;
+            cfg.bench = Benchmark::HotpotQA;
+            cfg.engineConfig = core::enginePreset8b();
+            cfg.engineConfig.maxBatchTokens = budget;
+            cfg.qps = chatbot ? 4.0 : 1.2;
+            cfg.numRequests = chatbot ? 200 : 120;
+            cfg.seed = kSeed;
+            const auto r = core::runServing(cfg);
+            t.row({core::fmtCount(static_cast<double>(budget)),
+                   core::fmtSeconds(r.p50()),
+                   core::fmtSeconds(r.p95()),
+                   core::fmtSeconds(r.e2eSeconds.mean()),
+                   core::fmtDouble(r.throughputQps(), 2)});
+        }
+        t.print();
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Ablation (keytakeaway #7) — agent-aware request dispatching across
+ * a multi-node cluster: round-robin vs least-loaded vs cache-affinity
+ * routing of a mixed workload (two agent types + chatbot traffic).
+ * Affinity routing concentrates identical instruction/few-shot
+ * prefixes per node, raising every node's prefix hit rate.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/cluster.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    std::vector<core::WorkloadSpec> mix;
+    {
+        core::WorkloadSpec react_hotpot;
+        react_hotpot.agent = AgentKind::ReAct;
+        react_hotpot.bench = Benchmark::HotpotQA;
+        react_hotpot.weight = 1.0;
+        mix.push_back(react_hotpot);
+
+        core::WorkloadSpec reflexion_shop;
+        reflexion_shop.agent = AgentKind::Reflexion;
+        reflexion_shop.bench = Benchmark::WebShop;
+        reflexion_shop.weight = 1.0;
+        mix.push_back(reflexion_shop);
+
+        core::WorkloadSpec chat;
+        chat.chatbot = true;
+        chat.weight = 2.0;
+        mix.push_back(chat);
+    }
+
+    core::Table t("Ablation: cluster request routing "
+                  "(4 nodes, mixed workload)");
+    t.header({"Policy", "p50", "p95", "Throughput",
+              "Aggregate hit rate", "Per-node requests"});
+
+    for (auto policy : {core::RoutePolicy::RoundRobin,
+                        core::RoutePolicy::LeastLoaded,
+                        core::RoutePolicy::CacheAffinity}) {
+        core::ClusterConfig cfg;
+        cfg.numNodes = 4;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.policy = policy;
+        cfg.mix = mix;
+        cfg.qps = 4.0;
+        cfg.numRequests = 300;
+        cfg.seed = kSeed;
+        const auto r = core::runCluster(cfg);
+
+        std::string spread;
+        for (const auto &node : r.nodes) {
+            if (!spread.empty())
+                spread += "/";
+            spread += core::fmtCount(node.requests);
+        }
+        t.row({std::string(core::routePolicyName(policy)),
+               core::fmtSeconds(r.p50()), core::fmtSeconds(r.p95()),
+               core::fmtDouble(r.throughputQps(), 2),
+               core::fmtPercent(r.aggregateHitRate()), spread});
+    }
+    t.print();
+
+    std::printf("\nDesign note: implements the paper's call for "
+                "\"agent-aware request dispatching\" — keeping a "
+                "workflow's requests on a home node turns the fixed "
+                "instruction/few-shot blocks into cross-request "
+                "prefix hits instead of duplicating them on every "
+                "node.\n");
+    return 0;
+}

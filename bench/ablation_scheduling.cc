@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ablation (keytakeaway #7) — waiting-queue admission policy: FCFS
+ * (the paper's vLLM default) vs shortest-prompt-first, under mixed
+ * chatbot load whose prompt sizes vary widely. SJF-style admission
+ * trims median latency for short requests at some tail fairness cost.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/cluster.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    core::Table t("Ablation: admission scheduling policy "
+                  "(ShareGPT, heavy load)");
+    t.header({"Policy", "QPS", "p50", "p95", "Mean", "Throughput"});
+
+    for (double qps : {4.0, 6.0}) {
+        for (auto policy :
+             {serving::SchedulerPolicy::Fcfs,
+              serving::SchedulerPolicy::ShortestPromptFirst,
+              serving::SchedulerPolicy::LeastAttainedService}) {
+            ServeConfig cfg;
+            cfg.chatbot = true;
+            cfg.engineConfig = core::enginePreset8b();
+            cfg.engineConfig.schedulerPolicy = policy;
+            // A bounded running batch makes admission order matter
+            // (otherwise everything is admitted immediately and the
+            // policies coincide).
+            cfg.engineConfig.maxRunningSeqs = 12;
+            cfg.qps = qps;
+            cfg.numRequests = 200;
+            cfg.seed = kSeed;
+            const auto r = core::runServing(cfg);
+            const char *policy_name =
+                policy == serving::SchedulerPolicy::Fcfs
+                    ? "FCFS"
+                : policy == serving::SchedulerPolicy::
+                                ShortestPromptFirst
+                    ? "shortest-prompt-first"
+                    : "least-attained-service";
+            t.row({policy_name,
+                   core::fmtDouble(qps, 1), core::fmtSeconds(r.p50()),
+                   core::fmtSeconds(r.p95()),
+                   core::fmtSeconds(r.e2eSeconds.mean()),
+                   core::fmtDouble(r.throughputQps(), 2)});
+        }
+    }
+    t.print();
+
+    // Program-aware scheduling on a *mixed* workload (Autellix [23]):
+    // every agent rollout issues many calls under one session id.
+    // Least-attained-service lets fresh single-call chat requests
+    // jump ahead of heavily-served agent programs, protecting the
+    // short workload's latency in shared serving.
+    core::Table t2("Ablation: program-aware scheduling "
+                   "(mixed chat + ReAct agents, one node)");
+    t2.header({"Policy", "Chat p50", "Chat p95", "Agent p50",
+               "Agent p95", "Overall mean"});
+    for (auto policy :
+         {serving::SchedulerPolicy::Fcfs,
+          serving::SchedulerPolicy::LeastAttainedService}) {
+        core::ClusterConfig cfg;
+        cfg.numNodes = 1;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.engineConfig.schedulerPolicy = policy;
+        cfg.engineConfig.maxRunningSeqs = 8;
+        cfg.policy = core::RoutePolicy::RoundRobin;
+        core::WorkloadSpec chat;
+        chat.chatbot = true;
+        chat.weight = 2.0;
+        cfg.mix.push_back(chat);
+        core::WorkloadSpec agent;
+        agent.agent = AgentKind::ReAct;
+        agent.bench = Benchmark::HotpotQA;
+        agent.weight = 1.0;
+        cfg.mix.push_back(agent);
+        cfg.qps = 2.5;
+        cfg.numRequests = 180;
+        cfg.seed = kSeed;
+        const auto r = core::runCluster(cfg);
+        const auto &chat_lat = r.perWorkloadSeconds[0];
+        const auto &agent_lat = r.perWorkloadSeconds[1];
+        t2.row({policy == serving::SchedulerPolicy::Fcfs
+                    ? "FCFS"
+                    : "least-attained-service",
+                core::fmtSeconds(chat_lat.percentile(50)),
+                core::fmtSeconds(chat_lat.percentile(95)),
+                core::fmtSeconds(agent_lat.percentile(50)),
+                core::fmtSeconds(agent_lat.percentile(95)),
+                core::fmtSeconds(r.e2eSeconds.mean())});
+    }
+    t2.print();
+
+    std::printf("\nDesign note: the paper's keytakeaway #7 calls for "
+                "agent-aware scheduling; this ablation quantifies "
+                "both the engine-level policy choice and the "
+                "program-aware LAS policy of the cited Autellix "
+                "system.\n");
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the experiment binaries (one per paper
+ * table/figure). Each binary prints the paper-style rows/series for
+ * its experiment; EXPERIMENTS.md records paper-vs-measured.
+ */
+
+#ifndef AGENTSIM_BENCH_COMMON_HH
+#define AGENTSIM_BENCH_COMMON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/probe.hh"
+#include "core/serving_system.hh"
+#include "core/table.hh"
+#include "energy/projection.hh"
+
+namespace benchutil
+{
+
+using namespace agentsim;
+using agents::AgentConfig;
+using agents::AgentKind;
+using core::ProbeConfig;
+using core::ProbeResult;
+using core::ServeConfig;
+using core::ServeResult;
+using workload::Benchmark;
+
+/** Tasks per configuration (paper §V: 50 sample questions). */
+constexpr int kProbeTasks = 50;
+
+/** Global experiment seed. */
+constexpr std::uint64_t kSeed = 2026;
+
+/** All evaluated (agent, benchmark) pairs, in paper order. */
+inline std::vector<std::pair<AgentKind, Benchmark>>
+supportedPairs()
+{
+    std::vector<std::pair<AgentKind, Benchmark>> pairs;
+    for (Benchmark b : workload::agenticBenchmarks) {
+        for (AgentKind a : agents::allAgents) {
+            if (agents::agentSupports(a, b))
+                pairs.emplace_back(a, b);
+        }
+    }
+    return pairs;
+}
+
+/** Default single-request probe configuration. */
+inline ProbeConfig
+defaultProbe(AgentKind agent, Benchmark bench, bool prefix_caching = true,
+             bool use70b = false, int tasks = kProbeTasks)
+{
+    ProbeConfig cfg;
+    cfg.agent = agent;
+    cfg.bench = bench;
+    cfg.engineConfig =
+        use70b ? core::enginePreset70b() : core::enginePreset8b();
+    cfg.engineConfig.enablePrefixCaching = prefix_caching;
+    cfg.numTasks = tasks;
+    cfg.seed = kSeed;
+    return cfg;
+}
+
+/** Closed-loop single-stream ShareGPT run (one request at a time). */
+inline ServeResult
+shareGptClosedLoop(int requests, bool use70b = false,
+                   bool prefix_caching = true)
+{
+    ServeConfig cfg;
+    cfg.chatbot = true;
+    cfg.engineConfig =
+        use70b ? core::enginePreset70b() : core::enginePreset8b();
+    cfg.engineConfig.enablePrefixCaching = prefix_caching;
+    cfg.closedLoop = true;
+    cfg.numRequests = requests;
+    cfg.seed = kSeed;
+    return core::runServing(cfg);
+}
+
+/** Open-loop serving run at a given QPS. */
+inline ServeResult
+serveAt(double qps, bool chatbot, AgentKind agent, Benchmark bench,
+        int requests, bool prefix_caching = true,
+        std::int64_t kv_pool_bytes = 0)
+{
+    ServeConfig cfg;
+    cfg.chatbot = chatbot;
+    cfg.agent = agent;
+    cfg.bench = bench;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.engineConfig.enablePrefixCaching = prefix_caching;
+    cfg.engineConfig.kvPoolBytes = kv_pool_bytes;
+    cfg.qps = qps;
+    cfg.numRequests = requests;
+    cfg.seed = kSeed;
+    return core::runServing(cfg);
+}
+
+/** Display name for an (agent, benchmark) pair. */
+inline std::string
+pairName(AgentKind agent, Benchmark bench)
+{
+    return std::string(workload::benchmarkName(bench)) + "/" +
+           std::string(agents::agentName(agent));
+}
+
+/** Per-query energy (Wh) of ShareGPT single-stream serving. */
+inline double
+shareGptWhPerQuery(bool use70b, int requests = 100)
+{
+    const ServeResult r = shareGptClosedLoop(requests, use70b);
+    return r.energyWh / requests;
+}
+
+} // namespace benchutil
+
+#endif // AGENTSIM_BENCH_COMMON_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig 5 — latency breakdown of agents (LLM / tool / overlap / other)
+ * and end-to-end latency per request.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    core::Table t("Fig 5: Latency breakdown and end-to-end latency");
+    t.header({"Benchmark", "Agent", "LLM %", "Tool %", "Overlap %",
+              "Other %", "E2E latency"});
+
+    double llm_share_total = 0.0;
+    double tool_share_total = 0.0;
+    int pairs = 0;
+
+    for (const auto &[agent, bench] : supportedPairs()) {
+        const auto r = core::runProbe(defaultProbe(agent, bench));
+        double llm = 0.0;
+        double tool = 0.0;
+        double overlap = 0.0;
+        double other = 0.0;
+        double e2e = 0.0;
+        for (const auto &req : r.requests) {
+            llm += req.result.latency.llmOnlySeconds;
+            tool += req.result.latency.toolOnlySeconds;
+            overlap += req.result.latency.overlapSeconds;
+            other += req.result.latency.otherSeconds;
+            e2e += req.result.e2eSeconds;
+        }
+        t.row({std::string(workload::benchmarkName(bench)),
+               std::string(agents::agentName(agent)),
+               core::fmtPercent(llm / e2e),
+               core::fmtPercent(tool / e2e),
+               core::fmtPercent(overlap / e2e),
+               core::fmtPercent(other / e2e),
+               core::fmtSeconds(e2e / r.requests.size())});
+        if (agent != AgentKind::CoT) {
+            llm_share_total += (llm + overlap) / e2e;
+            tool_share_total += (tool + overlap) / e2e;
+            ++pairs;
+        }
+    }
+    t.print();
+
+    std::printf("\nAcross tool-augmented pairs: LLM inference %.1f%%, "
+                "tool execution %.1f%% of latency "
+                "(paper: 69.4%% / 30.2%%).\n",
+                100.0 * llm_share_total / pairs,
+                100.0 * tool_share_total / pairs);
+    return 0;
+}

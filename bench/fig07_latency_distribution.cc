@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig 7 — end-to-end latency distribution: single-turn chatbot
+ * (ShareGPT) vs a ReAct agent (HotpotQA), one request at a time with
+ * prefix caching enabled.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "stats/histogram.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    const int n = 150;
+    const auto chat = shareGptClosedLoop(n);
+    const auto react = core::runProbe(
+        defaultProbe(AgentKind::ReAct, Benchmark::HotpotQA, true,
+                     false, n));
+
+    std::printf("== Fig 7: Latency distribution, ShareGPT vs ReAct "
+                "(HotpotQA) ==\n\n");
+
+    stats::Histogram chat_hist(0.0, 40.0, 20);
+    for (double v : chat.e2eSeconds.values())
+        chat_hist.add(v);
+    std::printf("ShareGPT (single LLM inference per request), "
+                "seconds:\n%s\n",
+                chat_hist.render(40).c_str());
+    std::printf("  mean %.2f s, p50 %.2f s, p95 %.2f s, "
+                "max %.2f s\n\n",
+                chat.e2eSeconds.mean(), chat.p50(), chat.p95(),
+                chat.e2eSeconds.max());
+
+    stats::Histogram react_hist(0.0, 40.0, 20);
+    const auto react_e2e = react.e2eSeconds();
+    for (double v : react_e2e.values())
+        react_hist.add(v);
+    std::printf("ReAct agent (multi-step reasoning + tools), "
+                "seconds:\n%s\n",
+                react_hist.render(40).c_str());
+    std::printf("  mean %.2f s, p50 %.2f s, p95 %.2f s, "
+                "max %.2f s\n\n",
+                react_e2e.mean(), react_e2e.percentile(50),
+                react_e2e.percentile(95), react_e2e.max());
+
+    const double chat_width =
+        chat.p95() - chat.e2eSeconds.percentile(5);
+    const double react_width =
+        react_e2e.percentile(95) - react_e2e.percentile(5);
+    std::printf("Distribution width (p95-p5): ShareGPT %.1f s "
+                "(stddev %.1f s), ReAct %.1f s (stddev %.1f s) — the "
+                "agent's distribution is far wider (paper: most "
+                "chatbot responses complete in 3-7 s; the agent shows "
+                "a broad, heavy-tailed spread).\n",
+                chat_width, chat.e2eSeconds.stddev(), react_width,
+                react_e2e.stddev());
+    return 0;
+}

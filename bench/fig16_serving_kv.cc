@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig 16 — average and maximum KV-cache memory in ReAct serving, with
+ * and without prefix caching, at the paper's fixed offered loads
+ * (0.2 QPS HotpotQA, 0.1 QPS WebShop).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    core::Table t("Fig 16: KV-cache memory in agent serving, with vs "
+                  "without prefix caching");
+    t.header({"Benchmark", "QPS", "Avg KV (off)", "Avg KV (on)",
+              "Max KV (off)", "Max KV (on)", "Avg cut", "Max cut"});
+
+    double avg_cut_total = 0.0;
+    double max_cut_total = 0.0;
+    int count = 0;
+
+    struct Point
+    {
+        Benchmark bench;
+        double qps;
+    };
+    for (const Point p : {Point{Benchmark::HotpotQA, 0.2},
+                          Point{Benchmark::WebShop, 0.1}}) {
+        const auto off = serveAt(p.qps, false, AgentKind::ReAct,
+                                 p.bench, 80, false);
+        const auto on = serveAt(p.qps, false, AgentKind::ReAct,
+                                p.bench, 80, true);
+        const double avg_cut = 1.0 - on.kvAvgBytes / off.kvAvgBytes;
+        const double max_cut = 1.0 - on.kvMaxBytes / off.kvMaxBytes;
+        avg_cut_total += avg_cut;
+        max_cut_total += max_cut;
+        ++count;
+        t.row({std::string(workload::benchmarkName(p.bench)),
+               core::fmtDouble(p.qps, 1),
+               core::fmtEng(off.kvAvgBytes, "B"),
+               core::fmtEng(on.kvAvgBytes, "B"),
+               core::fmtEng(off.kvMaxBytes, "B"),
+               core::fmtEng(on.kvMaxBytes, "B"),
+               core::fmtPercent(avg_cut), core::fmtPercent(max_cut)});
+    }
+    t.print();
+
+    std::printf("\nPrefix caching cuts serving KV memory: average "
+                "-%.1f%% (paper: 51.7%%), maximum -%.1f%% "
+                "(paper: 63.5%%).\n",
+                100.0 * avg_cut_total / count,
+                100.0 * max_cut_total / count);
+    return 0;
+}

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Fig 23 — growth of ChatGPT weekly active users (reported series)
+ * and the derived daily-query assumption used by Table III.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    core::Table t("Fig 23: ChatGPT weekly active users");
+    t.header({"Date", "WAU (millions)", "Bar"});
+    for (const auto &point : energy::chatGptWauSeries()) {
+        t.row({point.date, core::fmtCount(point.millions),
+               std::string(static_cast<std::size_t>(
+                               point.millions / 10.0),
+                           '#')});
+    }
+    t.print();
+
+    const double wau = energy::chatGptWauSeries().back().millions;
+    std::printf("\n%.0f M WAU -> ~%.1f M daily active users -> the "
+                "%.1f M queries/day assumption of Table III (one "
+                "agentic query per user per day).\n",
+                wau, wau / 7.0, energy::chatGptDailyQueries / 1e6);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Table I — comparison of AI agents: the capability matrix.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    core::Table t("Table I: Comparison of AI agents");
+    t.header({"Agent", "Reasoning", "Tool Use", "Reflection",
+              "Tree Search", "Structured Planning"});
+    auto mark = [](bool b) { return std::string(b ? "O" : "X"); };
+    for (AgentKind kind : agents::allAgents) {
+        const auto cap = agents::capabilities(kind);
+        t.row({std::string(agents::agentName(kind)),
+               mark(cap.reasoning), mark(cap.toolUse),
+               mark(cap.reflection), mark(cap.treeSearch),
+               mark(cap.structuredPlanning)});
+    }
+    t.print();
+    return 0;
+}

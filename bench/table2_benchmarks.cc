@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table II — description of benchmarks: task, tools, and the agents
+ * evaluated on each.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace benchutil;
+
+    core::Table t("Table II: Description of benchmarks");
+    t.header({"Benchmark", "Task", "Tool", "Agents"});
+    for (Benchmark b : workload::agenticBenchmarks) {
+        const auto &prof = workload::profile(b);
+        std::string agents_list;
+        for (AgentKind a : agents::allAgents) {
+            if (!agents::agentSupports(a, b))
+                continue;
+            if (!agents_list.empty())
+                agents_list += ", ";
+            agents_list += std::string(agents::agentName(a));
+        }
+        t.row({prof.name, prof.taskDescription, prof.toolDescription,
+               agents_list});
+    }
+    t.print();
+    return 0;
+}

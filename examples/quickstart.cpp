@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: simulate one ReAct agent request end-to-end.
+ *
+ * Builds the serving stack (Llama-3.1-8B roofline model on one
+ * simulated A100 with prefix caching), the HotpotQA tool belt, and
+ * runs a single agent request, printing the measurements the paper's
+ * experiments are made of.
+ *
+ *   ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "agents/accuracy.hh"
+#include "agents/workflows.hh"
+#include "core/probe.hh"
+#include "workload/toolset_factory.hh"
+
+int
+main()
+{
+    using namespace agentsim;
+
+    // 1. A virtual-time simulation and a vLLM-style serving engine.
+    sim::Simulation sim;
+    serving::EngineConfig engine_cfg;
+    engine_cfg.model = llm::llama31_8b();
+    engine_cfg.node = llm::singleA100();
+    engine_cfg.enablePrefixCaching = true;
+    serving::LlmEngine engine(sim, engine_cfg);
+
+    // 2. The benchmark's tools and one sampled task.
+    const auto bench = workload::Benchmark::HotpotQA;
+    auto tools = workload::makeToolSet(bench, sim, engine, /*seed=*/1);
+    workload::TaskGenerator tasks(bench, /*seed=*/1);
+
+    // 3. Wire up the agent context and run ReAct.
+    agents::AgentContext ctx;
+    ctx.sim = &sim;
+    ctx.engine = &engine;
+    ctx.tools = tools.get();
+    ctx.task = tasks.sample(0);
+    ctx.kind = agents::AgentKind::ReAct;
+    ctx.seed = 1;
+    ctx.config.modelQuality =
+        agents::modelQuality(engine_cfg.model.name);
+
+    auto agent = agents::makeAgent(agents::AgentKind::ReAct);
+    auto run = agent->run(ctx);
+    sim.run(); // drain the virtual clock
+
+    // 4. Inspect the measurements.
+    const agents::AgentResult r = run.result();
+    std::printf("solved:        %s\n", r.solved ? "yes" : "no");
+    std::printf("latency:       %.2f s end-to-end\n", r.e2eSeconds);
+    std::printf("  LLM time:    %.2f s\n", r.latency.llmOnlySeconds);
+    std::printf("  tool time:   %.2f s\n", r.latency.toolOnlySeconds);
+    std::printf("LLM calls:     %d (%lld output tokens)\n", r.llmCalls,
+                static_cast<long long>(r.outputTokens));
+    std::printf("tool calls:    %d\n", r.toolCalls);
+    std::printf("context peak:  %lld tokens\n",
+                static_cast<long long>(r.maxContextTokens));
+    std::printf("prefix cache:  %lld of %lld prompt tokens reused\n",
+                static_cast<long long>(r.cachedPromptTokensTotal),
+                static_cast<long long>(r.promptTokensTotal));
+    std::printf("GPU energy:    %.3f Wh (incl. idle during tools)\n",
+                engine.energyJoules(sim.now()) / 3600.0);
+    return 0;
+}

@@ -1,0 +1,102 @@
+#include "agents/accuracy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace agentsim::agents
+{
+
+double
+modelQuality(std::string_view model_name)
+{
+    if (model_name.find("70B") != std::string_view::npos)
+        return Calibration::quality70b;
+    if (model_name.find("8B") != std::string_view::npos)
+        return Calibration::quality8b;
+    AGENTSIM_WARN("unknown model '%.*s'; assuming 8B-class quality",
+                  static_cast<int>(model_name.size()),
+                  model_name.data());
+    return Calibration::quality8b;
+}
+
+double
+fewShotFactor(int examples)
+{
+    AGENTSIM_ASSERT(examples >= 0, "negative few-shot count");
+    const double rise =
+        Calibration::fewShotFloor +
+        (1.0 - Calibration::fewShotFloor) *
+            (1.0 - std::exp(-static_cast<double>(examples) /
+                            Calibration::fewShotScale));
+    if (examples <= Calibration::fewShotOverload)
+        return rise;
+    // Past the useful range, long prompts start to hurt slightly
+    // (paper Fig 20: accuracy can regress with excessive examples).
+    return rise * std::pow(Calibration::fewShotOverloadDecay,
+                           examples - Calibration::fewShotOverload);
+}
+
+double
+reflectionFactor(int reflections)
+{
+    AGENTSIM_ASSERT(reflections >= 0, "negative reflection count");
+    return 1.0 +
+           Calibration::reflectionGain *
+               (1.0 - std::exp(-static_cast<double>(reflections) /
+                               Calibration::reflectionScale));
+}
+
+double
+hopSuccessProb(double quality, int examples, int reflections,
+               double difficulty, double tool_factor)
+{
+    const double p = quality * fewShotFactor(examples) *
+                     reflectionFactor(reflections) *
+                     (1.0 - Calibration::difficultySlope * difficulty) *
+                     tool_factor;
+    return std::clamp(p, Calibration::pMin, Calibration::pMax);
+}
+
+double
+contextCapability(sim::Rng &rng, double base, double sigma)
+{
+    return std::clamp(base + rng.normal(0.0, sigma), Calibration::pMin,
+                      Calibration::pMax);
+}
+
+bool
+attemptHop(sim::Rng &rng, double capability, double threshold)
+{
+    const double p = capability > threshold ? Calibration::pFind
+                                            : Calibration::pLuck;
+    return rng.bernoulli(p);
+}
+
+bool
+oneShotSolve(sim::Rng &rng, double capability, double threshold)
+{
+    if (capability > threshold)
+        return rng.bernoulli(Calibration::finishSuccess);
+    return rng.bernoulli(Calibration::pLuck);
+}
+
+double
+answerSuccessProb(int hops_found, int required_hops)
+{
+    AGENTSIM_ASSERT(required_hops > 0, "task with no hops");
+    if (hops_found >= required_hops)
+        return Calibration::finishSuccess;
+    const double frac = static_cast<double>(hops_found) /
+                        static_cast<double>(required_hops);
+    return Calibration::guessBase * frac * frac;
+}
+
+bool
+sampleAnswer(sim::Rng &rng, int hops_found, int required_hops)
+{
+    return rng.bernoulli(answerSuccessProb(hops_found, required_hops));
+}
+
+} // namespace agentsim::agents

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The latent-progress accuracy model.
+ *
+ * A task requires `requiredHops` reasoning hops (facts to retrieve,
+ * subgoals to reach). Each agent iteration attempts one hop; tree
+ * search attempts one hop per child of an expansion. The per-attempt
+ * success probability is
+ *
+ *   p = quality(model) x fewShotFactor(n) x reflectionFactor(r)
+ *       x (1 - difficultySlope x d) x toolFactor
+ *
+ * clamped to [pMin, pMax]. The wide difficulty range with a steep
+ * slope makes hard tasks stay hard across retries — which is what
+ * produces the paper's saturating accuracy curves and its finding
+ * that parallel exploration (LATS) lifts the ceiling where serial
+ * retries (Reflexion) cannot.
+ *
+ * All constants live in Calibration so experiments and tests can
+ * reference one source of truth.
+ */
+
+#ifndef AGENTSIM_AGENTS_ACCURACY_HH
+#define AGENTSIM_AGENTS_ACCURACY_HH
+
+#include <string_view>
+
+#include "sim/rng.hh"
+#include "workload/benchmark.hh"
+
+namespace agentsim::agents
+{
+
+/** Tunable constants of the accuracy model. */
+struct Calibration
+{
+    /** Per-hop base competence by backbone model. */
+    static constexpr double quality8b = 0.55;
+    static constexpr double quality70b = 0.80;
+
+    /** Few-shot prompting: floor at zero examples... */
+    static constexpr double fewShotFloor = 0.62;
+    /** ...saturating with this example-count scale... */
+    static constexpr double fewShotScale = 2.2;
+    /** ...and decaying slightly past this count (prompt overload). */
+    static constexpr int fewShotOverload = 8;
+    static constexpr double fewShotOverloadDecay = 0.985;
+
+    /** Reflection boost: asymptote and rate. */
+    static constexpr double reflectionGain = 0.20;
+    static constexpr double reflectionScale = 1.4;
+
+    /**
+     * Exploration noise of an execution context (see the latent-
+     * threshold model below): serial trials replay a similar strategy
+     * (small sigma), sampled tree branches genuinely diversify
+     * (large sigma).
+     */
+    static constexpr double exploreSigmaTrial = 0.15;
+    static constexpr double exploreSigmaBranch = 0.35;
+    /**
+     * Decoding-temperature diversity of tool-less samples
+     * (Self-Consistency): it varies the reasoning path but cannot
+     * create knowledge the model lacks, so it is the narrowest.
+     */
+    static constexpr double exploreSigmaSample = 0.08;
+
+    /** Per-attempt evidence success when the context is capable. */
+    static constexpr double pFind = 0.55;
+    /** Residual luck when it is not. */
+    static constexpr double pLuck = 0.03;
+
+    /** Difficulty slope (p falls linearly in difficulty d). */
+    static constexpr double difficultySlope = 1.0;
+
+    static constexpr double pMin = 0.02;
+    static constexpr double pMax = 0.95;
+
+    /** Probability the final answer is phrased correctly once all
+     *  hops are found. */
+    static constexpr double finishSuccess = 0.96;
+
+    /** Partial-credit guess quality when the budget runs out. */
+    static constexpr double guessBase = 0.12;
+
+    /**
+     * Probability per fruitless iteration that the agent prematurely
+     * emits Finish (miscalibrated confidence). This is what spreads
+     * the per-request step counts and produces the heavy-tailed agent
+     * latency distribution of Fig 7.
+     */
+    static constexpr double earlyFinishProb = 0.08;
+
+    /**
+     * Probability a speculatively prefetched tool call matches the
+     * action the LLM actually chose (AgentConfig::speculativeTools).
+     */
+    static constexpr double specToolHitProb = 0.6;
+
+    /**
+     * The LLM critic of the ActorCritic extension is a fallible
+     * judge: it approves correct drafts with the first probability
+     * and wrongly approves incorrect ones with the second.
+     */
+    static constexpr double criticApproveCorrect = 0.90;
+    static constexpr double criticApproveWrong = 0.15;
+};
+
+/** Per-hop base competence for a backbone model, by name. */
+double modelQuality(std::string_view model_name);
+
+/** Few-shot prompting factor for @p examples examples. */
+double fewShotFactor(int examples);
+
+/** Reflection factor after @p reflections reflections. */
+double reflectionFactor(int reflections);
+
+/**
+ * Per-attempt hop-success probability.
+ *
+ * @param quality backbone model competence.
+ * @param examples few-shot examples in the prompt.
+ * @param reflections reflections accumulated in episodic memory.
+ * @param difficulty the task's latent difficulty.
+ * @param tool_factor tool effectiveness (1 normally; the benchmark's
+ *        noToolFactor for CoT, dagFactor for LLMCompiler).
+ */
+double hopSuccessProb(double quality, int examples, int reflections,
+                      double difficulty, double tool_factor = 1.0);
+
+/*
+ * Latent-threshold progression model.
+ *
+ * A task carries a fixed solvability threshold u (TaskInstance::
+ * solveThreshold). An *execution context* — one ReAct/Reflexion trial,
+ * one LATS child branch, one LLMCompiler plan round — draws a
+ * capability c = clamp(base + N(0, sigma)), where base is
+ * hopSuccessProb(...). The context can make progress iff c > u;
+ * within a capable context, each evidence-gathering attempt (tool
+ * iteration, planned call) finds a hop with probability pFind (pLuck
+ * otherwise).
+ *
+ * Consequences, matching the paper:
+ *  - retries of the same strategy are strongly correlated (hard tasks
+ *    stay hard), so Reflexion adds only modest accuracy at large
+ *    latency cost;
+ *  - wide parallel sampling (LATS children, sigma = exploreSigmaBranch)
+ *    genuinely explores and lifts the accuracy ceiling — parallel
+ *    scaling can compensate for a weaker backbone (Fig 22);
+ *  - accuracy saturates with more compute (diminishing returns).
+ */
+
+/**
+ * Draw a context capability around @p base with exploration noise
+ * @p sigma, clamped to [pMin, pMax].
+ */
+double contextCapability(sim::Rng &rng, double base, double sigma);
+
+/**
+ * One evidence-gathering attempt within a context of capability
+ * @p capability against a task threshold @p threshold.
+ */
+bool attemptHop(sim::Rng &rng, double capability, double threshold);
+
+/**
+ * CoT's single holistic pass: succeeds iff the (tool-less) context
+ * clears the threshold and the answer is phrased correctly.
+ */
+bool oneShotSolve(sim::Rng &rng, double capability, double threshold);
+
+/**
+ * Probability the final answer is judged correct given progress.
+ * Full hops: near certain; otherwise a weak partial-credit guess.
+ */
+double answerSuccessProb(int hops_found, int required_hops);
+
+/** Sample a final-answer outcome. */
+bool sampleAnswer(sim::Rng &rng, int hops_found, int required_hops);
+
+} // namespace agentsim::agents
+
+#endif // AGENTSIM_AGENTS_ACCURACY_HH

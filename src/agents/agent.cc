@@ -1,0 +1,195 @@
+#include "agents/agent.hh"
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "workload/token_stream.hh"
+
+namespace agentsim::agents
+{
+
+std::string_view
+agentName(AgentKind kind)
+{
+    switch (kind) {
+      case AgentKind::CoT:
+        return "CoT";
+      case AgentKind::ReAct:
+        return "ReAct";
+      case AgentKind::Reflexion:
+        return "Reflexion";
+      case AgentKind::Lats:
+        return "LATS";
+      case AgentKind::LlmCompiler:
+        return "LLMCompiler";
+      case AgentKind::SelfConsistency:
+        return "SelfConsistency";
+      case AgentKind::ActorCritic:
+        return "ActorCritic";
+      case AgentKind::TreeOfThoughts:
+        return "ToT";
+      case AgentKind::BestOfN:
+        return "BestOfN";
+    }
+    AGENTSIM_PANIC("unknown agent kind");
+}
+
+Capabilities
+capabilities(AgentKind kind)
+{
+    // Paper Table I.
+    switch (kind) {
+      case AgentKind::CoT:
+        return {true, false, false, false, false};
+      case AgentKind::ReAct:
+        return {true, true, false, false, false};
+      case AgentKind::Reflexion:
+        return {true, true, true, false, false};
+      case AgentKind::Lats:
+        return {true, true, true, true, false};
+      case AgentKind::LlmCompiler:
+        return {true, true, true, false, true};
+      case AgentKind::SelfConsistency:
+        // Static reasoning with multi-sample decoding: no tools.
+        return {true, false, false, false, false};
+      case AgentKind::ActorCritic:
+        // Tool-using actor plus a reflective critic role.
+        return {true, true, true, false, false};
+      case AgentKind::TreeOfThoughts:
+        // Tree search over internal thoughts, no tools.
+        return {true, false, false, true, false};
+      case AgentKind::BestOfN:
+        return {true, false, false, false, false};
+    }
+    AGENTSIM_PANIC("unknown agent kind");
+}
+
+bool
+agentSupports(AgentKind kind, workload::Benchmark benchmark)
+{
+    if (benchmark == workload::Benchmark::ShareGpt)
+        return false; // non-agentic baseline
+    const auto &prof = workload::profile(benchmark);
+    if (kind == AgentKind::CoT ||
+        kind == AgentKind::SelfConsistency ||
+        kind == AgentKind::TreeOfThoughts ||
+        kind == AgentKind::BestOfN) {
+        // Language-only reasoning: needs a benchmark solvable without
+        // environment interaction.
+        return prof.supportsCot;
+    }
+    if (kind == AgentKind::LlmCompiler)
+        return prof.supportsLlmCompiler;
+    return true;
+}
+
+sim::Rng
+AgentContext::makeRng(std::string_view purpose) const
+{
+    const std::uint64_t stream = sim::hashCombine(
+        sim::hashCombine(sim::fnv1a(agentName(kind)),
+                         sim::fnv1a(workload::benchmarkName(
+                             task.benchmark))),
+        sim::fnv1a(purpose));
+    return sim::Rng(seed, "agent", sim::hashCombine(stream, task.taskId));
+}
+
+std::vector<kv::TokenId>
+AgentContext::instructionTokens() const
+{
+    // Shared across every task of (agent, benchmark): the serving-level
+    // cross-request prefix hits of Fig 15 come from here.
+    const auto stream = workload::streamId(
+        seed, sim::strfmt("instr.%s.%s",
+                          std::string(agentName(kind)).c_str(),
+                          std::string(workload::benchmarkName(
+                                          task.benchmark))
+                              .c_str()));
+    return workload::makeTokens(stream, profile().instructionTokens);
+}
+
+std::vector<kv::TokenId>
+AgentContext::fewShotTokens() const
+{
+    const auto stream = workload::streamId(
+        seed, sim::strfmt("fewshot.%s.%s",
+                          std::string(agentName(kind)).c_str(),
+                          std::string(workload::benchmarkName(
+                                          task.benchmark))
+                              .c_str()));
+    const int examples = config.resolveFewShot(profile());
+    return workload::makeTokens(stream,
+                                examples *
+                                    profile().fewShotTokensPerExample);
+}
+
+std::vector<kv::TokenId>
+AgentContext::userTokens() const
+{
+    const auto stream = workload::substream(
+        workload::streamId(
+            seed, sim::strfmt("user.%s",
+                              std::string(workload::benchmarkName(
+                                              task.benchmark))
+                                  .c_str())),
+        task.taskId);
+    return workload::makeTokens(stream, task.userTokens);
+}
+
+std::vector<kv::TokenId>
+AgentContext::toolObservationTokens(std::int64_t count,
+                                    std::uint64_t index) const
+{
+    const auto stream = workload::substream(
+        workload::substream(workload::streamId(seed, "tool.obs"),
+                            task.taskId),
+        sim::hashCombine(sim::fnv1a(agentName(kind)), index));
+    return workload::makeTokens(stream, count);
+}
+
+std::vector<kv::TokenId>
+AgentContext::reflectionTokens(std::int64_t count,
+                               std::uint64_t index) const
+{
+    const auto stream = workload::substream(
+        workload::substream(workload::streamId(seed, "reflection"),
+                            task.taskId),
+        sim::hashCombine(sim::fnv1a(agentName(kind)), index));
+    return workload::makeTokens(stream, count);
+}
+
+sim::Task<serving::GenResult>
+callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
+        double output_mean, std::string label)
+{
+    serving::GenRequest req;
+    req.prompt = std::move(prompt.tokens);
+    req.maxNewTokens =
+        ctx.profile().sampleOutputTokens(rng, output_mean);
+    // All calls of one rollout share a session id so program-aware
+    // schedulers (Autellix-style LAS) can track attained service.
+    req.sessionId = sim::hashCombine(
+        sim::hashCombine(ctx.seed, sim::fnv1a(agentName(ctx.kind))),
+        ctx.task.taskId);
+
+    const sim::Tick start = ctx.sim->now();
+    serving::GenResult gen =
+        co_await ctx.engine->generate(std::move(req));
+    const sim::Tick end = ctx.sim->now();
+
+    CallTokens tokens = prompt.breakdown;
+    tokens.output = static_cast<std::int64_t>(gen.tokens.size());
+    trace.addLlmCall(tokens, gen, start, end, label);
+    co_return gen;
+}
+
+sim::Task<tools::ToolResult>
+callTool(AgentContext &ctx, Trace &trace, sim::Rng &rng,
+         tools::Tool &tool)
+{
+    const sim::Tick start = ctx.sim->now();
+    tools::ToolResult result = co_await tool.invoke(rng);
+    trace.addToolCall(tool.name(), start, ctx.sim->now());
+    co_return result;
+}
+
+} // namespace agentsim::agents

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The agent core: workflow kinds, the capability matrix (Table I), the
+ * design-space configuration (§V), the execution context wiring an
+ * agent to the serving engine and tools, and the Agent interface.
+ */
+
+#ifndef AGENTSIM_AGENTS_AGENT_HH
+#define AGENTSIM_AGENTS_AGENT_HH
+
+#include <memory>
+#include <string>
+
+#include "agents/prompt.hh"
+#include "agents/trace.hh"
+#include "serving/engine.hh"
+#include "sim/rng.hh"
+#include "sim/task.hh"
+#include "tools/catalog.hh"
+#include "workload/benchmark.hh"
+
+namespace agentsim::agents
+{
+
+/**
+ * The agent workflows. The first five are the paper's evaluated set
+ * (Table I); SelfConsistency is this library's extension implementing
+ * the static multi-sample decoding of the paper's Fig 1(b) taxonomy
+ * (Wang et al., ICLR'23) as a comparison baseline.
+ */
+enum class AgentKind
+{
+    CoT,
+    ReAct,
+    Reflexion,
+    Lats,
+    LlmCompiler,
+    SelfConsistency,
+    /** Extension: two-role collaboration (actor + LLM critic), the
+     *  AutoGen/CAMEL pattern of the paper's related work (§VII). */
+    ActorCritic,
+    /** Extension: tool-less deliberate tree search over thoughts
+     *  (Tree-of-Thoughts, §I taxonomy). */
+    TreeOfThoughts,
+    /** Extension: N samples ranked by an LLM verifier (Best-of-N,
+     *  §I taxonomy). */
+    BestOfN,
+};
+
+/** The paper's evaluated agents, in paper order. */
+constexpr std::array<AgentKind, 5> allAgents{
+    AgentKind::CoT, AgentKind::ReAct, AgentKind::Reflexion,
+    AgentKind::Lats, AgentKind::LlmCompiler};
+
+std::string_view agentName(AgentKind kind);
+
+/** Capability matrix row (paper Table I). */
+struct Capabilities
+{
+    bool reasoning = false;
+    bool toolUse = false;
+    bool reflection = false;
+    bool treeSearch = false;
+    bool structuredPlanning = false;
+};
+
+Capabilities capabilities(AgentKind kind);
+
+/** True if the paper evaluates this agent x benchmark pair. */
+bool agentSupports(AgentKind kind, workload::Benchmark benchmark);
+
+/**
+ * Design-space knobs of §V. Values of -1 mean "benchmark default".
+ */
+struct AgentConfig
+{
+    /** Few-shot examples in the prompt (-1: benchmark default). */
+    int fewShotExamples = -1;
+    /** Reasoning/tool iterations per trial (ReAct & trials within
+     *  Reflexion; MCTS rounds for LATS). */
+    int maxIterations = 7;
+    /** Maximum reflection retries after a failed trial (Reflexion). */
+    int maxReflections = 2;
+    /** Children per tree expansion (LATS parallel scaling). */
+    int latsChildren = 5;
+    /** Plan-execute-join rounds (LLMCompiler). */
+    int compilerMaxRounds = 2;
+    /**
+     * Speculative tool invocation (paper keytakeaway #1): launch a
+     * predicted tool call concurrently with each reasoning LLM call;
+     * correct predictions hide the tool latency, wrong ones waste a
+     * call. ReAct-style loops only.
+     */
+    bool speculativeTools = false;
+    /** Parallel samples for SelfConsistency's majority vote. */
+    int scSamples = 5;
+    /** Backbone per-hop competence (see accuracy.hh). */
+    double modelQuality = 0.50;
+
+    /** Resolve the few-shot count against a benchmark profile. */
+    int resolveFewShot(const workload::BenchmarkProfile &profile) const
+    {
+        return fewShotExamples >= 0 ? fewShotExamples
+                                    : profile.defaultFewShot;
+    }
+};
+
+/**
+ * Everything an agent run needs. Cheap to copy; owns its RNG stream
+ * and trace.
+ */
+struct AgentContext
+{
+    sim::Simulation *sim = nullptr;
+    serving::LlmEngine *engine = nullptr;
+    tools::ToolSet *tools = nullptr;
+    workload::TaskInstance task;
+    AgentConfig config;
+    AgentKind kind{};
+    std::uint64_t seed = 1;
+
+    const workload::BenchmarkProfile &
+    profile() const
+    {
+        return workload::profile(task.benchmark);
+    }
+
+    /** Request-level RNG stream (behavioural randomness). */
+    sim::Rng makeRng(std::string_view purpose) const;
+
+    /** Fixed instruction tokens for (agent, benchmark). */
+    std::vector<kv::TokenId> instructionTokens() const;
+
+    /** Fixed few-shot tokens (resolved example count). */
+    std::vector<kv::TokenId> fewShotTokens() const;
+
+    /** Per-task user-query tokens. */
+    std::vector<kv::TokenId> userTokens() const;
+
+    /** Deterministic observation tokens for tool call @p index. */
+    std::vector<kv::TokenId> toolObservationTokens(
+        std::int64_t count, std::uint64_t index) const;
+
+    /** Deterministic reflection tokens for reflection @p index. */
+    std::vector<kv::TokenId> reflectionTokens(std::int64_t count,
+                                              std::uint64_t index)
+        const;
+};
+
+/**
+ * Issue one LLM call: build the request, await the engine, record the
+ * span and token breakdown in @p trace, and return the result.
+ *
+ * @param output_mean mean output length for this call role.
+ * @param label trace label, e.g. "react.step" or "lats.value".
+ */
+sim::Task<serving::GenResult>
+callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
+        double output_mean, std::string label);
+
+/**
+ * Invoke a tool and record the span; returns the observation.
+ */
+sim::Task<tools::ToolResult> callTool(AgentContext &ctx, Trace &trace,
+                                      sim::Rng &rng, tools::Tool &tool);
+
+/** The agent interface: one workflow, stateless across runs. */
+class Agent
+{
+  public:
+    virtual ~Agent() = default;
+
+    virtual AgentKind kind() const = 0;
+
+    /** Execute one request; returns the full measurement record. */
+    virtual sim::Task<AgentResult> run(AgentContext ctx) = 0;
+};
+
+/** Construct a workflow implementation. */
+std::unique_ptr<Agent> makeAgent(AgentKind kind);
+
+} // namespace agentsim::agents
+
+#endif // AGENTSIM_AGENTS_AGENT_HH

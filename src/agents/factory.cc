@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Agent factory.
+ */
+
+#include "agents/workflows.hh"
+#include "sim/logging.hh"
+
+namespace agentsim::agents
+{
+
+std::unique_ptr<Agent>
+makeAgent(AgentKind kind)
+{
+    switch (kind) {
+      case AgentKind::CoT:
+        return std::make_unique<CotAgent>();
+      case AgentKind::ReAct:
+        return std::make_unique<ReActAgent>();
+      case AgentKind::Reflexion:
+        return std::make_unique<ReflexionAgent>();
+      case AgentKind::Lats:
+        return std::make_unique<LatsAgent>();
+      case AgentKind::LlmCompiler:
+        return std::make_unique<LlmCompilerAgent>();
+      case AgentKind::SelfConsistency:
+        return std::make_unique<SelfConsistencyAgent>();
+      case AgentKind::ActorCritic:
+        return std::make_unique<ActorCriticAgent>();
+      case AgentKind::TreeOfThoughts:
+        return std::make_unique<TreeOfThoughtsAgent>();
+      case AgentKind::BestOfN:
+        return std::make_unique<BestOfNAgent>();
+    }
+    AGENTSIM_PANIC("unknown agent kind");
+}
+
+} // namespace agentsim::agents

@@ -1,0 +1,74 @@
+#include "agents/plan.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace agentsim::agents
+{
+
+PlanGraph
+PlanGraph::sample(sim::Rng &rng, int n, double dep_prob)
+{
+    AGENTSIM_ASSERT(n > 0, "empty plan");
+    PlanGraph g;
+    g.nodes_.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto &node = g.nodes_[static_cast<std::size_t>(i)];
+        node.id = i;
+        if (i == 0)
+            continue;
+        if (rng.bernoulli(dep_prob))
+            node.deps.push_back(i - 1);
+        if (i >= 2 && rng.bernoulli(dep_prob * 0.5)) {
+            const int other =
+                static_cast<int>(rng.uniformInt(0, i - 2));
+            if (std::find(node.deps.begin(), node.deps.end(), other) ==
+                node.deps.end()) {
+                node.deps.push_back(other);
+            }
+        }
+    }
+    return g;
+}
+
+std::vector<std::vector<int>>
+PlanGraph::topologicalWaves() const
+{
+    std::vector<int> depth(nodes_.size(), 0);
+    int max_depth = 0;
+    for (const auto &node : nodes_) {
+        int d = 0;
+        for (int dep : node.deps)
+            d = std::max(d, depth[static_cast<std::size_t>(dep)] + 1);
+        depth[static_cast<std::size_t>(node.id)] = d;
+        max_depth = std::max(max_depth, d);
+    }
+    std::vector<std::vector<int>> waves(
+        static_cast<std::size_t>(max_depth + 1));
+    for (const auto &node : nodes_)
+        waves[static_cast<std::size_t>(
+                  depth[static_cast<std::size_t>(node.id)])]
+            .push_back(node.id);
+    return waves;
+}
+
+int
+PlanGraph::criticalPathLength() const
+{
+    return static_cast<int>(topologicalWaves().size());
+}
+
+void
+PlanGraph::checkInvariants() const
+{
+    for (const auto &node : nodes_) {
+        for (int dep : node.deps) {
+            AGENTSIM_ASSERT(dep >= 0 && dep < node.id,
+                            "plan edge is not backward: %d -> %d", dep,
+                            node.id);
+        }
+    }
+}
+
+} // namespace agentsim::agents

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PlanGraph — the DAG of interdependent tool actions produced by
+ * LLMCompiler's planner (paper Fig 2 "Plan" component, §III).
+ *
+ * Nodes are tool calls; an edge i -> j means call j consumes call i's
+ * result and cannot start before it finishes. Benchmarks with highly
+ * interdependent tool use (WebShop navigation) sample dense chains,
+ * which serializes execution and erodes LLMCompiler's advantage —
+ * exactly the paper's observation in §V-A.
+ */
+
+#ifndef AGENTSIM_AGENTS_PLAN_HH
+#define AGENTSIM_AGENTS_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace agentsim::agents
+{
+
+/** One planned tool action. */
+struct PlanNode
+{
+    int id = 0;
+    /** Indices of nodes this action depends on (all < id). */
+    std::vector<int> deps;
+};
+
+/** A directed acyclic plan over tool calls. */
+class PlanGraph
+{
+  public:
+    /**
+     * Sample a plan of @p n nodes. Each node depends on its
+     * predecessor with probability @p dep_prob (chaining), and with
+     * probability dep_prob/2 on one random earlier node (fan-in).
+     */
+    static PlanGraph sample(sim::Rng &rng, int n, double dep_prob);
+
+    const std::vector<PlanNode> &nodes() const { return nodes_; }
+    int size() const { return static_cast<int>(nodes_.size()); }
+
+    /**
+     * Topological wave partition: wave w holds nodes whose longest
+     * dependency chain has length w. Nodes within a wave may run in
+     * parallel.
+     */
+    std::vector<std::vector<int>> topologicalWaves() const;
+
+    /** Length of the longest dependency chain (waves count). */
+    int criticalPathLength() const;
+
+    /** Panics unless all edges point backwards (acyclic by build). */
+    void checkInvariants() const;
+
+  private:
+    std::vector<PlanNode> nodes_;
+};
+
+} // namespace agentsim::agents
+
+#endif // AGENTSIM_AGENTS_PLAN_HH

@@ -1,0 +1,100 @@
+#include "agents/prompt.hh"
+
+#include "sim/logging.hh"
+
+namespace agentsim::agents
+{
+
+PromptBuilder &
+PromptBuilder::add(SegmentKind kind, std::span<const kv::TokenId> tokens)
+{
+    tokens_.insert(tokens_.end(), tokens.begin(), tokens.end());
+    const auto n = static_cast<std::int64_t>(tokens.size());
+    switch (kind) {
+      case SegmentKind::Instruction:
+        breakdown_.instruction += n;
+        break;
+      case SegmentKind::FewShot:
+        breakdown_.fewShot += n;
+        break;
+      case SegmentKind::User:
+        breakdown_.user += n;
+        break;
+      case SegmentKind::LlmHistory:
+        breakdown_.llmHistory += n;
+        break;
+      case SegmentKind::ToolHistory:
+        breakdown_.toolHistory += n;
+        break;
+      case SegmentKind::Output:
+        AGENTSIM_PANIC("Output is not an input segment");
+    }
+    return *this;
+}
+
+Prompt
+PromptBuilder::build() const
+{
+    return Prompt{tokens_, breakdown_};
+}
+
+void
+TrajectoryMemory::append(SegmentKind kind,
+                         std::vector<kv::TokenId> tokens)
+{
+    AGENTSIM_ASSERT(kind == SegmentKind::LlmHistory ||
+                        kind == SegmentKind::ToolHistory,
+                    "trajectory holds only history segments");
+    segments_.push_back(Segment{kind, std::move(tokens)});
+}
+
+std::int64_t
+TrajectoryMemory::tokenCount(SegmentKind kind) const
+{
+    std::int64_t total = 0;
+    for (const auto &s : segments_) {
+        if (s.kind == kind)
+            total += static_cast<std::int64_t>(s.tokens.size());
+    }
+    return total;
+}
+
+std::int64_t
+TrajectoryMemory::totalTokens() const
+{
+    std::int64_t total = 0;
+    for (const auto &s : segments_)
+        total += static_cast<std::int64_t>(s.tokens.size());
+    return total;
+}
+
+void
+TrajectoryMemory::appendTo(PromptBuilder &builder) const
+{
+    for (const auto &s : segments_)
+        builder.add(s.kind, s.tokens);
+}
+
+void
+EpisodicMemory::addReflection(std::vector<kv::TokenId> tokens)
+{
+    reflections_.push_back(std::move(tokens));
+}
+
+std::int64_t
+EpisodicMemory::totalTokens() const
+{
+    std::int64_t total = 0;
+    for (const auto &r : reflections_)
+        total += static_cast<std::int64_t>(r.size());
+    return total;
+}
+
+void
+EpisodicMemory::appendTo(PromptBuilder &builder) const
+{
+    for (const auto &r : reflections_)
+        builder.add(SegmentKind::LlmHistory, r);
+}
+
+} // namespace agentsim::agents

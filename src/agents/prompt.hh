@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Prompt assembly and the agent's memory components (paper Fig 2):
+ * short-term trajectory memory (LLM outputs + tool observations) and
+ * long-term episodic memory (Reflexion's reflections).
+ *
+ * Prompts carry deterministic token ids, so the serving engine's
+ * prefix cache sees the same sharing structure real agents produce:
+ * fixed instruction/few-shot blocks shared across requests, and
+ * per-request histories shared across a request's successive calls.
+ */
+
+#ifndef AGENTSIM_AGENTS_PROMPT_HH
+#define AGENTSIM_AGENTS_PROMPT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "agents/trace.hh"
+#include "kv/block_manager.hh"
+
+namespace agentsim::agents
+{
+
+/** A fully assembled prompt: token ids plus the per-kind breakdown. */
+struct Prompt
+{
+    std::vector<kv::TokenId> tokens;
+    CallTokens breakdown;
+};
+
+/**
+ * Ordered accumulation of prompt segments.
+ */
+class PromptBuilder
+{
+  public:
+    /** Append a segment of @p kind. */
+    PromptBuilder &add(SegmentKind kind,
+                       std::span<const kv::TokenId> tokens);
+
+    /** Current total token count. */
+    std::int64_t size() const
+    {
+        return static_cast<std::int64_t>(tokens_.size());
+    }
+
+    /** Finalize (the builder may be reused afterwards). */
+    Prompt build() const;
+
+  private:
+    std::vector<kv::TokenId> tokens_;
+    CallTokens breakdown_;
+};
+
+/**
+ * Short-term memory: the interleaved trajectory of LLM outputs and
+ * tool observations accumulated over a request's iterations.
+ */
+class TrajectoryMemory
+{
+  public:
+    struct Segment
+    {
+        SegmentKind kind{};
+        std::vector<kv::TokenId> tokens;
+    };
+
+    /** Append an LLM output or tool observation. */
+    void append(SegmentKind kind, std::vector<kv::TokenId> tokens);
+
+    /** Reset for a fresh trial (Reflexion). */
+    void clear() { segments_.clear(); }
+
+    const std::vector<Segment> &segments() const { return segments_; }
+
+    /** Token count of a given kind. */
+    std::int64_t tokenCount(SegmentKind kind) const;
+
+    /** Total token count. */
+    std::int64_t totalTokens() const;
+
+    /** Append every segment to a prompt builder, in order. */
+    void appendTo(PromptBuilder &builder) const;
+
+  private:
+    std::vector<Segment> segments_;
+};
+
+/**
+ * Long-term episodic memory: verbal reflections distilled from failed
+ * trials (Reflexion, LATS). Rendered into prompts as LLM history.
+ */
+class EpisodicMemory
+{
+  public:
+    void addReflection(std::vector<kv::TokenId> tokens);
+
+    std::size_t reflectionCount() const { return reflections_.size(); }
+    std::int64_t totalTokens() const;
+
+    void appendTo(PromptBuilder &builder) const;
+
+  private:
+    std::vector<std::vector<kv::TokenId>> reflections_;
+};
+
+} // namespace agentsim::agents
+
+#endif // AGENTSIM_AGENTS_PROMPT_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ReAct: iterate (thought+action LLM call, tool execution,
+ * observation) until the agent believes it can answer or the
+ * iteration budget runs out.
+ */
+
+#include "agents/accuracy.hh"
+#include "agents/workflows.hh"
+
+namespace agentsim::agents
+{
+
+sim::Task<TrialOutcome>
+runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
+                 TrajectoryMemory &memory,
+                 const EpisodicMemory &episodic, int reflections,
+                 std::uint64_t call_base)
+{
+    const auto &prof = ctx.profile();
+    const int few_shot = ctx.config.resolveFewShot(prof);
+    const int required = ctx.task.requiredHops;
+
+    // One trial = one execution context: its capability is drawn once
+    // (latent-threshold model, accuracy.hh), so repeating trials on a
+    // hard task mostly repeats the failure.
+    const double base = hopSuccessProb(ctx.config.modelQuality,
+                                       few_shot, reflections,
+                                       ctx.task.difficulty);
+    const double capability = contextCapability(
+        rng, base, Calibration::exploreSigmaTrial);
+
+    TrialOutcome outcome;
+    for (int iter = 0; iter < ctx.config.maxIterations; ++iter) {
+        PromptBuilder builder;
+        builder.add(SegmentKind::Instruction, ctx.instructionTokens());
+        builder.add(SegmentKind::FewShot, ctx.fewShotTokens());
+        builder.add(SegmentKind::User, ctx.userTokens());
+        episodic.appendTo(builder);
+        memory.appendTo(builder);
+
+        // Speculative tool invocation (keytakeaway #1): predict the
+        // next action and launch its tool call concurrently with the
+        // reasoning LLM call. Skipped when the agent is about to
+        // Finish (it knows no tool is needed).
+        std::optional<sim::Task<tools::ToolResult>> speculated;
+        if (ctx.config.speculativeTools &&
+            outcome.hopsFound < required) {
+            tools::Tool &guess = ctx.tools->pick(rng);
+            speculated.emplace(callTool(ctx, trace, rng, guess));
+        }
+
+        serving::GenResult gen = co_await callLlm(
+            ctx, trace, rng, builder.build(), prof.stepOutputMean,
+            "react.step");
+        memory.append(SegmentKind::LlmHistory, gen.tokens);
+        ++outcome.iterations;
+
+        if (outcome.hopsFound >= required) {
+            // That call was the Finish action: commit to an answer.
+            outcome.answeredCorrectly =
+                sampleAnswer(rng, outcome.hopsFound, required);
+            co_return outcome;
+        }
+
+        // Act: obtain the observation — from the speculated call if
+        // the prediction matched, otherwise by invoking the tool the
+        // LLM actually chose (the speculation is wasted work).
+        tools::ToolResult obs;
+        if (speculated &&
+            rng.bernoulli(Calibration::specToolHitProb)) {
+            obs = co_await *speculated;
+        } else {
+            if (speculated)
+                co_await *speculated; // discard the wrong prefetch
+            tools::Tool &tool = ctx.tools->pick(rng);
+            obs = co_await callTool(ctx, trace, rng, tool);
+        }
+        memory.append(SegmentKind::ToolHistory,
+                      ctx.toolObservationTokens(
+                          obs.observationTokens,
+                          call_base + static_cast<std::uint64_t>(iter)));
+
+        const bool found =
+            attemptHop(rng, capability, ctx.task.solveThreshold);
+        if (found) {
+            ++outcome.hopsFound;
+        } else if (outcome.hopsFound < required &&
+                   rng.bernoulli(Calibration::earlyFinishProb)) {
+            // Premature Finish: the agent concludes from partial
+            // evidence (a real ReAct failure mode, and the source of
+            // the wide per-request step-count variance).
+            outcome.answeredCorrectly =
+                sampleAnswer(rng, outcome.hopsFound, required);
+            co_return outcome;
+        }
+    }
+
+    // Budget exhausted: forced answer from partial evidence.
+    outcome.answeredCorrectly =
+        sampleAnswer(rng, outcome.hopsFound, required);
+    co_return outcome;
+}
+
+sim::Task<AgentResult>
+ReActAgent::run(AgentContext ctx)
+{
+    Trace trace(ctx.sim->now());
+    sim::Rng rng = ctx.makeRng("run");
+
+    TrajectoryMemory memory;
+    EpisodicMemory episodic;
+    TrialOutcome outcome = co_await runToolLoopTrial(
+        ctx, trace, rng, memory, episodic, 0, 0);
+
+    trace.setIterations(outcome.iterations);
+    co_return trace.finish(outcome.answeredCorrectly, ctx.sim->now());
+}
+
+} // namespace agentsim::agents

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reflexion: run ReAct-style trials; after a failed trial, evaluate
+ * the trajectory and distill a verbal reflection into episodic
+ * (long-term) memory, then retry with a cleared short-term trajectory.
+ * Reflections raise subsequent per-hop success probabilities but each
+ * retry replays the full iteration cost — the paper's canonical
+ * *sequential* test-time scaling.
+ */
+
+#include "agents/accuracy.hh"
+#include "agents/workflows.hh"
+
+namespace agentsim::agents
+{
+
+sim::Task<AgentResult>
+ReflexionAgent::run(AgentContext ctx)
+{
+    Trace trace(ctx.sim->now());
+    sim::Rng rng = ctx.makeRng("run");
+    const auto &prof = ctx.profile();
+
+    EpisodicMemory episodic;
+    bool solved = false;
+    int iterations_total = 0;
+    int reflections_used = 0;
+
+    for (int trial = 0; trial <= ctx.config.maxReflections; ++trial) {
+        TrajectoryMemory memory; // short-term memory resets per trial
+        TrialOutcome outcome = co_await runToolLoopTrial(
+            ctx, trace, rng, memory, episodic, reflections_used,
+            static_cast<std::uint64_t>(trial) << 32);
+        iterations_total += outcome.iterations;
+
+        if (outcome.answeredCorrectly) {
+            solved = true;
+            break;
+        }
+        if (trial == ctx.config.maxReflections)
+            break; // no retries left
+
+        // Self-evaluation over the failed trajectory.
+        PromptBuilder eval_builder;
+        eval_builder.add(SegmentKind::Instruction,
+                         ctx.instructionTokens());
+        eval_builder.add(SegmentKind::User, ctx.userTokens());
+        episodic.appendTo(eval_builder);
+        memory.appendTo(eval_builder);
+        co_await callLlm(ctx, trace, rng, eval_builder.build(),
+                         prof.valueOutputMean, "reflexion.evaluate");
+
+        // Verbal reflection, appended to long-term memory. The
+        // reflection text is the LLM's own output tokens, so later
+        // prompts that embed it share its token ids.
+        PromptBuilder refl_builder;
+        refl_builder.add(SegmentKind::Instruction,
+                         ctx.instructionTokens());
+        refl_builder.add(SegmentKind::User, ctx.userTokens());
+        episodic.appendTo(refl_builder);
+        memory.appendTo(refl_builder);
+        serving::GenResult reflection = co_await callLlm(
+            ctx, trace, rng, refl_builder.build(),
+            prof.reflectionOutputMean, "reflexion.reflect");
+        episodic.addReflection(reflection.tokens);
+        ++reflections_used;
+    }
+
+    trace.setIterations(iterations_total);
+    trace.setReflections(reflections_used);
+    co_return trace.finish(solved, ctx.sim->now());
+}
+
+} // namespace agentsim::agents

@@ -1,0 +1,286 @@
+#include "core/cluster.hh"
+
+#include <algorithm>
+
+#include "agents/accuracy.hh"
+#include "sim/logging.hh"
+#include "workload/token_stream.hh"
+#include "workload/toolset_factory.hh"
+
+namespace agentsim::core
+{
+
+std::string_view
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::RoundRobin:
+        return "round-robin";
+      case RoutePolicy::LeastLoaded:
+        return "least-loaded";
+      case RoutePolicy::CacheAffinity:
+        return "cache-affinity";
+    }
+    AGENTSIM_PANIC("unknown routing policy");
+}
+
+namespace
+{
+
+/** One serving node: an engine plus its per-benchmark tool belts. */
+struct Node
+{
+    std::unique_ptr<serving::LlmEngine> engine;
+    std::vector<std::unique_ptr<tools::ToolSet>> toolsByBenchmark;
+    int assigned = 0;
+
+    tools::ToolSet &
+    toolsFor(workload::Benchmark bench)
+    {
+        return *toolsByBenchmark[static_cast<std::size_t>(bench)];
+    }
+
+    /** In-flight load proxy: running batch + waiting queue. */
+    std::size_t
+    load() const
+    {
+        return engine->runningCount() + engine->queueDepth();
+    }
+};
+
+struct ClusterState
+{
+    ClusterResult result;
+    sim::Tick firstSubmit = -1;
+    sim::Tick lastFinish = 0;
+};
+
+/** Stable identity of a workload component (for affinity hashing). */
+std::uint64_t
+workloadKey(const WorkloadSpec &spec)
+{
+    if (spec.chatbot)
+        return sim::fnv1a("chatbot");
+    return sim::hashCombine(
+        sim::fnv1a(agents::agentName(spec.agent)),
+        sim::fnv1a(workload::benchmarkName(spec.bench)));
+}
+
+int
+route(RoutePolicy policy, const WorkloadSpec &spec,
+      std::vector<Node> &nodes, int &rr_next)
+{
+    const int n = static_cast<int>(nodes.size());
+    switch (policy) {
+      case RoutePolicy::RoundRobin: {
+          const int pick = rr_next;
+          rr_next = (rr_next + 1) % n;
+          return pick;
+      }
+      case RoutePolicy::LeastLoaded: {
+          int best = 0;
+          for (int i = 1; i < n; ++i) {
+              if (nodes[static_cast<std::size_t>(i)].load() <
+                  nodes[static_cast<std::size_t>(best)].load()) {
+                  best = i;
+              }
+          }
+          return best;
+      }
+      case RoutePolicy::CacheAffinity: {
+          // Agent-aware: chatbot traffic has near-zero cross-request
+          // prefix reuse, so it simply load-balances; agent requests
+          // go to their workflow's home node unless it is clearly
+          // overloaded relative to the cluster minimum.
+          int least = 0;
+          for (int i = 1; i < n; ++i) {
+              if (nodes[static_cast<std::size_t>(i)].load() <
+                  nodes[static_cast<std::size_t>(least)].load()) {
+                  least = i;
+              }
+          }
+          if (spec.chatbot)
+              return least;
+          const int home = static_cast<int>(
+              workloadKey(spec) % static_cast<std::uint64_t>(n));
+          const std::size_t min_load =
+              nodes[static_cast<std::size_t>(least)].load();
+          if (nodes[static_cast<std::size_t>(home)].load() >
+              min_load + 6) {
+              return least;
+          }
+          return home;
+      }
+    }
+    AGENTSIM_PANIC("unknown routing policy");
+}
+
+void
+noteCompletion(ClusterState &state, sim::Tick submit, sim::Tick finish,
+               std::size_t workload_index)
+{
+    if (state.firstSubmit < 0)
+        state.firstSubmit = submit;
+    state.lastFinish = std::max(state.lastFinish, finish);
+    const double seconds = sim::toSeconds(finish - submit);
+    state.result.e2eSeconds.add(seconds);
+    state.result.perWorkloadSeconds[workload_index].add(seconds);
+    ++state.result.completed;
+}
+
+sim::Task<void>
+clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
+                   Node &node, const WorkloadSpec &spec,
+                   std::size_t workload_index, std::uint64_t index,
+                   ClusterState &state)
+{
+    workload::TaskGenerator gen(spec.bench, config.seed);
+    agents::AgentContext ctx;
+    ctx.sim = &sim;
+    ctx.engine = node.engine.get();
+    ctx.tools = &node.toolsFor(spec.bench);
+    ctx.task = gen.sample(index);
+    ctx.config = spec.agentConfig;
+    ctx.config.modelQuality =
+        agents::modelQuality(config.engineConfig.model.name);
+    ctx.kind = spec.agent;
+    ctx.seed = config.seed;
+
+    auto agent = agents::makeAgent(spec.agent);
+    const sim::Tick submit = sim.now();
+    agents::AgentResult result = co_await agent->run(ctx);
+    (void)result;
+    noteCompletion(state, submit, sim.now(), workload_index);
+}
+
+sim::Task<void>
+clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
+                  Node &node, std::size_t workload_index,
+                  std::uint64_t index, ClusterState &state)
+{
+    const workload::ShareGptSampler sampler(config.seed);
+    const workload::ChatRequest chat = sampler.sample(index);
+    constexpr std::int64_t system_tokens = 40;
+    serving::GenRequest req;
+    req.prompt = workload::makeTokens(
+        workload::streamId(config.seed, "chat.system"), system_tokens);
+    const auto convo = workload::makeTokens(
+        workload::substream(workload::streamId(config.seed,
+                                               "chat.convo"),
+                            index),
+        std::max<std::int64_t>(1, chat.promptTokens - system_tokens));
+    req.prompt.insert(req.prompt.end(), convo.begin(), convo.end());
+    req.maxNewTokens = chat.outputTokens;
+
+    req.sessionId = sim::hashCombine(config.seed, index);
+    const sim::Tick submit = sim.now();
+    co_await node.engine->generate(std::move(req));
+    noteCompletion(state, submit, sim.now(), workload_index);
+}
+
+sim::Task<void>
+clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
+              std::vector<Node> &nodes, ClusterState &state)
+{
+    sim::Rng arrivals(config.seed, "cluster.arrivals", 0);
+    sim::Rng mixer(config.seed, "cluster.mix", 0);
+    std::vector<double> weights;
+    weights.reserve(config.mix.size());
+    for (const auto &spec : config.mix)
+        weights.push_back(spec.weight);
+
+    int rr_next = 0;
+    std::vector<sim::Task<void>> workers;
+    workers.reserve(static_cast<std::size_t>(config.numRequests));
+    for (int i = 0; i < config.numRequests; ++i) {
+        if (i > 0) {
+            co_await sim::delaySec(
+                sim, arrivals.exponential(1.0 / config.qps));
+        }
+        const std::size_t which = mixer.categorical(weights);
+        const WorkloadSpec &spec = config.mix[which];
+        const int target =
+            route(config.policy, spec, nodes, rr_next);
+        Node &node = nodes[static_cast<std::size_t>(target)];
+        ++node.assigned;
+        const auto index = static_cast<std::uint64_t>(i);
+        if (spec.chatbot) {
+            workers.push_back(clusterChatWorker(config, sim, node,
+                                                which, index, state));
+        } else {
+            workers.push_back(clusterAgentWorker(
+                config, sim, node, spec, which, index, state));
+        }
+    }
+    co_await sim::allOf(std::move(workers));
+}
+
+} // namespace
+
+double
+ClusterResult::aggregateHitRate() const
+{
+    double weighted = 0.0;
+    int total = 0;
+    for (const auto &node : nodes) {
+        weighted += node.cacheHitRate * node.requests;
+        total += node.requests;
+    }
+    return total > 0 ? weighted / total : 0.0;
+}
+
+ClusterResult
+runCluster(const ClusterConfig &config)
+{
+    AGENTSIM_ASSERT(config.numNodes > 0, "cluster needs nodes");
+    AGENTSIM_ASSERT(!config.mix.empty(), "cluster needs a workload");
+    for (const auto &spec : config.mix) {
+        if (!spec.chatbot &&
+            !agents::agentSupports(spec.agent, spec.bench)) {
+            AGENTSIM_FATAL("unsupported agent/benchmark in mix");
+        }
+    }
+
+    sim::Simulation sim;
+    std::vector<Node> nodes;
+    nodes.reserve(static_cast<std::size_t>(config.numNodes));
+    for (int i = 0; i < config.numNodes; ++i) {
+        Node node;
+        auto engine_cfg = config.engineConfig;
+        engine_cfg.seed =
+            sim::hashCombine(config.seed,
+                             static_cast<std::uint64_t>(i));
+        node.engine =
+            std::make_unique<serving::LlmEngine>(sim, engine_cfg);
+        for (int b = 0; b <= static_cast<int>(
+                                 workload::Benchmark::HumanEval);
+             ++b) {
+            node.toolsByBenchmark.push_back(workload::makeToolSet(
+                static_cast<workload::Benchmark>(b), sim,
+                *node.engine, config.seed));
+        }
+        nodes.push_back(std::move(node));
+    }
+
+    ClusterState state;
+    state.result.perWorkloadSeconds.resize(config.mix.size());
+    auto drive = clusterDriver(config, sim, nodes, state);
+    sim.run();
+    AGENTSIM_ASSERT(drive.done(), "cluster driver did not finish");
+    AGENTSIM_ASSERT(state.result.completed == config.numRequests,
+                    "cluster lost requests");
+
+    ClusterResult out = std::move(state.result);
+    out.makespanSeconds = sim::toSeconds(
+        state.lastFinish - std::max<sim::Tick>(0, state.firstSubmit));
+    for (const auto &node : nodes) {
+        NodeResult nr;
+        nr.requests = node.assigned;
+        nr.cacheHitRate = node.engine->cacheStats().hitRate();
+        nr.engineStats = node.engine->stats();
+        out.nodes.push_back(nr);
+    }
+    return out;
+}
+
+} // namespace agentsim::core

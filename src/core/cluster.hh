@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-node agent serving with request routing — the paper's
+ * keytakeaway #7 ("agent-aware request dispatching") made concrete.
+ *
+ * A cluster holds N identical serving nodes. A router assigns each
+ * incoming request (an agent rollout or a chatbot query, drawn from a
+ * weighted workload mix) to one node for its whole lifetime:
+ *
+ *  - RoundRobin: classic load spreading; every node ends up serving
+ *    every workflow, so each node's prefix cache holds every
+ *    instruction block (duplicated working sets).
+ *  - LeastLoaded: route to the node with the fewest in-flight
+ *    sequences + queue.
+ *  - CacheAffinity: hash the workflow identity (agent x benchmark) to
+ *    a home node, falling back to the least-loaded node when the home
+ *    node is overloaded — concentrating identical prefixes per node.
+ */
+
+#ifndef AGENTSIM_CORE_CLUSTER_HH
+#define AGENTSIM_CORE_CLUSTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "agents/workflows.hh"
+#include "serving/engine.hh"
+#include "stats/summary.hh"
+#include "workload/benchmark.hh"
+
+namespace agentsim::core
+{
+
+/** Request routing policies. */
+enum class RoutePolicy
+{
+    RoundRobin,
+    LeastLoaded,
+    CacheAffinity,
+};
+
+std::string_view routePolicyName(RoutePolicy policy);
+
+/** One component of the offered workload mix. */
+struct WorkloadSpec
+{
+    /** Single-turn chatbot request instead of an agent rollout. */
+    bool chatbot = false;
+    agents::AgentKind agent = agents::AgentKind::ReAct;
+    workload::Benchmark bench = workload::Benchmark::HotpotQA;
+    agents::AgentConfig agentConfig;
+    /** Relative sampling weight (> 0). */
+    double weight = 1.0;
+};
+
+/** Cluster experiment configuration. */
+struct ClusterConfig
+{
+    int numNodes = 4;
+    serving::EngineConfig engineConfig;
+    RoutePolicy policy = RoutePolicy::RoundRobin;
+    std::vector<WorkloadSpec> mix;
+    /** Offered cluster-wide load (Poisson). */
+    double qps = 1.0;
+    int numRequests = 200;
+    std::uint64_t seed = 1;
+};
+
+/** Per-node measurements. */
+struct NodeResult
+{
+    int requests = 0;
+    double cacheHitRate = 0.0;
+    serving::EngineStats engineStats;
+};
+
+/** Cluster experiment measurements. */
+struct ClusterResult
+{
+    stats::SampleSet e2eSeconds;
+    /** Latencies split by workload-mix component (same order). */
+    std::vector<stats::SampleSet> perWorkloadSeconds;
+    int completed = 0;
+    double makespanSeconds = 0.0;
+    std::vector<NodeResult> nodes;
+
+    double p50() const { return e2eSeconds.percentile(50.0); }
+    double p95() const { return e2eSeconds.percentile(95.0); }
+
+    double
+    throughputQps() const
+    {
+        return makespanSeconds > 0 ? completed / makespanSeconds : 0.0;
+    }
+
+    /** Request-weighted mean prefix-cache hit rate across nodes. */
+    double aggregateHitRate() const;
+};
+
+/** Run one cluster experiment. */
+ClusterResult runCluster(const ClusterConfig &config);
+
+} // namespace agentsim::core
+
+#endif // AGENTSIM_CORE_CLUSTER_HH

@@ -1,0 +1,224 @@
+#include "core/serving_system.hh"
+
+#include <memory>
+
+#include "agents/accuracy.hh"
+#include "sim/logging.hh"
+#include "workload/token_stream.hh"
+#include "workload/toolset_factory.hh"
+
+namespace agentsim::core
+{
+
+namespace
+{
+
+/** Shared mutable state the workers report into. */
+struct ServeState
+{
+    ServeResult result;
+    sim::Tick firstSubmit = -1;
+    sim::Tick lastFinish = 0;
+};
+
+void
+noteCompletion(ServeState &state, sim::Tick submit, sim::Tick finish,
+               bool solved)
+{
+    if (state.firstSubmit < 0)
+        state.firstSubmit = submit;
+    state.lastFinish = std::max(state.lastFinish, finish);
+    state.result.e2eSeconds.add(sim::toSeconds(finish - submit));
+    ++state.result.completed;
+    state.result.solved += solved ? 1 : 0;
+}
+
+/** One agent request, Fig 13 worker-style. */
+sim::Task<void>
+agentWorker(const ServeConfig &config, sim::Simulation &sim,
+            serving::LlmEngine &engine, tools::ToolSet &tools,
+            const agents::AgentConfig &agent_cfg, std::uint64_t index,
+            ServeState &state)
+{
+    workload::TaskGenerator gen(config.bench, config.seed);
+    agents::AgentContext ctx;
+    ctx.sim = &sim;
+    ctx.engine = &engine;
+    ctx.tools = &tools;
+    ctx.task = gen.sample(index);
+    ctx.config = agent_cfg;
+    ctx.kind = config.agent;
+    ctx.seed = config.seed;
+
+    auto agent = agents::makeAgent(config.agent);
+    const sim::Tick submit = sim.now();
+    agents::AgentResult result = co_await agent->run(ctx);
+    noteCompletion(state, submit, sim.now(), result.solved);
+}
+
+/** One ShareGPT chatbot request: a single LLM inference. */
+sim::Task<void>
+chatWorker(const ServeConfig &config, sim::Simulation &sim,
+           serving::LlmEngine &engine, std::uint64_t index,
+           ServeState &state)
+{
+    const workload::ShareGptSampler sampler(config.seed);
+    const workload::ChatRequest chat = sampler.sample(index);
+
+    // A short shared system preamble plus a unique conversation: real
+    // chatbot traffic has little cross-request overlap (paper: prefix
+    // caching only buys ~1.03x there).
+    constexpr std::int64_t system_tokens = 40;
+    serving::GenRequest req;
+    req.prompt = workload::makeTokens(
+        workload::streamId(config.seed, "chat.system"), system_tokens);
+    const auto convo = workload::makeTokens(
+        workload::substream(workload::streamId(config.seed,
+                                               "chat.convo"),
+                            index),
+        std::max<std::int64_t>(1, chat.promptTokens - system_tokens));
+    req.prompt.insert(req.prompt.end(), convo.begin(), convo.end());
+    req.maxNewTokens = chat.outputTokens;
+    req.sessionId = sim::hashCombine(config.seed, index);
+
+    const sim::Tick submit = sim.now();
+    serving::GenResult r = co_await engine.generate(std::move(req));
+    state.result.ttftSeconds.add(r.ttftSeconds);
+    noteCompletion(state, submit, sim.now(), !r.failed);
+}
+
+/** One multi-turn conversation session (keytakeaway #8). */
+sim::Task<void>
+sessionWorker(const ServeConfig &config, sim::Simulation &sim,
+              serving::LlmEngine &engine, std::uint64_t index,
+              ServeState &state)
+{
+    const workload::ChatSessionSampler sessions(config.seed);
+    sim::Rng rng(config.seed, "chat.think", index);
+    const int turns = sessions.turnCount(index);
+
+    // The conversation context: system preamble, then alternating
+    // user messages and assistant replies.
+    constexpr std::int64_t system_tokens = 40;
+    std::vector<kv::TokenId> history = workload::makeTokens(
+        workload::streamId(config.seed, "chat.system"), system_tokens);
+
+    const sim::Tick session_start = sim.now();
+    for (int t = 0; t < turns; ++t) {
+        if (t > 0) {
+            co_await sim::delaySec(sim,
+                                   sessions.thinkTimeSeconds(rng));
+        }
+        const workload::ChatTurn turn = sessions.turn(index, t);
+        const auto user = workload::makeTokens(
+            workload::substream(
+                workload::substream(workload::streamId(
+                                        config.seed, "chat.user"),
+                                    index),
+                static_cast<std::uint64_t>(t)),
+            turn.userTokens);
+        history.insert(history.end(), user.begin(), user.end());
+
+        serving::GenRequest req;
+        req.prompt = history;
+        req.maxNewTokens = turn.outputTokens;
+        req.sessionId = sim::hashCombine(config.seed, ~index);
+        const sim::Tick turn_start = sim.now();
+        serving::GenResult r =
+            co_await engine.generate(std::move(req));
+        state.result.turnSeconds.add(
+            sim::toSeconds(sim.now() - turn_start));
+        state.result.ttftSeconds.add(r.ttftSeconds);
+        history.insert(history.end(), r.tokens.begin(),
+                       r.tokens.end());
+    }
+    noteCompletion(state, session_start, sim.now(), true);
+}
+
+/** The open-/closed-loop driver. */
+sim::Task<void>
+driver(const ServeConfig &config, sim::Simulation &sim,
+       serving::LlmEngine &engine, tools::ToolSet *tools,
+       const agents::AgentConfig &agent_cfg, ServeState &state)
+{
+    sim::Rng arrivals(config.seed, "arrivals", 0);
+    std::vector<sim::Task<void>> workers;
+    workers.reserve(static_cast<std::size_t>(config.numRequests));
+
+    for (int i = 0; i < config.numRequests; ++i) {
+        if (i > 0 && !config.closedLoop) {
+            co_await sim::delaySec(
+                sim, arrivals.exponential(1.0 / config.qps));
+        }
+        const auto index = static_cast<std::uint64_t>(i);
+        if (config.chatbot && config.multiTurn) {
+            workers.push_back(
+                sessionWorker(config, sim, engine, index, state));
+        } else if (config.chatbot) {
+            workers.push_back(
+                chatWorker(config, sim, engine, index, state));
+        } else {
+            workers.push_back(agentWorker(config, sim, engine, *tools,
+                                          agent_cfg, index, state));
+        }
+        if (config.closedLoop)
+            co_await workers.back();
+    }
+    co_await sim::allOf(std::move(workers));
+}
+
+} // namespace
+
+ServeResult
+runServing(const ServeConfig &config)
+{
+    AGENTSIM_ASSERT(config.numRequests > 0, "serving without requests");
+    AGENTSIM_ASSERT(config.chatbot || config.closedLoop ||
+                        config.qps > 0,
+                    "open-loop serving needs positive QPS");
+    if (!config.chatbot &&
+        !agents::agentSupports(config.agent, config.bench)) {
+        AGENTSIM_FATAL("unsupported agent/benchmark pair in serving");
+    }
+
+    sim::Simulation sim;
+    serving::LlmEngine engine(sim, config.engineConfig);
+    std::unique_ptr<tools::ToolSet> tools;
+    if (!config.chatbot) {
+        tools = workload::makeToolSet(config.bench, sim, engine,
+                                      config.seed);
+    }
+
+    agents::AgentConfig agent_cfg = config.agentConfig;
+    agent_cfg.modelQuality =
+        agents::modelQuality(config.engineConfig.model.name);
+
+    ServeState state;
+    auto drive = driver(config, sim, engine, tools.get(), agent_cfg,
+                        state);
+    sim.run();
+    AGENTSIM_ASSERT(drive.done(), "serving driver did not finish");
+    AGENTSIM_ASSERT(state.result.completed == config.numRequests,
+                    "serving lost requests: %d of %d",
+                    state.result.completed, config.numRequests);
+
+    ServeResult out = std::move(state.result);
+    out.makespanSeconds =
+        sim::toSeconds(state.lastFinish -
+                       std::max<sim::Tick>(0, state.firstSubmit));
+    out.engineStats = engine.stats();
+    out.cacheStats = engine.cacheStats();
+    out.cacheHitRate = engine.cacheStats().hitRate();
+    const sim::Tick end = sim.now();
+    const double ticks = static_cast<double>(end);
+    const double block_bytes = static_cast<double>(engine.blockBytes());
+    out.kvAvgBytes =
+        ticks > 0 ? engine.kvUsageGauge().integral(end) / ticks *
+                        block_bytes
+                  : 0.0;
+    out.kvMaxBytes = engine.kvUsageGauge().max() * block_bytes;
+    out.energyWh = engine.energyJoules(end) / 3600.0;
+    return out;
+}
+
+} // namespace agentsim::core

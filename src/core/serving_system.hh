@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The agent serving system of paper Fig 13: an open-loop Poisson
+ * request driver feeding asynchronous workers which run agent
+ * workflows (or single-turn chatbot requests) against one shared
+ * continuous-batching LLM engine and a shared tool belt.
+ */
+
+#ifndef AGENTSIM_CORE_SERVING_SYSTEM_HH
+#define AGENTSIM_CORE_SERVING_SYSTEM_HH
+
+#include "agents/workflows.hh"
+#include "serving/engine.hh"
+#include "stats/summary.hh"
+#include "workload/benchmark.hh"
+
+namespace agentsim::core
+{
+
+/** Serving-experiment configuration. */
+struct ServeConfig
+{
+    /** Serve single-turn ShareGPT requests instead of an agent. */
+    bool chatbot = false;
+    /**
+     * With chatbot: serve multi-turn conversation *sessions*. Each
+     * request is a session; successive turns extend the same context
+     * (keytakeaway #8's cross-query prefix persistence).
+     */
+    bool multiTurn = false;
+
+    agents::AgentKind agent = agents::AgentKind::ReAct;
+    workload::Benchmark bench = workload::Benchmark::HotpotQA;
+    agents::AgentConfig agentConfig;
+    serving::EngineConfig engineConfig;
+
+    /** Offered load (Poisson arrivals). Ignored in closed-loop mode. */
+    double qps = 1.0;
+    /**
+     * Closed-loop mode: issue each request only after the previous
+     * one completes (the "sequential execution" comparison, §IV-C).
+     */
+    bool closedLoop = false;
+
+    int numRequests = 100;
+    std::uint64_t seed = 1;
+};
+
+/** Serving-experiment measurements. */
+struct ServeResult
+{
+    stats::SampleSet e2eSeconds;
+    /** Per-turn generation latencies (multi-turn mode only). */
+    stats::SampleSet turnSeconds;
+    /** Time-to-first-token per LLM request (chatbot modes). */
+    stats::SampleSet ttftSeconds;
+    int completed = 0;
+    int solved = 0;
+    /** First submission to last completion, seconds. */
+    double makespanSeconds = 0.0;
+
+    serving::EngineStats engineStats;
+    kv::CacheStats cacheStats;
+    double cacheHitRate = 0.0;
+    /** Time-average / peak KV bytes over the run. */
+    double kvAvgBytes = 0.0;
+    double kvMaxBytes = 0.0;
+    /** Node GPU energy over the run, Wh. */
+    double energyWh = 0.0;
+
+    double
+    throughputQps() const
+    {
+        return makespanSeconds > 0 ? completed / makespanSeconds : 0.0;
+    }
+
+    double p50() const { return e2eSeconds.percentile(50.0); }
+    double p95() const { return e2eSeconds.percentile(95.0); }
+};
+
+/** Run one serving experiment. */
+ServeResult runServing(const ServeConfig &config);
+
+} // namespace agentsim::core
+
+#endif // AGENTSIM_CORE_SERVING_SYSTEM_HH

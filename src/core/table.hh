@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-width console tables used by the bench binaries to print the
+ * paper's rows and series.
+ */
+
+#ifndef AGENTSIM_CORE_TABLE_HH
+#define AGENTSIM_CORE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace agentsim::core
+{
+
+/**
+ * A simple left-aligned text table with a title and a header row.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers (fixes the column count). */
+    void header(std::vector<std::string> columns);
+
+    /** Append one row (must match the header width). */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table. */
+    std::string render() const;
+
+    /**
+     * Render and write to stdout. If the AGENTSIM_CSV_DIR environment
+     * variable is set, also write `<dir>/<slug(title)>.csv` so
+     * experiment results can be plotted directly.
+     */
+    void print() const;
+
+    /** RFC-4180-style CSV rendering (header + rows). */
+    std::string renderCsv() const;
+
+    /** Write the CSV rendering to @p path. @return success. */
+    bool writeCsv(const std::string &path) const;
+
+    /** Filesystem-safe slug of the table title. */
+    std::string slug() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers for table cells. */
+std::string fmtDouble(double v, int precision = 2);
+std::string fmtPercent(double fraction, int precision = 1);
+std::string fmtSeconds(double seconds);
+std::string fmtCount(double v);
+/** Engineering notation for big magnitudes: 1.23 k/M/G/T. */
+std::string fmtEng(double v, const std::string &unit = "");
+
+} // namespace agentsim::core
+
+#endif // AGENTSIM_CORE_TABLE_HH

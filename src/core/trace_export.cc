@@ -1,0 +1,83 @@
+#include "core/trace_export.hh"
+
+#include <cstdio>
+
+#include "sim/strfmt.hh"
+
+namespace agentsim::core
+{
+
+namespace
+{
+
+/** Escape a string for a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+toChromeTrace(const agents::AgentResult &result,
+              const std::string &process_name)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    out += sim::strfmt("{\"name\":\"process_name\",\"ph\":\"M\","
+                       "\"pid\":1,\"args\":{\"name\":\"%s\"}}",
+                       jsonEscape(process_name).c_str());
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":1,\"args\":{\"name\":\"LLM inference\"}}";
+    out += ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":2,\"args\":{\"name\":\"Tool execution\"}}";
+
+    for (const auto &span : result.timeline) {
+        const int tid =
+            span.kind == agents::Span::Kind::Llm ? 1 : 2;
+        const char *cat =
+            span.kind == agents::Span::Kind::Llm ? "llm" : "tool";
+        out += sim::strfmt(
+            ",\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%d}",
+            jsonEscape(span.label).c_str(), cat,
+            static_cast<long long>(span.start),
+            static_cast<long long>(span.end - span.start), tid);
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const agents::AgentResult &result,
+                 const std::string &process_name)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string text = toChromeTrace(result, process_name);
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return written == text.size();
+}
+
+} // namespace agentsim::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chrome trace-event export of agent timelines: load the JSON into
+ * chrome://tracing or Perfetto to inspect a request's LLM/tool
+ * interleaving visually (the interactive version of Fig 3).
+ */
+
+#ifndef AGENTSIM_CORE_TRACE_EXPORT_HH
+#define AGENTSIM_CORE_TRACE_EXPORT_HH
+
+#include <string>
+
+#include "agents/trace.hh"
+
+namespace agentsim::core
+{
+
+/**
+ * Render an agent request's timeline as Chrome trace-event JSON.
+ *
+ * LLM calls appear on one track, tool calls on another; durations are
+ * in microseconds of virtual time.
+ *
+ * @param result the agent run to export.
+ * @param process_name display name ("ReAct / HotpotQA #3").
+ */
+std::string toChromeTrace(const agents::AgentResult &result,
+                          const std::string &process_name);
+
+/** Write the trace to @p path. @return success. */
+bool writeChromeTrace(const std::string &path,
+                      const agents::AgentResult &result,
+                      const std::string &process_name);
+
+} // namespace agentsim::core
+
+#endif // AGENTSIM_CORE_TRACE_EXPORT_HH

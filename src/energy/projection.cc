@@ -1,0 +1,22 @@
+#include "energy/projection.hh"
+
+#include <array>
+
+namespace agentsim::energy
+{
+
+std::span<const WauPoint>
+chatGptWauSeries()
+{
+    static const std::array<WauPoint, 6> series{{
+        {"2023-02", 100.0}, // fastest-growing app on record
+        {"2023-11", 150.0},
+        {"2024-08", 200.0},
+        {"2024-12", 300.0},
+        {"2025-02", 400.0},
+        {"2025-04", 500.0},
+    }};
+    return series;
+}
+
+} // namespace agentsim::energy

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Energy accounting and the datacenter-scale projection arithmetic of
+ * paper §VI: per-query Wh, fleet power under today's (ChatGPT-scale)
+ * and tomorrow's (Google-search-scale) traffic, and the ChatGPT WAU
+ * growth series behind Fig 23.
+ */
+
+#ifndef AGENTSIM_ENERGY_PROJECTION_HH
+#define AGENTSIM_ENERGY_PROJECTION_HH
+
+#include <span>
+#include <string>
+
+namespace agentsim::energy
+{
+
+/** Joules to watt-hours. */
+constexpr double
+wattHours(double joules)
+{
+    return joules / 3600.0;
+}
+
+/**
+ * Datacenter-wide power (watts) to serve @p queries_per_day requests
+ * of @p wh_per_query each: P = Wh/query x queries/day / 24 h.
+ */
+constexpr double
+datacenterPowerWatts(double wh_per_query, double queries_per_day)
+{
+    return wh_per_query * queries_per_day / 24.0;
+}
+
+/**
+ * Today's traffic assumption (§VI): ~500 M weekly active users →
+ * ~71.4 M daily actives, one agentic query each.
+ */
+constexpr double chatGptDailyQueries = 71.4e6;
+
+/** Tomorrow's traffic assumption: Google-search volume. */
+constexpr double googleDailyQueries = 13.7e9;
+
+/** Seattle-and-surroundings daily electricity (GWh), for scale. */
+constexpr double seattleDailyGWh = 24.8;
+
+/** Average U.S. grid load (GW), for scale. */
+constexpr double usGridAverageGW = 476.9;
+
+/** U.S. industrial electricity price, $/kWh (EIA 2024 ballpark). */
+constexpr double usdPerKwh = 0.083;
+
+/** U.S. grid average carbon intensity, kg CO2 per kWh. */
+constexpr double kgCo2PerKwh = 0.37;
+
+/** Electricity cost of a daily fleet energy budget, $/day. */
+constexpr double
+dailyCostUsd(double wh_per_query, double queries_per_day)
+{
+    return wh_per_query * queries_per_day / 1000.0 * usdPerKwh;
+}
+
+/** Carbon emissions of a daily fleet energy budget, kg CO2/day. */
+constexpr double
+dailyCo2Kg(double wh_per_query, double queries_per_day)
+{
+    return wh_per_query * queries_per_day / 1000.0 * kgCo2PerKwh;
+}
+
+/** One point of the ChatGPT weekly-active-user series (Fig 23). */
+struct WauPoint
+{
+    std::string date;
+    double millions;
+};
+
+/** The reported WAU growth series [refs 31, 35, 36, 39-41]. */
+std::span<const WauPoint> chatGptWauSeries();
+
+/**
+ * Fleet daily energy (GWh) for @p queries_per_day queries at
+ * @p wh_per_query each.
+ */
+constexpr double
+dailyEnergyGWh(double wh_per_query, double queries_per_day)
+{
+    return wh_per_query * queries_per_day / 1e9;
+}
+
+} // namespace agentsim::energy
+
+#endif // AGENTSIM_ENERGY_PROJECTION_HH

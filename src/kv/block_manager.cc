@@ -1,0 +1,406 @@
+#include "kv/block_manager.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace agentsim::kv
+{
+
+BlockManager::BlockManager(const BlockManagerConfig &config)
+    : config_(config)
+{
+    if (config_.numBlocks <= 0)
+        AGENTSIM_FATAL("KV pool needs at least one block");
+    if (config_.blockSize <= 0)
+        AGENTSIM_FATAL("KV block size must be positive");
+    if (config_.hostCacheBlocks < 0)
+        AGENTSIM_FATAL("negative host cache size");
+
+    blocks_.resize(static_cast<std::size_t>(config_.numBlocks));
+    freeList_.reserve(blocks_.size());
+    // Pop order: ascending ids first (cosmetic determinism).
+    for (std::int64_t i = config_.numBlocks - 1; i >= 0; --i)
+        freeList_.push_back(static_cast<BlockId>(i));
+}
+
+std::uint64_t
+BlockManager::chunkHash(std::uint64_t prev_hash,
+                        std::span<const TokenId> chunk) const
+{
+    std::uint64_t h = sim::hashMix(prev_hash ^ 0x9d5a3f7c1e284b69ULL);
+    for (TokenId t : chunk)
+        h = sim::hashCombine(h, t);
+    return h;
+}
+
+std::int64_t
+BlockManager::blocksNeeded(std::int64_t token_count) const
+{
+    return (token_count + config_.blockSize - 1) / config_.blockSize;
+}
+
+std::int64_t
+BlockManager::availableBlocks() const
+{
+    return freeBlocks() + evictableBlocks();
+}
+
+std::int64_t
+BlockManager::usedBlocks() const
+{
+    return config_.numBlocks - availableBlocks();
+}
+
+std::int64_t
+BlockManager::seqTokens(SeqId seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    AGENTSIM_ASSERT(it != seqs_.end(), "seqTokens of unknown sequence");
+    return static_cast<std::int64_t>(it->second.tokens.size());
+}
+
+std::optional<PromptAlloc>
+BlockManager::allocatePrompt(SeqId seq_id,
+                             std::span<const TokenId> tokens)
+{
+    AGENTSIM_ASSERT(!seqs_.contains(seq_id),
+                    "allocatePrompt: seq %llu already allocated",
+                    static_cast<unsigned long long>(seq_id));
+    AGENTSIM_ASSERT(!tokens.empty(), "allocatePrompt with empty prompt");
+
+    const int bs = config_.blockSize;
+    const std::int64_t n_tokens =
+        static_cast<std::int64_t>(tokens.size());
+    const std::int64_t n_full = n_tokens / bs;
+    const std::int64_t n_blocks = blocksNeeded(n_tokens);
+
+    // Phase 1: probe for the longest contiguous run of reusable full
+    // blocks from position zero — GPU-cached (hit) or host-resident
+    // (restore). No state is mutated.
+    enum class Reuse
+    {
+        GpuHit,
+        HostRestore,
+    };
+    struct Probe
+    {
+        Reuse kind;
+        BlockId block; // valid for GpuHit
+        std::uint64_t hash;
+    };
+    std::vector<std::uint64_t> hashes;
+    std::vector<Probe> reuse;
+    {
+        std::uint64_t prev = 0;
+        bool chain_alive = config_.enablePrefixCaching;
+        for (std::int64_t b = 0; b < n_full; ++b) {
+            const std::uint64_t h = chunkHash(
+                prev, tokens.subspan(static_cast<std::size_t>(b * bs),
+                                     static_cast<std::size_t>(bs)));
+            hashes.push_back(h);
+            prev = h;
+            if (!chain_alive)
+                continue;
+            if (auto it = cacheTable_.find(h);
+                it != cacheTable_.end()) {
+                reuse.push_back({Reuse::GpuHit, it->second, h});
+            } else if (hostCache_.contains(h)) {
+                reuse.push_back(
+                    {Reuse::HostRestore, BlockId{-1}, h});
+            } else {
+                chain_alive = false;
+            }
+        }
+    }
+
+    std::int64_t gpu_hits = 0;
+    std::int64_t restores = 0;
+    for (const auto &p : reuse) {
+        if (p.kind == Reuse::GpuHit)
+            ++gpu_hits;
+        else
+            ++restores;
+    }
+    if (config_.enablePrefixCaching) {
+        stats_.lookupTokens += n_full * bs;
+        stats_.hitTokens += gpu_hits * bs;
+        stats_.restoredTokens += restores * bs;
+    }
+
+    // Phase 2: feasibility. GPU-hit blocks that are currently
+    // evictable will be re-referenced, so they cannot double as
+    // eviction victims. Restores need fresh blocks like misses.
+    std::int64_t evictable_hits = 0;
+    for (const auto &p : reuse) {
+        if (p.kind == Reuse::GpuHit &&
+            blocks_[static_cast<std::size_t>(p.block)].refCount == 0) {
+            ++evictable_hits;
+        }
+    }
+    const std::int64_t fresh_needed = n_blocks - gpu_hits;
+    const std::int64_t fresh_available =
+        freeBlocks() + evictableBlocks() - evictable_hits;
+    if (fresh_needed > fresh_available)
+        return std::nullopt;
+
+    // Phase 3: commit.
+    Seq seq;
+    seq.tokens.assign(tokens.begin(), tokens.end());
+    seq.chainHashes = hashes;
+    seq.blocks.reserve(static_cast<std::size_t>(n_blocks));
+
+    for (const auto &p : reuse) {
+        if (p.kind == Reuse::GpuHit) {
+            refCachedBlock(p.block);
+            seq.blocks.push_back(p.block);
+        } else {
+            // Restore from host: a fresh GPU block receives the
+            // transferred contents and is re-published.
+            const BlockId id = acquireFreshBlock();
+            blocks_[static_cast<std::size_t>(id)].refCount = 1;
+            seq.blocks.push_back(id);
+            publishBlock(id, p.hash);
+        }
+    }
+    for (std::int64_t b = static_cast<std::int64_t>(reuse.size());
+         b < n_blocks; ++b) {
+        const BlockId id = acquireFreshBlock();
+        blocks_[static_cast<std::size_t>(id)].refCount = 1;
+        seq.blocks.push_back(id);
+        // Full blocks become immediately publishable: their KV will be
+        // computed by the upcoming prefill.
+        if (config_.enablePrefixCaching && b < n_full)
+            publishBlock(id, hashes[static_cast<std::size_t>(b)]);
+    }
+
+    PromptAlloc result;
+    result.cachedTokens = gpu_hits * bs;
+    result.restoredTokens = restores * bs;
+    result.freshBlocks = fresh_needed;
+    seqs_.emplace(seq_id, std::move(seq));
+    return result;
+}
+
+bool
+BlockManager::appendToken(SeqId seq_id, TokenId token)
+{
+    auto it = seqs_.find(seq_id);
+    AGENTSIM_ASSERT(it != seqs_.end(),
+                    "appendToken to unknown sequence");
+    Seq &seq = it->second;
+    const int bs = config_.blockSize;
+
+    const std::int64_t pos = static_cast<std::int64_t>(seq.tokens.size());
+    if (pos % bs == 0) {
+        // Crossing into a new block.
+        if (availableBlocks() == 0)
+            return false;
+        const BlockId id = acquireFreshBlock();
+        blocks_[static_cast<std::size_t>(id)].refCount = 1;
+        seq.blocks.push_back(id);
+    }
+
+    seq.tokens.push_back(token);
+    const std::int64_t new_size =
+        static_cast<std::int64_t>(seq.tokens.size());
+    if (new_size % bs == 0) {
+        const std::uint64_t prev =
+            seq.chainHashes.empty() ? 0 : seq.chainHashes.back();
+        const std::uint64_t h = chunkHash(
+            prev,
+            std::span<const TokenId>(seq.tokens)
+                .subspan(static_cast<std::size_t>(new_size - bs),
+                         static_cast<std::size_t>(bs)));
+        seq.chainHashes.push_back(h);
+        if (config_.enablePrefixCaching)
+            publishBlock(seq.blocks.back(), h);
+    }
+    return true;
+}
+
+void
+BlockManager::release(SeqId seq_id)
+{
+    auto it = seqs_.find(seq_id);
+    AGENTSIM_ASSERT(it != seqs_.end(), "release of unknown sequence");
+    for (BlockId id : it->second.blocks)
+        unrefBlock(id);
+    seqs_.erase(it);
+}
+
+std::int64_t
+BlockManager::preloadPrefix(std::span<const TokenId> tokens)
+{
+    AGENTSIM_ASSERT(config_.enablePrefixCaching,
+                    "preload requires prefix caching");
+    const int bs = config_.blockSize;
+    const std::int64_t n_full =
+        static_cast<std::int64_t>(tokens.size()) / bs;
+    if (n_full > config_.numBlocks)
+        return -1;
+
+    std::int64_t populated = 0;
+    std::uint64_t prev = 0;
+    for (std::int64_t b = 0; b < n_full; ++b) {
+        const std::uint64_t h = chunkHash(
+            prev, tokens.subspan(static_cast<std::size_t>(b * bs),
+                                 static_cast<std::size_t>(bs)));
+        prev = h;
+        if (cacheTable_.contains(h))
+            continue; // already resident
+        if (availableBlocks() == 0)
+            return populated; // pool full: partial preload
+        const BlockId id = acquireFreshBlock();
+        Block &block = blocks_[static_cast<std::size_t>(id)];
+        publishBlock(id, h);
+        // Immediately evictable: owned by the cache, not a sequence.
+        block.lruKey = config_.evictionPolicy == EvictionPolicy::Lru
+                           ? lruCounter_++
+                           : block.publishKey;
+        evictable_.emplace(block.lruKey, id);
+        ++populated;
+    }
+    return populated;
+}
+
+BlockId
+BlockManager::acquireFreshBlock()
+{
+    ++stats_.allocatedBlocks;
+    if (!freeList_.empty()) {
+        const BlockId id = freeList_.back();
+        freeList_.pop_back();
+        Block &b = blocks_[static_cast<std::size_t>(id)];
+        b = Block{};
+        return id;
+    }
+    AGENTSIM_ASSERT(!evictable_.empty(),
+                    "acquireFreshBlock with no candidates");
+    // Evict the lowest-key cached block (LRU or FIFO order).
+    auto victim = evictable_.begin();
+    const BlockId id = victim->second;
+    evictable_.erase(victim);
+    Block &b = blocks_[static_cast<std::size_t>(id)];
+    if (b.inTable) {
+        cacheTable_.erase(b.hash);
+        // The contents spill to the host tier instead of vanishing.
+        if (config_.hostCacheBlocks > 0)
+            spillToHost(b.hash);
+    }
+    ++stats_.evictions;
+    b = Block{};
+    return id;
+}
+
+void
+BlockManager::refCachedBlock(BlockId id)
+{
+    Block &b = blocks_[static_cast<std::size_t>(id)];
+    if (b.refCount == 0) {
+        AGENTSIM_ASSERT(b.lruKey != 0, "idle cached block not on LRU");
+        evictable_.erase(b.lruKey);
+        b.lruKey = 0;
+    }
+    ++b.refCount;
+}
+
+void
+BlockManager::publishBlock(BlockId id, std::uint64_t hash)
+{
+    Block &b = blocks_[static_cast<std::size_t>(id)];
+    b.hash = hash;
+    // First writer wins; duplicate content in another live block simply
+    // stays private to its sequence.
+    auto [it, inserted] = cacheTable_.try_emplace(hash, id);
+    (void)it;
+    b.inTable = inserted;
+    if (inserted)
+        b.publishKey = lruCounter_++;
+}
+
+void
+BlockManager::unrefBlock(BlockId id)
+{
+    Block &b = blocks_[static_cast<std::size_t>(id)];
+    AGENTSIM_ASSERT(b.refCount > 0, "unref of unreferenced block");
+    if (--b.refCount > 0)
+        return;
+    if (b.inTable) {
+        // Park on the eviction list; the contents stay reusable until
+        // evicted. The ordering key realizes the configured policy.
+        b.lruKey = config_.evictionPolicy == EvictionPolicy::Lru
+                       ? lruCounter_++
+                       : b.publishKey;
+        evictable_.emplace(b.lruKey, id);
+    } else {
+        freeList_.push_back(id);
+    }
+}
+
+void
+BlockManager::spillToHost(std::uint64_t hash)
+{
+    if (auto it = hostCache_.find(hash); it != hostCache_.end()) {
+        // Refresh recency.
+        hostLru_.erase(it->second);
+        it->second = lruCounter_++;
+        hostLru_.emplace(it->second, hash);
+        return;
+    }
+    if (static_cast<std::int64_t>(hostCache_.size()) >=
+        config_.hostCacheBlocks) {
+        // Evict the oldest host entry.
+        auto oldest = hostLru_.begin();
+        hostCache_.erase(oldest->second);
+        hostLru_.erase(oldest);
+    }
+    const std::uint64_t key = lruCounter_++;
+    hostCache_.emplace(hash, key);
+    hostLru_.emplace(key, hash);
+}
+
+void
+BlockManager::checkInvariants() const
+{
+    std::int64_t referenced = 0;
+    for (const auto &b : blocks_) {
+        if (b.refCount > 0)
+            ++referenced;
+    }
+    const auto free_count = static_cast<std::int64_t>(freeList_.size());
+    const auto evict_count =
+        static_cast<std::int64_t>(evictable_.size());
+    AGENTSIM_ASSERT(referenced + free_count + evict_count ==
+                        config_.numBlocks,
+                    "block accounting broken: %lld + %lld + %lld != %lld",
+                    static_cast<long long>(referenced),
+                    static_cast<long long>(free_count),
+                    static_cast<long long>(evict_count),
+                    static_cast<long long>(config_.numBlocks));
+    for (const auto &[key, id] : evictable_) {
+        const Block &b = blocks_[static_cast<std::size_t>(id)];
+        AGENTSIM_ASSERT(b.refCount == 0 && b.lruKey == key &&
+                            b.inTable,
+                        "corrupt evictable entry");
+    }
+    for (const auto &[hash, id] : cacheTable_) {
+        const Block &b = blocks_[static_cast<std::size_t>(id)];
+        AGENTSIM_ASSERT(b.inTable && b.hash == hash,
+                        "corrupt cache-table entry");
+    }
+    AGENTSIM_ASSERT(hostCache_.size() == hostLru_.size(),
+                    "host tier maps out of sync");
+    AGENTSIM_ASSERT(static_cast<std::int64_t>(hostCache_.size()) <=
+                        std::max<std::int64_t>(config_.hostCacheBlocks,
+                                               0),
+                    "host tier over capacity");
+    for (const auto &[key, hash] : hostLru_) {
+        auto it = hostCache_.find(hash);
+        AGENTSIM_ASSERT(it != hostCache_.end() && it->second == key,
+                        "corrupt host LRU entry");
+    }
+}
+
+} // namespace agentsim::kv

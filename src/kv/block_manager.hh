@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Paged KV-cache block manager with content-hash prefix caching.
+ *
+ * Mirrors vLLM's PagedAttention block manager:
+ *  - GPU KV memory is divided into fixed-size blocks (default 16
+ *    tokens); each sequence owns a block table.
+ *  - With prefix caching enabled, every *full* block is identified by a
+ *    chain hash of its token contents and all preceding tokens. A new
+ *    sequence whose prompt shares a prefix with a cached chain reuses
+ *    those blocks (refcounted) and skips their prefill computation.
+ *  - Blocks whose refcount drops to zero stay in the cache table on an
+ *    LRU list and are evicted only when a fresh block is needed —
+ *    so constrained pools exhibit genuine cache thrashing (Fig 17).
+ *
+ * Token IDs are opaque 64-bit values; the workload layer generates them
+ * deterministically so logically-shared prefixes share literal IDs.
+ */
+
+#ifndef AGENTSIM_KV_BLOCK_MANAGER_HH
+#define AGENTSIM_KV_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace agentsim::kv
+{
+
+/** Opaque synthetic token identifier. */
+using TokenId = std::uint64_t;
+
+/** Sequence identifier assigned by the serving engine. */
+using SeqId = std::uint64_t;
+
+/** Index of a physical KV block. */
+using BlockId = std::int32_t;
+
+/** Eviction order for unreferenced cached blocks. */
+enum class EvictionPolicy
+{
+    /** Least recently used (vLLM default). */
+    Lru,
+    /** First published, first evicted (ignores reuse recency). */
+    Fifo,
+};
+
+/** Block-manager configuration. */
+struct BlockManagerConfig
+{
+    /** Number of physical blocks in the pool. */
+    std::int64_t numBlocks = 0;
+    /** Tokens per block. */
+    int blockSize = 16;
+    /** Enable content-hash prefix caching. */
+    bool enablePrefixCaching = true;
+    /** Eviction order among unreferenced cached blocks. */
+    EvictionPolicy evictionPolicy = EvictionPolicy::Lru;
+    /**
+     * Host-memory (CPU DRAM) spill tier, in blocks; 0 disables.
+     * Blocks evicted from the GPU cache keep a host copy; later
+     * prompt allocations restore them over PCIe instead of
+     * recomputing (paper keytakeaway #6).
+     */
+    std::int64_t hostCacheBlocks = 0;
+};
+
+/** Result of a prompt allocation. */
+struct PromptAlloc
+{
+    /** Number of leading prompt tokens whose KV was found cached on
+     *  the GPU; prefill for these tokens is skipped. */
+    std::int64_t cachedTokens = 0;
+    /** Tokens restored from the host tier: prefill skipped, but a
+     *  PCIe transfer must be charged by the engine. */
+    std::int64_t restoredTokens = 0;
+    /** Blocks newly taken from the pool for this allocation. */
+    std::int64_t freshBlocks = 0;
+
+    /** Tokens whose computation is skipped (cached + restored). */
+    std::int64_t
+    reusedTokens() const
+    {
+        return cachedTokens + restoredTokens;
+    }
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    std::int64_t lookupTokens = 0;
+    std::int64_t hitTokens = 0;
+    /** Tokens served from the host spill tier. */
+    std::int64_t restoredTokens = 0;
+    std::int64_t evictions = 0;
+    std::int64_t allocatedBlocks = 0;
+
+    double
+    hitRate() const
+    {
+        return lookupTokens == 0
+                   ? 0.0
+                   : static_cast<double>(hitTokens) /
+                         static_cast<double>(lookupTokens);
+    }
+};
+
+/**
+ * The paged block pool. Single-threaded; owned by one serving engine.
+ */
+class BlockManager
+{
+  public:
+    explicit BlockManager(const BlockManagerConfig &config);
+
+    /**
+     * Allocate blocks for a new sequence's prompt.
+     *
+     * Reuses cached blocks for the longest contiguous prefix of full
+     * blocks (when prefix caching is on) and takes fresh blocks for the
+     * rest. Fails without side effects if the pool cannot supply the
+     * fresh blocks even after evicting all unreferenced cached blocks.
+     *
+     * @param seq_id caller-unique sequence id.
+     * @param tokens full prompt token ids.
+     * @return allocation summary, or nullopt if out of blocks.
+     */
+    std::optional<PromptAlloc>
+    allocatePrompt(SeqId seq_id, std::span<const TokenId> tokens);
+
+    /**
+     * Append one generated token to a sequence, taking a fresh block at
+     * block boundaries. @return false if the pool is exhausted (caller
+     * should preempt).
+     */
+    bool appendToken(SeqId seq_id, TokenId token);
+
+    /** Release all blocks of a sequence (request finished/preempted). */
+    void release(SeqId seq_id);
+
+    /**
+     * Inject externally computed KV for @p tokens: every full block
+     * is allocated and published as if prefilled here (disaggregated
+     * serving transfers KV from a prefill node). Existing cached
+     * blocks are left in place. @return blocks newly populated, or
+     * -1 if the pool cannot hold the prefix.
+     */
+    std::int64_t preloadPrefix(std::span<const TokenId> tokens);
+
+    /** True if the sequence is currently allocated. */
+    bool hasSeq(SeqId seq_id) const { return seqs_.contains(seq_id); }
+
+    /** Number of tokens currently stored for a sequence. */
+    std::int64_t seqTokens(SeqId seq_id) const;
+
+    /**
+     * Blocks a prompt of @p token_count would need *ignoring* cache
+     * hits — the admission-control upper bound.
+     */
+    std::int64_t blocksNeeded(std::int64_t token_count) const;
+
+    /** Blocks immediately available: free plus evictable. */
+    std::int64_t availableBlocks() const;
+
+    /** Blocks on the free list (never-used or fully recycled). */
+    std::int64_t freeBlocks() const
+    {
+        return static_cast<std::int64_t>(freeList_.size());
+    }
+
+    /** Unreferenced cached blocks awaiting reuse or eviction. */
+    std::int64_t evictableBlocks() const
+    {
+        return static_cast<std::int64_t>(evictable_.size());
+    }
+
+    /** Blocks currently resident in the host spill tier. */
+    std::int64_t hostCachedBlocks() const
+    {
+        return static_cast<std::int64_t>(hostCache_.size());
+    }
+
+    /** Blocks referenced by live sequences (shared counted once). */
+    std::int64_t usedBlocks() const;
+
+    /** Pool size in blocks. */
+    std::int64_t totalBlocks() const { return config_.numBlocks; }
+
+    int blockSize() const { return config_.blockSize; }
+
+    bool prefixCachingEnabled() const
+    {
+        return config_.enablePrefixCaching;
+    }
+
+    const CacheStats &stats() const { return stats_; }
+
+    /** Verify internal invariants; panics on violation (tests). */
+    void checkInvariants() const;
+
+  private:
+    struct Block
+    {
+        int refCount = 0;
+        std::uint64_t hash = 0;
+        /** True if this block is the cache-table entry for its hash. */
+        bool inTable = false;
+        /** Eviction-order key when evictable; 0 otherwise. */
+        std::uint64_t lruKey = 0;
+        /** Publish-order key (FIFO eviction). */
+        std::uint64_t publishKey = 0;
+    };
+
+    struct Seq
+    {
+        std::vector<BlockId> blocks;
+        std::vector<TokenId> tokens;
+        /** Chain hash per completed block. */
+        std::vector<std::uint64_t> chainHashes;
+    };
+
+    BlockManagerConfig config_;
+    std::vector<Block> blocks_;
+    std::vector<BlockId> freeList_;
+    /** hash -> block holding that content. */
+    std::unordered_map<std::uint64_t, BlockId> cacheTable_;
+    /** lruKey -> block, ordered oldest first. */
+    std::map<std::uint64_t, BlockId> evictable_;
+    std::unordered_map<SeqId, Seq> seqs_;
+    std::uint64_t lruCounter_ = 1;
+    CacheStats stats_;
+
+    /** Host spill tier: hash -> host LRU key (contents implicit). */
+    std::unordered_map<std::uint64_t, std::uint64_t> hostCache_;
+    /** Host LRU order: key -> hash. */
+    std::map<std::uint64_t, std::uint64_t> hostLru_;
+
+    /** Insert a hash into the host tier (evicting host LRU). */
+    void spillToHost(std::uint64_t hash);
+
+    /** Chain hash of block @p index given the previous chain hash. */
+    std::uint64_t chunkHash(std::uint64_t prev_hash,
+                            std::span<const TokenId> chunk) const;
+
+    /** Take one block from free list or evict the LRU cached block. */
+    BlockId acquireFreshBlock();
+
+    /** Re-reference a cached block (removing it from the LRU if idle). */
+    void refCachedBlock(BlockId id);
+
+    /** Try to publish a just-completed block into the cache table. */
+    void publishBlock(BlockId id, std::uint64_t hash);
+
+    /** Drop one reference; recycle or park on the LRU at zero. */
+    void unrefBlock(BlockId id);
+};
+
+} // namespace agentsim::kv
+
+#endif // AGENTSIM_KV_BLOCK_MANAGER_HH

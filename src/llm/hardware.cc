@@ -1,0 +1,92 @@
+#include "llm/hardware.hh"
+
+namespace agentsim::llm
+{
+
+GpuSpec
+a100_40gb()
+{
+    GpuSpec g;
+    g.name = "NVIDIA A100-SXM4-40GB";
+    g.peakFlops = 312e12;        // dense FP16/BF16
+    g.memBandwidth = 1555e9;     // HBM2e
+    g.memCapacity = 40LL * 1000 * 1000 * 1000;
+    g.tdp = 400.0;
+    g.idlePower = 55.0;
+    g.decodePower = 270.0;
+    g.prefillPower = 360.0;
+    return g;
+}
+
+GpuSpec
+h100_80gb()
+{
+    GpuSpec g;
+    g.name = "NVIDIA H100-SXM5-80GB";
+    g.peakFlops = 989e12;     // dense BF16
+    g.memBandwidth = 3350e9;  // HBM3
+    g.memCapacity = 80LL * 1000 * 1000 * 1000;
+    g.tdp = 700.0;
+    g.idlePower = 90.0;
+    g.decodePower = 420.0;
+    g.prefillPower = 640.0;
+    return g;
+}
+
+double
+NodeSpec::effectiveFlops() const
+{
+    return gpu.peakFlops * numGpus * computeEfficiency * tpEfficiency;
+}
+
+double
+NodeSpec::effectiveBandwidth() const
+{
+    return gpu.memBandwidth * numGpus * bandwidthEfficiency *
+           tpEfficiency;
+}
+
+std::int64_t
+NodeSpec::totalMemory() const
+{
+    return gpu.memCapacity * numGpus;
+}
+
+NodeSpec
+singleA100()
+{
+    NodeSpec n;
+    n.gpu = a100_40gb();
+    n.numGpus = 1;
+    n.computeEfficiency = 0.55;
+    n.bandwidthEfficiency = 0.65;
+    n.tpEfficiency = 1.0;
+    return n;
+}
+
+NodeSpec
+singleH100()
+{
+    NodeSpec n;
+    n.gpu = h100_80gb();
+    n.numGpus = 1;
+    n.computeEfficiency = 0.55;
+    n.bandwidthEfficiency = 0.65;
+    n.tpEfficiency = 1.0;
+    return n;
+}
+
+NodeSpec
+octoA100()
+{
+    NodeSpec n;
+    n.gpu = a100_40gb();
+    n.numGpus = 8;
+    n.computeEfficiency = 0.55;
+    n.bandwidthEfficiency = 0.65;
+    // All-reduce after every attention/FFN block costs ~25% at TP=8.
+    n.tpEfficiency = 0.75;
+    return n;
+}
+
+} // namespace agentsim::llm

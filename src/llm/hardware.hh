@@ -1,0 +1,96 @@
+/**
+ * @file
+ * GPU and serving-node hardware descriptions (paper §III: A100-40GB,
+ * 1 GPU for the 8B model, 8-way tensor parallel for 70B).
+ */
+
+#ifndef AGENTSIM_LLM_HARDWARE_HH
+#define AGENTSIM_LLM_HARDWARE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace agentsim::llm
+{
+
+/** A single accelerator's capabilities and power envelope. */
+struct GpuSpec
+{
+    std::string name;
+    /** Peak dense FP16 throughput, FLOP/s. */
+    double peakFlops = 0.0;
+    /** Peak HBM bandwidth, bytes/s. */
+    double memBandwidth = 0.0;
+    /** HBM capacity, bytes. */
+    std::int64_t memCapacity = 0;
+    /** Board power limit, watts. */
+    double tdp = 0.0;
+    /** Idle power draw, watts. */
+    double idlePower = 0.0;
+    /** Average draw during memory-bound decode, watts. */
+    double decodePower = 0.0;
+    /** Average draw during compute-bound prefill, watts. */
+    double prefillPower = 0.0;
+};
+
+/** NVIDIA A100-SXM4-40GB. */
+GpuSpec a100_40gb();
+
+/** NVIDIA H100-SXM5-80GB (the Colossus-class GPU of the paper's
+ *  introduction). */
+GpuSpec h100_80gb();
+
+/**
+ * A tensor-parallel serving node: N identical GPUs plus the achieved
+ * efficiency factors of the deployment.
+ */
+struct NodeSpec
+{
+    GpuSpec gpu;
+    int numGpus = 1;
+
+    /** Fraction of peak FLOP/s achieved on prefill GEMMs. */
+    double computeEfficiency = 0.55;
+    /** Fraction of peak bandwidth achieved on decode. */
+    double bandwidthEfficiency = 0.65;
+    /**
+     * Multiplicative scaling penalty of tensor parallelism
+     * (all-reduce overhead); 1.0 for a single GPU.
+     */
+    double tpEfficiency = 1.0;
+    /** Fixed per-engine-step overhead (scheduling, launch), seconds. */
+    double stepOverheadSec = 400e-6;
+    /**
+     * Additional per-scheduled-sequence overhead per step (sampling,
+     * block-table updates, kernel launches — the vLLM 0.6-era CPU
+     * costs that cap achievable batch throughput), seconds.
+     */
+    double perSeqOverheadSec = 300e-6;
+    /**
+     * Host-to-GPU transfer bandwidth for KV-cache restores from the
+     * CPU-memory spill tier (PCIe 4.0 x16 effective), bytes/s.
+     */
+    double hostOffloadBandwidth = 25e9;
+
+    /** Aggregate achievable FLOP/s across the node. */
+    double effectiveFlops() const;
+
+    /** Aggregate achievable bytes/s across the node. */
+    double effectiveBandwidth() const;
+
+    /** Total HBM bytes across the node. */
+    std::int64_t totalMemory() const;
+};
+
+/** Paper instance a2-highgpu-1g: one A100-40GB (8B model). */
+NodeSpec singleA100();
+
+/** Paper instance a2-highgpu-8g: eight A100-40GB, TP=8 (70B model). */
+NodeSpec octoA100();
+
+/** One H100-80GB (forward-looking single-GPU node). */
+NodeSpec singleH100();
+
+} // namespace agentsim::llm
+
+#endif // AGENTSIM_LLM_HARDWARE_HH

@@ -1,0 +1,95 @@
+#include "llm/model_spec.hh"
+
+namespace agentsim::llm
+{
+
+std::int64_t
+ModelSpec::paramCount() const
+{
+    const std::int64_t h = hiddenDim;
+    const std::int64_t q_dim =
+        static_cast<std::int64_t>(numQHeads) * headDim;
+    const std::int64_t kv_dim =
+        static_cast<std::int64_t>(numKvHeads) * headDim;
+
+    // Attention: Wq (h x q_dim), Wk/Wv (h x kv_dim each), Wo (q_dim x h).
+    const std::int64_t attn = h * q_dim + 2 * h * kv_dim + q_dim * h;
+    // Gated FFN: gate, up (h x ffn) and down (ffn x h).
+    const std::int64_t ffn = 3 * h * static_cast<std::int64_t>(ffnDim);
+    // RMSNorm scales (2 per layer) are negligible but counted.
+    const std::int64_t norms = 2 * h;
+
+    const std::int64_t per_layer = attn + ffn + norms;
+    // Embedding + (untied) LM head + final norm.
+    const std::int64_t embed =
+        2 * static_cast<std::int64_t>(vocabSize) * h + h;
+
+    return layers * per_layer + embed;
+}
+
+std::int64_t
+ModelSpec::kvBytesPerToken() const
+{
+    // K and V, each numKvHeads*headDim values per layer, 2 bytes
+    // each, shrunk by any KV quantization.
+    const double raw = 2.0 * layers * numKvHeads * headDim * 2.0;
+    return static_cast<std::int64_t>(raw / kvCompression);
+}
+
+double
+ModelSpec::denseFlopsPerToken() const
+{
+    // 2 FLOPs (multiply + add) per weight; embeddings are lookups, the
+    // LM head is a GEMM.
+    const std::int64_t h = hiddenDim;
+    const std::int64_t q_dim =
+        static_cast<std::int64_t>(numQHeads) * headDim;
+    const std::int64_t kv_dim =
+        static_cast<std::int64_t>(numKvHeads) * headDim;
+    const std::int64_t attn = h * q_dim + 2 * h * kv_dim + q_dim * h;
+    const std::int64_t ffn = 3 * h * static_cast<std::int64_t>(ffnDim);
+    const std::int64_t head = static_cast<std::int64_t>(vocabSize) * h;
+    return 2.0 * (static_cast<double>(layers) *
+                      static_cast<double>(attn + ffn) +
+                  static_cast<double>(head));
+}
+
+double
+ModelSpec::attentionFlops(std::int64_t context_len) const
+{
+    // QK^T: q_dim * context multiply-adds; PV: the same again.
+    const double q_dim = static_cast<double>(numQHeads) * headDim;
+    return 2.0 * 2.0 * layers * q_dim * static_cast<double>(context_len);
+}
+
+ModelSpec
+llama31_8b()
+{
+    ModelSpec m;
+    m.name = "Llama-3.1-8B-Instruct";
+    m.layers = 32;
+    m.hiddenDim = 4096;
+    m.numQHeads = 32;
+    m.numKvHeads = 8;
+    m.headDim = 128;
+    m.ffnDim = 14336;
+    m.vocabSize = 128256;
+    return m;
+}
+
+ModelSpec
+llama31_70b()
+{
+    ModelSpec m;
+    m.name = "Llama-3.1-70B-Instruct";
+    m.layers = 80;
+    m.hiddenDim = 8192;
+    m.numQHeads = 64;
+    m.numKvHeads = 8;
+    m.headDim = 128;
+    m.ffnDim = 28672;
+    m.vocabSize = 128256;
+    return m;
+}
+
+} // namespace agentsim::llm

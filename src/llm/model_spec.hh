@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Transformer architecture descriptions used by the roofline
+ * performance model. Parameter counts, per-token FLOPs and KV-cache
+ * footprints are derived from the architecture, not hard-coded, so the
+ * 8B/70B scaling behaviour of the paper emerges from first principles.
+ */
+
+#ifndef AGENTSIM_LLM_MODEL_SPEC_HH
+#define AGENTSIM_LLM_MODEL_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace agentsim::llm
+{
+
+/**
+ * Decoder-only transformer architecture (Llama-style, GQA attention).
+ * All byte figures assume FP16/BF16 weights and KV cache.
+ */
+struct ModelSpec
+{
+    std::string name;
+    int layers = 0;
+    int hiddenDim = 0;
+    int numQHeads = 0;
+    int numKvHeads = 0;
+    int headDim = 0;
+    int ffnDim = 0;
+    int vocabSize = 0;
+    /** Maximum context length (prompt + generation), tokens. */
+    std::int64_t contextWindow = 131072;
+    /**
+     * KV-cache compression ratio (1 = uncompressed FP16; 2 = e.g.
+     * FP8/INT8 quantized KV). Shrinks both the cache footprint and
+     * decode's KV memory traffic — the "KV cache compression"
+     * direction of the paper's keytakeaway #9. First-order model:
+     * dequantization cost is folded into the existing efficiency
+     * factors.
+     */
+    double kvCompression = 1.0;
+
+    /** Total parameter count (attention + gated FFN + embeddings). */
+    std::int64_t paramCount() const;
+
+    /** Bytes of model weights at 2 bytes/param. */
+    std::int64_t weightBytes() const { return 2 * paramCount(); }
+
+    /** KV-cache bytes appended per token (K and V, all layers, FP16). */
+    std::int64_t kvBytesPerToken() const;
+
+    /**
+     * Matmul FLOPs to process one token through the dense layers
+     * (weight GEMMs only; ~2 FLOPs per weight per token).
+     */
+    double denseFlopsPerToken() const;
+
+    /**
+     * Attention FLOPs for one token attending over @p context_len
+     * previous positions (QK^T and PV, GQA-aware).
+     */
+    double attentionFlops(std::int64_t context_len) const;
+};
+
+/** Llama-3.1-8B-Instruct. */
+ModelSpec llama31_8b();
+
+/** Llama-3.1-70B-Instruct. */
+ModelSpec llama31_70b();
+
+} // namespace agentsim::llm
+
+#endif // AGENTSIM_LLM_MODEL_SPEC_HH

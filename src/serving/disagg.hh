@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Disaggregated prefill/decode serving (Splitwise [37] /
+ * DistServe [67], both cited by the paper's §IV phase analysis).
+ *
+ * A prefill node runs the compute-bound prompt phase and emits the
+ * first token; the computed KV cache then crosses the interconnect to
+ * a decode node which generates the remaining tokens. Decode traffic
+ * never queues behind long prefills, which is exactly the
+ * interference the paper blames for agent-serving tail latency
+ * (keytakeaway #5/#8).
+ */
+
+#ifndef AGENTSIM_SERVING_DISAGG_HH
+#define AGENTSIM_SERVING_DISAGG_HH
+
+#include <memory>
+
+#include "serving/engine.hh"
+
+namespace agentsim::serving
+{
+
+/** Disaggregated-pair configuration. */
+struct DisaggConfig
+{
+    /** Node dedicated to prompt processing. */
+    EngineConfig prefillNode;
+    /** Node dedicated to token generation. */
+    EngineConfig decodeNode;
+    /** KV-transfer bandwidth between the nodes, bytes/s
+     *  (NVLink/InfiniBand class). */
+    double interconnectBandwidth = 200e9;
+};
+
+/**
+ * A prefill/decode node pair behind a single generate() API.
+ */
+class DisaggServer
+{
+  public:
+    DisaggServer(sim::Simulation &sim, const DisaggConfig &config);
+
+    DisaggServer(const DisaggServer &) = delete;
+    DisaggServer &operator=(const DisaggServer &) = delete;
+
+    /**
+     * Serve one request: prefill on the prefill node, KV transfer,
+     * decode on the decode node. The returned record merges both
+     * phases (ttftSeconds reflects the prefill node + transfer).
+     */
+    sim::Task<GenResult> generate(GenRequest request);
+
+    const LlmEngine &prefillEngine() const { return *prefill_; }
+    const LlmEngine &decodeEngine() const { return *decode_; }
+
+    /** Total GPU energy across both nodes up to @p now, joules. */
+    double energyJoules(sim::Tick now) const;
+
+  private:
+    sim::Simulation &sim_;
+    DisaggConfig config_;
+    std::unique_ptr<LlmEngine> prefill_;
+    std::unique_ptr<LlmEngine> decode_;
+};
+
+} // namespace agentsim::serving
+
+#endif // AGENTSIM_SERVING_DISAGG_HH

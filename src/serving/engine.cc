@@ -1,0 +1,488 @@
+#include "serving/engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace agentsim::serving
+{
+
+namespace
+{
+
+/** Deterministic synthetic output token for (seed, request, index). */
+kv::TokenId
+outputToken(std::uint64_t seed, std::uint64_t req_id, std::uint64_t idx)
+{
+    return sim::hashCombine(sim::hashCombine(seed, req_id ^ 0xa5a5a5a5u),
+                            idx);
+}
+
+} // namespace
+
+std::int64_t
+LlmEngine::derivePoolBlocks(const EngineConfig &config)
+{
+    std::int64_t pool_bytes = config.kvPoolBytes;
+    if (pool_bytes == 0) {
+        const std::int64_t total = config.node.totalMemory();
+        const std::int64_t weights = config.model.weightBytes();
+        const auto reserve =
+            static_cast<std::int64_t>(0.10 * static_cast<double>(total));
+        pool_bytes = total - weights - reserve;
+        if (pool_bytes <= 0) {
+            AGENTSIM_FATAL("no GPU memory left for KV cache "
+                           "(total %lld, weights %lld)",
+                           static_cast<long long>(total),
+                           static_cast<long long>(weights));
+        }
+    }
+    const std::int64_t block_bytes =
+        config.model.kvBytesPerToken() * config.blockSize;
+    const std::int64_t blocks = pool_bytes / block_bytes;
+    if (blocks <= 0)
+        AGENTSIM_FATAL("KV pool smaller than one block");
+    return blocks;
+}
+
+LlmEngine::LlmEngine(sim::Simulation &sim, const EngineConfig &config)
+    : sim_(sim), config_(config), perf_(config.model, config.node),
+      blocks_(kv::BlockManagerConfig{derivePoolBlocks(config),
+                                     config.blockSize,
+                                     config.enablePrefixCaching,
+                                     config.evictionPolicy,
+                                     config.hostCacheBlocks}),
+      loop_(runLoop())
+{
+}
+
+std::int64_t
+LlmEngine::blockBytes() const
+{
+    return config_.model.kvBytesPerToken() * config_.blockSize;
+}
+
+double
+LlmEngine::energyJoules(sim::Tick now) const
+{
+    const double wall = sim::toSeconds(now);
+    const double idle_seconds = std::max(0.0, wall - stats_.busySeconds);
+    const double idle_power =
+        config_.node.gpu.idlePower * config_.node.numGpus;
+    return stats_.busyJoules + idle_power * idle_seconds;
+}
+
+sim::Task<GenResult>
+LlmEngine::generate(GenRequest request)
+{
+    AGENTSIM_ASSERT(!request.prompt.empty(),
+                    "generate() with empty prompt");
+    AGENTSIM_ASSERT(request.maxNewTokens >= 1,
+                    "generate() must produce at least one token");
+
+    // Requests beyond the model's context window are rejected up
+    // front, as a real serving endpoint would do.
+    if (static_cast<std::int64_t>(request.prompt.size()) +
+            request.maxNewTokens >
+        config_.model.contextWindow) {
+        ++stats_.requestsSubmitted;
+        ++stats_.requestsFailed;
+        AGENTSIM_WARN("request exceeds the %lld-token context window",
+                      static_cast<long long>(
+                          config_.model.contextWindow));
+        GenResult r;
+        r.failed = true;
+        r.promptTokens =
+            static_cast<std::int64_t>(request.prompt.size());
+        r.submitTick = sim_.now();
+        r.finishTick = sim_.now();
+        co_return r;
+    }
+
+    auto req = std::make_shared<Req>(sim_);
+    req->id = nextId_++;
+    req->sessionId = request.sessionId;
+    req->prompt = std::move(request.prompt);
+    req->maxNewTokens = request.maxNewTokens;
+    req->submitTick = sim_.now();
+    req->firstPromptLen = static_cast<std::int64_t>(req->prompt.size());
+
+    ++stats_.requestsSubmitted;
+    waiting_.push_back(req);
+    if (wake_ && !wake_->ready())
+        wake_->set(1);
+
+    GenResult result = co_await req->done;
+    co_return result;
+}
+
+sim::Task<void>
+LlmEngine::runLoop()
+{
+    for (;;) {
+        if (waiting_.empty() && running_.empty()) {
+            wake_.emplace(sim_);
+            co_await *wake_;
+            wake_.reset();
+        }
+        StepPlan plan = buildStep();
+        if (plan.work.empty())
+            continue; // everything failed at admission; re-check
+        const llm::StepCost cost = perf_.stepCost(plan.work);
+        co_await sim::delay(sim_, sim::fromSeconds(cost.seconds +
+                                                   plan.extraSeconds));
+        commitStep(plan, cost);
+    }
+}
+
+void
+LlmEngine::preemptOne(StepPlan &plan)
+{
+    AGENTSIM_ASSERT(!running_.empty(), "preempt with empty batch");
+    ReqPtr victim = running_.back();
+    running_.pop_back();
+    std::erase(plan.decoders, victim);
+
+    blocks_.release(victim->id);
+    // Recompute-style preemption: generated tokens fold into the
+    // prompt; on re-admission the prefix cache usually restores them.
+    victim->prompt.insert(victim->prompt.end(), victim->output.begin(),
+                          victim->output.end());
+    victim->prefillDone = 0;
+    victim->decoding = false;
+    ++victim->preemptions;
+    ++stats_.preemptions;
+    waiting_.push_front(victim);
+}
+
+void
+LlmEngine::failRequest(const ReqPtr &req)
+{
+    ++stats_.requestsFailed;
+    AGENTSIM_WARN("request %llu cannot fit in the KV pool; failing",
+                  static_cast<unsigned long long>(req->id));
+    GenResult r;
+    r.failed = true;
+    r.promptTokens = req->firstPromptLen;
+    r.submitTick = req->submitTick;
+    r.finishTick = sim_.now();
+    r.totalSeconds = sim::toSeconds(r.finishTick - r.submitTick);
+    req->done.set(std::move(r));
+}
+
+void
+LlmEngine::finishRequest(const ReqPtr &req)
+{
+    blocks_.release(req->id);
+    std::erase(running_, req);
+    ++stats_.requestsCompleted;
+    sessionService_[req->sessionId] +=
+        req->prefillSecondsAcc + req->decodeSecondsAcc;
+
+    GenResult r;
+    r.tokens = req->output;
+    r.truncated = req->truncated;
+    r.promptTokens = req->firstPromptLen;
+    r.cachedPromptTokens = req->cachedPromptTokens;
+    r.queueSeconds =
+        sim::toSeconds(req->firstScheduleTick - req->submitTick);
+    r.prefillSeconds = req->prefillSecondsAcc;
+    r.decodeSeconds = req->decodeSecondsAcc;
+    r.flops = req->flopsAcc;
+    r.preemptions = req->preemptions;
+    r.submitTick = req->submitTick;
+    r.finishTick = sim_.now();
+    r.totalSeconds = sim::toSeconds(r.finishTick - r.submitTick);
+    if (req->firstTokenTick >= 0) {
+        r.ttftSeconds =
+            sim::toSeconds(req->firstTokenTick - req->submitTick);
+    }
+    req->done.set(std::move(r));
+}
+
+kv::TokenId
+LlmEngine::genToken(Req &req)
+{
+    return outputToken(config_.seed, req.id, req.output.size());
+}
+
+std::int64_t
+LlmEngine::preloadPrefix(std::span<const kv::TokenId> tokens)
+{
+    const std::int64_t populated = blocks_.preloadPrefix(tokens);
+    updateGauges();
+    return populated;
+}
+
+LlmEngine::StepPlan
+LlmEngine::buildStep()
+{
+    StepPlan plan;
+    const int bs = config_.blockSize;
+
+    // 1. Every decoding sequence gets one token this step.
+    for (const auto &req : running_) {
+        if (req->decoding)
+            plan.decoders.push_back(req);
+    }
+
+    // 2. Reserve append capacity for decoders crossing a block
+    //    boundary; preempt the newest request until it fits.
+    auto append_need = [&] {
+        std::int64_t need = 0;
+        for (const auto &req : plan.decoders) {
+            if (blocks_.seqTokens(req->id) % bs == 0)
+                ++need;
+        }
+        return need;
+    };
+    while (append_need() > blocks_.availableBlocks()) {
+        if (running_.size() <= 1) {
+            // A lone request has filled the entire pool: truncate it.
+            ReqPtr req = running_.front();
+            AGENTSIM_WARN("KV pool exhausted by request %llu; "
+                          "truncating output",
+                          static_cast<unsigned long long>(req->id));
+            req->truncated = true;
+            plan.decoders.clear();
+            finishRequest(req);
+            break;
+        }
+        preemptOne(plan);
+    }
+
+    for (const auto &req : plan.decoders)
+        plan.work.decodeContexts.push_back(blocks_.seqTokens(req->id));
+
+    std::int64_t budget =
+        std::max<std::int64_t>(0, config_.maxBatchTokens -
+                                      static_cast<std::int64_t>(
+                                          plan.decoders.size()));
+
+    // 3. Continue chunked prefill of already-admitted requests.
+    for (const auto &req : running_) {
+        if (budget == 0)
+            break;
+        if (req->decoding)
+            continue;
+        const auto prompt_len =
+            static_cast<std::int64_t>(req->prompt.size());
+        std::int64_t chunk =
+            std::min(budget, prompt_len - req->prefillDone);
+        if (chunk <= 0)
+            continue;
+        // Completing a prompt that ends exactly on a block boundary
+        // emits its first output token into a fresh block; defer the
+        // final prompt token if no block could be available.
+        const bool completes = req->prefillDone + chunk == prompt_len;
+        if (completes && prompt_len % bs == 0 &&
+            blocks_.availableBlocks() == 0) {
+            --chunk;
+        }
+        if (chunk <= 0)
+            continue;
+        plan.prefills.push_back({req, chunk});
+        plan.work.prefills.push_back({chunk, req->prefillDone});
+        budget -= chunk;
+    }
+
+    // 4. Admit waiting requests while budget and memory allow, in the
+    //    order the scheduler policy dictates.
+    while (budget > 0 && !waiting_.empty() &&
+           running_.size() < static_cast<std::size_t>(
+                                 config_.maxRunningSeqs)) {
+        auto candidate = nextAdmissionCandidate();
+        ReqPtr req = *candidate;
+        const auto prompt_len =
+            static_cast<std::int64_t>(req->prompt.size());
+        const std::int64_t upper_bound =
+            blocks_.blocksNeeded(prompt_len) + 1;
+        if (upper_bound > blocks_.totalBlocks()) {
+            waiting_.erase(candidate);
+            failRequest(req);
+            continue;
+        }
+        if (upper_bound > blocks_.availableBlocks())
+            break; // the policy's best candidate does not fit
+
+        auto alloc = blocks_.allocatePrompt(req->id, req->prompt);
+        AGENTSIM_ASSERT(alloc.has_value(),
+                        "allocation failed despite capacity check");
+        waiting_.erase(candidate);
+        running_.push_back(req);
+
+        // Host-tier restores skip prefill but pay a PCIe transfer.
+        if (alloc->restoredTokens > 0) {
+            plan.extraSeconds +=
+                static_cast<double>(alloc->restoredTokens *
+                                    config_.model.kvBytesPerToken()) /
+                config_.node.hostOffloadBandwidth;
+        }
+
+        req->prefillDone = alloc->reusedTokens();
+        if (req->prefillDone >= prompt_len) {
+            // Fully cached prompt: recompute the last token to obtain
+            // logits (vLLM does the same).
+            req->prefillDone = prompt_len - 1;
+        }
+        if (req->firstScheduleTick < 0) {
+            req->firstScheduleTick = sim_.now();
+            req->cachedPromptTokens = alloc->reusedTokens();
+        }
+
+        std::int64_t chunk =
+            std::min(budget, prompt_len - req->prefillDone);
+        const bool completes = req->prefillDone + chunk == prompt_len;
+        if (completes && prompt_len % bs == 0 &&
+            blocks_.availableBlocks() == 0) {
+            --chunk;
+        }
+        if (chunk > 0) {
+            plan.prefills.push_back({req, chunk});
+            plan.work.prefills.push_back({chunk, req->prefillDone});
+            budget -= chunk;
+        }
+    }
+
+    if (plan.work.empty() && !running_.empty()) {
+        // Pathological: a lone prompt fills the pool leaving no room
+        // for its first output token. Finish it truncated rather than
+        // spinning forever.
+        ReqPtr req = running_.front();
+        AGENTSIM_WARN("request %llu starved of append blocks; "
+                      "truncating",
+                      static_cast<unsigned long long>(req->id));
+        req->truncated = true;
+        finishRequest(req);
+    }
+
+    updateGauges();
+    return plan;
+}
+
+void
+LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost)
+{
+    ++stats_.steps;
+    stats_.busySeconds += cost.seconds;
+    stats_.coreActiveSeconds +=
+        std::min(cost.computeSeconds, cost.seconds);
+    stats_.prefillTokens += cost.prefillTokens;
+    stats_.decodeTokens += cost.decodeTokens;
+    stats_.totalFlops += cost.flops;
+
+    // Attribute step time to prefill vs decode by the cost each phase
+    // would have alone (both include the fixed step overhead, which
+    // therefore splits proportionally).
+    {
+        llm::StepWork prefill_only;
+        prefill_only.prefills = plan.work.prefills;
+        llm::StepWork decode_only;
+        decode_only.decodeContexts = plan.work.decodeContexts;
+        const double tp = perf_.stepCost(prefill_only).seconds;
+        const double td = perf_.stepCost(decode_only).seconds;
+        const double total = tp + td;
+        if (total > 0) {
+            stats_.prefillSeconds += cost.seconds * (tp / total);
+            stats_.decodeSeconds += cost.seconds * (td / total);
+        }
+    }
+
+    // Energy: compute-bound steps draw prefill power, memory-bound
+    // steps decode power, across all GPUs of the node.
+    const double power = (cost.computeBound()
+                              ? config_.node.gpu.prefillPower
+                              : config_.node.gpu.decodePower) *
+                         config_.node.numGpus;
+    stats_.busyJoules += power * cost.seconds;
+
+    // Advance prefills; a completed prompt emits its first token.
+    for (const auto &part : plan.prefills) {
+        const ReqPtr &req = part.req;
+        req->prefillSecondsAcc += cost.seconds;
+        req->flopsAcc += perf_.prefillFlops(part.tokens,
+                                            req->prefillDone);
+        req->prefillDone += part.tokens;
+        const auto prompt_len =
+            static_cast<std::int64_t>(req->prompt.size());
+        if (req->prefillDone == prompt_len) {
+            const kv::TokenId tok = genToken(*req);
+            if (!blocks_.appendToken(req->id, tok)) {
+                AGENTSIM_WARN("append failed at prefill completion; "
+                              "truncating request %llu",
+                              static_cast<unsigned long long>(req->id));
+                req->truncated = true;
+                finishRequest(req);
+                continue;
+            }
+            req->output.push_back(tok);
+            req->decoding = true;
+            if (req->firstTokenTick < 0)
+                req->firstTokenTick = sim_.now();
+            if (static_cast<std::int64_t>(req->output.size()) >=
+                req->maxNewTokens) {
+                finishRequest(req);
+            }
+        }
+    }
+
+    // Decoders each produced one token.
+    for (const auto &req : plan.decoders) {
+        if (!req->decoding)
+            continue; // finished or truncated within this commit
+        req->decodeSecondsAcc += cost.seconds;
+        req->flopsAcc += perf_.decodeFlops(blocks_.seqTokens(req->id));
+        const kv::TokenId tok = genToken(*req);
+        const bool ok = blocks_.appendToken(req->id, tok);
+        AGENTSIM_ASSERT(ok, "decode append failed despite reservation");
+        req->output.push_back(tok);
+        if (static_cast<std::int64_t>(req->output.size()) >=
+            req->maxNewTokens) {
+            finishRequest(req);
+        }
+    }
+
+    updateGauges();
+}
+
+std::deque<LlmEngine::ReqPtr>::iterator
+LlmEngine::nextAdmissionCandidate()
+{
+    AGENTSIM_ASSERT(!waiting_.empty(), "no admission candidates");
+    switch (config_.schedulerPolicy) {
+      case SchedulerPolicy::Fcfs:
+        return waiting_.begin();
+      case SchedulerPolicy::ShortestPromptFirst: {
+          auto best = waiting_.begin();
+          for (auto it = waiting_.begin(); it != waiting_.end();
+               ++it) {
+              if ((*it)->prompt.size() < (*best)->prompt.size())
+                  best = it;
+          }
+          return best;
+      }
+      case SchedulerPolicy::LeastAttainedService: {
+          auto service = [&](const ReqPtr &req) {
+              auto it = sessionService_.find(req->sessionId);
+              return it == sessionService_.end() ? 0.0 : it->second;
+          };
+          auto best = waiting_.begin();
+          for (auto it = waiting_.begin(); it != waiting_.end();
+               ++it) {
+              if (service(*it) < service(*best))
+                  best = it;
+          }
+          return best;
+      }
+    }
+    AGENTSIM_PANIC("unknown scheduler policy");
+}
+
+void
+LlmEngine::updateGauges()
+{
+    kvUsed_.set(sim_.now(), static_cast<double>(blocks_.usedBlocks()));
+    batchSize_.set(sim_.now(), static_cast<double>(running_.size()));
+}
+
+} // namespace agentsim::serving

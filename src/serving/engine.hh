@@ -1,0 +1,276 @@
+/**
+ * @file
+ * LlmEngine — a vLLM-style serving engine on the simulation clock.
+ *
+ * The engine implements iteration-level continuous batching over the
+ * paged KV cache:
+ *  - a FCFS waiting queue feeds a running batch;
+ *  - every engine step gives each decoding sequence one token and
+ *    spends the remaining per-step token budget on chunked prefill;
+ *  - prompts are allocated block tables up-front, reusing prefix-cached
+ *    blocks (skipping their prefill);
+ *  - under memory pressure the latest-arrived running request is
+ *    preempted by recompute (blocks released, request requeued with its
+ *    generated tokens folded into the prompt);
+ *  - step latency comes from the roofline PerfModel, making prefill
+ *    compute-bound and decode memory-bound.
+ *
+ * Agents interact through the awaitable generate() API.
+ */
+
+#ifndef AGENTSIM_SERVING_ENGINE_HH
+#define AGENTSIM_SERVING_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kv/block_manager.hh"
+#include "llm/perf_model.hh"
+#include "serving/request.hh"
+#include "sim/awaitable.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+#include "stats/gauge.hh"
+
+namespace agentsim::serving
+{
+
+/** Waiting-queue admission order. */
+enum class SchedulerPolicy
+{
+    /** First come, first served (vLLM default; paper setup). */
+    Fcfs,
+    /** Admit the smallest waiting prompt first (SJF-style). */
+    ShortestPromptFirst,
+    /**
+     * Program-aware least-attained-service (Autellix [23]): admit the
+     * request whose session (agent rollout) has consumed the least
+     * GPU service so far, keeping young programs from starving behind
+     * long-running multi-call agents.
+     */
+    LeastAttainedService,
+};
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    llm::ModelSpec model;
+    llm::NodeSpec node;
+
+    /** Enable block-level prefix caching. */
+    bool enablePrefixCaching = true;
+    /** KV block size in tokens. */
+    int blockSize = 16;
+    /** Admission order for waiting requests. */
+    SchedulerPolicy schedulerPolicy = SchedulerPolicy::Fcfs;
+    /** Eviction order among unreferenced cached blocks. */
+    kv::EvictionPolicy evictionPolicy = kv::EvictionPolicy::Lru;
+    /** Host-memory KV spill tier, in blocks (0 disables). */
+    std::int64_t hostCacheBlocks = 0;
+    /**
+     * Bytes of GPU memory reserved for the KV pool. Zero means
+     * "derive from hardware": total HBM minus weights minus a 10%
+     * activation reserve.
+     */
+    std::int64_t kvPoolBytes = 0;
+    /** Per-step token budget (decode tokens + chunked prefill). */
+    std::int64_t maxBatchTokens = 512;
+    /** Maximum concurrently running sequences. */
+    int maxRunningSeqs = 256;
+    /** Seed for the generated-token streams. */
+    std::uint64_t seed = 1;
+};
+
+/** Aggregated engine-level statistics. */
+struct EngineStats
+{
+    std::int64_t requestsSubmitted = 0;
+    std::int64_t requestsCompleted = 0;
+    std::int64_t requestsFailed = 0;
+    std::int64_t preemptions = 0;
+    std::int64_t steps = 0;
+
+    /** Wall-clock seconds during which the GPU executed steps. */
+    double busySeconds = 0.0;
+    /**
+     * Roofline estimate of SM-active seconds (DCGM-style "core
+     * utilization"): a memory-bound step keeps the cores active only
+     * for its compute-time share.
+     */
+    double coreActiveSeconds = 0.0;
+    /** busySeconds attributed to prefill / decode work. */
+    double prefillSeconds = 0.0;
+    double decodeSeconds = 0.0;
+
+    std::int64_t prefillTokens = 0;
+    std::int64_t decodeTokens = 0;
+    double totalFlops = 0.0;
+
+    /** Node-wide GPU energy dissipated while busy, joules. */
+    double busyJoules = 0.0;
+};
+
+/**
+ * The serving engine. One instance per serving node; single model.
+ */
+class LlmEngine
+{
+  public:
+    LlmEngine(sim::Simulation &sim, const EngineConfig &config);
+
+    LlmEngine(const LlmEngine &) = delete;
+    LlmEngine &operator=(const LlmEngine &) = delete;
+
+    /**
+     * Submit a request and await its completion.
+     *
+     * Multiple concurrent generate() calls batch together — this is
+     * the inter-request parallelism the paper's serving analysis
+     * revolves around.
+     */
+    sim::Task<GenResult> generate(GenRequest request);
+
+    const EngineStats &stats() const { return stats_; }
+
+    /** KV pool statistics (hit rate, evictions). */
+    const kv::CacheStats &cacheStats() const { return blocks_.stats(); }
+
+    /** Used-KV-blocks gauge (time weighted, in blocks). */
+    const stats::TimeWeightedGauge &kvUsageGauge() const
+    {
+        return kvUsed_;
+    }
+
+    /** Mutable gauge access for harness-level measurement windows. */
+    stats::TimeWeightedGauge &kvUsageGaugeMut() { return kvUsed_; }
+
+    /** Running-batch-size gauge (time weighted). */
+    const stats::TimeWeightedGauge &batchGauge() const
+    {
+        return batchSize_;
+    }
+
+    /** Bytes of KV memory represented by one block. */
+    std::int64_t blockBytes() const;
+
+    /** Total KV pool size in blocks. */
+    std::int64_t totalBlocks() const { return blocks_.totalBlocks(); }
+
+    /** Requests waiting for admission. */
+    std::size_t queueDepth() const { return waiting_.size(); }
+
+    /** Requests currently running. */
+    std::size_t runningCount() const { return running_.size(); }
+
+    const EngineConfig &config() const { return config_; }
+    const llm::PerfModel &perfModel() const { return perf_; }
+
+    /**
+     * Inject externally computed KV for a prompt prefix (KV arriving
+     * from a disaggregated prefill node). @return blocks populated,
+     * or -1 if the prefix cannot fit.
+     */
+    std::int64_t preloadPrefix(std::span<const kv::TokenId> tokens);
+
+    /**
+     * Node-wide GPU energy (joules) consumed up to @p now, including
+     * idle draw between steps.
+     */
+    double energyJoules(sim::Tick now) const;
+
+  private:
+    /** Internal request state. */
+    struct Req
+    {
+        std::uint64_t id = 0;
+        std::uint64_t sessionId = 0;
+        std::vector<kv::TokenId> prompt;
+        std::int64_t maxNewTokens = 0;
+        std::vector<kv::TokenId> output;
+        /** Prompt tokens with KV in place (cached + prefilled). */
+        std::int64_t prefillDone = 0;
+        bool decoding = false;
+        bool truncated = false;
+
+        sim::Tick submitTick = 0;
+        sim::Tick firstScheduleTick = -1;
+        sim::Tick firstTokenTick = -1;
+        double prefillSecondsAcc = 0.0;
+        double decodeSecondsAcc = 0.0;
+        double flopsAcc = 0.0;
+        std::int64_t cachedPromptTokens = 0;
+        std::int64_t firstPromptLen = 0;
+        int preemptions = 0;
+
+        sim::Completion<GenResult> done;
+
+        Req(sim::Simulation &sim) : done(sim) {}
+    };
+
+    using ReqPtr = std::shared_ptr<Req>;
+
+    /** Work selected for one engine step. */
+    struct StepPlan
+    {
+        llm::StepWork work;
+        /** Extra wall time for host->GPU KV restores, seconds. */
+        double extraSeconds = 0.0;
+        /** Requests receiving one decode token. */
+        std::vector<ReqPtr> decoders;
+        struct PrefillPart
+        {
+            ReqPtr req;
+            std::int64_t tokens;
+        };
+        std::vector<PrefillPart> prefills;
+    };
+
+    sim::Simulation &sim_;
+    EngineConfig config_;
+    llm::PerfModel perf_;
+    kv::BlockManager blocks_;
+
+    std::deque<ReqPtr> waiting_;
+    std::vector<ReqPtr> running_; // admission order
+    std::optional<sim::Completion<int>> wake_;
+    std::uint64_t nextId_ = 1;
+    /** Cumulative attributed GPU seconds per session (LAS policy). */
+    std::unordered_map<std::uint64_t, double> sessionService_;
+
+    EngineStats stats_;
+    stats::TimeWeightedGauge kvUsed_;
+    stats::TimeWeightedGauge batchSize_;
+
+    sim::Task<void> loop_;
+
+    sim::Task<void> runLoop();
+    StepPlan buildStep();
+
+    /** Pick the next admission candidate per the scheduler policy. */
+    std::deque<ReqPtr>::iterator nextAdmissionCandidate();
+    void commitStep(const StepPlan &plan, const llm::StepCost &cost);
+
+    /** Preempt the latest-arrived running request (recompute). */
+    void preemptOne(StepPlan &plan);
+
+    /** Fail a request that can never be served. */
+    void failRequest(const ReqPtr &req);
+
+    /** Complete a request and release its sequence. */
+    void finishRequest(const ReqPtr &req);
+
+    /** Produce the next synthetic output token for a request. */
+    kv::TokenId genToken(Req &req);
+
+    void updateGauges();
+
+    static std::int64_t derivePoolBlocks(const EngineConfig &config);
+};
+
+} // namespace agentsim::serving
+
+#endif // AGENTSIM_SERVING_ENGINE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Public request/result types of the LLM serving engine.
+ */
+
+#ifndef AGENTSIM_SERVING_REQUEST_HH
+#define AGENTSIM_SERVING_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/block_manager.hh"
+#include "sim/types.hh"
+
+namespace agentsim::serving
+{
+
+/** One generation request submitted to the engine. */
+struct GenRequest
+{
+    /** Prompt token ids (deterministic synthetic content). */
+    std::vector<kv::TokenId> prompt;
+    /**
+     * Exact number of tokens to generate. The workload layer samples
+     * realistic output lengths, so the engine does not model EOS.
+     */
+    std::int64_t maxNewTokens = 1;
+
+    /**
+     * Program/session identity: all LLM calls of one agent rollout
+     * share a session id, letting program-aware schedulers (Autellix
+     * [23]) prioritize by cumulative service. 0 = standalone.
+     */
+    std::uint64_t sessionId = 0;
+};
+
+/** Completed generation with full accounting. */
+struct GenResult
+{
+    /** Generated token ids, in order. */
+    std::vector<kv::TokenId> tokens;
+
+    /** Request could never fit in the KV pool. */
+    bool failed = false;
+    /** Generation was cut short by unrecoverable memory pressure. */
+    bool truncated = false;
+
+    std::int64_t promptTokens = 0;
+    /** Prompt tokens served from the prefix cache on first admission. */
+    std::int64_t cachedPromptTokens = 0;
+
+    /** Seconds spent queued before first scheduling. */
+    double queueSeconds = 0.0;
+    /** Seconds of engine steps in which this request prefilled. */
+    double prefillSeconds = 0.0;
+    /** Seconds of engine steps in which this request decoded. */
+    double decodeSeconds = 0.0;
+    /** Submission-to-completion wall time, seconds. */
+    double totalSeconds = 0.0;
+    /** Time to first output token (queueing + prefill), seconds. */
+    double ttftSeconds = 0.0;
+
+    /** FLOPs attributed to this request. */
+    double flops = 0.0;
+    /** Times this request was preempted (recompute). */
+    int preemptions = 0;
+
+    sim::Tick submitTick = 0;
+    sim::Tick finishTick = 0;
+};
+
+} // namespace agentsim::serving
+
+#endif // AGENTSIM_SERVING_REQUEST_HH

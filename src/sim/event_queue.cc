@@ -1,0 +1,29 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace agentsim::sim
+{
+
+void
+EventQueue::push(Tick when, std::function<void()> action)
+{
+    AGENTSIM_ASSERT(action, "scheduling a null event action");
+    heap_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+Event
+EventQueue::pop()
+{
+    AGENTSIM_ASSERT(!heap_.empty(), "pop from empty event queue");
+    // std::priority_queue::top() is const; the event is copied out. The
+    // action is a std::function so the copy is cheap relative to event
+    // processing and keeps the queue's heap invariants simple.
+    Event ev = heap_.top();
+    heap_.pop();
+    return ev;
+}
+
+} // namespace agentsim::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The pending-event priority queue underlying the simulation clock.
+ *
+ * Events at the same tick fire in insertion order (a monotonically
+ * increasing sequence number breaks ties), which keeps coroutine
+ * scheduling deterministic.
+ */
+
+#ifndef AGENTSIM_SIM_EVENT_QUEUE_HH
+#define AGENTSIM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace agentsim::sim
+{
+
+/** A scheduled callback. */
+struct Event
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> action;
+};
+
+/**
+ * Min-heap of events ordered by (when, seq).
+ */
+class EventQueue
+{
+  public:
+    /** Schedule an action at absolute tick @p when. */
+    void push(Tick when, std::function<void()> action);
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event; undefined if empty. */
+    Tick nextTime() const { return heap_.top().when; }
+
+    /** Remove and return the earliest event. */
+    Event pop();
+
+    /** Total events ever scheduled (determinism/debug aid). */
+    std::uint64_t scheduledCount() const { return nextSeq_; }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace agentsim::sim
+
+#endif // AGENTSIM_SIM_EVENT_QUEUE_HH

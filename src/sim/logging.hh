@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()   — something questionable happened but simulation continues.
+ * inform() — status messages.
+ */
+
+#ifndef AGENTSIM_SIM_LOGGING_HH
+#define AGENTSIM_SIM_LOGGING_HH
+
+#include <string>
+
+#include "sim/strfmt.hh"
+
+namespace agentsim::sim
+{
+
+/** Abort with a message: something that should never happen did. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message: unusable user configuration. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print a warning to stderr. */
+void warnImpl(const std::string &msg);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &msg);
+
+} // namespace agentsim::sim
+
+#define AGENTSIM_PANIC(...) \
+    ::agentsim::sim::panicImpl(__FILE__, __LINE__, \
+                               ::agentsim::sim::strfmt(__VA_ARGS__))
+
+#define AGENTSIM_FATAL(...) \
+    ::agentsim::sim::fatalImpl(__FILE__, __LINE__, \
+                               ::agentsim::sim::strfmt(__VA_ARGS__))
+
+#define AGENTSIM_WARN(...) \
+    ::agentsim::sim::warnImpl(::agentsim::sim::strfmt(__VA_ARGS__))
+
+#define AGENTSIM_INFORM(...) \
+    ::agentsim::sim::informImpl(::agentsim::sim::strfmt(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define AGENTSIM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::agentsim::sim::panicImpl(__FILE__, __LINE__, \
+                "assertion failed: " #cond " " \
+                + ::agentsim::sim::strfmt(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // AGENTSIM_SIM_LOGGING_HH

@@ -1,0 +1,178 @@
+#include "sim/rng.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace agentsim::sim
+{
+
+namespace
+{
+
+/** splitmix64 step, used for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // xoshiro must not be seeded with all zeros.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 1;
+}
+
+Rng::Rng(std::uint64_t global_seed, std::string_view name,
+         std::uint64_t index)
+    : Rng(hashCombine(hashCombine(global_seed, fnv1a(name)), index))
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    AGENTSIM_ASSERT(lo <= hi, "uniformInt: lo %lld > hi %lld",
+                    static_cast<long long>(lo),
+                    static_cast<long long>(hi));
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(next() % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < std::clamp(p, 0.0, 1.0);
+}
+
+double
+Rng::exponential(double mean)
+{
+    AGENTSIM_ASSERT(mean > 0, "exponential: mean %f <= 0", mean);
+    double u = uniform();
+    // Avoid log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    hasSpare_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mu, double sigma)
+{
+    return mu + sigma * normal();
+}
+
+double
+Rng::lognormalMean(double mean, double sigma)
+{
+    AGENTSIM_ASSERT(mean > 0, "lognormalMean: mean %f <= 0", mean);
+    const double mu = std::log(mean) - 0.5 * sigma * sigma;
+    return std::exp(normal(mu, sigma));
+}
+
+std::size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    AGENTSIM_ASSERT(!weights.empty(), "categorical: empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        AGENTSIM_ASSERT(w >= 0.0, "categorical: negative weight %f", w);
+        total += w;
+    }
+    AGENTSIM_ASSERT(total > 0.0, "categorical: all-zero weights");
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::int64_t
+Rng::poisson(double mean)
+{
+    AGENTSIM_ASSERT(mean >= 0, "poisson: mean %f < 0", mean);
+    if (mean <= 0.0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's algorithm.
+        const double limit = std::exp(-mean);
+        double p = 1.0;
+        std::int64_t k = 0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > limit);
+        return k - 1;
+    }
+    // Normal approximation for large means.
+    const double x = normal(mean, std::sqrt(mean));
+    return std::max<std::int64_t>(0, static_cast<std::int64_t>(x + 0.5));
+}
+
+} // namespace agentsim::sim

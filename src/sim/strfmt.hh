@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal printf-style string formatting (std::format is unavailable on
+ * the GCC 12 toolchain this project targets).
+ */
+
+#ifndef AGENTSIM_SIM_STRFMT_HH
+#define AGENTSIM_SIM_STRFMT_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace agentsim::sim
+{
+
+/**
+ * Format a printf-style message into a std::string.
+ *
+ * @param fmt printf format string (may be empty).
+ * @return the formatted string.
+ */
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strfmt(const char *fmt = "", ...)
+{
+    if (fmt == nullptr || fmt[0] == '\0')
+        return {};
+
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+        out.resize(static_cast<size_t>(needed));
+    }
+    va_end(args_copy);
+    return out;
+}
+
+} // namespace agentsim::sim
+
+#endif // AGENTSIM_SIM_STRFMT_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * sim::Task<T> — an eagerly-started coroutine process.
+ *
+ * Calling a coroutine function returning Task<T> starts it immediately;
+ * it runs synchronously until its first suspension (typically a Delay or
+ * an engine completion). The returned Task object is a handle used to
+ * co_await the result from another coroutine, or to poll done()/result()
+ * from plain code after draining the simulation.
+ *
+ * Lifetime rules:
+ *  - A Task may have at most one awaiter.
+ *  - Destroying a Task whose coroutine is still running *detaches* it:
+ *    the coroutine keeps executing on the simulation clock and frees its
+ *    own frame when it finishes. An exception escaping a detached task
+ *    aborts the simulation (there is no one left to observe it).
+ *  - Awaiting a Task requires keeping it alive until the await resumes
+ *    (naturally satisfied by holding it in a local).
+ */
+
+#ifndef AGENTSIM_SIM_TASK_HH
+#define AGENTSIM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace agentsim::sim
+{
+
+template <typename T>
+class Task;
+
+namespace detail
+{
+
+/** Promise state shared by all Task specializations. */
+struct PromiseBase
+{
+    /** Coroutine to resume when this one finishes (the awaiter). */
+    std::coroutine_handle<> continuation;
+    /** Set when the owning Task was destroyed before completion. */
+    bool detached = false;
+    /** Exception escaping the coroutine body, if any. */
+    std::exception_ptr exception;
+
+    std::suspend_never
+    initial_suspend() noexcept
+    {
+        return {};
+    }
+
+    struct FinalAwaiter
+    {
+        bool await_ready() const noexcept { return false; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            PromiseBase &p = h.promise();
+            if (p.detached) {
+                if (p.exception) {
+                    // No awaiter will ever observe this; failing loudly
+                    // beats silently dropping a simulation error.
+                    AGENTSIM_WARN("exception escaped a detached sim task");
+                    std::terminate();
+                }
+                std::coroutine_handle<> next = std::noop_coroutine();
+                h.destroy();
+                return next;
+            }
+            if (p.continuation)
+                return p.continuation;
+            return std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    FinalAwaiter
+    final_suspend() noexcept
+    {
+        return {};
+    }
+
+    void
+    unhandled_exception() noexcept
+    {
+        exception = std::current_exception();
+    }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    std::optional<T> value;
+
+    Task<T> get_return_object();
+
+    template <typename U>
+    void
+    return_value(U &&v)
+    {
+        value.emplace(std::forward<U>(v));
+    }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+
+    void return_void() noexcept {}
+};
+
+} // namespace detail
+
+/**
+ * Handle to an eagerly-started simulation coroutine.
+ *
+ * @tparam T result type produced with co_return (void allowed).
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    ~Task() { release(); }
+
+    /** True if the coroutine ran to completion (or threw). */
+    bool
+    done() const
+    {
+        return !handle_ || handle_.done();
+    }
+
+    /** True if this handle still refers to a coroutine. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /**
+     * Retrieve the result from non-coroutine code after the simulation
+     * has drained. Panics if the task has not finished. Rethrows any
+     * exception from the coroutine body. Valid once.
+     */
+    T
+    result()
+    {
+        AGENTSIM_ASSERT(handle_ && handle_.done(),
+                        "Task::result() before completion");
+        auto &p = handle_.promise();
+        if (p.exception)
+            std::rethrow_exception(p.exception);
+        if constexpr (!std::is_void_v<T>) {
+            AGENTSIM_ASSERT(p.value.has_value(),
+                            "Task finished without a value");
+            return std::move(*p.value);
+        }
+    }
+
+    /** Awaiter: resumes the awaiting coroutine when this task ends. */
+    auto
+    operator co_await() const noexcept
+    {
+        struct Awaiter
+        {
+            Handle h;
+
+            bool
+            await_ready() const noexcept
+            {
+                return !h || h.done();
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                AGENTSIM_ASSERT(!h.promise().continuation,
+                                "Task awaited by two coroutines");
+                h.promise().continuation = cont;
+            }
+
+            T
+            await_resume()
+            {
+                auto &p = h.promise();
+                if (p.exception)
+                    std::rethrow_exception(p.exception);
+                if constexpr (!std::is_void_v<T>)
+                    return std::move(*p.value);
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    release()
+    {
+        if (!handle_)
+            return;
+        if (handle_.done()) {
+            handle_.destroy();
+        } else {
+            // Detach: the frame frees itself at final suspend.
+            handle_.promise().detached = true;
+        }
+        handle_ = nullptr;
+    }
+
+    Handle handle_;
+};
+
+namespace detail
+{
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+/**
+ * Await completion of every task in @p tasks and collect their results.
+ *
+ * The tasks are already running (eager start), so awaiting them in
+ * sequence completes exactly when the last one does; virtual time is
+ * unaffected by the awaiting order.
+ */
+template <typename T>
+Task<std::vector<T>>
+allOf(std::vector<Task<T>> tasks)
+{
+    std::vector<T> results;
+    results.reserve(tasks.size());
+    for (auto &t : tasks)
+        results.push_back(co_await t);
+    co_return results;
+}
+
+/** Await completion of every void task in @p tasks. */
+inline Task<void>
+allOf(std::vector<Task<void>> tasks)
+{
+    for (auto &t : tasks)
+        co_await t;
+}
+
+} // namespace agentsim::sim
+
+#endif // AGENTSIM_SIM_TASK_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental simulation types: the virtual-time tick and conversions.
+ *
+ * The simulator runs on a signed 64-bit microsecond clock. Microsecond
+ * resolution comfortably covers the dynamic range of the reproduced
+ * experiments (single LLM decode steps of a few milliseconds up to
+ * multi-hundred-second agent rollouts) while keeping event ordering
+ * exact and platform independent.
+ */
+
+#ifndef AGENTSIM_SIM_TYPES_HH
+#define AGENTSIM_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace agentsim::sim
+{
+
+/** Virtual time, in microseconds since simulation start. */
+using Tick = std::int64_t;
+
+/** One microsecond, the base tick unit. */
+constexpr Tick tickUs = 1;
+
+/** Ticks per millisecond. */
+constexpr Tick tickMs = 1000;
+
+/** Ticks per second. */
+constexpr Tick tickSec = 1000 * 1000;
+
+/** Convert seconds (double) to ticks, rounding to nearest microsecond. */
+constexpr Tick
+fromSeconds(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(tickSec) + 0.5);
+}
+
+/** Convert milliseconds (double) to ticks. */
+constexpr Tick
+fromMillis(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(tickMs) + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickSec);
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+toMillis(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickMs);
+}
+
+} // namespace agentsim::sim
+
+#endif // AGENTSIM_SIM_TYPES_HH

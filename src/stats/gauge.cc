@@ -1,0 +1,58 @@
+#include "stats/gauge.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace agentsim::stats
+{
+
+void
+TimeWeightedGauge::set(sim::Tick now, double value)
+{
+    if (!started_) {
+        started_ = true;
+        start_ = now;
+        last_ = now;
+    }
+    AGENTSIM_ASSERT(now >= last_, "gauge time went backwards");
+    weightedSum_ += value_ * static_cast<double>(now - last_);
+    last_ = now;
+    value_ = value;
+    max_ = std::max(max_, value);
+    windowMax_ = std::max(windowMax_, value);
+}
+
+double
+TimeWeightedGauge::integral(sim::Tick now) const
+{
+    if (!started_)
+        return 0.0;
+    AGENTSIM_ASSERT(now >= last_, "gauge integral query in the past");
+    return weightedSum_ + value_ * static_cast<double>(now - last_);
+}
+
+void
+TimeWeightedGauge::mark()
+{
+    windowMax_ = value_;
+}
+
+void
+TimeWeightedGauge::adjust(sim::Tick now, double delta)
+{
+    set(now, value_ + delta);
+}
+
+double
+TimeWeightedGauge::average(sim::Tick now) const
+{
+    if (!started_ || now <= start_)
+        return value_;
+    AGENTSIM_ASSERT(now >= last_, "gauge average query in the past");
+    const double total = weightedSum_ +
+                         value_ * static_cast<double>(now - last_);
+    return total / static_cast<double>(now - start_);
+}
+
+} // namespace agentsim::stats

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Time-weighted gauge: tracks a piecewise-constant quantity (KV blocks
+ * in use, batch size, GPU busy state) over virtual time and reports its
+ * time-average and maximum. Used by the memory figures (Fig 12, 16).
+ */
+
+#ifndef AGENTSIM_STATS_GAUGE_HH
+#define AGENTSIM_STATS_GAUGE_HH
+
+#include "sim/types.hh"
+
+namespace agentsim::stats
+{
+
+/**
+ * Piecewise-constant value integrated over virtual time.
+ *
+ * Callers report every change via set(now, value); queries integrate
+ * up to the supplied "now".
+ */
+class TimeWeightedGauge
+{
+  public:
+    /** Record that the value becomes @p value at time @p now. */
+    void set(sim::Tick now, double value);
+
+    /** Add @p delta to the current value at time @p now. */
+    void adjust(sim::Tick now, double delta);
+
+    /** Current value. */
+    double current() const { return value_; }
+
+    /** Maximum value ever set. */
+    double max() const { return max_; }
+
+    /** Time-average over [start, now]; 0 if no time has elapsed. */
+    double average(sim::Tick now) const;
+
+    /** Integral of the value over [start, now] (value x ticks). */
+    double integral(sim::Tick now) const;
+
+    /**
+     * Start a measurement window: maxSinceMark() then reports the
+     * maximum over values set after this call (plus the current one).
+     */
+    void mark();
+
+    /** Maximum value observed since the last mark(). */
+    double maxSinceMark() const { return windowMax_; }
+
+  private:
+    double value_ = 0.0;
+    double max_ = 0.0;
+    double windowMax_ = 0.0;
+    double weightedSum_ = 0.0;
+    sim::Tick start_ = 0;
+    sim::Tick last_ = 0;
+    bool started_ = false;
+};
+
+} // namespace agentsim::stats
+
+#endif // AGENTSIM_STATS_GAUGE_HH

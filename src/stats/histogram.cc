@@ -1,0 +1,88 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace agentsim::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), binWidth_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    AGENTSIM_ASSERT(hi > lo, "histogram range [%f, %f) is empty", lo, hi);
+    AGENTSIM_ASSERT(bins > 0, "histogram with zero bins");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / binWidth_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+std::size_t
+Histogram::binCount(std::size_t i) const
+{
+    AGENTSIM_ASSERT(i < counts_.size(), "bin index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + binWidth_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return lo_ + binWidth_ * static_cast<double>(i + 1);
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(binCount(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::string out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar_len = static_cast<std::size_t>(
+            std::llround(static_cast<double>(counts_[i]) * width / peak));
+        out += sim::strfmt("%10.2f - %10.2f | %-6zu |", binLow(i),
+                           binHigh(i), counts_[i]);
+        out += std::string(bar_len, '#');
+        out += '\n';
+    }
+    if (underflow_ > 0)
+        out += sim::strfmt("underflow: %zu\n", underflow_);
+    if (overflow_ > 0)
+        out += sim::strfmt("overflow: %zu\n", overflow_);
+    return out;
+}
+
+} // namespace agentsim::stats

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-bin histogram for latency-distribution figures (Fig 7).
+ */
+
+#ifndef AGENTSIM_STATS_HISTOGRAM_HH
+#define AGENTSIM_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace agentsim::stats
+{
+
+/**
+ * Histogram over [lo, hi) with equal-width bins plus underflow and
+ * overflow counters.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the binned range.
+     * @param hi exclusive upper bound (> lo).
+     * @param bins number of equal-width bins (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t count() const { return total_; }
+    std::size_t underflow() const { return underflow_; }
+    std::size_t overflow() const { return overflow_; }
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const;
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Exclusive upper edge of bin @p i. */
+    double binHigh(std::size_t i) const;
+
+    /** Fraction of all observations landing in bin @p i. */
+    double binFraction(std::size_t i) const;
+
+    /**
+     * Render an ASCII bar chart (one row per bin), used by the
+     * distribution benches to mirror the paper's figures.
+     *
+     * @param width maximum bar width in characters.
+     */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+} // namespace agentsim::stats
+
+#endif // AGENTSIM_STATS_HISTOGRAM_HH

@@ -1,0 +1,38 @@
+#include "stats/pareto.hh"
+
+#include <algorithm>
+
+namespace agentsim::stats
+{
+
+bool
+dominates(const DesignPoint &a, const DesignPoint &b)
+{
+    const bool no_worse = a.cost <= b.cost && a.quality >= b.quality;
+    const bool better = a.cost < b.cost || a.quality > b.quality;
+    return no_worse && better;
+}
+
+std::vector<DesignPoint>
+paretoFrontier(const std::vector<DesignPoint> &points)
+{
+    std::vector<DesignPoint> sorted = points;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  if (a.cost != b.cost)
+                      return a.cost < b.cost;
+                  return a.quality > b.quality;
+              });
+
+    std::vector<DesignPoint> frontier;
+    double best_quality = -1e300;
+    for (const auto &p : sorted) {
+        if (p.quality > best_quality) {
+            frontier.push_back(p);
+            best_quality = p.quality;
+        }
+    }
+    return frontier;
+}
+
+} // namespace agentsim::stats

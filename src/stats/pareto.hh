@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Pareto-frontier extraction for the accuracy-vs-cost design-space
+ * analysis (Fig 18).
+ */
+
+#ifndef AGENTSIM_STATS_PARETO_HH
+#define AGENTSIM_STATS_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace agentsim::stats
+{
+
+/** One design point: a cost (minimize) and a quality (maximize). */
+struct DesignPoint
+{
+    double cost = 0.0;
+    double quality = 0.0;
+    /** Caller-defined identifier (index into a config table). */
+    std::size_t tag = 0;
+};
+
+/**
+ * Return the Pareto-optimal subset of @p points (no other point has
+ * both lower-or-equal cost and higher-or-equal quality with at least
+ * one strict). Result is sorted by ascending cost.
+ */
+std::vector<DesignPoint>
+paretoFrontier(const std::vector<DesignPoint> &points);
+
+/** True if @p a dominates @p b (a is no worse on both, better on one). */
+bool dominates(const DesignPoint &a, const DesignPoint &b);
+
+} // namespace agentsim::stats
+
+#endif // AGENTSIM_STATS_PARETO_HH

@@ -1,0 +1,151 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace agentsim::stats
+{
+
+void
+Summary::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+}
+
+double
+Summary::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+Summary::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+Summary::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+void
+SampleSet::add(double x)
+{
+    values_.push_back(x);
+    sortedValid_ = false;
+}
+
+double
+SampleSet::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    return sum() / static_cast<double>(values_.size());
+}
+
+double
+SampleSet::sum() const
+{
+    return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double
+SampleSet::min() const
+{
+    AGENTSIM_ASSERT(!values_.empty(), "min of empty sample set");
+    return *std::min_element(values_.begin(), values_.end());
+}
+
+double
+SampleSet::max() const
+{
+    AGENTSIM_ASSERT(!values_.empty(), "max of empty sample set");
+    return *std::max_element(values_.begin(), values_.end());
+}
+
+double
+SampleSet::stddev() const
+{
+    if (values_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double m2 = 0.0;
+    for (double v : values_)
+        m2 += (v - m) * (v - m);
+    return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+void
+SampleSet::ensureSorted() const
+{
+    if (!sortedValid_) {
+        sorted_ = values_;
+        std::sort(sorted_.begin(), sorted_.end());
+        sortedValid_ = true;
+    }
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    AGENTSIM_ASSERT(!values_.empty(), "percentile of empty sample set");
+    AGENTSIM_ASSERT(p >= 0.0 && p <= 100.0, "percentile %f out of range",
+                    p);
+    ensureSorted();
+    if (sorted_.size() == 1)
+        return sorted_.front();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] + frac * (sorted_[hi] - sorted_[lo]);
+}
+
+} // namespace agentsim::stats

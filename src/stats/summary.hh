@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford) and an exact sample set with
+ * percentile queries, used by every experiment reporter.
+ */
+
+#ifndef AGENTSIM_STATS_SUMMARY_HH
+#define AGENTSIM_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace agentsim::stats
+{
+
+/**
+ * Constant-memory running statistics: count, mean, variance, min, max.
+ * Uses Welford's online algorithm for numerical stability.
+ */
+class Summary
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another summary into this one. */
+    void merge(const Summary &other);
+
+    std::size_t count() const { return count_; }
+    double mean() const;
+    /** Unbiased sample variance (0 for < 2 samples). */
+    double variance() const;
+    /** Sample standard deviation. */
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean() * static_cast<double>(count_); }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Stores every observation; supports exact percentile queries via
+ * linear interpolation between order statistics.
+ */
+class SampleSet
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+    double stddev() const;
+
+    /**
+     * Percentile in [0, 100] via linear interpolation.
+     * Panics on an empty set.
+     */
+    double percentile(double p) const;
+
+    /** Median shorthand. */
+    double median() const { return percentile(50.0); }
+
+    /** Read access to the raw samples (unsorted, insertion order). */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+
+    void ensureSorted() const;
+};
+
+} // namespace agentsim::stats
+
+#endif // AGENTSIM_STATS_SUMMARY_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The concrete tool catalog of the paper's benchmarks (Table II):
+ * Wikipedia search/lookup, WebShop navigation, the Wolfram Alpha API,
+ * a Python calculator/executor, and HumanEval's self-test tool (which
+ * itself calls the LLM, keeping the GPU busy during "tool" time).
+ *
+ * Latency calibration follows the paper's own measurements (§IV-A):
+ * Wikipedia ≈ 1.2 s per call with a heavy tail, WebShop ≈ 20 ms
+ * against a locally-hosted site.
+ */
+
+#ifndef AGENTSIM_TOOLS_CATALOG_HH
+#define AGENTSIM_TOOLS_CATALOG_HH
+
+#include <memory>
+#include <vector>
+
+#include "serving/engine.hh"
+#include "tools/tool.hh"
+
+namespace agentsim::tools
+{
+
+/** Wikipedia API search (HotpotQA). */
+std::unique_ptr<Tool> makeWikipediaSearch(sim::Simulation &sim);
+
+/** Wikipedia API keyword lookup (HotpotQA). */
+std::unique_ptr<Tool> makeWikipediaLookup(sim::Simulation &sim);
+
+/** WebShop page search against the locally hosted site (WebShop). */
+std::unique_ptr<Tool> makeWebshopSearch(sim::Simulation &sim);
+
+/** WebShop click/navigation action (WebShop). */
+std::unique_ptr<Tool> makeWebshopClick(sim::Simulation &sim);
+
+/** Wolfram Alpha equation solving API (MATH). */
+std::unique_ptr<Tool> makeWolframAlpha(sim::Simulation &sim);
+
+/** Local Python-based calculator (MATH). */
+std::unique_ptr<Tool> makePythonCalculator(sim::Simulation &sim);
+
+/**
+ * HumanEval self-test execution: generates test code with the LLM
+ * (GPU-busy) and then runs candidate + tests in a sandbox (CPU).
+ */
+class SelfTestTool : public Tool
+{
+  public:
+    SelfTestTool(sim::Simulation &sim, serving::LlmEngine &engine,
+                 std::uint64_t seed);
+
+    bool usesGpu() const override { return true; }
+
+  protected:
+    sim::Task<ToolResult> execute(sim::Rng &rng) override;
+
+  private:
+    serving::LlmEngine &engine_;
+    std::uint64_t seed_;
+    std::uint64_t calls_ = 0;
+};
+
+std::unique_ptr<Tool> makeSelfTest(sim::Simulation &sim,
+                                   serving::LlmEngine &engine,
+                                   std::uint64_t seed);
+
+/**
+ * The tool belt an agent carries for one benchmark: a non-empty list
+ * of tools the policy chooses among uniformly (the workload model does
+ * not distinguish which tool uncovers which fact).
+ */
+class ToolSet
+{
+  public:
+    void add(std::unique_ptr<Tool> tool);
+
+    bool empty() const { return tools_.empty(); }
+    std::size_t size() const { return tools_.size(); }
+
+    /** Pick a tool for the next action. */
+    Tool &pick(sim::Rng &rng);
+
+    /** Access by index (reporting). */
+    Tool &at(std::size_t i);
+    const Tool &at(std::size_t i) const;
+
+    /** Total invocations across all tools. */
+    std::int64_t totalInvocations() const;
+
+  private:
+    std::vector<std::unique_ptr<Tool>> tools_;
+};
+
+} // namespace agentsim::tools
+
+#endif // AGENTSIM_TOOLS_CATALOG_HH

@@ -1,0 +1,96 @@
+#include "tools/tool.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace agentsim::tools
+{
+
+double
+LatencySpec::sample(sim::Rng &rng) const
+{
+    switch (dist) {
+      case Dist::Constant:
+        return a;
+      case Dist::Uniform:
+        return rng.uniform(a, b);
+      case Dist::Lognormal:
+        return rng.lognormalMean(a, b);
+    }
+    AGENTSIM_PANIC("unknown latency distribution");
+}
+
+double
+LatencySpec::mean() const
+{
+    switch (dist) {
+      case Dist::Constant:
+        return a;
+      case Dist::Uniform:
+        return 0.5 * (a + b);
+      case Dist::Lognormal:
+        return a;
+    }
+    AGENTSIM_PANIC("unknown latency distribution");
+}
+
+std::int64_t
+ObservationSpec::sample(sim::Rng &rng) const
+{
+    const double x = rng.normal(mean, sd);
+    const auto tokens = static_cast<std::int64_t>(std::llround(x));
+    return std::clamp(tokens, minTokens, maxTokens);
+}
+
+Tool::Tool(sim::Simulation &sim, std::string name, int max_concurrency)
+    : sim_(sim), name_(std::move(name))
+{
+    if (max_concurrency > 0)
+        limiter_.emplace(sim_, max_concurrency);
+}
+
+sim::Task<ToolResult>
+Tool::invoke(sim::Rng &rng)
+{
+    const sim::Tick start = sim_.now();
+    if (limiter_)
+        co_await limiter_->acquire();
+
+    ToolResult result;
+    try {
+        result = co_await execute(rng);
+    } catch (...) {
+        if (limiter_)
+            limiter_->release();
+        throw;
+    }
+    if (limiter_)
+        limiter_->release();
+
+    ++invocations_;
+    result.latencySeconds = sim::toSeconds(sim_.now() - start);
+    co_return result;
+}
+
+StochasticTool::StochasticTool(sim::Simulation &sim, std::string name,
+                               LatencySpec latency,
+                               ObservationSpec observation,
+                               int max_concurrency)
+    : Tool(sim, std::move(name), max_concurrency), latency_(latency),
+      observation_(observation)
+{
+}
+
+sim::Task<ToolResult>
+StochasticTool::execute(sim::Rng &rng)
+{
+    const double latency = latency_.sample(rng);
+    co_await sim::delaySec(sim_, latency);
+    ToolResult result;
+    result.observationTokens = observation_.sample(rng);
+    co_return result;
+}
+
+} // namespace agentsim::tools

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tool abstraction: the external-environment side of the agent loop.
+ *
+ * A tool call occupies virtual time (sampled from a per-tool latency
+ * distribution) and returns an observation of some token length, which
+ * the agent appends to its context. Tools optionally limit concurrency
+ * (shared external endpoints) and may themselves consume GPU time by
+ * issuing LLM calls (HumanEval's self-test generation, §IV-A).
+ */
+
+#ifndef AGENTSIM_TOOLS_TOOL_HH
+#define AGENTSIM_TOOLS_TOOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/awaitable.hh"
+#include "sim/rng.hh"
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+
+namespace agentsim::tools
+{
+
+/** Outcome of one tool invocation. */
+struct ToolResult
+{
+    /** Observation length appended to the agent context, tokens. */
+    std::int64_t observationTokens = 0;
+    /** Wall time the call took (including any queueing). */
+    double latencySeconds = 0.0;
+    /** True if the call consumed GPU time (LLM-in-the-loop tools). */
+    bool usedGpu = false;
+};
+
+/** Latency distribution specification. */
+struct LatencySpec
+{
+    enum class Dist
+    {
+        Constant,  ///< a seconds, exactly
+        Uniform,   ///< uniform in [a, b] seconds
+        Lognormal, ///< mean a seconds, log-sigma b (heavy tailed)
+    };
+
+    Dist dist = Dist::Constant;
+    double a = 0.0;
+    double b = 0.0;
+
+    /** Sample one latency in seconds. */
+    double sample(sim::Rng &rng) const;
+
+    /** Expected value of the distribution, seconds. */
+    double mean() const;
+};
+
+/** Observation-length distribution specification. */
+struct ObservationSpec
+{
+    double mean = 100.0;
+    double sd = 30.0;
+    std::int64_t minTokens = 10;
+    std::int64_t maxTokens = 2000;
+
+    /** Sample one observation length in tokens. */
+    std::int64_t sample(sim::Rng &rng) const;
+};
+
+/**
+ * Base class for simulated tools.
+ */
+class Tool
+{
+  public:
+    /**
+     * @param sim owning simulation.
+     * @param name stable tool name (for traces and reports).
+     * @param max_concurrency >0 limits in-flight calls; 0 = unlimited.
+     */
+    Tool(sim::Simulation &sim, std::string name, int max_concurrency = 0);
+
+    virtual ~Tool() = default;
+
+    Tool(const Tool &) = delete;
+    Tool &operator=(const Tool &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** True if invocations keep the GPU busy (LLM-backed tools). */
+    virtual bool usesGpu() const { return false; }
+
+    /**
+     * Invoke the tool. @p rng is the caller's request-level stream so
+     * results are deterministic per request regardless of tool
+     * sharing.
+     */
+    sim::Task<ToolResult> invoke(sim::Rng &rng);
+
+    /** Number of completed invocations. */
+    std::int64_t invocations() const { return invocations_; }
+
+  protected:
+    /** Tool-specific behaviour; runs inside the concurrency permit. */
+    virtual sim::Task<ToolResult> execute(sim::Rng &rng) = 0;
+
+    sim::Simulation &sim_;
+
+  private:
+    std::string name_;
+    std::optional<sim::Semaphore> limiter_;
+    std::int64_t invocations_ = 0;
+};
+
+/**
+ * A tool fully described by latency and observation distributions —
+ * covers Wikipedia, WebShop navigation, Wolfram and the Python
+ * calculator/executor.
+ */
+class StochasticTool : public Tool
+{
+  public:
+    StochasticTool(sim::Simulation &sim, std::string name,
+                   LatencySpec latency, ObservationSpec observation,
+                   int max_concurrency = 0);
+
+    const LatencySpec &latency() const { return latency_; }
+    const ObservationSpec &observation() const { return observation_; }
+
+  protected:
+    sim::Task<ToolResult> execute(sim::Rng &rng) override;
+
+  private:
+    LatencySpec latency_;
+    ObservationSpec observation_;
+};
+
+} // namespace agentsim::tools
+
+#endif // AGENTSIM_TOOLS_TOOL_HH

@@ -1,0 +1,265 @@
+#include "workload/benchmark.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace agentsim::workload
+{
+
+std::string_view
+benchmarkName(Benchmark b)
+{
+    switch (b) {
+      case Benchmark::HotpotQA:
+        return "HotpotQA";
+      case Benchmark::WebShop:
+        return "WebShop";
+      case Benchmark::Math:
+        return "MATH";
+      case Benchmark::HumanEval:
+        return "HumanEval";
+      case Benchmark::ShareGpt:
+        return "ShareGPT";
+    }
+    AGENTSIM_PANIC("unknown benchmark");
+}
+
+std::int64_t
+BenchmarkProfile::sampleUserTokens(sim::Rng &rng) const
+{
+    const double x = rng.normal(userTokenMean, userTokenSd);
+    return std::clamp(static_cast<std::int64_t>(std::llround(x)),
+                      userTokenMin, userTokenMax);
+}
+
+std::int64_t
+BenchmarkProfile::sampleOutputTokens(sim::Rng &rng, double mean) const
+{
+    const double x = rng.normal(mean, mean * outputSdFraction);
+    return std::max<std::int64_t>(
+        8, static_cast<std::int64_t>(std::llround(x)));
+}
+
+namespace
+{
+
+BenchmarkProfile
+makeHotpotQa()
+{
+    BenchmarkProfile p;
+    p.id = Benchmark::HotpotQA;
+    p.name = "HotpotQA";
+    p.taskDescription = "Multi-hop question answering";
+    p.toolDescription = "Wikipedia APIs (search, lookup keywords)";
+    p.instructionTokens = 220;
+    p.fewShotTokensPerExample = 130;
+    p.defaultFewShot = 6;
+    p.userTokenMean = 32.0;
+    p.userTokenSd = 10.0;
+    p.cotOutputMean = 380.0;
+    p.stepOutputMean = 80.0;
+    p.minHops = 2;
+    p.maxHops = 4;
+    p.difficultyLo = 0.10;
+    p.difficultyHi = 0.75;
+    // Multi-hop facts are hard to recall parametrically.
+    p.noToolFactor = 0.45;
+    // Independent lookups parallelize well under DAG planning.
+    p.dagFactor = 1.0;
+    p.dagOverFetch = 0.25;
+    p.dagDepProb = 0.15;
+    return p;
+}
+
+BenchmarkProfile
+makeWebShop()
+{
+    BenchmarkProfile p;
+    p.id = Benchmark::WebShop;
+    p.name = "WebShop";
+    p.taskDescription = "Online shopping";
+    p.toolDescription = "Interactive web navigation (search, click)";
+    p.instructionTokens = 260;
+    p.fewShotTokensPerExample = 160;
+    p.defaultFewShot = 3;
+    p.userTokenMean = 45.0;
+    p.userTokenSd = 14.0;
+    p.stepOutputMean = 60.0;
+    p.minHops = 3;
+    p.maxHops = 6;
+    p.difficultyLo = 0.15;
+    p.difficultyHi = 0.70;
+    // Each navigation step depends on the page reached by the last:
+    // DAG planning over-fetches and loses effectiveness (paper §V-A).
+    p.dagFactor = 0.70;
+    p.dagOverFetch = 0.8;
+    p.dagDepProb = 0.85;
+    // CoT cannot browse at all (pair omitted in the paper).
+    p.supportsCot = false;
+    return p;
+}
+
+BenchmarkProfile
+makeMath()
+{
+    BenchmarkProfile p;
+    p.id = Benchmark::Math;
+    p.name = "MATH";
+    p.taskDescription = "Math problem solving";
+    p.toolDescription = "Wolfram Alpha API, Python-based calculator";
+    p.instructionTokens = 160;
+    p.fewShotTokensPerExample = 210;
+    p.defaultFewShot = 4;
+    p.userTokenMean = 85.0;
+    p.userTokenSd = 30.0;
+    p.cotOutputMean = 460.0;
+    p.stepOutputMean = 150.0; // longer internal derivations
+    p.minHops = 2;
+    p.maxHops = 5;
+    p.difficultyLo = 0.15;
+    p.difficultyHi = 0.80;
+    // Models carry real arithmetic/algebra competence without tools.
+    p.noToolFactor = 0.70;
+    // Sequential derivations do not fit DAG-style planning; the paper
+    // omits the pair.
+    p.supportsLlmCompiler = false;
+    return p;
+}
+
+BenchmarkProfile
+makeHumanEval()
+{
+    BenchmarkProfile p;
+    p.id = Benchmark::HumanEval;
+    p.name = "HumanEval";
+    p.taskDescription = "Programming";
+    p.toolDescription = "Executing self-generated test code";
+    p.instructionTokens = 140;
+    p.fewShotTokensPerExample = 260;
+    p.defaultFewShot = 2;
+    p.userTokenMean = 130.0;
+    p.userTokenSd = 40.0;
+    p.cotOutputMean = 420.0;
+    p.stepOutputMean = 200.0; // code-bearing steps
+    p.minHops = 1;
+    p.maxHops = 3;
+    p.difficultyLo = 0.10;
+    p.difficultyHi = 0.80;
+    p.noToolFactor = 0.75;
+    p.supportsLlmCompiler = false;
+    return p;
+}
+
+} // namespace
+
+const BenchmarkProfile &
+profile(Benchmark b)
+{
+    static const BenchmarkProfile hotpot = makeHotpotQa();
+    static const BenchmarkProfile webshop = makeWebShop();
+    static const BenchmarkProfile math = makeMath();
+    static const BenchmarkProfile humaneval = makeHumanEval();
+    switch (b) {
+      case Benchmark::HotpotQA:
+        return hotpot;
+      case Benchmark::WebShop:
+        return webshop;
+      case Benchmark::Math:
+        return math;
+      case Benchmark::HumanEval:
+        return humaneval;
+      case Benchmark::ShareGpt:
+        AGENTSIM_FATAL("ShareGPT is not an agentic benchmark");
+    }
+    AGENTSIM_PANIC("unknown benchmark");
+}
+
+TaskGenerator::TaskGenerator(Benchmark benchmark, std::uint64_t seed)
+    : benchmark_(benchmark), seed_(seed)
+{
+    AGENTSIM_ASSERT(benchmark != Benchmark::ShareGpt,
+                    "TaskGenerator is for agentic benchmarks");
+}
+
+TaskInstance
+TaskGenerator::sample(std::uint64_t index) const
+{
+    const BenchmarkProfile &p = profile(benchmark_);
+    sim::Rng rng(seed_,
+                 std::string("task.") + std::string(benchmarkName(
+                                            benchmark_)),
+                 index);
+    TaskInstance t;
+    t.benchmark = benchmark_;
+    t.taskId = index;
+    t.requiredHops =
+        static_cast<int>(rng.uniformInt(p.minHops, p.maxHops));
+    t.difficulty = rng.uniform(p.difficultyLo, p.difficultyHi);
+    t.solveThreshold = rng.uniform();
+    t.userTokens = p.sampleUserTokens(rng);
+    return t;
+}
+
+ChatSessionSampler::ChatSessionSampler(std::uint64_t seed)
+    : seed_(seed)
+{
+}
+
+int
+ChatSessionSampler::turnCount(std::uint64_t index) const
+{
+    sim::Rng rng(seed_, "chat.session", index);
+    // Geometric-ish: most sessions are short, some run long.
+    int turns = 1;
+    while (turns < maxTurns && rng.bernoulli(0.62))
+        ++turns;
+    return turns;
+}
+
+ChatTurn
+ChatSessionSampler::turn(std::uint64_t index, int turn) const
+{
+    sim::Rng rng(seed_, "chat.turn",
+                 sim::hashCombine(index,
+                                  static_cast<std::uint64_t>(turn)));
+    ChatTurn t;
+    // Opening messages are longer; follow-ups terse.
+    const double user_mean = turn == 0 ? 180.0 : 60.0;
+    t.userTokens = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(rng.lognormalMean(user_mean, 0.7)),
+        8, 1500);
+    t.outputTokens = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(rng.lognormalMean(220.0, 0.55)), 16,
+        1024);
+    return t;
+}
+
+double
+ChatSessionSampler::thinkTimeSeconds(sim::Rng &rng) const
+{
+    // Users read the reply and type the follow-up.
+    return rng.lognormalMean(12.0, 0.8);
+}
+
+ShareGptSampler::ShareGptSampler(std::uint64_t seed) : seed_(seed) {}
+
+ChatRequest
+ShareGptSampler::sample(std::uint64_t index) const
+{
+    sim::Rng rng(seed_, "sharegpt", index);
+    ChatRequest r;
+    // Conversation prompts: a few hundred tokens, heavy tailed;
+    // responses similar (calibrated so single-request latency lands in
+    // the paper's 3-7 s band on the 8B/A100 configuration).
+    r.promptTokens = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(rng.lognormalMean(310.0, 0.8)), 16,
+        3000);
+    r.outputTokens = std::clamp<std::int64_t>(
+        static_cast<std::int64_t>(rng.lognormalMean(250.0, 0.55)), 16,
+        1024);
+    return r;
+}
+
+} // namespace agentsim::workload

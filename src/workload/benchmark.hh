@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Benchmark descriptions (paper Table II) and their statistical task
+ * models: prompt-segment sizes, per-role output-length distributions,
+ * latent task structure (required reasoning hops, difficulty) and
+ * agent-suitability flags.
+ */
+
+#ifndef AGENTSIM_WORKLOAD_BENCHMARK_HH
+#define AGENTSIM_WORKLOAD_BENCHMARK_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace agentsim::workload
+{
+
+/** The evaluated benchmarks; ShareGpt is the non-agentic baseline. */
+enum class Benchmark
+{
+    HotpotQA,
+    WebShop,
+    Math,
+    HumanEval,
+    ShareGpt,
+};
+
+/** All agentic benchmarks, in paper order. */
+constexpr std::array<Benchmark, 4> agenticBenchmarks{
+    Benchmark::HotpotQA, Benchmark::WebShop, Benchmark::Math,
+    Benchmark::HumanEval};
+
+/** Stable display name. */
+std::string_view benchmarkName(Benchmark b);
+
+/**
+ * The statistical model of one benchmark. Token figures calibrated to
+ * the paper's Fig 8/9 (initial agent prompts around 1 k tokens,
+ * growing 3-4x over iterations).
+ */
+struct BenchmarkProfile
+{
+    Benchmark id{};
+    std::string name;
+    std::string taskDescription;
+    std::string toolDescription;
+
+    /** Fixed instruction prompt tokens (role + objective). */
+    std::int64_t instructionTokens = 0;
+    /** Tokens per in-context example. */
+    std::int64_t fewShotTokensPerExample = 0;
+    /** Default number of few-shot examples. */
+    int defaultFewShot = 4;
+
+    /** User-query length distribution. */
+    double userTokenMean = 30.0;
+    double userTokenSd = 10.0;
+    std::int64_t userTokenMin = 8;
+    std::int64_t userTokenMax = 400;
+
+    /** Per-LLM-call output lengths by call role. */
+    double cotOutputMean = 420.0;     ///< one-shot CoT rationale
+    double stepOutputMean = 85.0;     ///< thought+action of one step
+    double reflectionOutputMean = 140.0;
+    double plannerOutputMean = 190.0; ///< DAG plan (LLMCompiler)
+    double valueOutputMean = 30.0;    ///< LATS value scores
+    double finalOutputMean = 60.0;    ///< final answer call
+    double outputSdFraction = 0.25;   ///< sd as a fraction of the mean
+
+    /** Latent task structure. */
+    int minHops = 2;
+    int maxHops = 4;
+    double difficultyLo = 0.10;
+    double difficultyHi = 0.75;
+
+    /**
+     * Penalty on per-hop success when solving from parametric
+     * knowledge alone (CoT without tools).
+     */
+    double noToolFactor = 0.55;
+    /** Per-hop effectiveness of DAG-planned tool calls (LLMCompiler);
+     *  < 1 where tool use is highly interdependent (WebShop). */
+    double dagFactor = 1.0;
+    /** Extra planned tool calls per hop under DAG planning. */
+    double dagOverFetch = 0.3;
+    /** Probability a planned tool call depends on an earlier one
+     *  (serializing the DAG; high for interactive navigation). */
+    double dagDepProb = 0.2;
+
+    bool supportsCot = true;
+    bool supportsLlmCompiler = true;
+
+    /** Sample a user-query length. */
+    std::int64_t sampleUserTokens(sim::Rng &rng) const;
+
+    /** Sample an output length for a call with mean @p mean. */
+    std::int64_t sampleOutputTokens(sim::Rng &rng, double mean) const;
+};
+
+/** The profile of a benchmark (ShareGpt has no agentic profile). */
+const BenchmarkProfile &profile(Benchmark b);
+
+/** One sampled task instance. */
+struct TaskInstance
+{
+    Benchmark benchmark{};
+    std::uint64_t taskId = 0;
+    /** Facts/steps the agent must uncover to answer. */
+    int requiredHops = 0;
+    /** Latent difficulty in [0, 1); scales per-step failure odds. */
+    double difficulty = 0.0;
+    /**
+     * Latent solvability threshold in [0, 1): an execution context
+     * whose capability exceeds it can make progress on this task.
+     * Fixed per task, so retries are correlated (hard tasks stay
+     * hard) — see agents/accuracy.hh.
+     */
+    double solveThreshold = 0.0;
+    /** User-query token count. */
+    std::int64_t userTokens = 0;
+};
+
+/** Deterministic task sampler for a benchmark. */
+class TaskGenerator
+{
+  public:
+    TaskGenerator(Benchmark benchmark, std::uint64_t seed);
+
+    /** The @p index-th task (stable across calls). */
+    TaskInstance sample(std::uint64_t index) const;
+
+    Benchmark benchmark() const { return benchmark_; }
+
+  private:
+    Benchmark benchmark_;
+    std::uint64_t seed_;
+};
+
+/** Single-turn chatbot request (the non-agentic ShareGPT baseline). */
+struct ChatRequest
+{
+    std::int64_t promptTokens = 0;
+    std::int64_t outputTokens = 0;
+};
+
+/** Deterministic ShareGPT-style request sampler. */
+class ShareGptSampler
+{
+  public:
+    explicit ShareGptSampler(std::uint64_t seed);
+
+    ChatRequest sample(std::uint64_t index) const;
+
+  private:
+    std::uint64_t seed_;
+};
+
+/** One turn of a multi-turn conversation. */
+struct ChatTurn
+{
+    std::int64_t userTokens = 0;
+    std::int64_t outputTokens = 0;
+};
+
+/**
+ * Deterministic multi-turn conversation sampler (ShareGPT-style
+ * sessions). Successive turns extend the same context, so a session's
+ * turns share ever-growing prompt prefixes — the cross-query prefix
+ * persistence the paper's keytakeaway #8 advocates exploiting.
+ */
+class ChatSessionSampler
+{
+  public:
+    explicit ChatSessionSampler(std::uint64_t seed);
+
+    /** Number of turns in session @p index (1..maxTurns). */
+    int turnCount(std::uint64_t index) const;
+
+    /** The @p turn-th turn of session @p index. */
+    ChatTurn turn(std::uint64_t index, int turn) const;
+
+    /** Sample the user think time before a follow-up turn, seconds. */
+    double thinkTimeSeconds(sim::Rng &rng) const;
+
+    static constexpr int maxTurns = 8;
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace agentsim::workload
+
+#endif // AGENTSIM_WORKLOAD_BENCHMARK_HH

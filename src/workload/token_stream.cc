@@ -1,0 +1,21 @@
+#include "workload/token_stream.hh"
+
+#include "sim/logging.hh"
+
+namespace agentsim::workload
+{
+
+std::vector<kv::TokenId>
+makeTokens(std::uint64_t stream, std::int64_t count, std::int64_t offset)
+{
+    AGENTSIM_ASSERT(count >= 0, "negative token count");
+    std::vector<kv::TokenId> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+        out.push_back(
+            tokenAt(stream, static_cast<std::uint64_t>(offset + i)));
+    }
+    return out;
+}
+
+} // namespace agentsim::workload

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic synthetic token streams.
+ *
+ * Prompts are vectors of 64-bit token ids derived from named streams.
+ * Two prompt segments with the same (seed, labels...) produce identical
+ * token ids, so logically shared prefixes (the instruction block of an
+ * agent, a task's accumulated history) are *literally* shared and the
+ * KV prefix cache behaves as it would on real text.
+ */
+
+#ifndef AGENTSIM_WORKLOAD_TOKEN_STREAM_HH
+#define AGENTSIM_WORKLOAD_TOKEN_STREAM_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "kv/block_manager.hh"
+#include "sim/rng.hh"
+
+namespace agentsim::workload
+{
+
+/** Build a stream id from a seed and a label. */
+inline std::uint64_t
+streamId(std::uint64_t seed, std::string_view label)
+{
+    return sim::hashCombine(seed, sim::fnv1a(label));
+}
+
+/** Extend a stream id with a numeric discriminator. */
+inline std::uint64_t
+substream(std::uint64_t stream, std::uint64_t index)
+{
+    return sim::hashCombine(stream, index);
+}
+
+/** The @p index-th token of a stream. */
+inline kv::TokenId
+tokenAt(std::uint64_t stream, std::uint64_t index)
+{
+    return sim::hashMix(stream ^
+                        (index * 0x9e3779b97f4a7c15ULL + 0x2545f491ULL));
+}
+
+/** Materialize @p count tokens of a stream starting at @p offset. */
+std::vector<kv::TokenId> makeTokens(std::uint64_t stream,
+                                    std::int64_t count,
+                                    std::int64_t offset = 0);
+
+} // namespace agentsim::workload
+
+#endif // AGENTSIM_WORKLOAD_TOKEN_STREAM_HH

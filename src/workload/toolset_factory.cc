@@ -1,0 +1,35 @@
+#include "workload/toolset_factory.hh"
+
+#include "sim/logging.hh"
+
+namespace agentsim::workload
+{
+
+std::unique_ptr<tools::ToolSet>
+makeToolSet(Benchmark benchmark, sim::Simulation &sim,
+            serving::LlmEngine &engine, std::uint64_t seed)
+{
+    auto set = std::make_unique<tools::ToolSet>();
+    switch (benchmark) {
+      case Benchmark::HotpotQA:
+        set->add(tools::makeWikipediaSearch(sim));
+        set->add(tools::makeWikipediaLookup(sim));
+        break;
+      case Benchmark::WebShop:
+        set->add(tools::makeWebshopSearch(sim));
+        set->add(tools::makeWebshopClick(sim));
+        break;
+      case Benchmark::Math:
+        set->add(tools::makeWolframAlpha(sim));
+        set->add(tools::makePythonCalculator(sim));
+        break;
+      case Benchmark::HumanEval:
+        set->add(tools::makeSelfTest(sim, engine, seed));
+        break;
+      case Benchmark::ShareGpt:
+        AGENTSIM_FATAL("ShareGPT has no tools");
+    }
+    return set;
+}
+
+} // namespace agentsim::workload

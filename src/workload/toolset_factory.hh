@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Per-benchmark tool-set assembly (Table II's Tool column).
+ */
+
+#ifndef AGENTSIM_WORKLOAD_TOOLSET_FACTORY_HH
+#define AGENTSIM_WORKLOAD_TOOLSET_FACTORY_HH
+
+#include <memory>
+
+#include "serving/engine.hh"
+#include "tools/catalog.hh"
+#include "workload/benchmark.hh"
+
+namespace agentsim::workload
+{
+
+/**
+ * Build the tool belt for a benchmark.
+ *
+ * @param engine LLM engine, needed by GPU-backed tools (HumanEval).
+ * @param seed deterministic seed for tool-internal LLM prompts.
+ */
+std::unique_ptr<tools::ToolSet>
+makeToolSet(Benchmark benchmark, sim::Simulation &sim,
+            serving::LlmEngine &engine, std::uint64_t seed);
+
+} // namespace agentsim::workload
+
+#endif // AGENTSIM_WORKLOAD_TOOLSET_FACTORY_HH

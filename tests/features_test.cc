@@ -1,0 +1,858 @@
+/**
+ * @file
+ * Tests for the optimization features built from the paper's
+ * keytakeaway proposals: KV eviction policies, the host-memory spill
+ * tier, admission scheduling policies, speculative tool invocation,
+ * and cluster routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "agents/workflows.hh"
+#include "core/cluster.hh"
+#include "core/probe.hh"
+#include "core/serving_system.hh"
+#include "core/table.hh"
+#include "serving/disagg.hh"
+#include "kv/block_manager.hh"
+#include "workload/token_stream.hh"
+
+namespace
+{
+
+using namespace agentsim;
+using agents::AgentKind;
+using kv::BlockManager;
+using kv::BlockManagerConfig;
+using kv::EvictionPolicy;
+using kv::TokenId;
+using workload::Benchmark;
+
+std::vector<TokenId>
+tokenRange(TokenId start, std::size_t n)
+{
+    std::vector<TokenId> v(n);
+    std::iota(v.begin(), v.end(), start);
+    return v;
+}
+
+// ---------------------------------------------------------------
+// Eviction policy.
+// ---------------------------------------------------------------
+
+TEST(EvictionPolicy, FifoEvictsFirstPublishedDespiteReuse)
+{
+    BlockManagerConfig cfg;
+    cfg.numBlocks = 8;
+    cfg.blockSize = 16;
+    cfg.evictionPolicy = EvictionPolicy::Fifo;
+    BlockManager mgr(cfg);
+
+    // Publish A (4 blocks), then B (4 blocks); free both.
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 64)).has_value());
+    ASSERT_TRUE(
+        mgr.allocatePrompt(2, tokenRange(1000, 64)).has_value());
+    mgr.release(1);
+    mgr.release(2);
+
+    // Touch A again (re-reference + release): under LRU this would
+    // protect A; under FIFO it does not.
+    auto again = mgr.allocatePrompt(3, tokenRange(0, 64));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->cachedTokens, 64);
+    mgr.release(3);
+
+    // Allocate fresh content requiring 4 evictions: FIFO removes A's
+    // blocks (published first), so A misses afterwards but B hits.
+    ASSERT_TRUE(
+        mgr.allocatePrompt(4, tokenRange(2000, 64)).has_value());
+    auto a_alloc = mgr.allocatePrompt(5, tokenRange(0, 64));
+    // A was evicted: no hits (0 cached) — pool may be too tight to
+    // even allocate; both are "A lost its cache" outcomes.
+    if (a_alloc.has_value()) {
+        EXPECT_EQ(a_alloc->cachedTokens, 0);
+    }
+    mgr.checkInvariants();
+}
+
+TEST(EvictionPolicy, LruProtectsRecentlyUsed)
+{
+    BlockManagerConfig cfg;
+    cfg.numBlocks = 8;
+    cfg.blockSize = 16;
+    cfg.evictionPolicy = EvictionPolicy::Lru;
+    BlockManager mgr(cfg);
+
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 64)).has_value());
+    ASSERT_TRUE(
+        mgr.allocatePrompt(2, tokenRange(1000, 64)).has_value());
+    mgr.release(1);
+    mgr.release(2);
+    // Touch A: now B is the LRU victim.
+    auto again = mgr.allocatePrompt(3, tokenRange(0, 64));
+    ASSERT_TRUE(again.has_value());
+    mgr.release(3);
+
+    ASSERT_TRUE(
+        mgr.allocatePrompt(4, tokenRange(2000, 64)).has_value());
+    mgr.release(4);
+    // A survived the eviction wave.
+    auto a_alloc = mgr.allocatePrompt(5, tokenRange(0, 64));
+    ASSERT_TRUE(a_alloc.has_value());
+    EXPECT_EQ(a_alloc->cachedTokens, 64);
+    mgr.checkInvariants();
+}
+
+// ---------------------------------------------------------------
+// Host-memory spill tier.
+// ---------------------------------------------------------------
+
+TEST(HostTier, EvictedBlocksRestoreFromHost)
+{
+    BlockManagerConfig cfg;
+    cfg.numBlocks = 4;
+    cfg.blockSize = 16;
+    cfg.hostCacheBlocks = 64;
+    BlockManager mgr(cfg);
+
+    const auto prompt_a = tokenRange(0, 64);
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt_a).has_value());
+    mgr.release(1);
+    // Force A's eviction with fresh content.
+    ASSERT_TRUE(
+        mgr.allocatePrompt(2, tokenRange(1000, 64)).has_value());
+    mgr.release(2);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 4); // A spilled to host
+
+    // A comes back as restores, not recompute misses.
+    auto alloc = mgr.allocatePrompt(3, prompt_a);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->cachedTokens, 0);
+    EXPECT_EQ(alloc->restoredTokens, 64);
+    EXPECT_EQ(alloc->reusedTokens(), 64);
+    EXPECT_EQ(mgr.stats().restoredTokens, 64);
+    mgr.checkInvariants();
+}
+
+TEST(HostTier, DisabledMeansNoRestores)
+{
+    BlockManagerConfig cfg;
+    cfg.numBlocks = 4;
+    cfg.blockSize = 16;
+    cfg.hostCacheBlocks = 0;
+    BlockManager mgr(cfg);
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 64)).has_value());
+    mgr.release(1);
+    ASSERT_TRUE(
+        mgr.allocatePrompt(2, tokenRange(1000, 64)).has_value());
+    mgr.release(2);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 0);
+    auto alloc = mgr.allocatePrompt(3, tokenRange(0, 64));
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->restoredTokens, 0);
+}
+
+TEST(HostTier, CapacityIsBounded)
+{
+    BlockManagerConfig cfg;
+    cfg.numBlocks = 4;
+    cfg.blockSize = 16;
+    cfg.hostCacheBlocks = 6;
+    BlockManager mgr(cfg);
+    // Cycle many distinct prompts through the tiny GPU pool.
+    for (kv::SeqId s = 1; s <= 10; ++s) {
+        ASSERT_TRUE(
+            mgr.allocatePrompt(s, tokenRange(s * 10000, 64))
+                .has_value());
+        mgr.release(s);
+    }
+    EXPECT_LE(mgr.hostCachedBlocks(), 6);
+    mgr.checkInvariants();
+}
+
+TEST(HostTier, EngineChargesTransferTime)
+{
+    // Two engines with identical tiny GPU pools; only one has a host
+    // tier. After thrashing, the host-tier engine restores instead of
+    // recomputing, cutting prefill work.
+    auto make_cfg = [](std::int64_t host_blocks) {
+        serving::EngineConfig cfg;
+        cfg.model = llm::llama31_8b();
+        cfg.node = llm::singleA100();
+        cfg.kvPoolBytes = 64 * 16 * cfg.model.kvBytesPerToken();
+        cfg.hostCacheBlocks = host_blocks;
+        return cfg;
+    };
+
+    auto run = [&](std::int64_t host_blocks) {
+        sim::Simulation sim;
+        serving::LlmEngine engine(sim, make_cfg(host_blocks));
+        const auto a = workload::makeTokens(7, 800);
+        const auto b = workload::makeTokens(8, 800);
+        // a, then b (evicting a), then a again.
+        for (const auto *p : {&a, &b, &a}) {
+            serving::GenRequest req;
+            req.prompt = *p;
+            req.maxNewTokens = 4;
+            auto t = engine.generate(std::move(req));
+            sim.run();
+            (void)t.result();
+        }
+        return engine.cacheStats();
+    };
+
+    const auto without = run(0);
+    const auto with = run(100000);
+    EXPECT_EQ(without.restoredTokens, 0);
+    // Most of the evicted 800-token prompt comes back from the host
+    // tier (a few blocks survive on the GPU as ordinary hits).
+    EXPECT_GT(with.restoredTokens, 400);
+}
+
+// ---------------------------------------------------------------
+// Admission scheduling policy.
+// ---------------------------------------------------------------
+
+TEST(Scheduler, ShortestPromptFirstReordersQueue)
+{
+    serving::EngineConfig cfg;
+    cfg.model = llm::llama31_8b();
+    cfg.node = llm::singleA100();
+    cfg.schedulerPolicy = serving::SchedulerPolicy::ShortestPromptFirst;
+    cfg.maxRunningSeqs = 1; // force queueing
+
+    sim::Simulation sim;
+    serving::LlmEngine engine(sim, cfg);
+
+    auto submit = [&](std::uint64_t stream, std::int64_t len) {
+        serving::GenRequest req;
+        req.prompt = workload::makeTokens(stream, len);
+        req.maxNewTokens = 8;
+        return engine.generate(std::move(req));
+    };
+    // Long request first occupies the engine; then a long and a short
+    // wait. SPF admits the short one next despite arrival order.
+    auto first = submit(1, 2000);
+    auto long_wait = submit(2, 2000);
+    auto short_wait = submit(3, 64);
+    sim.run();
+    const auto r_long = long_wait.result();
+    const auto r_short = short_wait.result();
+    (void)first.result();
+    EXPECT_LT(r_short.finishTick, r_long.finishTick);
+}
+
+TEST(Scheduler, FcfsPreservesArrivalOrder)
+{
+    serving::EngineConfig cfg;
+    cfg.model = llm::llama31_8b();
+    cfg.node = llm::singleA100();
+    cfg.schedulerPolicy = serving::SchedulerPolicy::Fcfs;
+    cfg.maxRunningSeqs = 1;
+
+    sim::Simulation sim;
+    serving::LlmEngine engine(sim, cfg);
+    auto submit = [&](std::uint64_t stream, std::int64_t len) {
+        serving::GenRequest req;
+        req.prompt = workload::makeTokens(stream, len);
+        req.maxNewTokens = 8;
+        return engine.generate(std::move(req));
+    };
+    auto first = submit(1, 2000);
+    auto long_wait = submit(2, 2000);
+    auto short_wait = submit(3, 64);
+    sim.run();
+    (void)first.result();
+    EXPECT_GT(short_wait.result().finishTick,
+              long_wait.result().finishTick);
+}
+
+// ---------------------------------------------------------------
+// Speculative tool invocation.
+// ---------------------------------------------------------------
+
+TEST(SpeculativeTools, ReducesLatencyOnSlowTools)
+{
+    auto run = [](bool speculative) {
+        core::ProbeConfig cfg;
+        cfg.agent = AgentKind::ReAct;
+        cfg.bench = Benchmark::HotpotQA; // ~1.2 s tool calls
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.agentConfig.speculativeTools = speculative;
+        cfg.numTasks = 20;
+        cfg.seed = 77;
+        return core::runProbe(cfg);
+    };
+    const auto off = run(false);
+    const auto on = run(true);
+    EXPECT_LT(on.e2eSeconds().mean(), off.e2eSeconds().mean());
+    // Wrong predictions cost extra tool calls.
+    EXPECT_GT(on.meanToolCalls(), off.meanToolCalls());
+}
+
+TEST(SpeculativeTools, OverlapAppearsInTimeline)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = AgentKind::ReAct;
+    cfg.bench = Benchmark::HotpotQA;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.agentConfig.speculativeTools = true;
+    cfg.numTasks = 10;
+    cfg.seed = 78;
+    const auto r = core::runProbe(cfg);
+    double overlap = 0.0;
+    for (const auto &req : r.requests)
+        overlap += req.result.latency.overlapSeconds;
+    EXPECT_GT(overlap, 0.0);
+}
+
+// ---------------------------------------------------------------
+// Cluster routing.
+// ---------------------------------------------------------------
+
+core::ClusterConfig
+smallCluster(core::RoutePolicy policy)
+{
+    core::ClusterConfig cfg;
+    cfg.numNodes = 3;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.policy = policy;
+    core::WorkloadSpec agent;
+    agent.agent = AgentKind::ReAct;
+    agent.bench = Benchmark::WebShop;
+    agent.weight = 1.0;
+    cfg.mix.push_back(agent);
+    core::WorkloadSpec agent2;
+    agent2.agent = AgentKind::ReAct;
+    agent2.bench = Benchmark::HotpotQA;
+    agent2.weight = 1.0;
+    cfg.mix.push_back(agent2);
+    core::WorkloadSpec chat;
+    chat.chatbot = true;
+    chat.weight = 1.0;
+    cfg.mix.push_back(chat);
+    cfg.qps = 2.0;
+    cfg.numRequests = 60;
+    cfg.seed = 4;
+    return cfg;
+}
+
+TEST(Cluster, AllPoliciesCompleteEveryRequest)
+{
+    for (auto policy : {core::RoutePolicy::RoundRobin,
+                        core::RoutePolicy::LeastLoaded,
+                        core::RoutePolicy::CacheAffinity}) {
+        const auto r = core::runCluster(smallCluster(policy));
+        EXPECT_EQ(r.completed, 60)
+            << core::routePolicyName(policy);
+        int assigned = 0;
+        for (const auto &node : r.nodes)
+            assigned += node.requests;
+        EXPECT_EQ(assigned, 60);
+        EXPECT_GT(r.throughputQps(), 0.0);
+    }
+}
+
+TEST(Cluster, RoundRobinSpreadsEvenly)
+{
+    const auto r =
+        core::runCluster(smallCluster(core::RoutePolicy::RoundRobin));
+    for (const auto &node : r.nodes)
+        EXPECT_EQ(node.requests, 20);
+}
+
+TEST(Cluster, AffinityConcentratesWorkflows)
+{
+    // With an agents-only mix, affinity pins each workflow to a home
+    // node, so the per-node request distribution is much more skewed
+    // than round-robin's even spread.
+    auto cfg = smallCluster(core::RoutePolicy::CacheAffinity);
+    cfg.mix.pop_back(); // drop the chatbot component
+    cfg.numRequests = 90;
+    const auto affinity = core::runCluster(cfg);
+
+    cfg.policy = core::RoutePolicy::RoundRobin;
+    const auto rr = core::runCluster(cfg);
+
+    auto spread = [](const core::ClusterResult &r) {
+        int lo = r.nodes.front().requests;
+        int hi = lo;
+        for (const auto &node : r.nodes) {
+            lo = std::min(lo, node.requests);
+            hi = std::max(hi, node.requests);
+        }
+        return hi - lo;
+    };
+    EXPECT_GT(spread(affinity), spread(rr));
+    EXPECT_EQ(affinity.completed, 90);
+}
+
+// ---------------------------------------------------------------
+// Self-Consistency extension.
+// ---------------------------------------------------------------
+
+TEST(SelfConsistency, StructureAndParallelism)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = AgentKind::SelfConsistency;
+    cfg.bench = Benchmark::HotpotQA;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.agentConfig.scSamples = 5;
+    cfg.numTasks = 5;
+    cfg.seed = 13;
+    const auto r = core::runProbe(cfg);
+    for (const auto &req : r.requests) {
+        EXPECT_EQ(req.result.llmCalls, 5);
+        EXPECT_EQ(req.result.toolCalls, 0);
+    }
+    // Parallel samples: e2e is far below 5x a single CoT rationale.
+    core::ProbeConfig cot = cfg;
+    cot.agent = AgentKind::CoT;
+    const auto rc = core::runProbe(cot);
+    EXPECT_LT(r.e2eSeconds().mean(),
+              3.0 * rc.e2eSeconds().mean());
+}
+
+TEST(SelfConsistency, SamplesShareThePromptPrefix)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = AgentKind::SelfConsistency;
+    cfg.bench = Benchmark::Math;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.agentConfig.scSamples = 8;
+    cfg.numTasks = 3;
+    cfg.seed = 14;
+    const auto r = core::runProbe(cfg);
+    // With identical prompts, most of each request's prompt tokens
+    // come from the prefix cache.
+    double cached = 0.0;
+    double total = 0.0;
+    for (const auto &req : r.requests) {
+        cached += static_cast<double>(
+            req.result.cachedPromptTokensTotal);
+        total += static_cast<double>(req.result.promptTokensTotal);
+    }
+    EXPECT_GT(cached / total, 0.5);
+}
+
+TEST(SelfConsistency, MoreSamplesNeverHurtMuch)
+{
+    auto accuracy = [](int n) {
+        core::ProbeConfig cfg;
+        cfg.agent = AgentKind::SelfConsistency;
+        cfg.bench = Benchmark::Math;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.agentConfig.scSamples = n;
+        cfg.numTasks = 60;
+        cfg.seed = 15;
+        return core::runProbe(cfg).accuracy();
+    };
+    const double few = accuracy(3);
+    const double many = accuracy(16);
+    EXPECT_GE(many, few);
+}
+
+TEST(SelfConsistency, SupportsOnlyLanguageOnlyBenchmarks)
+{
+    EXPECT_FALSE(agents::agentSupports(AgentKind::SelfConsistency,
+                                       Benchmark::WebShop));
+    EXPECT_TRUE(agents::agentSupports(AgentKind::SelfConsistency,
+                                      Benchmark::Math));
+}
+
+// ---------------------------------------------------------------
+// Static-search extensions (Tree-of-Thoughts, Best-of-N).
+// ---------------------------------------------------------------
+
+TEST(StaticSearch, TreeOfThoughtsStructure)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = AgentKind::TreeOfThoughts;
+    cfg.bench = Benchmark::Math;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.agentConfig.latsChildren = 3;
+    cfg.numTasks = 6;
+    cfg.seed = 41;
+    const auto r = core::runProbe(cfg);
+    for (const auto &req : r.requests) {
+        EXPECT_EQ(req.result.toolCalls, 0); // tool-free search
+        // At least one level of (propose + evaluate) plus the answer.
+        EXPECT_GE(req.result.llmCalls, 3 + 3 + 1);
+    }
+}
+
+TEST(StaticSearch, BestOfNIssuesSamplesAndVerifiers)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = AgentKind::BestOfN;
+    cfg.bench = Benchmark::Math;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.agentConfig.scSamples = 4;
+    cfg.numTasks = 6;
+    cfg.seed = 42;
+    const auto r = core::runProbe(cfg);
+    for (const auto &req : r.requests) {
+        EXPECT_EQ(req.result.llmCalls, 4 + 4); // samples + verifiers
+        EXPECT_EQ(req.result.toolCalls, 0);
+    }
+}
+
+TEST(StaticSearch, ToolLessMethodsStayBelowLatsOnKnowledgeTasks)
+{
+    auto accuracy = [](AgentKind agent) {
+        core::ProbeConfig cfg;
+        cfg.agent = agent;
+        cfg.bench = Benchmark::HotpotQA;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.numTasks = 50;
+        cfg.seed = 43;
+        return core::runProbe(cfg).accuracy();
+    };
+    const double lats = accuracy(AgentKind::Lats);
+    EXPECT_GT(lats, accuracy(AgentKind::TreeOfThoughts) + 0.2);
+    EXPECT_GT(lats, accuracy(AgentKind::BestOfN) + 0.2);
+    EXPECT_GT(lats, accuracy(AgentKind::SelfConsistency) + 0.2);
+}
+
+// ---------------------------------------------------------------
+// Actor-critic multi-agent extension.
+// ---------------------------------------------------------------
+
+TEST(ActorCritic, StructureLiesBetweenReactAndReflexion)
+{
+    auto probe = [](AgentKind agent) {
+        core::ProbeConfig cfg;
+        cfg.agent = agent;
+        cfg.bench = Benchmark::HotpotQA;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.numTasks = 40;
+        cfg.seed = 31;
+        return core::runProbe(cfg);
+    };
+    const auto react = probe(AgentKind::ReAct);
+    const auto duo = probe(AgentKind::ActorCritic);
+    // The duo adds critic calls on top of actor trials.
+    EXPECT_GT(duo.meanLlmCalls(), react.meanLlmCalls());
+    EXPECT_GT(duo.e2eSeconds().mean(), react.e2eSeconds().mean());
+    EXPECT_GE(duo.accuracy(), react.accuracy());
+}
+
+TEST(ActorCritic, SupportedOnAllAgenticBenchmarks)
+{
+    for (Benchmark b : workload::agenticBenchmarks) {
+        EXPECT_TRUE(
+            agents::agentSupports(AgentKind::ActorCritic, b));
+    }
+    EXPECT_FALSE(agents::agentSupports(AgentKind::ActorCritic,
+                                       Benchmark::ShareGpt));
+}
+
+TEST(ActorCritic, RespectsRoundBudget)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = AgentKind::ActorCritic;
+    cfg.bench = Benchmark::WebShop;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.agentConfig.maxReflections = 1; // at most 2 rounds
+    cfg.agentConfig.maxIterations = 3;
+    cfg.numTasks = 10;
+    cfg.seed = 32;
+    const auto r = core::runProbe(cfg);
+    for (const auto &req : r.requests) {
+        EXPECT_LE(req.result.reflectionsUsed, 1);
+        // <= 2 actor trials x (3 steps) + 2 critic reviews +
+        // 1 feedback.
+        EXPECT_LE(req.result.llmCalls, 2 * 3 + 2 + 1);
+    }
+}
+
+// ---------------------------------------------------------------
+// Program-aware (least-attained-service) scheduling.
+// ---------------------------------------------------------------
+
+TEST(LasScheduling, ProtectsShortProgramsInMixedTraffic)
+{
+    auto run = [](serving::SchedulerPolicy policy) {
+        core::ClusterConfig cfg;
+        cfg.numNodes = 1;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.engineConfig.schedulerPolicy = policy;
+        cfg.engineConfig.maxRunningSeqs = 6;
+        core::WorkloadSpec chat;
+        chat.chatbot = true;
+        chat.weight = 2.0;
+        cfg.mix.push_back(chat);
+        core::WorkloadSpec agent;
+        agent.agent = AgentKind::ReAct;
+        agent.bench = Benchmark::HotpotQA;
+        agent.weight = 1.0;
+        cfg.mix.push_back(agent);
+        cfg.qps = 2.0;
+        cfg.numRequests = 90;
+        cfg.seed = 51;
+        return core::runCluster(cfg);
+    };
+    const auto fcfs = run(serving::SchedulerPolicy::Fcfs);
+    const auto las =
+        run(serving::SchedulerPolicy::LeastAttainedService);
+    ASSERT_EQ(las.completed, 90);
+    // Chat (single-call sessions with zero attained service) gets
+    // ahead of long agent programs.
+    EXPECT_LT(las.perWorkloadSeconds[0].percentile(95),
+              fcfs.perWorkloadSeconds[0].percentile(95));
+}
+
+TEST(LasScheduling, EquivalentToFcfsForFreshSessions)
+{
+    // With single-call sessions only, every session has zero attained
+    // service, so LAS degenerates to arrival order.
+    auto run = [](serving::SchedulerPolicy policy) {
+        core::ServeConfig cfg;
+        cfg.chatbot = true;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.engineConfig.schedulerPolicy = policy;
+        cfg.engineConfig.maxRunningSeqs = 4;
+        cfg.qps = 3.0;
+        cfg.numRequests = 40;
+        cfg.seed = 52;
+        return core::runServing(cfg);
+    };
+    const auto fcfs = run(serving::SchedulerPolicy::Fcfs);
+    const auto las =
+        run(serving::SchedulerPolicy::LeastAttainedService);
+    EXPECT_DOUBLE_EQ(fcfs.p95(), las.p95());
+    EXPECT_DOUBLE_EQ(fcfs.makespanSeconds, las.makespanSeconds);
+}
+
+// ---------------------------------------------------------------
+// Disaggregated prefill/decode serving.
+// ---------------------------------------------------------------
+
+sim::Task<serving::GenResult>
+disaggSubmit(serving::DisaggServer &server,
+             std::vector<kv::TokenId> prompt, std::int64_t out)
+{
+    serving::GenRequest req;
+    req.prompt = std::move(prompt);
+    req.maxNewTokens = out;
+    co_return co_await server.generate(std::move(req));
+}
+
+TEST(Disagg, SplitsPhasesAcrossNodes)
+{
+    sim::Simulation sim;
+    serving::DisaggConfig cfg;
+    cfg.prefillNode = core::enginePreset8b();
+    cfg.decodeNode = core::enginePreset8b();
+    serving::DisaggServer server(sim, cfg);
+
+    auto t = disaggSubmit(server, workload::makeTokens(3, 1200), 40);
+    sim.run();
+    const auto r = t.result();
+    EXPECT_FALSE(r.failed);
+    EXPECT_EQ(r.tokens.size(), 40u);
+    // The prefill node did the prompt work; the decode node's prefill
+    // was a cache hit on the transferred KV.
+    EXPECT_GT(server.prefillEngine().stats().prefillTokens, 1100);
+    EXPECT_LT(server.decodeEngine().stats().prefillTokens, 100);
+    EXPECT_GE(server.decodeEngine().stats().decodeTokens, 38);
+    EXPECT_GT(r.ttftSeconds, 0.0);
+    EXPECT_LT(r.ttftSeconds, r.totalSeconds);
+}
+
+TEST(Disagg, OutputMatchesAggregatedEngine)
+{
+    // Disaggregation must not change generated content... but note
+    // tokens are a function of (engine seed, request id, index), and
+    // the two architectures assign different request ids. Instead
+    // check the structural guarantees: deterministic across runs and
+    // correct lengths.
+    auto run = [] {
+        sim::Simulation sim;
+        serving::DisaggConfig cfg;
+        cfg.prefillNode = core::enginePreset8b();
+        cfg.decodeNode = core::enginePreset8b();
+        serving::DisaggServer server(sim, cfg);
+        auto t =
+            disaggSubmit(server, workload::makeTokens(4, 500), 24);
+        sim.run();
+        return t.result();
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_DOUBLE_EQ(a.totalSeconds, b.totalSeconds);
+}
+
+TEST(Disagg, SingleTokenRequestSkipsDecodeNode)
+{
+    sim::Simulation sim;
+    serving::DisaggConfig cfg;
+    cfg.prefillNode = core::enginePreset8b();
+    cfg.decodeNode = core::enginePreset8b();
+    serving::DisaggServer server(sim, cfg);
+    auto t = disaggSubmit(server, workload::makeTokens(5, 300), 1);
+    sim.run();
+    EXPECT_EQ(t.result().tokens.size(), 1u);
+    EXPECT_EQ(server.decodeEngine().stats().requestsSubmitted, 0);
+}
+
+TEST(Disagg, TransferTimeScalesWithPrompt)
+{
+    // Slower interconnect -> longer end-to-end for the same request.
+    auto run = [](double bw) {
+        sim::Simulation sim;
+        serving::DisaggConfig cfg;
+        cfg.prefillNode = core::enginePreset8b();
+        cfg.decodeNode = core::enginePreset8b();
+        cfg.interconnectBandwidth = bw;
+        serving::DisaggServer server(sim, cfg);
+        auto t =
+            disaggSubmit(server, workload::makeTokens(6, 2000), 16);
+        sim.run();
+        return t.result().totalSeconds;
+    };
+    const double fast = run(200e9);
+    const double slow = run(2e9);
+    EXPECT_GT(slow, fast + 0.05);
+}
+
+// ---------------------------------------------------------------
+// TTFT metric.
+// ---------------------------------------------------------------
+
+TEST(Ttft, ReportedAndOrderedSanely)
+{
+    core::ServeConfig cfg;
+    cfg.chatbot = true;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.qps = 1.0;
+    cfg.numRequests = 30;
+    cfg.seed = 33;
+    const auto r = core::runServing(cfg);
+    ASSERT_EQ(r.ttftSeconds.count(), 30u);
+    EXPECT_GT(r.ttftSeconds.min(), 0.0);
+    // First token arrives well before the full response.
+    EXPECT_LT(r.ttftSeconds.percentile(95), r.p50());
+}
+
+TEST(Ttft, CachingCutsFollowUpTtft)
+{
+    auto run = [](bool caching) {
+        core::ServeConfig cfg;
+        cfg.chatbot = true;
+        cfg.multiTurn = true;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.engineConfig.enablePrefixCaching = caching;
+        cfg.qps = 0.5;
+        cfg.numRequests = 25;
+        cfg.seed = 34;
+        return core::runServing(cfg);
+    };
+    const auto with = run(true);
+    const auto without = run(false);
+    EXPECT_LT(with.ttftSeconds.percentile(95),
+              0.6 * without.ttftSeconds.percentile(95));
+}
+
+// ---------------------------------------------------------------
+// Multi-turn chat sessions (keytakeaway #8 extension).
+// ---------------------------------------------------------------
+
+TEST(MultiTurnChat, SessionSamplerDeterministicAndBounded)
+{
+    workload::ChatSessionSampler sampler(11);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const int turns = sampler.turnCount(i);
+        EXPECT_GE(turns, 1);
+        EXPECT_LE(turns, workload::ChatSessionSampler::maxTurns);
+        EXPECT_EQ(turns, sampler.turnCount(i));
+        for (int t = 0; t < turns; ++t) {
+            const auto turn = sampler.turn(i, t);
+            EXPECT_GT(turn.userTokens, 0);
+            EXPECT_GT(turn.outputTokens, 0);
+            EXPECT_EQ(turn.userTokens, sampler.turn(i, t).userTokens);
+        }
+    }
+}
+
+TEST(MultiTurnChat, TurnsVaryAcrossSessions)
+{
+    workload::ChatSessionSampler sampler(11);
+    bool varies = false;
+    const int first = sampler.turnCount(0);
+    for (std::uint64_t i = 1; i < 50 && !varies; ++i)
+        varies = sampler.turnCount(i) != first;
+    EXPECT_TRUE(varies);
+}
+
+TEST(MultiTurnChat, CachingEliminatesMostPrefill)
+{
+    auto run = [](bool caching) {
+        core::ServeConfig cfg;
+        cfg.chatbot = true;
+        cfg.multiTurn = true;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.engineConfig.enablePrefixCaching = caching;
+        cfg.qps = 0.5;
+        cfg.numRequests = 25;
+        cfg.seed = 21;
+        return core::runServing(cfg);
+    };
+    const auto with = run(true);
+    const auto without = run(false);
+    EXPECT_EQ(with.completed, 25);
+    EXPECT_GT(with.turnSeconds.count(), 25u); // multi-turn sessions
+    // Follow-up turns reuse the conversation prefix.
+    EXPECT_GT(with.cacheHitRate, 0.5);
+    EXPECT_LT(with.engineStats.prefillTokens,
+              0.5 * static_cast<double>(
+                        without.engineStats.prefillTokens));
+}
+
+// ---------------------------------------------------------------
+// CSV export.
+// ---------------------------------------------------------------
+
+TEST(TableCsv, RenderEscapesAndSlugs)
+{
+    core::Table t("Fig 1: A / B (test)");
+    t.header({"name", "value"});
+    t.row({"plain", "1"});
+    t.row({"with,comma", "quote\"inside"});
+    const auto csv = t.renderCsv();
+    EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+    EXPECT_EQ(t.slug(), "fig-1-a-b-test");
+}
+
+TEST(TableCsv, WriteToFile)
+{
+    core::Table t("csv write test");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    const std::string path = "/tmp/agentsim_csv_test.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    std::fclose(f);
+    EXPECT_STREQ(buf, "a,b\n");
+    std::remove(path.c_str());
+}
+
+TEST(Cluster, Deterministic)
+{
+    const auto a = core::runCluster(
+        smallCluster(core::RoutePolicy::LeastLoaded));
+    const auto b = core::runCluster(
+        smallCluster(core::RoutePolicy::LeastLoaded));
+    EXPECT_DOUBLE_EQ(a.p95(), b.p95());
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+}
+
+} // namespace

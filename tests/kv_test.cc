@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit and property tests for the paged KV-cache block manager:
+ * allocation, prefix-cache hits, refcounting, LRU eviction, and
+ * invariant preservation under randomized workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kv/block_manager.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace agentsim;
+using kv::BlockManager;
+using kv::BlockManagerConfig;
+using kv::TokenId;
+
+std::vector<TokenId>
+tokenRange(TokenId start, std::size_t n)
+{
+    std::vector<TokenId> v(n);
+    std::iota(v.begin(), v.end(), start);
+    return v;
+}
+
+BlockManagerConfig
+cfg(std::int64_t blocks, int block_size = 16, bool prefix = true)
+{
+    BlockManagerConfig c;
+    c.numBlocks = blocks;
+    c.blockSize = block_size;
+    c.enablePrefixCaching = prefix;
+    return c;
+}
+
+TEST(BlockManager, AllocateAndRelease)
+{
+    BlockManager mgr(cfg(100));
+    const auto prompt = tokenRange(0, 50); // 4 blocks (3 full + partial)
+    auto alloc = mgr.allocatePrompt(1, prompt);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->cachedTokens, 0);
+    EXPECT_EQ(alloc->freshBlocks, 4);
+    EXPECT_EQ(mgr.usedBlocks(), 4);
+    EXPECT_EQ(mgr.freeBlocks(), 96);
+    mgr.release(1);
+    EXPECT_EQ(mgr.usedBlocks(), 0);
+    // The 3 full blocks stay cached (evictable); the partial one is
+    // returned to the free list.
+    EXPECT_EQ(mgr.evictableBlocks(), 3);
+    EXPECT_EQ(mgr.freeBlocks(), 97);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, BlocksNeededRoundsUp)
+{
+    BlockManager mgr(cfg(10, 16));
+    EXPECT_EQ(mgr.blocksNeeded(1), 1);
+    EXPECT_EQ(mgr.blocksNeeded(16), 1);
+    EXPECT_EQ(mgr.blocksNeeded(17), 2);
+    EXPECT_EQ(mgr.blocksNeeded(0), 0);
+}
+
+TEST(BlockManager, PrefixHitOnIdenticalPrompt)
+{
+    BlockManager mgr(cfg(100));
+    const auto prompt = tokenRange(0, 64); // exactly 4 full blocks
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    auto second = mgr.allocatePrompt(2, prompt);
+    ASSERT_TRUE(second.has_value());
+    // All four blocks are shared with the live first sequence.
+    EXPECT_EQ(second->cachedTokens, 64);
+    EXPECT_EQ(second->freshBlocks, 0);
+    EXPECT_EQ(mgr.usedBlocks(), 4);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, PrefixHitAfterRelease)
+{
+    BlockManager mgr(cfg(100));
+    const auto prompt = tokenRange(0, 64);
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    mgr.release(1);
+    auto second = mgr.allocatePrompt(2, prompt);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->cachedTokens, 64);
+    EXPECT_EQ(mgr.stats().evictions, 0);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, PartialPrefixHit)
+{
+    BlockManager mgr(cfg(100));
+    auto a = tokenRange(0, 64);
+    // b shares the first 32 tokens (2 blocks), then diverges.
+    auto b = tokenRange(0, 32);
+    const auto tail = tokenRange(1000, 32);
+    b.insert(b.end(), tail.begin(), tail.end());
+    ASSERT_TRUE(mgr.allocatePrompt(1, a).has_value());
+    auto alloc_b = mgr.allocatePrompt(2, b);
+    ASSERT_TRUE(alloc_b.has_value());
+    EXPECT_EQ(alloc_b->cachedTokens, 32);
+    EXPECT_EQ(alloc_b->freshBlocks, 2);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, NoHitsWithCachingDisabled)
+{
+    BlockManager mgr(cfg(100, 16, false));
+    const auto prompt = tokenRange(0, 64);
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    mgr.release(1);
+    auto second = mgr.allocatePrompt(2, prompt);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->cachedTokens, 0);
+    EXPECT_EQ(mgr.stats().hitTokens, 0);
+    // Without caching, released blocks go straight to the free list.
+    EXPECT_EQ(mgr.evictableBlocks(), 0);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, PartialLastBlockNeverCached)
+{
+    BlockManager mgr(cfg(100));
+    const auto prompt = tokenRange(0, 40); // 2 full + 1 partial
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    mgr.release(1);
+    auto second = mgr.allocatePrompt(2, prompt);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->cachedTokens, 32); // only the full blocks
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, AllocationFailsWhenPoolExhausted)
+{
+    BlockManager mgr(cfg(4));
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 64)).has_value());
+    // Different content: no hits possible, needs 4 fresh blocks.
+    EXPECT_FALSE(mgr.allocatePrompt(2, tokenRange(5000, 64)).has_value());
+    // Failure must not leak state.
+    mgr.checkInvariants();
+    EXPECT_EQ(mgr.usedBlocks(), 4);
+    mgr.release(1);
+    EXPECT_TRUE(mgr.allocatePrompt(2, tokenRange(5000, 64)).has_value());
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, EvictionRecyclesCachedBlocks)
+{
+    BlockManager mgr(cfg(4));
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 64)).has_value());
+    mgr.release(1); // 4 blocks now evictable
+    EXPECT_EQ(mgr.evictableBlocks(), 4);
+    ASSERT_TRUE(mgr.allocatePrompt(2, tokenRange(9000, 64)).has_value());
+    EXPECT_EQ(mgr.stats().evictions, 4);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, LruEvictsOldestFirst)
+{
+    BlockManager mgr(cfg(8));
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 64)).has_value());
+    ASSERT_TRUE(mgr.allocatePrompt(2, tokenRange(1000, 64)).has_value());
+    mgr.release(1); // older
+    mgr.release(2); // newer
+    // Need 4 fresh blocks: evicts seq 1's blocks (oldest).
+    ASSERT_TRUE(mgr.allocatePrompt(3, tokenRange(2000, 64)).has_value());
+    // Seq 2's prefix must still be cached.
+    auto again = mgr.allocatePrompt(4, tokenRange(1000, 64));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->cachedTokens, 64);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, AppendTokenCrossesBlockBoundary)
+{
+    BlockManager mgr(cfg(10, 16));
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 16)).has_value());
+    EXPECT_EQ(mgr.usedBlocks(), 1);
+    // Token 17 needs a second block.
+    EXPECT_TRUE(mgr.appendToken(1, 100));
+    EXPECT_EQ(mgr.usedBlocks(), 2);
+    EXPECT_EQ(mgr.seqTokens(1), 17);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, AppendFailsWhenOutOfBlocks)
+{
+    BlockManager mgr(cfg(1, 16));
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 16)).has_value());
+    EXPECT_FALSE(mgr.appendToken(1, 100));
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, GeneratedBlocksBecomeCached)
+{
+    BlockManager mgr(cfg(50, 16));
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 16)).has_value());
+    // Generate 16 tokens to fill a second block.
+    for (TokenId t = 500; t < 516; ++t)
+        ASSERT_TRUE(mgr.appendToken(1, t));
+    mgr.release(1);
+    // A new prompt equal to prompt+generation should fully hit.
+    auto full = tokenRange(0, 16);
+    const auto gen = tokenRange(500, 16);
+    full.insert(full.end(), gen.begin(), gen.end());
+    auto alloc = mgr.allocatePrompt(2, full);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->cachedTokens, 32);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, HitRateStatistic)
+{
+    BlockManager mgr(cfg(100));
+    const auto prompt = tokenRange(0, 64);
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    ASSERT_TRUE(mgr.allocatePrompt(2, prompt).has_value());
+    // 128 full-block tokens probed, 64 hit.
+    EXPECT_EQ(mgr.stats().lookupTokens, 128);
+    EXPECT_EQ(mgr.stats().hitTokens, 64);
+    EXPECT_DOUBLE_EQ(mgr.stats().hitRate(), 0.5);
+}
+
+TEST(BlockManager, SharedPrefixAcrossParallelSequences)
+{
+    // Models LATS expanding many children with a common prompt: the
+    // shared prefix occupies one set of blocks regardless of fanout.
+    BlockManager mgr(cfg(100));
+    const auto prompt = tokenRange(0, 64);
+    for (kv::SeqId s = 1; s <= 8; ++s)
+        ASSERT_TRUE(mgr.allocatePrompt(s, prompt).has_value());
+    EXPECT_EQ(mgr.usedBlocks(), 4); // not 32
+    for (kv::SeqId s = 1; s <= 8; ++s)
+        mgr.release(s);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManager, DivergingGenerationsKeepPrivateBlocks)
+{
+    BlockManager mgr(cfg(100, 16));
+    const auto prompt = tokenRange(0, 32);
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    ASSERT_TRUE(mgr.allocatePrompt(2, prompt).has_value());
+    EXPECT_EQ(mgr.usedBlocks(), 2);
+    // Each generates different tokens: private third blocks.
+    ASSERT_TRUE(mgr.appendToken(1, 111));
+    ASSERT_TRUE(mgr.appendToken(2, 222));
+    EXPECT_EQ(mgr.usedBlocks(), 4);
+    mgr.checkInvariants();
+}
+
+// Property test: randomized allocate/append/release sequences keep all
+// internal invariants and never lose blocks.
+class BlockManagerFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BlockManagerFuzz, InvariantsHoldUnderRandomWorkload)
+{
+    sim::Rng rng(GetParam(), "kv-fuzz", 0);
+    BlockManager mgr(cfg(64, 8));
+    std::vector<kv::SeqId> live;
+    kv::SeqId next_id = 1;
+
+    for (int step = 0; step < 2000; ++step) {
+        const double action = rng.uniform();
+        if (action < 0.4) {
+            // Allocate a prompt; half the time reuse a popular prefix.
+            const bool popular = rng.bernoulli(0.5);
+            const TokenId base =
+                popular ? 0
+                        : static_cast<TokenId>(
+                              rng.uniformInt(1, 1000) * 10000);
+            const auto len =
+                static_cast<std::size_t>(rng.uniformInt(1, 80));
+            const auto prompt = tokenRange(base, len);
+            const kv::SeqId id = next_id++;
+            if (mgr.allocatePrompt(id, prompt).has_value())
+                live.push_back(id);
+        } else if (action < 0.8 && !live.empty()) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            const TokenId t = static_cast<TokenId>(rng.next());
+            mgr.appendToken(live[idx], t); // may fail; that's fine
+        } else if (!live.empty()) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            mgr.release(live[idx]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+        if (step % 50 == 0)
+            mgr.checkInvariants();
+    }
+    for (kv::SeqId id : live)
+        mgr.release(id);
+    mgr.checkInvariants();
+    EXPECT_EQ(mgr.usedBlocks(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockManagerFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 1234));
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the statistics library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/gauge.hh"
+#include "stats/histogram.hh"
+#include "stats/pareto.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace agentsim;
+using stats::DesignPoint;
+using stats::Histogram;
+using stats::SampleSet;
+using stats::Summary;
+using stats::TimeWeightedGauge;
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Population variance is 4; sample variance is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Summary, EmptyIsSafe)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Summary, MergeMatchesCombinedStream)
+{
+    Summary a;
+    Summary b;
+    Summary combined;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        combined.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), combined.min());
+    EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(SampleSet, PercentilesInterpolate)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+    EXPECT_DOUBLE_EQ(s.median(), s.percentile(50));
+}
+
+TEST(SampleSet, SingleSample)
+{
+    SampleSet s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 3.5);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 3.5);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 3.5);
+}
+
+TEST(SampleSet, InsertionAfterQueryResorts)
+{
+    SampleSet s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 20.0);
+    s.add(30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+}
+
+TEST(SampleSet, MeanStdDev)
+{
+    SampleSet s;
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.0);   // bin 0
+    h.add(1.99);  // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    h.add(10.0);  // overflow
+    h.add(-0.1);  // underflow
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(1), 4.0);
+    EXPECT_NEAR(h.binFraction(0), 2.0 / 6.0, 1e-12);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 4.0, 2);
+    h.add(1.0);
+    h.add(1.5);
+    h.add(3.0);
+    const auto text = h.render(10);
+    EXPECT_NE(text.find('#'), std::string::npos);
+    EXPECT_NE(text.find('|'), std::string::npos);
+}
+
+TEST(Gauge, TimeWeightedAverage)
+{
+    TimeWeightedGauge g;
+    g.set(0, 10.0);
+    g.set(100, 20.0); // value 10 held for 100 ticks
+    g.set(200, 0.0);  // value 20 held for 100 ticks
+    // Average over [0, 400]: (10*100 + 20*100 + 0*200) / 400 = 7.5
+    EXPECT_DOUBLE_EQ(g.average(400), 7.5);
+    EXPECT_DOUBLE_EQ(g.max(), 20.0);
+    EXPECT_DOUBLE_EQ(g.current(), 0.0);
+}
+
+TEST(Gauge, AdjustAccumulates)
+{
+    TimeWeightedGauge g;
+    g.set(0, 0.0);
+    g.adjust(10, 5.0);
+    g.adjust(20, 5.0);
+    g.adjust(30, -3.0);
+    EXPECT_DOUBLE_EQ(g.current(), 7.0);
+    EXPECT_DOUBLE_EQ(g.max(), 10.0);
+}
+
+TEST(Gauge, IntegralAccumulates)
+{
+    TimeWeightedGauge g;
+    g.set(0, 4.0);
+    g.set(100, 2.0);
+    EXPECT_DOUBLE_EQ(g.integral(100), 400.0);
+    EXPECT_DOUBLE_EQ(g.integral(150), 400.0 + 2.0 * 50.0);
+}
+
+TEST(Gauge, MarkResetsWindowMax)
+{
+    TimeWeightedGauge g;
+    g.set(0, 10.0);
+    g.set(10, 3.0);
+    g.mark();
+    EXPECT_DOUBLE_EQ(g.maxSinceMark(), 3.0);
+    g.set(20, 7.0);
+    EXPECT_DOUBLE_EQ(g.maxSinceMark(), 7.0);
+    EXPECT_DOUBLE_EQ(g.max(), 10.0); // lifetime max unaffected
+}
+
+TEST(Gauge, AverageBeforeAnySetIsCurrent)
+{
+    TimeWeightedGauge g;
+    EXPECT_DOUBLE_EQ(g.average(100), 0.0);
+}
+
+TEST(Pareto, DominationRules)
+{
+    DesignPoint cheap_good{1.0, 0.9, 0};
+    DesignPoint pricey_bad{2.0, 0.5, 1};
+    DesignPoint equal_twin{1.0, 0.9, 2};
+    EXPECT_TRUE(stats::dominates(cheap_good, pricey_bad));
+    EXPECT_FALSE(stats::dominates(pricey_bad, cheap_good));
+    EXPECT_FALSE(stats::dominates(cheap_good, equal_twin));
+}
+
+TEST(Pareto, FrontierExtraction)
+{
+    std::vector<DesignPoint> pts{
+        {1.0, 0.30, 0}, // frontier
+        {2.0, 0.20, 1}, // dominated by 0
+        {3.0, 0.60, 2}, // frontier
+        {4.0, 0.55, 3}, // dominated by 2
+        {5.0, 0.90, 4}, // frontier
+    };
+    const auto frontier = stats::paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].tag, 0u);
+    EXPECT_EQ(frontier[1].tag, 2u);
+    EXPECT_EQ(frontier[2].tag, 4u);
+}
+
+TEST(Pareto, FrontierIsSortedByCost)
+{
+    std::vector<DesignPoint> pts{
+        {5.0, 0.9, 0}, {1.0, 0.1, 1}, {3.0, 0.5, 2}};
+    const auto frontier = stats::paretoFrontier(pts);
+    for (std::size_t i = 1; i < frontier.size(); ++i)
+        EXPECT_LE(frontier[i - 1].cost, frontier[i].cost);
+}
+
+TEST(Pareto, EmptyInput)
+{
+    EXPECT_TRUE(stats::paretoFrontier({}).empty());
+}
+
+} // namespace

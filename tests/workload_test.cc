@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the workload layer: token streams, benchmark profiles,
+ * task generation and the ShareGPT sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/benchmark.hh"
+#include "workload/token_stream.hh"
+#include "workload/toolset_factory.hh"
+
+#include "llm/hardware.hh"
+#include "llm/model_spec.hh"
+#include "serving/engine.hh"
+
+namespace
+{
+
+using namespace agentsim;
+using workload::Benchmark;
+using workload::ChatRequest;
+using workload::ShareGptSampler;
+using workload::TaskGenerator;
+using workload::TaskInstance;
+
+TEST(TokenStream, DeterministicAndOffsettable)
+{
+    const auto s = workload::streamId(42, "segment");
+    const auto a = workload::makeTokens(s, 100);
+    const auto b = workload::makeTokens(s, 100);
+    EXPECT_EQ(a, b);
+    const auto tail = workload::makeTokens(s, 40, 60);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(tail[static_cast<size_t>(i)],
+                  a[static_cast<size_t>(60 + i)]);
+}
+
+TEST(TokenStream, DistinctStreamsDiffer)
+{
+    const auto a =
+        workload::makeTokens(workload::streamId(42, "alpha"), 64);
+    const auto b =
+        workload::makeTokens(workload::streamId(42, "beta"), 64);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a[static_cast<size_t>(i)] == b[static_cast<size_t>(i)]);
+    EXPECT_LE(same, 1);
+}
+
+TEST(Benchmark, NamesAndProfiles)
+{
+    EXPECT_EQ(workload::benchmarkName(Benchmark::HotpotQA), "HotpotQA");
+    EXPECT_EQ(workload::benchmarkName(Benchmark::ShareGpt), "ShareGPT");
+    const auto &p = workload::profile(Benchmark::HotpotQA);
+    EXPECT_EQ(p.id, Benchmark::HotpotQA);
+    EXPECT_GT(p.instructionTokens, 0);
+    EXPECT_GT(p.fewShotTokensPerExample, 0);
+}
+
+TEST(Benchmark, InitialPromptAroundOneThousandTokens)
+{
+    // Paper Fig 9: initial agent inputs are ~1 k tokens.
+    const auto &p = workload::profile(Benchmark::HotpotQA);
+    const double initial =
+        static_cast<double>(p.instructionTokens) +
+        static_cast<double>(p.defaultFewShot *
+                            p.fewShotTokensPerExample) +
+        p.userTokenMean;
+    EXPECT_GT(initial, 800.0);
+    EXPECT_LT(initial, 1300.0);
+}
+
+TEST(Benchmark, SupportMatrixMatchesPaper)
+{
+    // Table II: CoT is omitted on WebShop; LLMCompiler on MATH and
+    // HumanEval.
+    EXPECT_FALSE(workload::profile(Benchmark::WebShop).supportsCot);
+    EXPECT_TRUE(workload::profile(Benchmark::HotpotQA).supportsCot);
+    EXPECT_FALSE(
+        workload::profile(Benchmark::Math).supportsLlmCompiler);
+    EXPECT_FALSE(
+        workload::profile(Benchmark::HumanEval).supportsLlmCompiler);
+    EXPECT_TRUE(
+        workload::profile(Benchmark::WebShop).supportsLlmCompiler);
+}
+
+TEST(TaskGenerator, DeterministicAndInRange)
+{
+    TaskGenerator gen(Benchmark::HotpotQA, 99);
+    const auto &p = workload::profile(Benchmark::HotpotQA);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const TaskInstance t = gen.sample(i);
+        const TaskInstance t2 = gen.sample(i);
+        EXPECT_EQ(t.requiredHops, t2.requiredHops);
+        EXPECT_DOUBLE_EQ(t.difficulty, t2.difficulty);
+        EXPECT_GE(t.requiredHops, p.minHops);
+        EXPECT_LE(t.requiredHops, p.maxHops);
+        EXPECT_GE(t.difficulty, p.difficultyLo);
+        EXPECT_LT(t.difficulty, p.difficultyHi);
+        EXPECT_GE(t.userTokens, p.userTokenMin);
+        EXPECT_LE(t.userTokens, p.userTokenMax);
+    }
+}
+
+TEST(TaskGenerator, TasksVary)
+{
+    TaskGenerator gen(Benchmark::Math, 3);
+    bool hops_vary = false;
+    const int first = gen.sample(0).requiredHops;
+    for (std::uint64_t i = 1; i < 50; ++i)
+        hops_vary |= (gen.sample(i).requiredHops != first);
+    EXPECT_TRUE(hops_vary);
+}
+
+TEST(ShareGpt, SampleDistributions)
+{
+    ShareGptSampler sampler(5);
+    double prompt_total = 0.0;
+    double out_total = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const ChatRequest r =
+            sampler.sample(static_cast<std::uint64_t>(i));
+        EXPECT_GE(r.promptTokens, 16);
+        EXPECT_LE(r.promptTokens, 3000);
+        EXPECT_GE(r.outputTokens, 16);
+        EXPECT_LE(r.outputTokens, 1024);
+        prompt_total += static_cast<double>(r.promptTokens);
+        out_total += static_cast<double>(r.outputTokens);
+    }
+    EXPECT_NEAR(prompt_total / n, 310.0, 60.0);
+    EXPECT_NEAR(out_total / n, 250.0, 40.0);
+}
+
+TEST(ToolsetFactory, MatchesTableTwo)
+{
+    sim::Simulation sim;
+    serving::EngineConfig cfg;
+    cfg.model = llm::llama31_8b();
+    cfg.node = llm::singleA100();
+    serving::LlmEngine engine(sim, cfg);
+
+    const auto hotpot =
+        workload::makeToolSet(Benchmark::HotpotQA, sim, engine, 1);
+    EXPECT_EQ(hotpot->size(), 2u);
+    EXPECT_EQ(hotpot->at(0).name(), "wikipedia.search");
+
+    const auto shop =
+        workload::makeToolSet(Benchmark::WebShop, sim, engine, 1);
+    EXPECT_EQ(shop->size(), 2u);
+
+    const auto math =
+        workload::makeToolSet(Benchmark::Math, sim, engine, 1);
+    EXPECT_EQ(math->size(), 2u);
+    EXPECT_EQ(math->at(0).name(), "wolfram.alpha");
+
+    const auto code =
+        workload::makeToolSet(Benchmark::HumanEval, sim, engine, 1);
+    EXPECT_EQ(code->size(), 1u);
+    EXPECT_TRUE(code->at(0).usesGpu());
+}
+
+} // namespace
