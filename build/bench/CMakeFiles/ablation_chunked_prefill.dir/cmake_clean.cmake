@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_chunked_prefill.dir/ablation_chunked_prefill.cc.o"
+  "CMakeFiles/ablation_chunked_prefill.dir/ablation_chunked_prefill.cc.o.d"
+  "ablation_chunked_prefill"
+  "ablation_chunked_prefill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_chunked_prefill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disagg.dir/ablation_disagg.cc.o"
+  "CMakeFiles/ablation_disagg.dir/ablation_disagg.cc.o.d"
+  "ablation_disagg"
+  "ablation_disagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

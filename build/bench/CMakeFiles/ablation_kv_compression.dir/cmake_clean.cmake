@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kv_compression.dir/ablation_kv_compression.cc.o"
+  "CMakeFiles/ablation_kv_compression.dir/ablation_kv_compression.cc.o.d"
+  "ablation_kv_compression"
+  "ablation_kv_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kv_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hardware.dir/ext_hardware.cc.o"
+  "CMakeFiles/ext_hardware.dir/ext_hardware.cc.o.d"
+  "ext_hardware"
+  "ext_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multi_agent.dir/ext_multi_agent.cc.o"
+  "CMakeFiles/ext_multi_agent.dir/ext_multi_agent.cc.o.d"
+  "ext_multi_agent"
+  "ext_multi_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multi_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

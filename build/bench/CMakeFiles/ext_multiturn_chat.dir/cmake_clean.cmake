@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiturn_chat.dir/ext_multiturn_chat.cc.o"
+  "CMakeFiles/ext_multiturn_chat.dir/ext_multiturn_chat.cc.o.d"
+  "ext_multiturn_chat"
+  "ext_multiturn_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiturn_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sustainability.dir/ext_sustainability.cc.o"
+  "CMakeFiles/ext_sustainability.dir/ext_sustainability.cc.o.d"
+  "ext_sustainability"
+  "ext_sustainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sustainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

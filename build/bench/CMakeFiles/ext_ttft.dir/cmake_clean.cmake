@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ttft.dir/ext_ttft.cc.o"
+  "CMakeFiles/ext_ttft.dir/ext_ttft.cc.o.d"
+  "ext_ttft"
+  "ext_ttft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ttft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

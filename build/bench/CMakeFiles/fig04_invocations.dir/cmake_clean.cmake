@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_invocations.dir/fig04_invocations.cc.o"
+  "CMakeFiles/fig04_invocations.dir/fig04_invocations.cc.o.d"
+  "fig04_invocations"
+  "fig04_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_context_growth.dir/fig09_context_growth.cc.o"
+  "CMakeFiles/fig09_context_growth.dir/fig09_context_growth.cc.o.d"
+  "fig09_context_growth"
+  "fig09_context_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_context_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_prefix_prefill.dir/fig10_prefix_prefill.cc.o"
+  "CMakeFiles/fig10_prefix_prefill.dir/fig10_prefix_prefill.cc.o.d"
+  "fig10_prefix_prefill"
+  "fig10_prefix_prefill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_prefix_prefill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_serving_concurrency.dir/fig13_serving_concurrency.cc.o"
+  "CMakeFiles/fig13_serving_concurrency.dir/fig13_serving_concurrency.cc.o.d"
+  "fig13_serving_concurrency"
+  "fig13_serving_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_serving_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

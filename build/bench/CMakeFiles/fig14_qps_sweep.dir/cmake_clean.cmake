@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_qps_sweep.dir/fig14_qps_sweep.cc.o"
+  "CMakeFiles/fig14_qps_sweep.dir/fig14_qps_sweep.cc.o.d"
+  "fig14_qps_sweep"
+  "fig14_qps_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_qps_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_serving_kv.cc" "bench/CMakeFiles/fig16_serving_kv.dir/fig16_serving_kv.cc.o" "gcc" "bench/CMakeFiles/fig16_serving_kv.dir/fig16_serving_kv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/agentsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/agentsim_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/agentsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/agentsim_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/agentsim_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/agentsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/agentsim_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/agentsim_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/agentsim_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/agentsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_serving_kv.dir/fig16_serving_kv.cc.o"
+  "CMakeFiles/fig16_serving_kv.dir/fig16_serving_kv.cc.o.d"
+  "fig16_serving_kv"
+  "fig16_serving_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_serving_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_kv_capacity.dir/fig17_kv_capacity.cc.o"
+  "CMakeFiles/fig17_kv_capacity.dir/fig17_kv_capacity.cc.o.d"
+  "fig17_kv_capacity"
+  "fig17_kv_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_kv_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_pareto.dir/fig18_pareto.cc.o"
+  "CMakeFiles/fig18_pareto.dir/fig18_pareto.cc.o.d"
+  "fig18_pareto"
+  "fig18_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_iteration_budget.dir/fig19_iteration_budget.cc.o"
+  "CMakeFiles/fig19_iteration_budget.dir/fig19_iteration_budget.cc.o.d"
+  "fig19_iteration_budget"
+  "fig19_iteration_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_iteration_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_fewshot.dir/fig20_fewshot.cc.o"
+  "CMakeFiles/fig20_fewshot.dir/fig20_fewshot.cc.o.d"
+  "fig20_fewshot"
+  "fig20_fewshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_fewshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_scaling.dir/fig21_scaling.cc.o"
+  "CMakeFiles/fig21_scaling.dir/fig21_scaling.cc.o.d"
+  "fig21_scaling"
+  "fig21_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_user_growth.dir/fig23_user_growth.cc.o"
+  "CMakeFiles/fig23_user_growth.dir/fig23_user_growth.cc.o.d"
+  "fig23_user_growth"
+  "fig23_user_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_user_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_agents.dir/table1_agents.cc.o"
+  "CMakeFiles/table1_agents.dir/table1_agents.cc.o.d"
+  "table1_agents"
+  "table1_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

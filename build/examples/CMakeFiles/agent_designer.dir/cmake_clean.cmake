@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_designer.dir/agent_designer.cpp.o"
+  "CMakeFiles/agent_designer.dir/agent_designer.cpp.o.d"
+  "agent_designer"
+  "agent_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sustainability_report.dir/sustainability_report.cpp.o"
+  "CMakeFiles/sustainability_report.dir/sustainability_report.cpp.o.d"
+  "sustainability_report"
+  "sustainability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sustainability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

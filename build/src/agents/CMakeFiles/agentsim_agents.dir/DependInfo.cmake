@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/accuracy.cc" "src/agents/CMakeFiles/agentsim_agents.dir/accuracy.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/accuracy.cc.o.d"
+  "/root/repo/src/agents/actor_critic.cc" "src/agents/CMakeFiles/agentsim_agents.dir/actor_critic.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/actor_critic.cc.o.d"
+  "/root/repo/src/agents/agent.cc" "src/agents/CMakeFiles/agentsim_agents.dir/agent.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/agent.cc.o.d"
+  "/root/repo/src/agents/cot.cc" "src/agents/CMakeFiles/agentsim_agents.dir/cot.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/cot.cc.o.d"
+  "/root/repo/src/agents/factory.cc" "src/agents/CMakeFiles/agentsim_agents.dir/factory.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/factory.cc.o.d"
+  "/root/repo/src/agents/lats.cc" "src/agents/CMakeFiles/agentsim_agents.dir/lats.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/lats.cc.o.d"
+  "/root/repo/src/agents/llm_compiler.cc" "src/agents/CMakeFiles/agentsim_agents.dir/llm_compiler.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/llm_compiler.cc.o.d"
+  "/root/repo/src/agents/plan.cc" "src/agents/CMakeFiles/agentsim_agents.dir/plan.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/plan.cc.o.d"
+  "/root/repo/src/agents/prompt.cc" "src/agents/CMakeFiles/agentsim_agents.dir/prompt.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/prompt.cc.o.d"
+  "/root/repo/src/agents/react.cc" "src/agents/CMakeFiles/agentsim_agents.dir/react.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/react.cc.o.d"
+  "/root/repo/src/agents/reflexion.cc" "src/agents/CMakeFiles/agentsim_agents.dir/reflexion.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/reflexion.cc.o.d"
+  "/root/repo/src/agents/self_consistency.cc" "src/agents/CMakeFiles/agentsim_agents.dir/self_consistency.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/self_consistency.cc.o.d"
+  "/root/repo/src/agents/static_search.cc" "src/agents/CMakeFiles/agentsim_agents.dir/static_search.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/static_search.cc.o.d"
+  "/root/repo/src/agents/trace.cc" "src/agents/CMakeFiles/agentsim_agents.dir/trace.cc.o" "gcc" "src/agents/CMakeFiles/agentsim_agents.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/agentsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/agentsim_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/agentsim_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/agentsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/agentsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/agentsim_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/agentsim_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_agents.dir/accuracy.cc.o"
+  "CMakeFiles/agentsim_agents.dir/accuracy.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/actor_critic.cc.o"
+  "CMakeFiles/agentsim_agents.dir/actor_critic.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/agent.cc.o"
+  "CMakeFiles/agentsim_agents.dir/agent.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/cot.cc.o"
+  "CMakeFiles/agentsim_agents.dir/cot.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/factory.cc.o"
+  "CMakeFiles/agentsim_agents.dir/factory.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/lats.cc.o"
+  "CMakeFiles/agentsim_agents.dir/lats.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/llm_compiler.cc.o"
+  "CMakeFiles/agentsim_agents.dir/llm_compiler.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/plan.cc.o"
+  "CMakeFiles/agentsim_agents.dir/plan.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/prompt.cc.o"
+  "CMakeFiles/agentsim_agents.dir/prompt.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/react.cc.o"
+  "CMakeFiles/agentsim_agents.dir/react.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/reflexion.cc.o"
+  "CMakeFiles/agentsim_agents.dir/reflexion.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/self_consistency.cc.o"
+  "CMakeFiles/agentsim_agents.dir/self_consistency.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/static_search.cc.o"
+  "CMakeFiles/agentsim_agents.dir/static_search.cc.o.d"
+  "CMakeFiles/agentsim_agents.dir/trace.cc.o"
+  "CMakeFiles/agentsim_agents.dir/trace.cc.o.d"
+  "libagentsim_agents.a"
+  "libagentsim_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_core.dir/cluster.cc.o"
+  "CMakeFiles/agentsim_core.dir/cluster.cc.o.d"
+  "CMakeFiles/agentsim_core.dir/probe.cc.o"
+  "CMakeFiles/agentsim_core.dir/probe.cc.o.d"
+  "CMakeFiles/agentsim_core.dir/serving_system.cc.o"
+  "CMakeFiles/agentsim_core.dir/serving_system.cc.o.d"
+  "CMakeFiles/agentsim_core.dir/table.cc.o"
+  "CMakeFiles/agentsim_core.dir/table.cc.o.d"
+  "CMakeFiles/agentsim_core.dir/trace_export.cc.o"
+  "CMakeFiles/agentsim_core.dir/trace_export.cc.o.d"
+  "libagentsim_core.a"
+  "libagentsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_energy.dir/projection.cc.o"
+  "CMakeFiles/agentsim_energy.dir/projection.cc.o.d"
+  "libagentsim_energy.a"
+  "libagentsim_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_kv.dir/block_manager.cc.o"
+  "CMakeFiles/agentsim_kv.dir/block_manager.cc.o.d"
+  "libagentsim_kv.a"
+  "libagentsim_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

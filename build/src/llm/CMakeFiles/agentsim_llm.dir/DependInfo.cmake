@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/hardware.cc" "src/llm/CMakeFiles/agentsim_llm.dir/hardware.cc.o" "gcc" "src/llm/CMakeFiles/agentsim_llm.dir/hardware.cc.o.d"
+  "/root/repo/src/llm/model_spec.cc" "src/llm/CMakeFiles/agentsim_llm.dir/model_spec.cc.o" "gcc" "src/llm/CMakeFiles/agentsim_llm.dir/model_spec.cc.o.d"
+  "/root/repo/src/llm/perf_model.cc" "src/llm/CMakeFiles/agentsim_llm.dir/perf_model.cc.o" "gcc" "src/llm/CMakeFiles/agentsim_llm.dir/perf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/agentsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

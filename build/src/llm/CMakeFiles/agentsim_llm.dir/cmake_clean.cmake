@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_llm.dir/hardware.cc.o"
+  "CMakeFiles/agentsim_llm.dir/hardware.cc.o.d"
+  "CMakeFiles/agentsim_llm.dir/model_spec.cc.o"
+  "CMakeFiles/agentsim_llm.dir/model_spec.cc.o.d"
+  "CMakeFiles/agentsim_llm.dir/perf_model.cc.o"
+  "CMakeFiles/agentsim_llm.dir/perf_model.cc.o.d"
+  "libagentsim_llm.a"
+  "libagentsim_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/disagg.cc" "src/serving/CMakeFiles/agentsim_serving.dir/disagg.cc.o" "gcc" "src/serving/CMakeFiles/agentsim_serving.dir/disagg.cc.o.d"
+  "/root/repo/src/serving/engine.cc" "src/serving/CMakeFiles/agentsim_serving.dir/engine.cc.o" "gcc" "src/serving/CMakeFiles/agentsim_serving.dir/engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/agentsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/agentsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/agentsim_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/agentsim_kv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

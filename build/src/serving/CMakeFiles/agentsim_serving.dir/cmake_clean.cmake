@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_serving.dir/disagg.cc.o"
+  "CMakeFiles/agentsim_serving.dir/disagg.cc.o.d"
+  "CMakeFiles/agentsim_serving.dir/engine.cc.o"
+  "CMakeFiles/agentsim_serving.dir/engine.cc.o.d"
+  "libagentsim_serving.a"
+  "libagentsim_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_sim.dir/event_queue.cc.o"
+  "CMakeFiles/agentsim_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/agentsim_sim.dir/logging.cc.o"
+  "CMakeFiles/agentsim_sim.dir/logging.cc.o.d"
+  "CMakeFiles/agentsim_sim.dir/rng.cc.o"
+  "CMakeFiles/agentsim_sim.dir/rng.cc.o.d"
+  "CMakeFiles/agentsim_sim.dir/simulation.cc.o"
+  "CMakeFiles/agentsim_sim.dir/simulation.cc.o.d"
+  "libagentsim_sim.a"
+  "libagentsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_stats.dir/gauge.cc.o"
+  "CMakeFiles/agentsim_stats.dir/gauge.cc.o.d"
+  "CMakeFiles/agentsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/agentsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/agentsim_stats.dir/pareto.cc.o"
+  "CMakeFiles/agentsim_stats.dir/pareto.cc.o.d"
+  "CMakeFiles/agentsim_stats.dir/summary.cc.o"
+  "CMakeFiles/agentsim_stats.dir/summary.cc.o.d"
+  "libagentsim_stats.a"
+  "libagentsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_tools.dir/catalog.cc.o"
+  "CMakeFiles/agentsim_tools.dir/catalog.cc.o.d"
+  "CMakeFiles/agentsim_tools.dir/tool.cc.o"
+  "CMakeFiles/agentsim_tools.dir/tool.cc.o.d"
+  "libagentsim_tools.a"
+  "libagentsim_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

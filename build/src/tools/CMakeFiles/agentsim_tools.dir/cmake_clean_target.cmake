@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libagentsim_tools.a"
+)

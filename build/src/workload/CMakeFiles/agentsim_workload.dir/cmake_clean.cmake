@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agentsim_workload.dir/benchmark.cc.o"
+  "CMakeFiles/agentsim_workload.dir/benchmark.cc.o.d"
+  "CMakeFiles/agentsim_workload.dir/token_stream.cc.o"
+  "CMakeFiles/agentsim_workload.dir/token_stream.cc.o.d"
+  "CMakeFiles/agentsim_workload.dir/toolset_factory.cc.o"
+  "CMakeFiles/agentsim_workload.dir/toolset_factory.cc.o.d"
+  "libagentsim_workload.a"
+  "libagentsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agentsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

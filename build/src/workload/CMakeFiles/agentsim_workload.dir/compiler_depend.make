@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for agentsim_workload.
+# This may be replaced when dependencies are built.
