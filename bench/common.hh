@@ -8,6 +8,8 @@
 #ifndef AGENTSIM_BENCH_COMMON_HH
 #define AGENTSIM_BENCH_COMMON_HH
 
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "core/serving_system.hh"
 #include "core/table.hh"
 #include "energy/projection.hh"
+#include "telemetry/session.hh"
 
 namespace benchutil
 {
@@ -48,6 +51,109 @@ supportedPairs()
     }
     return pairs;
 }
+
+/**
+ * Shared --trace/--metrics/--csv plumbing for the fig* binaries.
+ *
+ *   fig14_qps_sweep --trace out.json --metrics out.prom --csv out.csv
+ *
+ * Each instrumented run resets the session, so the emitted files
+ * describe the *last* configuration the binary executed (the most
+ * loaded sweep point). Binaries opt in per run via apply().
+ */
+class TelemetryCli
+{
+  public:
+    TelemetryCli(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const bool has_value = i + 1 < argc;
+            if (std::strcmp(argv[i], "--trace") == 0 ||
+                std::strcmp(argv[i], "--metrics") == 0 ||
+                std::strcmp(argv[i], "--csv") == 0) {
+                if (!has_value) {
+                    std::fprintf(stderr,
+                                 "warn: %s requires a file path; "
+                                 "ignored\n",
+                                 argv[i]);
+                    continue;
+                }
+                if (std::strcmp(argv[i], "--trace") == 0)
+                    trace_ = argv[++i];
+                else if (std::strcmp(argv[i], "--metrics") == 0)
+                    metrics_ = argv[++i];
+                else
+                    csv_ = argv[++i];
+            }
+        }
+    }
+
+    bool
+    enabled() const
+    {
+        return !trace_.empty() || !metrics_.empty() || !csv_.empty();
+    }
+
+    /** Attach (fresh) session telemetry to a serving run. */
+    void
+    apply(ServeConfig &cfg)
+    {
+        if (!enabled())
+            return;
+        session_.reset();
+        cfg.telemetry = &session_;
+    }
+
+    /** Attach (fresh) session telemetry to a probe run. */
+    void
+    apply(ProbeConfig &cfg)
+    {
+        if (!enabled())
+            return;
+        session_.reset();
+        cfg.telemetry = &session_;
+    }
+
+    /** Write whatever outputs were requested. @return success. */
+    bool
+    write() const
+    {
+        bool ok = true;
+        auto emit = [&](const std::string &path, bool wrote,
+                        const char *what) {
+            if (path.empty())
+                return;
+            if (wrote) {
+                std::printf("telemetry: wrote %s to %s\n", what,
+                            path.c_str());
+            } else {
+                std::fprintf(stderr,
+                             "error: failed to write %s to %s\n",
+                             what, path.c_str());
+                ok = false;
+            }
+        };
+        emit(trace_, trace_.empty() || session_.writeTrace(trace_),
+             "Chrome trace");
+        emit(metrics_,
+             metrics_.empty() || session_.writeMetrics(metrics_),
+             "Prometheus metrics");
+        emit(csv_, csv_.empty() || session_.writeEngineCsv(csv_),
+             "engine iteration CSV");
+        return ok;
+    }
+
+    const telemetry::SessionTelemetry &session() const
+    {
+        return session_;
+    }
+
+  private:
+    std::string trace_;
+    std::string metrics_;
+    std::string csv_;
+    telemetry::SessionTelemetry session_;
+};
 
 /** Default single-request probe configuration. */
 inline ProbeConfig
@@ -85,7 +191,8 @@ shareGptClosedLoop(int requests, bool use70b = false,
 inline ServeResult
 serveAt(double qps, bool chatbot, AgentKind agent, Benchmark bench,
         int requests, bool prefix_caching = true,
-        std::int64_t kv_pool_bytes = 0)
+        std::int64_t kv_pool_bytes = 0,
+        TelemetryCli *telemetry = nullptr)
 {
     ServeConfig cfg;
     cfg.chatbot = chatbot;
@@ -97,6 +204,8 @@ serveAt(double qps, bool chatbot, AgentKind agent, Benchmark bench,
     cfg.qps = qps;
     cfg.numRequests = requests;
     cfg.seed = kSeed;
+    if (telemetry != nullptr)
+        telemetry->apply(cfg);
     return core::runServing(cfg);
 }
 

@@ -17,14 +17,15 @@ using namespace benchutil;
 
 void
 sweep(const char *name, bool chatbot, Benchmark bench,
-      const std::vector<double> &qps_points, int requests)
+      const std::vector<double> &qps_points, int requests,
+      TelemetryCli *telemetry)
 {
     core::Table t(std::string("Fig 14: ") + name +
                   " latency vs offered load");
     t.header({"QPS", "p50 latency", "p95 latency", "Achieved QPS"});
     for (double qps : qps_points) {
         const auto r = serveAt(qps, chatbot, AgentKind::ReAct, bench,
-                               requests);
+                               requests, true, 0, telemetry);
         t.row({core::fmtDouble(qps, 2), core::fmtSeconds(r.p50()),
                core::fmtSeconds(r.p95()),
                core::fmtDouble(r.throughputQps(), 2)});
@@ -36,18 +37,25 @@ sweep(const char *name, bool chatbot, Benchmark bench,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    // --trace/--metrics/--csv instrument the sweep; the files
+    // describe the last (most loaded) configuration executed.
+    TelemetryCli telemetry(argc, argv);
+
     sweep("Chatbot (ShareGPT)", true, Benchmark::ShareGpt,
-          {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}, 250);
+          {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}, 250,
+          &telemetry);
     sweep("Agent ReAct (HotpotQA)", false, Benchmark::HotpotQA,
-          {0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}, 150);
+          {0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}, 150, &telemetry);
     sweep("Agent ReAct (WebShop)", false, Benchmark::WebShop,
-          {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}, 150);
+          {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}, 150, &telemetry);
 
     std::printf("Paper reference: ShareGPT sustains ~6.4 QPS; ReAct "
                 "only ~2.6 (HotpotQA) and ~1.2 (WebShop), with p95 "
                 "rising ~18 s per extra QPS near saturation vs ~0.9 s "
                 "for the chatbot.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

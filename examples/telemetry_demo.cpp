@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Telemetry walkthrough: run a small ReAct serving workload with the
+ * full observability stack attached and emit
+ *
+ *   telemetry_demo.prom — Prometheus text exposition of the engine's
+ *                         metric families;
+ *   telemetry_demo.csv  — one row per sampled engine iteration
+ *                         (batch occupancy, token split, KV usage,
+ *                         prefix-hit rate, preemptions);
+ *   telemetry_demo.json — a cross-layer Chrome trace: engine
+ *                         iterations, per-request lifecycle spans and
+ *                         agent LLM/tool steps on a shared clock.
+ *                         Load it in chrome://tracing or Perfetto.
+ *
+ * Usage: telemetry_demo [output-prefix]   (default "telemetry_demo")
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/probe.hh"
+#include "core/serving_system.hh"
+
+using namespace agentsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string prefix =
+        argc > 1 ? argv[1] : "telemetry_demo";
+
+    telemetry::SessionTelemetry session;
+
+    core::ServeConfig cfg;
+    cfg.agent = agents::AgentKind::ReAct;
+    cfg.bench = workload::Benchmark::HotpotQA;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.qps = 2.0;
+    cfg.numRequests = 16;
+    cfg.seed = 7;
+    cfg.telemetry = &session;
+
+    const core::ServeResult result = core::runServing(cfg);
+
+    std::printf("ran %d ReAct/HotpotQA requests at %.1f QPS: "
+                "p50 %.2f s, p95 %.2f s, %lld engine steps, "
+                "prefix-hit rate %.1f%%\n",
+                result.completed, cfg.qps, result.p50(), result.p95(),
+                static_cast<long long>(result.engineStats.steps),
+                100.0 * result.cacheHitRate);
+
+    std::printf("collected: %zu metric families, %zu engine samples, "
+                "%zu trace events\n",
+                session.registry.families(),
+                session.engineSamples.size(),
+                session.trace.eventCount());
+
+    bool ok = true;
+    const std::string prom = prefix + ".prom";
+    const std::string csv = prefix + ".csv";
+    const std::string json = prefix + ".json";
+    ok = session.writeMetrics(prom) && ok;
+    ok = session.writeEngineCsv(csv) && ok;
+    ok = session.writeTrace(json) && ok;
+    if (!ok) {
+        std::fprintf(stderr, "failed to write telemetry outputs\n");
+        return 1;
+    }
+    std::printf("wrote %s, %s and %s\n", prom.c_str(), csv.c_str(),
+                json.c_str());
+    std::printf("open the trace in chrome://tracing or "
+                "https://ui.perfetto.dev to see why agent steps "
+                "stall: the agent track's LLM spans line up with "
+                "request queued/prefill/decode phases and engine "
+                "iterations.\n");
+    return 0;
+}

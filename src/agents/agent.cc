@@ -179,6 +179,16 @@ callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
     CallTokens tokens = prompt.breakdown;
     tokens.output = static_cast<std::int64_t>(gen.tokens.size());
     trace.addLlmCall(tokens, gen, start, end, label);
+    if (ctx.traceSink != nullptr) {
+        ctx.traceSink->complete(
+            telemetry::TracePid::kAgents, ctx.traceTid, label, "llm",
+            start, end,
+            sim::strfmt("\"prompt_tokens\":%lld,\"output_tokens\":%lld,"
+                        "\"queue_s\":%.6f",
+                        static_cast<long long>(gen.promptTokens),
+                        static_cast<long long>(gen.tokens.size()),
+                        gen.queueSeconds));
+    }
     co_return gen;
 }
 
@@ -189,6 +199,11 @@ callTool(AgentContext &ctx, Trace &trace, sim::Rng &rng,
     const sim::Tick start = ctx.sim->now();
     tools::ToolResult result = co_await tool.invoke(rng);
     trace.addToolCall(tool.name(), start, ctx.sim->now());
+    if (ctx.traceSink != nullptr) {
+        ctx.traceSink->complete(telemetry::TracePid::kAgents,
+                                ctx.traceTid, std::string(tool.name()),
+                                "tool", start, ctx.sim->now());
+    }
     co_return result;
 }
 

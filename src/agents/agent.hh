@@ -119,6 +119,16 @@ struct AgentContext
     AgentKind kind{};
     std::uint64_t seed = 1;
 
+    /**
+     * Optional cross-layer trace sink: when set, every LLM and tool
+     * call is emitted as a span on the agent track (pid
+     * telemetry::TracePid::kAgents, lane @ref traceTid), sharing the
+     * simulator clock with the engine and request tracks.
+     */
+    telemetry::TraceSink *traceSink = nullptr;
+    /** Trace lane for this rollout (e.g. the task index). */
+    std::uint64_t traceTid = 0;
+
     const workload::BenchmarkProfile &
     profile() const
     {

@@ -54,6 +54,11 @@ runProbe(const ProbeConfig &config)
 
     sim::Simulation sim;
     serving::LlmEngine engine(sim, config.engineConfig);
+    if (config.telemetry != nullptr) {
+        engine.attachTrace(&config.telemetry->trace);
+        config.telemetry->trace.processName(
+            telemetry::TracePid::kAgents, "agents");
+    }
     auto tools = workload::makeToolSet(config.bench, sim, engine,
                                        config.seed);
     workload::TaskGenerator gen(config.bench, config.seed);
@@ -79,6 +84,17 @@ runProbe(const ProbeConfig &config)
         ctx.config = agent_cfg;
         ctx.kind = config.agent;
         ctx.seed = config.seed;
+        if (config.telemetry != nullptr) {
+            ctx.traceSink = &config.telemetry->trace;
+            ctx.traceTid = static_cast<std::uint64_t>(i) + 1;
+            ctx.traceSink->threadName(
+                telemetry::TracePid::kAgents, ctx.traceTid,
+                sim::strfmt("%s task %d",
+                            std::string(agents::agentName(
+                                            config.agent))
+                                .c_str(),
+                            i));
+        }
 
         const sim::Tick start = sim.now();
         const double joules0 = engine.energyJoules(start);
@@ -116,6 +132,14 @@ runProbe(const ProbeConfig &config)
             engine.kvUsageGauge().maxSinceMark() * block_bytes;
         probe.flops = engine.stats().totalFlops - flops0;
         out.requests.push_back(std::move(probe));
+
+        if (config.telemetry != nullptr) {
+            engine.exportMetrics(config.telemetry->registry);
+            config.telemetry->registry.snapshot(end);
+        }
+    }
+    if (config.telemetry != nullptr) {
+        config.telemetry->engineSamples = engine.sampler().samples();
     }
     return out;
 }

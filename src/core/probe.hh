@@ -14,6 +14,7 @@
 #include "agents/workflows.hh"
 #include "serving/engine.hh"
 #include "stats/summary.hh"
+#include "telemetry/session.hh"
 #include "workload/benchmark.hh"
 
 namespace agentsim::core
@@ -35,6 +36,13 @@ struct ProbeConfig
     /** Number of tasks, processed strictly one at a time. */
     int numTasks = 20;
     std::uint64_t seed = 1;
+
+    /**
+     * Optional telemetry collection (see ServeConfig::telemetry).
+     * The probe additionally snapshots the registry after every
+     * task, giving a per-request metrics time series.
+     */
+    telemetry::SessionTelemetry *telemetry = nullptr;
 };
 
 /** Per-request window measurements around one agent run. */

@@ -49,6 +49,16 @@ agentWorker(const ServeConfig &config, sim::Simulation &sim,
     ctx.config = agent_cfg;
     ctx.kind = config.agent;
     ctx.seed = config.seed;
+    if (config.telemetry != nullptr) {
+        ctx.traceSink = &config.telemetry->trace;
+        ctx.traceTid = index + 1;
+        ctx.traceSink->threadName(
+            telemetry::TracePid::kAgents, ctx.traceTid,
+            sim::strfmt("%s #%llu",
+                        std::string(agents::agentName(config.agent))
+                            .c_str(),
+                        static_cast<unsigned long long>(index)));
+    }
 
     auto agent = agents::makeAgent(config.agent);
     const sim::Tick submit = sim.now();
@@ -183,6 +193,11 @@ runServing(const ServeConfig &config)
 
     sim::Simulation sim;
     serving::LlmEngine engine(sim, config.engineConfig);
+    if (config.telemetry != nullptr) {
+        engine.attachTrace(&config.telemetry->trace);
+        config.telemetry->trace.processName(
+            telemetry::TracePid::kAgents, "agents");
+    }
     std::unique_ptr<tools::ToolSet> tools;
     if (!config.chatbot) {
         tools = workload::makeToolSet(config.bench, sim, engine,
@@ -218,6 +233,28 @@ runServing(const ServeConfig &config)
                   : 0.0;
     out.kvMaxBytes = engine.kvUsageGauge().max() * block_bytes;
     out.energyWh = engine.energyJoules(end) / 3600.0;
+
+    if (config.telemetry != nullptr) {
+        telemetry::SessionTelemetry &t = *config.telemetry;
+        engine.exportMetrics(t.registry);
+        if (!out.e2eSeconds.empty()) {
+            auto &h = t.registry.histogram(
+                "agentsim_request_e2e_seconds",
+                "End-to-end request latency",
+                0.0, std::max(1.0, out.e2eSeconds.max() * 1.001), 20);
+            for (double v : out.e2eSeconds.values())
+                h.observe(v);
+        }
+        if (!out.ttftSeconds.empty()) {
+            auto &h = t.registry.histogram(
+                "agentsim_ttft_seconds", "Time to first token",
+                0.0, std::max(1.0, out.ttftSeconds.max() * 1.001), 20);
+            for (double v : out.ttftSeconds.values())
+                h.observe(v);
+        }
+        t.registry.snapshot(end);
+        t.engineSamples = engine.sampler().samples();
+    }
     return out;
 }
 

@@ -12,6 +12,7 @@
 #include "agents/workflows.hh"
 #include "serving/engine.hh"
 #include "stats/summary.hh"
+#include "telemetry/session.hh"
 #include "workload/benchmark.hh"
 
 namespace agentsim::core
@@ -44,6 +45,16 @@ struct ServeConfig
 
     int numRequests = 100;
     std::uint64_t seed = 1;
+
+    /**
+     * Optional telemetry collection: when set, the run attaches the
+     * session's trace sink to the engine and every agent rollout,
+     * exports end-of-run engine metrics and request-latency
+     * histograms into the registry, and copies the engine's
+     * per-iteration sample series out before the engine is torn down.
+     * The session must outlive the call.
+     */
+    telemetry::SessionTelemetry *telemetry = nullptr;
 };
 
 /** Serving-experiment measurements. */

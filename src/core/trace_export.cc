@@ -3,43 +3,21 @@
 #include <cstdio>
 
 #include "sim/strfmt.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace agentsim::core
 {
-
-namespace
-{
-
-/** Escape a string for a JSON literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
-} // namespace
 
 std::string
 toChromeTrace(const agents::AgentResult &result,
               const std::string &process_name)
 {
+    // One shared escaper for every JSON emitter: tool observations can
+    // carry tabs, carriage returns and other control characters, all
+    // of which must become \uXXXX (or a short escape) to stay valid.
+    using telemetry::jsonEscape;
+
     std::string out = "{\"traceEvents\":[\n";
     out += sim::strfmt("{\"name\":\"process_name\",\"ph\":\"M\","
                        "\"pid\":1,\"args\":{\"name\":\"%s\"}}",
@@ -70,14 +48,9 @@ writeChromeTrace(const std::string &path,
                  const agents::AgentResult &result,
                  const std::string &process_name)
 {
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return false;
-    const std::string text = toChromeTrace(result, process_name);
-    const std::size_t written =
-        std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
-    return written == text.size();
+    return telemetry::writeTextFile(path,
+                                    toChromeTrace(result,
+                                                  process_name));
 }
 
 } // namespace agentsim::core

@@ -186,6 +186,22 @@ class BlockManager
     /** Blocks referenced by live sequences (shared counted once). */
     std::int64_t usedBlocks() const;
 
+    /**
+     * Gauge: blocks pinned by live sequences right now. The telemetry
+     * sampler reads this directly instead of deriving occupancy from
+     * CacheStats deltas.
+     */
+    std::int64_t blocksInUse() const { return usedBlocks(); }
+
+    /**
+     * Gauge: blocks not pinned by any sequence (free list plus
+     * unreferenced cached blocks awaiting reuse or eviction).
+     */
+    std::int64_t blocksFree() const
+    {
+        return totalBlocks() - usedBlocks();
+    }
+
     /** Pool size in blocks. */
     std::int64_t totalBlocks() const { return config_.numBlocks; }
 

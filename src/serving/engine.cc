@@ -52,8 +52,41 @@ LlmEngine::LlmEngine(sim::Simulation &sim, const EngineConfig &config)
                                      config.enablePrefixCaching,
                                      config.evictionPolicy,
                                      config.hostCacheBlocks}),
+      sampler_(telemetry::SamplerConfig{config.samplerStride,
+                                        config.samplerCapacity}),
       loop_(runLoop())
 {
+}
+
+void
+LlmEngine::attachTrace(telemetry::TraceSink *sink)
+{
+    trace_ = sink;
+    if (trace_ == nullptr)
+        return;
+    trace_->processName(telemetry::TracePid::kEngine, "LLM engine");
+    trace_->threadName(telemetry::TracePid::kEngine, 1, "iterations");
+    trace_->processName(telemetry::TracePid::kRequests, "requests");
+}
+
+void
+LlmEngine::tracePhaseBegin(Req &req, const char *phase)
+{
+    req.tracePhase = phase;
+    req.tracePhaseStart = sim_.now();
+}
+
+void
+LlmEngine::tracePhaseEnd(Req &req)
+{
+    if (req.tracePhase == nullptr)
+        return;
+    if (trace_ != nullptr) {
+        trace_->complete(telemetry::TracePid::kRequests, req.id,
+                         req.tracePhase, "request",
+                         req.tracePhaseStart, sim_.now());
+    }
+    req.tracePhase = nullptr;
 }
 
 std::int64_t
@@ -109,6 +142,13 @@ LlmEngine::generate(GenRequest request)
 
     ++stats_.requestsSubmitted;
     waiting_.push_back(req);
+    if (trace_ != nullptr) {
+        trace_->threadName(telemetry::TracePid::kRequests, req->id,
+                           sim::strfmt("req %llu",
+                                       static_cast<unsigned long long>(
+                                           req->id)));
+    }
+    tracePhaseBegin(*req, "queued");
     if (wake_ && !wake_->ready())
         wake_->set(1);
 
@@ -129,9 +169,10 @@ LlmEngine::runLoop()
         if (plan.work.empty())
             continue; // everything failed at admission; re-check
         const llm::StepCost cost = perf_.stepCost(plan.work);
+        const sim::Tick step_start = sim_.now();
         co_await sim::delay(sim_, sim::fromSeconds(cost.seconds +
                                                    plan.extraSeconds));
-        commitStep(plan, cost);
+        commitStep(plan, cost, step_start);
     }
 }
 
@@ -152,6 +193,12 @@ LlmEngine::preemptOne(StepPlan &plan)
     victim->decoding = false;
     ++victim->preemptions;
     ++stats_.preemptions;
+    tracePhaseEnd(*victim);
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kRequests, victim->id,
+                        "preempt", "request", sim_.now());
+    }
+    tracePhaseBegin(*victim, "queued");
     waiting_.push_front(victim);
 }
 
@@ -161,6 +208,7 @@ LlmEngine::failRequest(const ReqPtr &req)
     ++stats_.requestsFailed;
     AGENTSIM_WARN("request %llu cannot fit in the KV pool; failing",
                   static_cast<unsigned long long>(req->id));
+    tracePhaseEnd(*req);
     GenResult r;
     r.failed = true;
     r.promptTokens = req->firstPromptLen;
@@ -175,6 +223,7 @@ LlmEngine::finishRequest(const ReqPtr &req)
 {
     blocks_.release(req->id);
     std::erase(running_, req);
+    tracePhaseEnd(*req);
     ++stats_.requestsCompleted;
     sessionService_[req->sessionId] +=
         req->prefillSecondsAcc + req->decodeSecondsAcc;
@@ -329,6 +378,8 @@ LlmEngine::buildStep()
             req->firstScheduleTick = sim_.now();
             req->cachedPromptTokens = alloc->reusedTokens();
         }
+        tracePhaseEnd(*req); // queued
+        tracePhaseBegin(*req, "prefill");
 
         std::int64_t chunk =
             std::min(budget, prompt_len - req->prefillDone);
@@ -361,7 +412,8 @@ LlmEngine::buildStep()
 }
 
 void
-LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost)
+LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
+                      sim::Tick step_start)
 {
     ++stats_.steps;
     stats_.busySeconds += cost.seconds;
@@ -417,6 +469,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost)
             }
             req->output.push_back(tok);
             req->decoding = true;
+            tracePhaseEnd(*req); // prefill
+            tracePhaseBegin(*req, "decode");
             if (req->firstTokenTick < 0)
                 req->firstTokenTick = sim_.now();
             if (static_cast<std::int64_t>(req->output.size()) >=
@@ -443,6 +497,46 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost)
     }
 
     updateGauges();
+
+    // Telemetry: one iteration sample (strided ring write) plus, when
+    // a trace sink is attached, the engine-track span and counters.
+    {
+        telemetry::IterationSample s;
+        s.tick = sim_.now();
+        s.step = stats_.steps;
+        s.running = static_cast<std::int32_t>(running_.size());
+        s.waiting = static_cast<std::int32_t>(waiting_.size());
+        s.prefillTokens = cost.prefillTokens;
+        s.decodeTokens = cost.decodeTokens;
+        s.kvBlocksUsed = blocks_.blocksInUse();
+        s.kvBlocksFree = blocks_.blocksFree();
+        s.prefixHitRate = blocks_.stats().hitRate();
+        s.preemptions = stats_.preemptions;
+        s.evictions = blocks_.stats().evictions;
+        s.stepSeconds = cost.seconds + plan.extraSeconds;
+        sampler_.record(s);
+
+        if (trace_ != nullptr) {
+            trace_->complete(
+                telemetry::TracePid::kEngine, 1, "step", "engine",
+                step_start, sim_.now(),
+                sim::strfmt("\"prefill_tokens\":%lld,"
+                            "\"decode_tokens\":%lld,\"running\":%d,"
+                            "\"waiting\":%d",
+                            static_cast<long long>(cost.prefillTokens),
+                            static_cast<long long>(cost.decodeTokens),
+                            s.running, s.waiting));
+            trace_->counter(
+                telemetry::TracePid::kEngine, "kv_blocks", sim_.now(),
+                sim::strfmt("\"used\":%lld,\"free\":%lld",
+                            static_cast<long long>(s.kvBlocksUsed),
+                            static_cast<long long>(s.kvBlocksFree)));
+            trace_->counter(
+                telemetry::TracePid::kEngine, "batch", sim_.now(),
+                sim::strfmt("\"running\":%d,\"waiting\":%d", s.running,
+                            s.waiting));
+        }
+    }
 }
 
 std::deque<LlmEngine::ReqPtr>::iterator
@@ -476,6 +570,92 @@ LlmEngine::nextAdmissionCandidate()
       }
     }
     AGENTSIM_PANIC("unknown scheduler policy");
+}
+
+void
+LlmEngine::exportMetrics(telemetry::MetricsRegistry &registry) const
+{
+    const sim::Tick now = sim_.now();
+    auto set_counter = [&](const char *name, const char *help,
+                           double value) {
+        registry.counter(name, help).set(value);
+    };
+    auto set_gauge = [&](const char *name, const char *help,
+                         double value) {
+        registry.gauge(name, help).set(now, value);
+    };
+
+    set_counter("agentsim_requests_submitted_total",
+                "Generation requests submitted to the engine",
+                static_cast<double>(stats_.requestsSubmitted));
+    set_counter("agentsim_requests_completed_total",
+                "Generation requests completed",
+                static_cast<double>(stats_.requestsCompleted));
+    set_counter("agentsim_requests_failed_total",
+                "Requests rejected or failed (context window, KV pool)",
+                static_cast<double>(stats_.requestsFailed));
+    set_counter("agentsim_preemptions_total",
+                "Recompute preemptions under memory pressure",
+                static_cast<double>(stats_.preemptions));
+    set_counter("agentsim_engine_steps_total",
+                "Continuous-batching engine iterations",
+                static_cast<double>(stats_.steps));
+    set_counter("agentsim_prefill_tokens_total",
+                "Prompt tokens prefilled",
+                static_cast<double>(stats_.prefillTokens));
+    set_counter("agentsim_decode_tokens_total",
+                "Output tokens decoded",
+                static_cast<double>(stats_.decodeTokens));
+    set_counter("agentsim_gpu_busy_seconds_total",
+                "Wall-clock seconds the GPU executed steps",
+                stats_.busySeconds);
+    set_counter("agentsim_gpu_core_active_seconds_total",
+                "Roofline estimate of SM-active seconds",
+                stats_.coreActiveSeconds);
+    set_counter("agentsim_gpu_prefill_seconds_total",
+                "Busy seconds attributed to prefill work",
+                stats_.prefillSeconds);
+    set_counter("agentsim_gpu_decode_seconds_total",
+                "Busy seconds attributed to decode work",
+                stats_.decodeSeconds);
+    set_counter("agentsim_gpu_energy_joules_total",
+                "Node GPU energy including idle draw",
+                energyJoules(now));
+    set_counter("agentsim_model_flops_total",
+                "FLOPs executed by the engine",
+                stats_.totalFlops);
+
+    const kv::CacheStats &cache = blocks_.stats();
+    set_counter("agentsim_kv_lookup_tokens_total",
+                "Prompt tokens looked up in the prefix cache",
+                static_cast<double>(cache.lookupTokens));
+    set_counter("agentsim_kv_hit_tokens_total",
+                "Prompt tokens served from the prefix cache",
+                static_cast<double>(cache.hitTokens));
+    set_counter("agentsim_kv_restored_tokens_total",
+                "Tokens restored from the host spill tier",
+                static_cast<double>(cache.restoredTokens));
+    set_counter("agentsim_kv_evictions_total",
+                "Cached blocks evicted",
+                static_cast<double>(cache.evictions));
+
+    set_gauge("agentsim_kv_blocks_used",
+              "KV blocks pinned by live sequences",
+              static_cast<double>(blocks_.blocksInUse()));
+    set_gauge("agentsim_kv_blocks_free",
+              "KV blocks free or evictable",
+              static_cast<double>(blocks_.blocksFree()));
+    set_gauge("agentsim_kv_blocks_total", "KV pool size in blocks",
+              static_cast<double>(blocks_.totalBlocks()));
+    set_gauge("agentsim_kv_prefix_hit_rate",
+              "Cumulative prefix-cache token hit rate",
+              cache.hitRate());
+    set_gauge("agentsim_batch_running",
+              "Sequences in the running batch",
+              static_cast<double>(running_.size()));
+    set_gauge("agentsim_queue_depth",
+              "Requests waiting for admission",
+              static_cast<double>(waiting_.size()));
 }
 
 void

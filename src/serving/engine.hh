@@ -35,6 +35,9 @@
 #include "sim/simulation.hh"
 #include "sim/task.hh"
 #include "stats/gauge.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_sink.hh"
 
 namespace agentsim::serving
 {
@@ -83,6 +86,15 @@ struct EngineConfig
     int maxRunningSeqs = 256;
     /** Seed for the generated-token streams. */
     std::uint64_t seed = 1;
+
+    /**
+     * Iteration-sampler stride: keep every Nth step in the telemetry
+     * ring (1 = every step, 0 disables). On by default — recording is
+     * one struct copy into a preallocated ring.
+     */
+    int samplerStride = 1;
+    /** Iteration-sampler ring capacity, in samples. */
+    std::size_t samplerCapacity = 1 << 16;
 };
 
 /** Aggregated engine-level statistics. */
@@ -169,6 +181,24 @@ class LlmEngine
     const EngineConfig &config() const { return config_; }
     const llm::PerfModel &perfModel() const { return perf_; }
 
+    /** Per-iteration telemetry series (always collecting by default). */
+    const telemetry::EngineSampler &sampler() const { return sampler_; }
+
+    /**
+     * Attach a cross-layer trace sink. The engine then emits one span
+     * per iteration on the engine track, per-request lifecycle spans
+     * (queued / prefill / decode, preemption instants) on request
+     * tracks, and KV/batch counter series. Pass nullptr to detach.
+     * The sink must outlive the engine (or be detached first).
+     */
+    void attachTrace(telemetry::TraceSink *sink);
+
+    /**
+     * Export current engine/cache totals and occupancy gauges into a
+     * metrics registry (Prometheus-style families, agentsim_ prefix).
+     */
+    void exportMetrics(telemetry::MetricsRegistry &registry) const;
+
     /**
      * Inject externally computed KV for a prompt prefix (KV arriving
      * from a disaggregated prefill node). @return blocks populated,
@@ -205,6 +235,10 @@ class LlmEngine
         std::int64_t cachedPromptTokens = 0;
         std::int64_t firstPromptLen = 0;
         int preemptions = 0;
+
+        /** Current lifecycle phase on the trace (nullptr = none). */
+        const char *tracePhase = nullptr;
+        sim::Tick tracePhaseStart = 0;
 
         sim::Completion<GenResult> done;
 
@@ -244,6 +278,8 @@ class LlmEngine
     EngineStats stats_;
     stats::TimeWeightedGauge kvUsed_;
     stats::TimeWeightedGauge batchSize_;
+    telemetry::EngineSampler sampler_;
+    telemetry::TraceSink *trace_ = nullptr;
 
     sim::Task<void> loop_;
 
@@ -252,7 +288,14 @@ class LlmEngine
 
     /** Pick the next admission candidate per the scheduler policy. */
     std::deque<ReqPtr>::iterator nextAdmissionCandidate();
-    void commitStep(const StepPlan &plan, const llm::StepCost &cost);
+    void commitStep(const StepPlan &plan, const llm::StepCost &cost,
+                    sim::Tick step_start);
+
+    /** Open a request-lifecycle phase span on the trace. */
+    void tracePhaseBegin(Req &req, const char *phase);
+
+    /** Close the request's open phase span, if any. */
+    void tracePhaseEnd(Req &req);
 
     /** Preempt the latest-arrived running request (recompute). */
     void preemptOne(StepPlan &plan);

@@ -1,0 +1,191 @@
+#include "telemetry/registry.hh"
+
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace agentsim::telemetry
+{
+
+Metric *
+MetricsRegistry::find(const std::string &name, MetricKind kind)
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        return nullptr;
+    Metric *m = metrics_[it->second].get();
+    AGENTSIM_ASSERT(m->kind() == kind,
+                    "metric %s re-registered with a different kind",
+                    name.c_str());
+    return m;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    if (Metric *m = find(name, MetricKind::Counter))
+        return static_cast<Counter &>(*m);
+    index_[name] = metrics_.size();
+    metrics_.push_back(std::make_unique<Counter>(name, help));
+    return static_cast<Counter &>(*metrics_.back());
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, const std::string &help)
+{
+    if (Metric *m = find(name, MetricKind::Gauge))
+        return static_cast<Gauge &>(*m);
+    index_[name] = metrics_.size();
+    metrics_.push_back(std::make_unique<Gauge>(name, help));
+    return static_cast<Gauge &>(*metrics_.back());
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help, double lo, double hi,
+                           std::size_t bins)
+{
+    if (Metric *m = find(name, MetricKind::Histogram))
+        return static_cast<HistogramMetric &>(*m);
+    index_[name] = metrics_.size();
+    metrics_.push_back(
+        std::make_unique<HistogramMetric>(name, help, lo, hi, bins));
+    return static_cast<HistogramMetric &>(*metrics_.back());
+}
+
+std::vector<std::string>
+MetricsRegistry::csvColumns() const
+{
+    std::vector<std::string> cols;
+    cols.reserve(metrics_.size() + 1);
+    for (const auto &m : metrics_) {
+        if (m->kind() == MetricKind::Histogram) {
+            cols.push_back(m->name() + "_count");
+            cols.push_back(m->name() + "_sum");
+        } else {
+            cols.push_back(m->name());
+        }
+    }
+    return cols;
+}
+
+std::vector<double>
+MetricsRegistry::csvValues() const
+{
+    std::vector<double> vals;
+    vals.reserve(metrics_.size() + 1);
+    for (const auto &m : metrics_) {
+        switch (m->kind()) {
+          case MetricKind::Counter:
+            vals.push_back(static_cast<const Counter &>(*m).value());
+            break;
+          case MetricKind::Gauge:
+            vals.push_back(static_cast<const Gauge &>(*m).value());
+            break;
+          case MetricKind::Histogram: {
+              const auto &h = static_cast<const HistogramMetric &>(*m);
+              vals.push_back(static_cast<double>(h.count()));
+              vals.push_back(h.sum());
+              break;
+          }
+        }
+    }
+    return vals;
+}
+
+void
+MetricsRegistry::snapshot(sim::Tick now)
+{
+    rows_.push_back({now, csvValues()});
+}
+
+std::string
+MetricsRegistry::renderPrometheus() const
+{
+    std::string out;
+    for (const auto &m : metrics_) {
+        out += sim::strfmt("# HELP %s %s\n", m->name().c_str(),
+                           m->help().c_str());
+        switch (m->kind()) {
+          case MetricKind::Counter:
+            out += sim::strfmt("# TYPE %s counter\n",
+                               m->name().c_str());
+            out += sim::strfmt(
+                "%s %.17g\n", m->name().c_str(),
+                static_cast<const Counter &>(*m).value());
+            break;
+          case MetricKind::Gauge:
+            out += sim::strfmt("# TYPE %s gauge\n", m->name().c_str());
+            out += sim::strfmt("%s %.17g\n", m->name().c_str(),
+                               static_cast<const Gauge &>(*m).value());
+            break;
+          case MetricKind::Histogram: {
+              const auto &hm = static_cast<const HistogramMetric &>(*m);
+              const stats::Histogram &h = hm.histogram();
+              out += sim::strfmt("# TYPE %s histogram\n",
+                                 m->name().c_str());
+              std::size_t cumulative = h.underflow();
+              for (std::size_t i = 0; i < h.bins(); ++i) {
+                  cumulative += h.binCount(i);
+                  out += sim::strfmt(
+                      "%s_bucket{le=\"%.17g\"} %zu\n",
+                      m->name().c_str(), h.binHigh(i), cumulative);
+              }
+              out += sim::strfmt("%s_bucket{le=\"+Inf\"} %zu\n",
+                                 m->name().c_str(), h.count());
+              out += sim::strfmt("%s_sum %.17g\n", m->name().c_str(),
+                                 hm.sum());
+              out += sim::strfmt("%s_count %zu\n", m->name().c_str(),
+                                 h.count());
+              break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::renderCsv() const
+{
+    std::string out = "time_s";
+    for (const auto &col : csvColumns())
+        out += "," + col;
+    out += "\n";
+    const std::size_t width = csvColumns().size();
+    for (const auto &row : rows_) {
+        out += sim::strfmt("%.9f", sim::toSeconds(row.tick));
+        for (std::size_t i = 0; i < width; ++i) {
+            // Rows snapshot before a late registration are padded so
+            // every line has the full column count.
+            const double v =
+                i < row.values.size() ? row.values[i] : 0.0;
+            out += sim::strfmt(",%.17g", v);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+void
+MetricsRegistry::clear()
+{
+    metrics_.clear();
+    index_.clear();
+    rows_.clear();
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return written == text.size();
+}
+
+} // namespace agentsim::telemetry

@@ -1,0 +1,92 @@
+#include "telemetry/sampler.hh"
+
+#include "sim/logging.hh"
+#include "sim/strfmt.hh"
+
+namespace agentsim::telemetry
+{
+
+EngineSampler::EngineSampler(const SamplerConfig &config)
+    : config_(config)
+{
+    AGENTSIM_ASSERT(config_.stride >= 0, "negative sampler stride");
+    if (enabled()) {
+        AGENTSIM_ASSERT(config_.capacity > 0,
+                        "sampler enabled with zero capacity");
+        ring_.reserve(config_.capacity);
+    }
+}
+
+void
+EngineSampler::record(const IterationSample &sample)
+{
+    if (!enabled())
+        return;
+    ++seen_;
+    if ((seen_ - 1) % config_.stride != 0)
+        return;
+    if (ring_.size() < config_.capacity) {
+        ring_.push_back(sample);
+        return;
+    }
+    // Ring is full: overwrite the oldest slot.
+    wrapped_ = true;
+    ++dropped_;
+    ring_[next_] = sample;
+    next_ = (next_ + 1) % config_.capacity;
+}
+
+std::size_t
+EngineSampler::size() const
+{
+    return ring_.size();
+}
+
+std::vector<IterationSample>
+EngineSampler::samples() const
+{
+    std::vector<IterationSample> out;
+    out.reserve(ring_.size());
+    if (!wrapped_) {
+        out = ring_;
+        return out;
+    }
+    // Oldest sample sits at next_ once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+EngineSampler::clear()
+{
+    ring_.clear();
+    next_ = 0;
+    wrapped_ = false;
+    dropped_ = 0;
+    seen_ = 0;
+}
+
+std::string
+EngineSampler::renderCsv(const std::vector<IterationSample> &samples)
+{
+    std::string out =
+        "time_s,step,running,waiting,prefill_tokens,decode_tokens,"
+        "kv_blocks_used,kv_blocks_free,prefix_hit_rate,preemptions,"
+        "evictions,step_seconds\n";
+    for (const auto &s : samples) {
+        out += sim::strfmt(
+            "%.9f,%lld,%d,%d,%lld,%lld,%lld,%lld,%.6f,%lld,%lld,%.9f\n",
+            sim::toSeconds(s.tick), static_cast<long long>(s.step),
+            s.running, s.waiting,
+            static_cast<long long>(s.prefillTokens),
+            static_cast<long long>(s.decodeTokens),
+            static_cast<long long>(s.kvBlocksUsed),
+            static_cast<long long>(s.kvBlocksFree), s.prefixHitRate,
+            static_cast<long long>(s.preemptions),
+            static_cast<long long>(s.evictions), s.stepSeconds);
+    }
+    return out;
+}
+
+} // namespace agentsim::telemetry

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-iteration engine sampler: a ring-buffer time series of one
+ * sample per (strided) engine step, recording the batch composition,
+ * token budget split, KV-pool occupancy and cache behaviour the
+ * paper's serving figures are plotted from.
+ *
+ * The sampler is cheap enough to stay on by default: recording is one
+ * struct copy into a preallocated ring; no allocation, no I/O. The
+ * CSV export is what plotting scripts consume.
+ */
+
+#ifndef AGENTSIM_TELEMETRY_SAMPLER_HH
+#define AGENTSIM_TELEMETRY_SAMPLER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace agentsim::telemetry
+{
+
+/** One engine-iteration observation. */
+struct IterationSample
+{
+    /** Sim time at step completion. */
+    sim::Tick tick = 0;
+    /** Engine step ordinal (1-based, counts unsampled steps too). */
+    std::int64_t step = 0;
+
+    /** Sequences in the running batch after this step. */
+    std::int32_t running = 0;
+    /** Requests still waiting for admission. */
+    std::int32_t waiting = 0;
+
+    /** Prompt tokens prefilled in this step (chunked prefill). */
+    std::int64_t prefillTokens = 0;
+    /** Decode tokens generated in this step. */
+    std::int64_t decodeTokens = 0;
+
+    /** KV blocks referenced by live sequences. */
+    std::int64_t kvBlocksUsed = 0;
+    /** KV blocks not referenced (free list + evictable cache). */
+    std::int64_t kvBlocksFree = 0;
+
+    /** Cumulative prefix-cache token hit rate in [0, 1]. */
+    double prefixHitRate = 0.0;
+    /** Cumulative preemption count. */
+    std::int64_t preemptions = 0;
+    /** Cumulative cache-block evictions. */
+    std::int64_t evictions = 0;
+
+    /** Wall-clock duration of this step, seconds. */
+    double stepSeconds = 0.0;
+};
+
+/** Sampler knobs. */
+struct SamplerConfig
+{
+    /** Keep every Nth step (1 = all); 0 disables sampling. */
+    int stride = 1;
+    /** Ring capacity in samples; older samples are overwritten. */
+    std::size_t capacity = 1 << 16;
+};
+
+/**
+ * Strided ring buffer of IterationSamples. Owned by the engine; read
+ * by exporters after (or during) a run.
+ */
+class EngineSampler
+{
+  public:
+    explicit EngineSampler(const SamplerConfig &config = {});
+
+    bool enabled() const { return config_.stride > 0; }
+    const SamplerConfig &config() const { return config_; }
+
+    /**
+     * Offer one step observation; kept only on stride boundaries.
+     * @p sample.step must increase across calls.
+     */
+    void record(const IterationSample &sample);
+
+    /** Samples currently held, oldest first (ring-wrap resolved). */
+    std::vector<IterationSample> samples() const;
+
+    /** Samples kept (<= capacity once the ring wraps). */
+    std::size_t size() const;
+
+    /** Samples overwritten after the ring wrapped. */
+    std::size_t dropped() const { return dropped_; }
+
+    /** Steps offered to record(), sampled or not. */
+    std::int64_t stepsSeen() const { return seen_; }
+
+    void clear();
+
+    /** Render samples as CSV (header + one row per sample). */
+    static std::string renderCsv(
+        const std::vector<IterationSample> &samples);
+
+  private:
+    SamplerConfig config_;
+    std::vector<IterationSample> ring_;
+    std::size_t next_ = 0;
+    bool wrapped_ = false;
+    std::size_t dropped_ = 0;
+    std::int64_t seen_ = 0;
+};
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_SAMPLER_HH

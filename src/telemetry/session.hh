@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SessionTelemetry: the bundle a harness (probe, serving system,
+ * bench binary, example) hands to a run to collect everything at
+ * once — the metrics registry, the cross-layer trace and a copy of
+ * the engine's iteration time series.
+ */
+
+#ifndef AGENTSIM_TELEMETRY_SESSION_HH
+#define AGENTSIM_TELEMETRY_SESSION_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_sink.hh"
+
+namespace agentsim::telemetry
+{
+
+/**
+ * Aggregated per-run telemetry. The run attaches the trace sink to
+ * its engine and agents, exports end-of-run metrics into the
+ * registry, and copies the engine sampler's series out before the
+ * engine is destroyed.
+ */
+struct SessionTelemetry
+{
+    MetricsRegistry registry;
+    TraceSink trace;
+    /** Engine iteration series, copied out of the engine post-run. */
+    std::vector<IterationSample> engineSamples;
+
+    /** Drop all collected state (reused across bench sweep points). */
+    void
+    reset()
+    {
+        registry.clear();
+        trace.clear();
+        engineSamples.clear();
+    }
+
+    /** Write the Prometheus exposition. @return success. */
+    bool
+    writeMetrics(const std::string &path) const
+    {
+        return writeTextFile(path, registry.renderPrometheus());
+    }
+
+    /** Write the engine iteration series as CSV. @return success. */
+    bool
+    writeEngineCsv(const std::string &path) const
+    {
+        return writeTextFile(path,
+                             EngineSampler::renderCsv(engineSamples));
+    }
+
+    /** Write the Chrome trace JSON. @return success. */
+    bool
+    writeTrace(const std::string &path) const
+    {
+        return trace.writeJson(path);
+    }
+};
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_SESSION_HH

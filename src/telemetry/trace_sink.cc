@@ -1,0 +1,139 @@
+#include "telemetry/trace_sink.hh"
+
+#include "telemetry/registry.hh"
+
+#include "sim/strfmt.hh"
+
+namespace agentsim::telemetry
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += sim::strfmt("\\u%04x",
+                                   static_cast<unsigned>(
+                                       static_cast<unsigned char>(c)));
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+TraceSink::processName(int pid, const std::string &name)
+{
+    if (!named_.insert({pid, -1}).second)
+        return;
+    events_.push_back(sim::strfmt(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        pid, jsonEscape(name).c_str()));
+}
+
+void
+TraceSink::threadName(int pid, std::uint64_t tid,
+                      const std::string &name)
+{
+    if (!named_.insert({pid, static_cast<std::int64_t>(tid)}).second)
+        return;
+    events_.push_back(sim::strfmt(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+        "\"tid\":%llu,\"args\":{\"name\":\"%s\"}}",
+        pid, static_cast<unsigned long long>(tid),
+        jsonEscape(name).c_str()));
+}
+
+void
+TraceSink::complete(int pid, std::uint64_t tid, const std::string &name,
+                    const char *cat, sim::Tick start, sim::Tick end,
+                    const std::string &args_json)
+{
+    std::string ev = sim::strfmt(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
+        "\"dur\":%lld,\"pid\":%d,\"tid\":%llu",
+        jsonEscape(name).c_str(), cat, static_cast<long long>(start),
+        static_cast<long long>(end - start), pid,
+        static_cast<unsigned long long>(tid));
+    if (!args_json.empty())
+        ev += ",\"args\":{" + args_json + "}";
+    ev += "}";
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::instant(int pid, std::uint64_t tid, const std::string &name,
+                   const char *cat, sim::Tick at)
+{
+    events_.push_back(sim::strfmt(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%lld,"
+        "\"pid\":%d,\"tid\":%llu,\"s\":\"t\"}",
+        jsonEscape(name).c_str(), cat, static_cast<long long>(at), pid,
+        static_cast<unsigned long long>(tid)));
+}
+
+void
+TraceSink::counter(int pid, const std::string &name, sim::Tick at,
+                   const std::string &args_json)
+{
+    events_.push_back(sim::strfmt(
+        "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%lld,\"pid\":%d,"
+        "\"args\":{%s}}",
+        jsonEscape(name).c_str(), static_cast<long long>(at), pid,
+        args_json.c_str()));
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::string out = "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        out += i == 0 ? "\n" : ",\n";
+        out += events_[i];
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+bool
+TraceSink::writeJson(const std::string &path) const
+{
+    return writeTextFile(path, toJson());
+}
+
+void
+TraceSink::clear()
+{
+    events_.clear();
+    named_.clear();
+}
+
+} // namespace agentsim::telemetry

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Cross-layer Chrome trace sink: one session-wide trace-event JSON
+ * combining engine iterations, per-request lifecycle spans and agent
+ * steps on the shared simulator clock.
+ *
+ * Tracks (Chrome "processes"):
+ *   pid 1 — the serving engine: one "step" span per iteration plus
+ *           counter series (KV blocks, batch occupancy);
+ *   pid 2 — requests: one thread per request id, with its
+ *           queued / prefill / decode phases as spans and preemption
+ *           instants;
+ *   pid 3 — agents: one thread per rollout, LLM and tool call spans.
+ *
+ * All timestamps are virtual-time microseconds (the sim tick), which
+ * is exactly Chrome's trace-event "ts" unit — load the file in
+ * chrome://tracing or Perfetto and the three layers line up.
+ */
+
+#ifndef AGENTSIM_TELEMETRY_TRACE_SINK_HH
+#define AGENTSIM_TELEMETRY_TRACE_SINK_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace agentsim::telemetry
+{
+
+/**
+ * Escape a string for inclusion in a JSON string literal. Handles the
+ * short escapes (quote, backslash, \b \f \n \r \t) and renders every
+ * other control character below 0x20 as \uXXXX, so arbitrary tool
+ * observations stay valid JSON.
+ */
+std::string jsonEscape(const std::string &s);
+
+/** Well-known track (process) ids of the cross-layer trace. */
+struct TracePid
+{
+    static constexpr int kEngine = 1;
+    static constexpr int kRequests = 2;
+    static constexpr int kAgents = 3;
+};
+
+/**
+ * Append-only trace-event accumulator. Events are rendered to JSON at
+ * emit time; toJson() only joins them. Single-threaded.
+ */
+class TraceSink
+{
+  public:
+    /** Name a track (emitted once per pid). */
+    void processName(int pid, const std::string &name);
+
+    /** Name a lane within a track (emitted once per (pid, tid)). */
+    void threadName(int pid, std::uint64_t tid,
+                    const std::string &name);
+
+    /**
+     * Add a complete ("X") span.
+     *
+     * @param args_json optional pre-rendered JSON object *contents*
+     *        (`"key":1,"other":2`), no braces.
+     */
+    void complete(int pid, std::uint64_t tid, const std::string &name,
+                  const char *cat, sim::Tick start, sim::Tick end,
+                  const std::string &args_json = "");
+
+    /** Add an instant ("i") event. */
+    void instant(int pid, std::uint64_t tid, const std::string &name,
+                 const char *cat, sim::Tick at);
+
+    /**
+     * Add a counter ("C") sample; @p args_json holds the series
+     * values (`"used":12,"free":4`).
+     */
+    void counter(int pid, const std::string &name, sim::Tick at,
+                 const std::string &args_json);
+
+    /** Events emitted so far (metadata included). */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Render the complete trace JSON document. */
+    std::string toJson() const;
+
+    /** Write the trace JSON to @p path. @return success. */
+    bool writeJson(const std::string &path) const;
+
+    void clear();
+
+  private:
+    std::vector<std::string> events_;
+    /** (pid, tid) lanes already named; pid alone uses tid = -1. */
+    std::set<std::pair<int, std::int64_t>> named_;
+};
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_TRACE_SINK_HH

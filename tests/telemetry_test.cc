@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Tier-1 coverage of the telemetry subsystem: registry exposition,
+ * engine iteration sampling, cross-layer Chrome trace validity and
+ * the jsonEscape control-character fix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "core/probe.hh"
+#include "core/serving_system.hh"
+#include "core/trace_export.hh"
+#include "sim/logging.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/trace_sink.hh"
+
+using namespace agentsim;
+
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON validator: structural validity only
+ * (objects, arrays, strings with escapes, numbers, literals). Returns
+ * true iff the whole input is one valid JSON value.
+ */
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(std::string text) : s_(std::move(text)) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    std::string s_;
+    std::size_t pos_ = 0;
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+    bool eof() const { return pos_ >= s_.size(); }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                          s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (s_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (!eof()) {
+            const char c = s_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char: invalid JSON
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (eof())
+                    return false;
+                const char e = s_[pos_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + i])))
+                            return false;
+                    }
+                    pos_ += 4;
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': {
+              ++pos_;
+              skipWs();
+              if (peek() == '}') {
+                  ++pos_;
+                  return true;
+              }
+              for (;;) {
+                  skipWs();
+                  if (!string())
+                      return false;
+                  skipWs();
+                  if (peek() != ':')
+                      return false;
+                  ++pos_;
+                  if (!value())
+                      return false;
+                  skipWs();
+                  if (peek() == ',') {
+                      ++pos_;
+                      continue;
+                  }
+                  if (peek() == '}') {
+                      ++pos_;
+                      return true;
+                  }
+                  return false;
+              }
+          }
+          case '[': {
+              ++pos_;
+              skipWs();
+              if (peek() == ']') {
+                  ++pos_;
+                  return true;
+              }
+              for (;;) {
+                  if (!value())
+                      return false;
+                  skipWs();
+                  if (peek() == ',') {
+                      ++pos_;
+                      continue;
+                  }
+                  if (peek() == ']') {
+                      ++pos_;
+                      return true;
+                  }
+                  return false;
+              }
+          }
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+};
+
+/** Count occurrences of a substring. */
+int
+countOf(const std::string &hay, const std::string &needle)
+{
+    int n = 0;
+    for (std::size_t p = hay.find(needle); p != std::string::npos;
+         p = hay.find(needle, p + needle.size()))
+        ++n;
+    return n;
+}
+
+/** Run a small instrumented ReAct workload once. */
+const telemetry::SessionTelemetry &
+reactSession()
+{
+    static telemetry::SessionTelemetry session;
+    static bool ran = false;
+    if (!ran) {
+        core::ServeConfig cfg;
+        cfg.agent = agents::AgentKind::ReAct;
+        cfg.bench = workload::Benchmark::HotpotQA;
+        cfg.engineConfig = core::enginePreset8b();
+        cfg.qps = 2.0;
+        cfg.numRequests = 8;
+        cfg.seed = 11;
+        cfg.telemetry = &session;
+        core::runServing(cfg);
+        ran = true;
+    }
+    return session;
+}
+
+} // namespace
+
+TEST(Telemetry, SamplerSeriesMonotoneAndComplete)
+{
+    const auto &session = reactSession();
+    const auto &samples = session.engineSamples;
+    ASSERT_GT(samples.size(), 10u);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+        EXPECT_GE(samples[i].tick, samples[i - 1].tick)
+            << "sample " << i << " goes back in time";
+        EXPECT_GT(samples[i].step, samples[i - 1].step);
+    }
+    for (const auto &s : samples) {
+        EXPECT_GE(s.running, 0);
+        EXPECT_GE(s.waiting, 0);
+        EXPECT_GE(s.kvBlocksUsed, 0);
+        EXPECT_GE(s.kvBlocksFree, 0);
+        EXPECT_GE(s.prefixHitRate, 0.0);
+        EXPECT_LE(s.prefixHitRate, 1.0);
+        EXPECT_GT(s.stepSeconds, 0.0);
+        // Every step does some work.
+        EXPECT_GT(s.prefillTokens + s.decodeTokens, 0);
+    }
+    // CSV: header plus one row per sample.
+    const std::string csv =
+        telemetry::EngineSampler::renderCsv(samples);
+    EXPECT_EQ(countOf(csv, "\n"),
+              static_cast<int>(samples.size()) + 1);
+}
+
+TEST(Telemetry, PrometheusOutputParsesLineByLine)
+{
+    const auto &session = reactSession();
+    const std::string text = session.registry.renderPrometheus();
+    EXPECT_GE(session.registry.families(), 10u);
+
+    std::size_t start = 0;
+    int samples = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        ASSERT_NE(end, std::string::npos) << "missing final newline";
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        ASSERT_FALSE(line.empty());
+        if (line[0] == '#') {
+            EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                        line.rfind("# TYPE ", 0) == 0)
+                << line;
+            continue;
+        }
+        // Sample line: <name>[{labels}] <float>
+        const std::size_t sp = line.rfind(' ');
+        ASSERT_NE(sp, std::string::npos) << line;
+        const std::string name = line.substr(0, sp);
+        const std::string value = line.substr(sp + 1);
+        EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name[0])))
+            << line;
+        char *parse_end = nullptr;
+        std::strtod(value.c_str(), &parse_end);
+        EXPECT_EQ(*parse_end, '\0') << "unparsable value: " << line;
+        ++samples;
+    }
+    EXPECT_GE(samples, 10);
+    EXPECT_NE(text.find("agentsim_kv_blocks_used"), std::string::npos);
+    EXPECT_NE(text.find("agentsim_request_e2e_seconds_bucket"),
+              std::string::npos);
+}
+
+TEST(Telemetry, ChromeTraceIsValidCrossLayerJson)
+{
+    const auto &session = reactSession();
+    const std::string json = session.trace.toJson();
+
+    JsonValidator v(json);
+    EXPECT_TRUE(v.valid());
+
+    // All three layers are present on the shared clock.
+    EXPECT_NE(json.find("\"name\":\"step\""), std::string::npos);
+    EXPECT_NE(json.find("\"queued\""), std::string::npos);
+    EXPECT_NE(json.find("\"prefill\""), std::string::npos);
+    EXPECT_NE(json.find("\"decode\""), std::string::npos);
+    EXPECT_NE(json.find("react.step"), std::string::npos);
+
+    // Only M/X/C/i phases are emitted; B/E must balance (we emit
+    // none, so both counts are zero).
+    EXPECT_EQ(countOf(json, "\"ph\":\"B\""),
+              countOf(json, "\"ph\":\"E\""));
+    const int events = countOf(json, "\"ph\":\"");
+    const int known = countOf(json, "\"ph\":\"M\"") +
+                      countOf(json, "\"ph\":\"X\"") +
+                      countOf(json, "\"ph\":\"C\"") +
+                      countOf(json, "\"ph\":\"i\"");
+    EXPECT_EQ(events, known);
+    EXPECT_GT(events, 100);
+
+    // Complete events never have negative durations.
+    EXPECT_EQ(countOf(json, "\"dur\":-"), 0);
+}
+
+TEST(Telemetry, JsonEscapeHandlesControlCharacters)
+{
+    const std::string nasty =
+        std::string("tab\there\r\n\"quote\"\\slash\x01\x1f");
+    const std::string escaped = telemetry::jsonEscape(nasty);
+    EXPECT_EQ(escaped,
+              "tab\\there\\r\\n\\\"quote\\\"\\\\slash\\u0001\\u001f");
+
+    // The whole string must round-trip through the validator as a
+    // JSON document.
+    JsonValidator v("\"" + escaped + "\"");
+    EXPECT_TRUE(v.valid());
+}
+
+TEST(Telemetry, AgentTraceExportSurvivesTabsInLabels)
+{
+    agents::AgentResult result;
+    agents::Span span;
+    span.kind = agents::Span::Kind::Tool;
+    span.start = 10;
+    span.end = 20;
+    span.label = "observe\tcol1\tcol2\r\x02";
+    result.timeline.push_back(span);
+
+    const std::string json =
+        core::toChromeTrace(result, "escape\ttest");
+    JsonValidator v(json);
+    EXPECT_TRUE(v.valid());
+    EXPECT_NE(json.find("\\u0002"), std::string::npos);
+}
+
+TEST(Telemetry, SamplerRingWrapKeepsChronologicalOrder)
+{
+    telemetry::SamplerConfig cfg;
+    cfg.stride = 1;
+    cfg.capacity = 8;
+    telemetry::EngineSampler sampler(cfg);
+    for (int i = 1; i <= 20; ++i) {
+        telemetry::IterationSample s;
+        s.tick = i * 100;
+        s.step = i;
+        sampler.record(s);
+    }
+    const auto samples = sampler.samples();
+    ASSERT_EQ(samples.size(), 8u);
+    EXPECT_EQ(sampler.dropped(), 12u);
+    EXPECT_EQ(samples.front().step, 13);
+    EXPECT_EQ(samples.back().step, 20);
+    for (std::size_t i = 1; i < samples.size(); ++i)
+        EXPECT_GT(samples[i].tick, samples[i - 1].tick);
+}
+
+TEST(Telemetry, SamplerStrideAndDisable)
+{
+    telemetry::SamplerConfig strided;
+    strided.stride = 3;
+    telemetry::EngineSampler sampler(strided);
+    for (int i = 1; i <= 10; ++i) {
+        telemetry::IterationSample s;
+        s.step = i;
+        sampler.record(s);
+    }
+    const auto samples = sampler.samples();
+    ASSERT_EQ(samples.size(), 4u); // steps 1, 4, 7, 10
+    EXPECT_EQ(samples[1].step, 4);
+
+    telemetry::SamplerConfig off;
+    off.stride = 0;
+    telemetry::EngineSampler disabled(off);
+    telemetry::IterationSample s;
+    disabled.record(s);
+    EXPECT_FALSE(disabled.enabled());
+    EXPECT_EQ(disabled.size(), 0u);
+}
+
+TEST(Telemetry, RegistryCsvSnapshots)
+{
+    telemetry::MetricsRegistry reg;
+    auto &c = reg.counter("demo_total", "demo counter");
+    auto &g = reg.gauge("demo_gauge", "demo gauge");
+    auto &h = reg.histogram("demo_hist", "demo histogram", 0, 10, 5);
+
+    c.add(1);
+    g.set(0, 2.5);
+    h.observe(3.0);
+    reg.snapshot(sim::fromSeconds(1.0));
+    c.add(2);
+    h.observe(7.0);
+    reg.snapshot(sim::fromSeconds(2.0));
+
+    const std::string csv = reg.renderCsv();
+    EXPECT_EQ(countOf(csv, "\n"), 3); // header + 2 rows
+    EXPECT_NE(csv.find("time_s,demo_total,demo_gauge,demo_hist_count,"
+                       "demo_hist_sum"),
+              std::string::npos);
+    EXPECT_NE(csv.find("\n2.000000000,3,2.5,2,10"), std::string::npos);
+
+    // Re-registering with the same name returns the same metric.
+    EXPECT_EQ(&reg.counter("demo_total", ""), &c);
+    EXPECT_EQ(reg.families(), 3u);
+}
+
+TEST(Telemetry, LogLevelParsingAndFilter)
+{
+    using sim::LogLevel;
+    EXPECT_EQ(sim::parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(sim::parseLogLevel("INFO"), LogLevel::Info);
+    EXPECT_EQ(sim::parseLogLevel("Warning"), LogLevel::Warn);
+    EXPECT_EQ(sim::parseLogLevel("quiet"), LogLevel::Error);
+    EXPECT_EQ(sim::parseLogLevel("bogus"), std::nullopt);
+
+    const LogLevel saved = sim::logLevel();
+    sim::setLogLevel(LogLevel::Error);
+    EXPECT_FALSE(sim::logEnabled(LogLevel::Warn));
+    EXPECT_FALSE(sim::logEnabled(LogLevel::Info));
+    EXPECT_TRUE(sim::logEnabled(LogLevel::Error));
+    sim::setLogLevel(LogLevel::Debug);
+    EXPECT_TRUE(sim::logEnabled(LogLevel::Debug));
+    sim::setLogLevel(saved);
+}
+
+TEST(Telemetry, BlockManagerExposesOccupancyGauges)
+{
+    kv::BlockManagerConfig cfg;
+    cfg.numBlocks = 16;
+    cfg.blockSize = 4;
+    kv::BlockManager mgr(cfg);
+    EXPECT_EQ(mgr.blocksInUse(), 0);
+    EXPECT_EQ(mgr.blocksFree(), 16);
+
+    std::vector<kv::TokenId> prompt(10, 42);
+    for (std::size_t i = 0; i < prompt.size(); ++i)
+        prompt[i] = 1000 + i;
+    ASSERT_TRUE(mgr.allocatePrompt(1, prompt).has_value());
+    EXPECT_EQ(mgr.blocksInUse(), 3); // ceil(10 / 4)
+    EXPECT_EQ(mgr.blocksInUse() + mgr.blocksFree(), mgr.totalBlocks());
+
+    mgr.release(1);
+    EXPECT_EQ(mgr.blocksInUse(), 0);
+    EXPECT_EQ(mgr.blocksFree(), 16);
+}
