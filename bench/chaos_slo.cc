@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Chaos/SLO sweep — what unreliable infrastructure costs an agentic
+ * serving cluster. Sweeps the per-node crash rate (and, separately,
+ * tool fault rates) over a mixed agent + chatbot workload and reports
+ * tail latency, goodput and the retry/failover traffic the client
+ * layer generates to survive.
+ *
+ * Every crash cold-starts the node's prefix cache and reroutes its
+ * in-flight rollouts, so the p99 penalty is much larger than the raw
+ * downtime fraction suggests: retried requests pay queueing, backoff
+ * and a full re-prefill on a cache-cold node.
+ *
+ *   chaos_slo [--trace out.json] [--metrics out.prom]
+ *
+ * Optional telemetry captures the *last* crash-sweep point — the most
+ * hostile one: the Chrome trace holds crash/restart/failover/shed and
+ * cancellation instants across all three nodes, the metrics file the
+ * cluster-wide retry/failover/cancel counters.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+
+#include "common.hh"
+#include "core/cluster.hh"
+
+namespace
+{
+
+using namespace benchutil;
+
+core::ClusterConfig
+baseConfig()
+{
+    core::ClusterConfig cfg;
+    cfg.numNodes = 3;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.policy = core::RoutePolicy::LeastLoaded;
+
+    core::WorkloadSpec react_hotpot;
+    react_hotpot.agent = AgentKind::ReAct;
+    react_hotpot.bench = Benchmark::HotpotQA;
+    cfg.mix.push_back(react_hotpot);
+
+    core::WorkloadSpec reflexion_shop;
+    reflexion_shop.agent = AgentKind::Reflexion;
+    reflexion_shop.bench = Benchmark::WebShop;
+    cfg.mix.push_back(reflexion_shop);
+
+    core::WorkloadSpec chat;
+    chat.chatbot = true;
+    cfg.mix.push_back(chat);
+
+    cfg.qps = 3.0;
+    cfg.numRequests = 150;
+    cfg.seed = kSeed;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string metrics_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0)
+            trace_path = argv[i + 1];
+        else if (std::strcmp(argv[i], "--metrics") == 0)
+            metrics_path = argv[i + 1];
+    }
+    telemetry::TraceSink trace;
+    telemetry::MetricsRegistry metrics;
+
+    // --- Sweep 1: node crash rate vs tail latency / goodput. -------
+    core::Table crash_table(
+        "Chaos: node crash rate vs SLO (3 nodes, mixed workload)");
+    crash_table.header({"Node MTBF", "Crashes", "Retries", "Failovers",
+                        "Goodput", "p50", "p99"});
+
+    const double mtbfs[] = {0.0, 120.0, 60.0, 30.0};
+    for (double mtbf : mtbfs) {
+        auto cfg = baseConfig();
+        cfg.faults.nodeMtbfSeconds = mtbf;
+        cfg.faults.nodeRestartMeanSeconds = 5.0;
+        if (mtbf == mtbfs[std::size(mtbfs) - 1]) {
+            if (!trace_path.empty()) {
+                trace.clear();
+                cfg.traceSink = &trace;
+            }
+            if (!metrics_path.empty())
+                cfg.metrics = &metrics;
+        }
+        const auto r = core::runCluster(cfg);
+        crash_table.row(
+            {mtbf > 0 ? core::fmtSeconds(mtbf) : "off",
+             core::fmtCount(static_cast<double>(r.faultStats.crashes)),
+             core::fmtCount(r.retries), core::fmtCount(r.failovers),
+             core::fmtPercent(r.goodputFraction()),
+             core::fmtSeconds(r.p50()), core::fmtSeconds(r.p99())});
+    }
+    crash_table.print();
+
+    // --- Sweep 2: tool fault rate vs rollout latency. --------------
+    core::Table tool_table(
+        "Chaos: tool fault rate vs rollout latency (no node faults)");
+    tool_table.header(
+        {"Tool failure prob", "Slowdown prob", "Goodput", "p50", "p99"});
+    for (double prob : {0.0, 0.1, 0.3}) {
+        auto cfg = baseConfig();
+        cfg.faults.toolFailureProb = prob;
+        cfg.faults.toolSlowdownProb = prob;
+        const auto r = core::runCluster(cfg);
+        tool_table.row({core::fmtPercent(prob),
+                        core::fmtPercent(prob),
+                        core::fmtPercent(r.goodputFraction()),
+                        core::fmtSeconds(r.p50()),
+                        core::fmtSeconds(r.p99())});
+    }
+    tool_table.print();
+
+    if (!trace_path.empty()) {
+        if (!trace.writeJson(trace_path)) {
+            std::fprintf(stderr, "error: failed to write trace to %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::printf("telemetry: wrote Chrome trace to %s\n",
+                    trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        if (!telemetry::writeTextFile(metrics_path,
+                                      metrics.renderPrometheus())) {
+            std::fprintf(stderr,
+                         "error: failed to write metrics to %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("telemetry: wrote Prometheus metrics to %s\n",
+                    metrics_path.c_str());
+    }
+
+    std::printf(
+        "\nDesign note: agent rollouts amplify infrastructure "
+        "faults — one node crash cancels every in-flight iteration "
+        "on it, and each retried rollout re-prefills its whole "
+        "accumulated context on a cache-cold node. Goodput degrades "
+        "slowly (retries absorb the failures) while p99 degrades "
+        "fast (backoff + re-prefill + queueing on the survivors).\n");
+    return 0;
+}

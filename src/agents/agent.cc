@@ -165,6 +165,7 @@ callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
     req.prompt = std::move(prompt.tokens);
     req.maxNewTokens =
         ctx.profile().sampleOutputTokens(rng, output_mean);
+    req.deadlineSeconds = ctx.config.llmDeadlineSeconds;
     // All calls of one rollout share a session id so program-aware
     // schedulers (Autellix-style LAS) can track attained service.
     req.sessionId = sim::hashCombine(
@@ -175,6 +176,18 @@ callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
     serving::GenResult gen =
         co_await ctx.engine->generate(std::move(req));
     const sim::Tick end = ctx.sim->now();
+
+    if (gen.retryable()) {
+        throw NodeFailureError(
+            sim::strfmt("%s: %s", label.c_str(),
+                        gen.shed ? "request shed" : "node failure"),
+            gen.shed);
+    }
+    if (gen.timedOut) {
+        throw DeadlineExceededError(sim::strfmt(
+            "%s: deadline exceeded after %.3f s", label.c_str(),
+            gen.totalSeconds));
+    }
 
     CallTokens tokens = prompt.breakdown;
     tokens.output = static_cast<std::int64_t>(gen.tokens.size());
@@ -203,6 +216,11 @@ callTool(AgentContext &ctx, Trace &trace, sim::Rng &rng,
         ctx.traceSink->complete(telemetry::TracePid::kAgents,
                                 ctx.traceTid, std::string(tool.name()),
                                 "tool", start, ctx.sim->now());
+        if (result.failed) {
+            ctx.traceSink->instant(telemetry::TracePid::kAgents,
+                                   ctx.traceTid, "tool_fault", "tool",
+                                   ctx.sim->now());
+        }
     }
     co_return result;
 }

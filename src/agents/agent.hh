@@ -9,6 +9,7 @@
 #define AGENTSIM_AGENTS_AGENT_HH
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "agents/prompt.hh"
@@ -96,6 +97,13 @@ struct AgentConfig
     int scSamples = 5;
     /** Backbone per-hop competence (see accuracy.hh). */
     double modelQuality = 0.50;
+    /**
+     * Per-LLM-call SLO deadline, seconds (0 disables). Set on every
+     * GenRequest the rollout issues; an expired call surfaces as
+     * GenResult.timedOut and the rollout is abandoned (see
+     * RolloutAbandoned).
+     */
+    double llmDeadlineSeconds = 0.0;
 
     /** Resolve the few-shot count against a benchmark profile. */
     int resolveFewShot(const workload::BenchmarkProfile &profile) const
@@ -158,8 +166,43 @@ struct AgentContext
 };
 
 /**
+ * An LLM call hit a retryable serving failure: the node crashed (or
+ * was offline) or shed the request at admission. The rollout cannot
+ * continue on this node — its KV and conversation state are tied to
+ * in-flight work that is gone — so the whole rollout should be
+ * retried, typically on another node (see core::RetryPolicy).
+ */
+class NodeFailureError : public std::runtime_error
+{
+  public:
+    NodeFailureError(std::string what, bool shed_)
+        : std::runtime_error(std::move(what)), shed(shed_)
+    {
+    }
+
+    /** True for admission-control shedding, false for a crash. */
+    bool shed = false;
+};
+
+/**
+ * An LLM call blew its per-call deadline (AgentConfig
+ * ::llmDeadlineSeconds). Not retryable: the SLO is already missed, so
+ * the rollout is abandoned and counted against goodput.
+ */
+class DeadlineExceededError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
  * Issue one LLM call: build the request, await the engine, record the
  * span and token breakdown in @p trace, and return the result.
+ *
+ * Throws NodeFailureError when the engine reports a retryable failure
+ * (node crash / load shed) and DeadlineExceededError when the call's
+ * deadline expired; both propagate through the rollout's coroutine
+ * chain to the cluster worker driving it.
  *
  * @param output_mean mean output length for this call role.
  * @param label trace label, e.g. "react.step" or "lats.value".

@@ -1,6 +1,7 @@
 #include "core/cluster.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "agents/accuracy.hh"
 #include "sim/logging.hh"
@@ -66,54 +67,82 @@ workloadKey(const WorkloadSpec &spec)
         sim::fnv1a(workload::benchmarkName(spec.bench)));
 }
 
-int
-route(RoutePolicy policy, const WorkloadSpec &spec,
-      std::vector<Node> &nodes, int &rr_next)
+/**
+ * Routing state shared by the driver and retrying workers. Offline
+ * (crashed) nodes are never picked; pick() returns -1 when the whole
+ * cluster is down and the caller should back off and re-probe.
+ */
+struct Router
 {
-    const int n = static_cast<int>(nodes.size());
-    switch (policy) {
-      case RoutePolicy::RoundRobin: {
-          const int pick = rr_next;
-          rr_next = (rr_next + 1) % n;
-          return pick;
-      }
-      case RoutePolicy::LeastLoaded: {
-          int best = 0;
-          for (int i = 1; i < n; ++i) {
-              if (nodes[static_cast<std::size_t>(i)].load() <
-                  nodes[static_cast<std::size_t>(best)].load()) {
-                  best = i;
-              }
-          }
-          return best;
-      }
-      case RoutePolicy::CacheAffinity: {
-          // Agent-aware: chatbot traffic has near-zero cross-request
-          // prefix reuse, so it simply load-balances; agent requests
-          // go to their workflow's home node unless it is clearly
-          // overloaded relative to the cluster minimum.
-          int least = 0;
-          for (int i = 1; i < n; ++i) {
-              if (nodes[static_cast<std::size_t>(i)].load() <
-                  nodes[static_cast<std::size_t>(least)].load()) {
-                  least = i;
-              }
-          }
-          if (spec.chatbot)
-              return least;
-          const int home = static_cast<int>(
-              workloadKey(spec) % static_cast<std::uint64_t>(n));
-          const std::size_t min_load =
-              nodes[static_cast<std::size_t>(least)].load();
-          if (nodes[static_cast<std::size_t>(home)].load() >
-              min_load + 6) {
-              return least;
-          }
-          return home;
-      }
+    RoutePolicy policy;
+    std::vector<Node> &nodes;
+    int rrNext = 0;
+
+    bool
+    online(int i) const
+    {
+        return nodes[static_cast<std::size_t>(i)].engine->online();
     }
-    AGENTSIM_PANIC("unknown routing policy");
-}
+
+    /** Least-loaded online node, or -1 if none is online. */
+    int
+    leastLoadedOnline() const
+    {
+        const int n = static_cast<int>(nodes.size());
+        int best = -1;
+        for (int i = 0; i < n; ++i) {
+            if (!online(i))
+                continue;
+            if (best < 0 ||
+                nodes[static_cast<std::size_t>(i)].load() <
+                    nodes[static_cast<std::size_t>(best)].load()) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    int
+    pick(const WorkloadSpec &spec)
+    {
+        const int n = static_cast<int>(nodes.size());
+        switch (policy) {
+          case RoutePolicy::RoundRobin: {
+              for (int step = 0; step < n; ++step) {
+                  const int candidate = rrNext;
+                  rrNext = (rrNext + 1) % n;
+                  if (online(candidate))
+                      return candidate;
+              }
+              return -1;
+          }
+          case RoutePolicy::LeastLoaded:
+            return leastLoadedOnline();
+          case RoutePolicy::CacheAffinity: {
+              // Agent-aware: chatbot traffic has near-zero
+              // cross-request prefix reuse, so it simply
+              // load-balances; agent requests go to their workflow's
+              // home node unless it is down or clearly overloaded
+              // relative to the cluster minimum.
+              const int least = leastLoadedOnline();
+              if (least < 0 || spec.chatbot)
+                  return least;
+              const int home = static_cast<int>(
+                  workloadKey(spec) % static_cast<std::uint64_t>(n));
+              if (!online(home))
+                  return least;
+              const std::size_t min_load =
+                  nodes[static_cast<std::size_t>(least)].load();
+              if (nodes[static_cast<std::size_t>(home)].load() >
+                  min_load + 6) {
+                  return least;
+              }
+              return home;
+          }
+        }
+        AGENTSIM_PANIC("unknown routing policy");
+    }
+};
 
 void
 noteCompletion(ClusterState &state, sim::Tick submit, sim::Tick finish,
@@ -128,59 +157,177 @@ noteCompletion(ClusterState &state, sim::Tick submit, sim::Tick finish,
     ++state.result.completed;
 }
 
+void
+noteFailure(ClusterState &state, sim::Tick submit, sim::Tick finish,
+            bool timed_out)
+{
+    if (state.firstSubmit < 0)
+        state.firstSubmit = submit;
+    state.lastFinish = std::max(state.lastFinish, finish);
+    ++state.result.failed;
+    if (timed_out)
+        ++state.result.timedOut;
+}
+
+/**
+ * Shared retry bookkeeping: route (re-probing while the whole cluster
+ * is down), count failovers, emit the failover trace instant.
+ * @return the chosen node index.
+ */
+sim::Task<int>
+routeWithFailover(const ClusterConfig &config, sim::Simulation &sim,
+                  Router &router, const WorkloadSpec &spec,
+                  std::uint64_t index, int prev_node,
+                  ClusterState &state)
+{
+    int target;
+    while ((target = router.pick(spec)) < 0) {
+        // Every node is down; poll until a restart brings one back.
+        co_await sim::delaySec(sim, config.retry.allDownPollSeconds);
+    }
+    if (prev_node >= 0 && target != prev_node) {
+        ++state.result.failovers;
+        if (config.traceSink != nullptr) {
+            config.traceSink->instant(telemetry::TracePid::kAgents,
+                                      index, "failover", "cluster",
+                                      sim.now());
+        }
+    }
+    co_return target;
+}
+
+/** Jittered exponential backoff before retry @p attempt (1-based). */
+double
+retrySleepSeconds(const RetryPolicy &retry, int attempt, sim::Rng &rng)
+{
+    return retry.backoffSeconds(attempt) *
+           (1.0 + rng.uniform(0.0, retry.jitter));
+}
+
 sim::Task<void>
 clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
-                   Node &node, const WorkloadSpec &spec,
+                   std::vector<Node> &nodes, Router &router,
+                   const WorkloadSpec &spec,
                    std::size_t workload_index, std::uint64_t index,
                    ClusterState &state)
 {
     workload::TaskGenerator gen(spec.bench, config.seed);
-    agents::AgentContext ctx;
-    ctx.sim = &sim;
-    ctx.engine = node.engine.get();
-    ctx.tools = &node.toolsFor(spec.bench);
-    ctx.task = gen.sample(index);
-    ctx.config = spec.agentConfig;
-    ctx.config.modelQuality =
-        agents::modelQuality(config.engineConfig.model.name);
-    ctx.kind = spec.agent;
-    ctx.seed = config.seed;
-
-    auto agent = agents::makeAgent(spec.agent);
+    sim::Rng backoff(config.seed, "cluster.retry", index);
     const sim::Tick submit = sim.now();
-    agents::AgentResult result = co_await agent->run(ctx);
-    (void)result;
-    noteCompletion(state, submit, sim.now(), workload_index);
+    int prev_node = -1;
+    int attempt = 0;
+    for (;;) {
+        const int target = co_await routeWithFailover(
+            config, sim, router, spec, index, prev_node, state);
+        prev_node = target;
+        ++attempt;
+        Node &node = nodes[static_cast<std::size_t>(target)];
+        ++node.assigned;
+
+        agents::AgentContext ctx;
+        ctx.sim = &sim;
+        ctx.engine = node.engine.get();
+        ctx.tools = &node.toolsFor(spec.bench);
+        ctx.task = gen.sample(index);
+        ctx.config = spec.agentConfig;
+        ctx.config.modelQuality =
+            agents::modelQuality(config.engineConfig.model.name);
+        ctx.kind = spec.agent;
+        ctx.seed = config.seed;
+        ctx.traceSink = config.traceSink;
+        ctx.traceTid = index;
+
+        auto agent = agents::makeAgent(spec.agent);
+        bool retry_pending = false;
+        try {
+            agents::AgentResult result = co_await agent->run(ctx);
+            (void)result;
+            noteCompletion(state, submit, sim.now(), workload_index);
+            co_return;
+        } catch (const agents::DeadlineExceededError &) {
+            // The SLO is already blown; a retry cannot un-miss it.
+            noteFailure(state, submit, sim.now(), true);
+            co_return;
+        } catch (const agents::NodeFailureError &) {
+            if (attempt >= config.retry.maxAttempts) {
+                noteFailure(state, submit, sim.now(), false);
+                co_return;
+            }
+            retry_pending = true; // co_await is illegal in a handler
+        }
+        if (retry_pending) {
+            ++state.result.retries;
+            co_await sim::delaySec(
+                sim,
+                retrySleepSeconds(config.retry, attempt, backoff));
+            // The rollout restarts from scratch on the next pick —
+            // on a different node its workflow prefix is cold.
+        }
+    }
 }
 
 sim::Task<void>
 clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
-                  Node &node, std::size_t workload_index,
-                  std::uint64_t index, ClusterState &state)
+                  std::vector<Node> &nodes, Router &router,
+                  const WorkloadSpec &spec,
+                  std::size_t workload_index, std::uint64_t index,
+                  ClusterState &state)
 {
     const workload::ShareGptSampler sampler(config.seed);
     const workload::ChatRequest chat = sampler.sample(index);
     constexpr std::int64_t system_tokens = 40;
-    serving::GenRequest req;
-    req.prompt = workload::makeTokens(
+    std::vector<kv::TokenId> prompt = workload::makeTokens(
         workload::streamId(config.seed, "chat.system"), system_tokens);
     const auto convo = workload::makeTokens(
         workload::substream(workload::streamId(config.seed,
                                                "chat.convo"),
                             index),
         std::max<std::int64_t>(1, chat.promptTokens - system_tokens));
-    req.prompt.insert(req.prompt.end(), convo.begin(), convo.end());
-    req.maxNewTokens = chat.outputTokens;
+    prompt.insert(prompt.end(), convo.begin(), convo.end());
 
-    req.sessionId = sim::hashCombine(config.seed, index);
+    sim::Rng backoff(config.seed, "cluster.retry", index);
     const sim::Tick submit = sim.now();
-    co_await node.engine->generate(std::move(req));
-    noteCompletion(state, submit, sim.now(), workload_index);
+    int prev_node = -1;
+    int attempt = 0;
+    for (;;) {
+        const int target = co_await routeWithFailover(
+            config, sim, router, spec, index, prev_node, state);
+        prev_node = target;
+        ++attempt;
+        Node &node = nodes[static_cast<std::size_t>(target)];
+        ++node.assigned;
+
+        serving::GenRequest req;
+        req.prompt = prompt;
+        req.maxNewTokens = chat.outputTokens;
+        req.sessionId = sim::hashCombine(config.seed, index);
+        req.deadlineSeconds = config.chatDeadlineSeconds;
+        const serving::GenResult gen =
+            co_await node.engine->generate(std::move(req));
+
+        if (gen.ok() || gen.truncated) {
+            noteCompletion(state, submit, sim.now(), workload_index);
+            co_return;
+        }
+        if (gen.timedOut || gen.failed) {
+            noteFailure(state, submit, sim.now(), gen.timedOut);
+            co_return;
+        }
+        // Retryable: shed at admission or lost to a node failure.
+        if (attempt >= config.retry.maxAttempts) {
+            noteFailure(state, submit, sim.now(), false);
+            co_return;
+        }
+        ++state.result.retries;
+        co_await sim::delaySec(
+            sim, retrySleepSeconds(config.retry, attempt, backoff));
+    }
 }
 
 sim::Task<void>
 clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
-              std::vector<Node> &nodes, ClusterState &state)
+              std::vector<Node> &nodes, Router &router,
+              sim::FaultInjector *faults, ClusterState &state)
 {
     sim::Rng arrivals(config.seed, "cluster.arrivals", 0);
     sim::Rng mixer(config.seed, "cluster.mix", 0);
@@ -189,7 +336,6 @@ clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
     for (const auto &spec : config.mix)
         weights.push_back(spec.weight);
 
-    int rr_next = 0;
     std::vector<sim::Task<void>> workers;
     workers.reserve(static_cast<std::size_t>(config.numRequests));
     for (int i = 0; i < config.numRequests; ++i) {
@@ -199,20 +345,22 @@ clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
         }
         const std::size_t which = mixer.categorical(weights);
         const WorkloadSpec &spec = config.mix[which];
-        const int target =
-            route(config.policy, spec, nodes, rr_next);
-        Node &node = nodes[static_cast<std::size_t>(target)];
-        ++node.assigned;
         const auto index = static_cast<std::uint64_t>(i);
         if (spec.chatbot) {
-            workers.push_back(clusterChatWorker(config, sim, node,
-                                                which, index, state));
+            workers.push_back(clusterChatWorker(config, sim, nodes,
+                                                router, spec, which,
+                                                index, state));
         } else {
-            workers.push_back(clusterAgentWorker(
-                config, sim, node, spec, which, index, state));
+            workers.push_back(clusterAgentWorker(config, sim, nodes,
+                                                 router, spec, which,
+                                                 index, state));
         }
     }
     co_await sim::allOf(std::move(workers));
+    // Workload drained: let the fault drivers exit at their next wake
+    // so the event queue can empty.
+    if (faults != nullptr)
+        faults->stop();
 }
 
 } // namespace
@@ -252,6 +400,8 @@ runCluster(const ClusterConfig &config)
                              static_cast<std::uint64_t>(i));
         node.engine =
             std::make_unique<serving::LlmEngine>(sim, engine_cfg);
+        if (config.traceSink != nullptr)
+            node.engine->attachTrace(config.traceSink);
         for (int b = 0; b <= static_cast<int>(
                                  workload::Benchmark::HumanEval);
              ++b) {
@@ -262,23 +412,92 @@ runCluster(const ClusterConfig &config)
         nodes.push_back(std::move(node));
     }
 
+    // Chaos wiring: node-level faults drive the engines through the
+    // injector's hooks; tool-level faults are sampled inside each
+    // tool from its own deterministic stream.
+    std::optional<sim::FaultInjector> faults;
+    if (config.faults.nodeFaultsEnabled()) {
+        faults.emplace(sim, config.faults);
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            serving::LlmEngine *engine = nodes[i].engine.get();
+            faults->attachNode(
+                i, sim::FaultInjector::NodeHooks{
+                       [engine] { engine->crash(); },
+                       [engine] { engine->restart(); },
+                       [engine](double s) { engine->injectStall(s); },
+                   });
+        }
+    }
+    if (config.faults.toolFaultsEnabled()) {
+        tools::FaultProfile profile;
+        profile.failureProb = config.faults.toolFailureProb;
+        profile.failureSeconds = config.faults.toolFailureSeconds;
+        profile.slowdownProb = config.faults.toolSlowdownProb;
+        profile.slowdownFactor = config.faults.toolSlowdownFactor;
+        profile.seed = config.faults.seed;
+        for (auto &node : nodes) {
+            for (auto &set : node.toolsByBenchmark) {
+                for (std::size_t t = 0; t < set->size(); ++t)
+                    set->at(t).setFaults(profile);
+            }
+        }
+    }
+
     ClusterState state;
     state.result.perWorkloadSeconds.resize(config.mix.size());
-    auto drive = clusterDriver(config, sim, nodes, state);
+    Router router{config.policy, nodes, 0};
+    auto drive = clusterDriver(config, sim, nodes, router,
+                               faults ? &*faults : nullptr, state);
     sim.run();
     AGENTSIM_ASSERT(drive.done(), "cluster driver did not finish");
-    AGENTSIM_ASSERT(state.result.completed == config.numRequests,
+    AGENTSIM_ASSERT(state.result.completed + state.result.failed ==
+                        config.numRequests,
                     "cluster lost requests");
 
     ClusterResult out = std::move(state.result);
     out.makespanSeconds = sim::toSeconds(
         state.lastFinish - std::max<sim::Tick>(0, state.firstSubmit));
+    if (faults)
+        out.faultStats = faults->stats();
+    for (const auto &node : nodes) {
+        // Every cancelled/crashed/finished request must have returned
+        // its blocks; chaos runs exercise this hard.
+        node.engine->blockManager().checkInvariants();
+    }
     for (const auto &node : nodes) {
         NodeResult nr;
         nr.requests = node.assigned;
         nr.cacheHitRate = node.engine->cacheStats().hitRate();
         nr.engineStats = node.engine->stats();
         out.nodes.push_back(nr);
+    }
+    if (config.metrics != nullptr) {
+        serving::EngineStats sum;
+        for (const auto &nr : out.nodes) {
+            sum.requestsCancelled += nr.engineStats.requestsCancelled;
+            sum.requestsTimedOut += nr.engineStats.requestsTimedOut;
+            sum.requestsShed += nr.engineStats.requestsShed;
+            sum.crashes += nr.engineStats.crashes;
+        }
+        auto set = [&](const char *name, const char *help, double v) {
+            config.metrics->counter(name, help).set(v);
+        };
+        set("agentsim_client_retries_total",
+            "Client retry attempts across all requests", out.retries);
+        set("agentsim_client_failovers_total",
+            "Retries rerouted to a different node", out.failovers);
+        set("agentsim_cluster_requests_cancelled_total",
+            "Requests cancelled across all nodes",
+            static_cast<double>(sum.requestsCancelled));
+        set("agentsim_cluster_requests_timed_out_total",
+            "Requests that missed their deadline across all nodes",
+            static_cast<double>(sum.requestsTimedOut));
+        set("agentsim_cluster_requests_shed_total",
+            "Requests shed by admission control across all nodes",
+            static_cast<double>(sum.requestsShed));
+        set("agentsim_cluster_node_crashes_total",
+            "Injected node crashes across the cluster",
+            static_cast<double>(sum.crashes));
     }
     return out;
 }

@@ -25,7 +25,10 @@
 
 #include "agents/workflows.hh"
 #include "serving/engine.hh"
+#include "sim/fault.hh"
 #include "stats/summary.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace_sink.hh"
 #include "workload/benchmark.hh"
 
 namespace agentsim::core
@@ -53,6 +56,36 @@ struct WorkloadSpec
     double weight = 1.0;
 };
 
+/**
+ * Client-side retry discipline for retryable serving failures (node
+ * crash, admission shed). Exponential backoff with multiplicative
+ * jitter; each retry re-routes, so after a crash the rollout usually
+ * lands on another node — with a cold prefix cache for its workflow.
+ */
+struct RetryPolicy
+{
+    /** Total tries per rollout, first attempt included. */
+    int maxAttempts = 3;
+    /** Backoff before retry k is base * 2^(k-1), seconds. */
+    double baseBackoffSeconds = 0.5;
+    /** Backoff ceiling, seconds. */
+    double maxBackoffSeconds = 8.0;
+    /** Uniform jitter fraction: sleep *= 1 + U(0, jitter). */
+    double jitter = 0.5;
+    /** Sleep before re-probing when every node is offline, seconds. */
+    double allDownPollSeconds = 0.5;
+
+    /** Backoff for retry @p attempt (1-based), before jitter. */
+    double
+    backoffSeconds(int attempt) const
+    {
+        double b = baseBackoffSeconds;
+        for (int i = 1; i < attempt; ++i)
+            b *= 2;
+        return b < maxBackoffSeconds ? b : maxBackoffSeconds;
+    }
+};
+
 /** Cluster experiment configuration. */
 struct ClusterConfig
 {
@@ -64,6 +97,25 @@ struct ClusterConfig
     double qps = 1.0;
     int numRequests = 200;
     std::uint64_t seed = 1;
+
+    /** Chaos knobs (node crashes, stalls, tool faults). */
+    sim::FaultConfig faults;
+    /** Client retry discipline for retryable failures. */
+    RetryPolicy retry;
+    /** Per-request SLO deadline for chatbot traffic, seconds (0 off). */
+    double chatDeadlineSeconds = 0.0;
+    /**
+     * Optional cross-layer trace sink: engines emit their usual
+     * tracks, and the cluster adds failover/crash instants. Must
+     * outlive runCluster().
+     */
+    telemetry::TraceSink *traceSink = nullptr;
+    /**
+     * Optional metrics registry: runCluster exports cluster-wide
+     * totals (retries, failovers, crashes, sheds, cancels) summed
+     * across nodes. Must outlive runCluster().
+     */
+    telemetry::MetricsRegistry *metrics = nullptr;
 };
 
 /** Per-node measurements. */
@@ -80,17 +132,39 @@ struct ClusterResult
     stats::SampleSet e2eSeconds;
     /** Latencies split by workload-mix component (same order). */
     std::vector<stats::SampleSet> perWorkloadSeconds;
+    /** Requests that finished successfully (goodput numerator). */
     int completed = 0;
+    /** Requests abandoned after exhausting retries or missing SLOs. */
+    int failed = 0;
+    /** Requests abandoned specifically on deadline expiry. */
+    int timedOut = 0;
+    /** Client-side retry attempts across all requests. */
+    int retries = 0;
+    /** Retries that re-routed to a different node (cold cache). */
+    int failovers = 0;
     double makespanSeconds = 0.0;
     std::vector<NodeResult> nodes;
+    /** What the injector actually did (crashes, stalls, downtime). */
+    sim::FaultStats faultStats;
 
     double p50() const { return e2eSeconds.percentile(50.0); }
     double p95() const { return e2eSeconds.percentile(95.0); }
+    double p99() const { return e2eSeconds.percentile(99.0); }
 
     double
     throughputQps() const
     {
         return makespanSeconds > 0 ? completed / makespanSeconds : 0.0;
+    }
+
+    /** Successfully served fraction of the offered load. */
+    double
+    goodputFraction() const
+    {
+        const int offered = completed + failed;
+        return offered > 0
+                   ? static_cast<double>(completed) / offered
+                   : 0.0;
     }
 
     /** Request-weighted mean prefix-cache hit rate across nodes. */

@@ -145,30 +145,37 @@ BlockManager::allocatePrompt(SeqId seq_id,
     if (fresh_needed > fresh_available)
         return std::nullopt;
 
-    // Phase 3: commit.
+    // Phase 3: commit. All GPU-hit blocks are re-referenced *first*:
+    // a hit block idling on the eviction list must be pinned before
+    // any acquireFreshBlock() call below may run the evictor, or the
+    // eviction could pick a pending hit as its victim and alias one
+    // physical block into two sequence positions.
     Seq seq;
     seq.tokens.assign(tokens.begin(), tokens.end());
     seq.chainHashes = hashes;
-    seq.blocks.reserve(static_cast<std::size_t>(n_blocks));
+    seq.blocks.assign(static_cast<std::size_t>(n_blocks), BlockId{-1});
 
-    for (const auto &p : reuse) {
-        if (p.kind == Reuse::GpuHit) {
-            refCachedBlock(p.block);
-            seq.blocks.push_back(p.block);
-        } else {
+    for (std::size_t i = 0; i < reuse.size(); ++i) {
+        if (reuse[i].kind == Reuse::GpuHit) {
+            refCachedBlock(reuse[i].block);
+            seq.blocks[i] = reuse[i].block;
+        }
+    }
+    for (std::size_t i = 0; i < reuse.size(); ++i) {
+        if (reuse[i].kind == Reuse::HostRestore) {
             // Restore from host: a fresh GPU block receives the
             // transferred contents and is re-published.
             const BlockId id = acquireFreshBlock();
             blocks_[static_cast<std::size_t>(id)].refCount = 1;
-            seq.blocks.push_back(id);
-            publishBlock(id, p.hash);
+            seq.blocks[i] = id;
+            publishBlock(id, reuse[i].hash);
         }
     }
     for (std::int64_t b = static_cast<std::int64_t>(reuse.size());
          b < n_blocks; ++b) {
         const BlockId id = acquireFreshBlock();
         blocks_[static_cast<std::size_t>(id)].refCount = 1;
-        seq.blocks.push_back(id);
+        seq.blocks[static_cast<std::size_t>(b)] = id;
         // Full blocks become immediately publishable: their KV will be
         // computed by the upcoming prefill.
         if (config_.enablePrefixCaching && b < n_full)
@@ -180,6 +187,11 @@ BlockManager::allocatePrompt(SeqId seq_id,
     result.restoredTokens = restores * bs;
     result.freshBlocks = fresh_needed;
     seqs_.emplace(seq_id, std::move(seq));
+    // The restore+hit interleaving is the risky path; verify the
+    // whole pool after it (cheap relative to the PCIe transfer the
+    // restore itself models).
+    if (restores > 0 && gpu_hits > 0)
+        checkInvariants();
     return result;
 }
 
@@ -228,6 +240,21 @@ BlockManager::release(SeqId seq_id)
     for (BlockId id : it->second.blocks)
         unrefBlock(id);
     seqs_.erase(it);
+}
+
+void
+BlockManager::reset()
+{
+    for (auto &b : blocks_)
+        b = Block{};
+    freeList_.clear();
+    for (std::int64_t i = config_.numBlocks - 1; i >= 0; --i)
+        freeList_.push_back(static_cast<BlockId>(i));
+    cacheTable_.clear();
+    evictable_.clear();
+    seqs_.clear();
+    hostCache_.clear();
+    hostLru_.clear();
 }
 
 std::int64_t

@@ -142,6 +142,13 @@ class BlockManager
     void release(SeqId seq_id);
 
     /**
+     * Drop every sequence, cached block and host-tier entry — the KV
+     * state after a node crash and restart. Cumulative CacheStats are
+     * preserved (they describe the node's history, not its contents).
+     */
+    void reset();
+
+    /**
      * Inject externally computed KV for @p tokens: every full block
      * is allocated and published as if prefilled here (disaggregated
      * serving transfers KV from a prefill node). Existing cached

@@ -106,25 +106,58 @@ LlmEngine::energyJoules(sim::Tick now) const
 }
 
 sim::Task<GenResult>
-LlmEngine::generate(GenRequest request)
+LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
 {
     AGENTSIM_ASSERT(!request.prompt.empty(),
                     "generate() with empty prompt");
     AGENTSIM_ASSERT(request.maxNewTokens >= 1,
                     "generate() must produce at least one token");
+    if (handle_out != nullptr)
+        *handle_out = 0;
+
+    ++stats_.requestsSubmitted;
+
+    // A crashed node refuses connections; the client should retry
+    // against another node once the router notices.
+    if (!online_) {
+        GenResult r;
+        r.nodeFailure = true;
+        r.promptTokens =
+            static_cast<std::int64_t>(request.prompt.size());
+        r.submitTick = sim_.now();
+        r.finishTick = sim_.now();
+        co_return r;
+    }
 
     // Requests beyond the model's context window are rejected up
     // front, as a real serving endpoint would do.
     if (static_cast<std::int64_t>(request.prompt.size()) +
             request.maxNewTokens >
         config_.model.contextWindow) {
-        ++stats_.requestsSubmitted;
         ++stats_.requestsFailed;
         AGENTSIM_WARN("request exceeds the %lld-token context window",
                       static_cast<long long>(
                           config_.model.contextWindow));
         GenResult r;
         r.failed = true;
+        r.promptTokens =
+            static_cast<std::int64_t>(request.prompt.size());
+        r.submitTick = sim_.now();
+        r.finishTick = sim_.now();
+        co_return r;
+    }
+
+    // Admission control: bound the waiting queue rather than letting
+    // overload turn into unbounded queueing delay (SLO load shedding).
+    if (config_.maxQueueDepth > 0 &&
+        waiting_.size() >= config_.maxQueueDepth) {
+        ++stats_.requestsShed;
+        if (trace_ != nullptr) {
+            trace_->instant(telemetry::TracePid::kEngine, 1, "shed",
+                            "engine", sim_.now());
+        }
+        GenResult r;
+        r.shed = true;
         r.promptTokens =
             static_cast<std::int64_t>(request.prompt.size());
         r.submitTick = sim_.now();
@@ -139,8 +172,13 @@ LlmEngine::generate(GenRequest request)
     req->maxNewTokens = request.maxNewTokens;
     req->submitTick = sim_.now();
     req->firstPromptLen = static_cast<std::int64_t>(req->prompt.size());
+    if (request.deadlineSeconds > 0) {
+        req->deadlineTick =
+            sim_.now() + sim::fromSeconds(request.deadlineSeconds);
+    }
+    if (handle_out != nullptr)
+        *handle_out = req->id;
 
-    ++stats_.requestsSubmitted;
     waiting_.push_back(req);
     if (trace_ != nullptr) {
         trace_->threadName(telemetry::TracePid::kRequests, req->id,
@@ -165,13 +203,15 @@ LlmEngine::runLoop()
             co_await *wake_;
             wake_.reset();
         }
+        expireDeadlines();
         StepPlan plan = buildStep();
         if (plan.work.empty())
             continue; // everything failed at admission; re-check
         const llm::StepCost cost = perf_.stepCost(plan.work);
         const sim::Tick step_start = sim_.now();
-        co_await sim::delay(sim_, sim::fromSeconds(cost.seconds +
-                                                   plan.extraSeconds));
+        co_await sim::delay(
+            sim_, sim::fromSeconds(cost.seconds + plan.extraSeconds +
+                                   plan.stallSeconds));
         commitStep(plan, cost, step_start);
     }
 }
@@ -208,6 +248,8 @@ LlmEngine::failRequest(const ReqPtr &req)
     ++stats_.requestsFailed;
     AGENTSIM_WARN("request %llu cannot fit in the KV pool; failing",
                   static_cast<unsigned long long>(req->id));
+    req->finished = true;
+    req->decoding = false;
     tracePhaseEnd(*req);
     GenResult r;
     r.failed = true;
@@ -223,6 +265,8 @@ LlmEngine::finishRequest(const ReqPtr &req)
 {
     blocks_.release(req->id);
     std::erase(running_, req);
+    req->finished = true;
+    req->decoding = false;
     tracePhaseEnd(*req);
     ++stats_.requestsCompleted;
     sessionService_[req->sessionId] +=
@@ -237,6 +281,7 @@ LlmEngine::finishRequest(const ReqPtr &req)
         sim::toSeconds(req->firstScheduleTick - req->submitTick);
     r.prefillSeconds = req->prefillSecondsAcc;
     r.decodeSeconds = req->decodeSecondsAcc;
+    r.transferSeconds = req->transferSecondsAcc;
     r.flops = req->flopsAcc;
     r.preemptions = req->preemptions;
     r.submitTick = req->submitTick;
@@ -247,6 +292,156 @@ LlmEngine::finishRequest(const ReqPtr &req)
             sim::toSeconds(req->firstTokenTick - req->submitTick);
     }
     req->done.set(std::move(r));
+}
+
+void
+LlmEngine::cancelRequest(const ReqPtr &req, CancelCause cause)
+{
+    AGENTSIM_ASSERT(!req->finished, "cancel of a finished request");
+    if (blocks_.hasSeq(req->id))
+        blocks_.release(req->id);
+    std::erase(running_, req);
+    if (auto it = std::find(waiting_.begin(), waiting_.end(), req);
+        it != waiting_.end()) {
+        waiting_.erase(it);
+    }
+    req->finished = true;
+    req->decoding = false;
+    tracePhaseEnd(*req);
+
+    const char *label = nullptr;
+    GenResult r;
+    switch (cause) {
+      case CancelCause::Client:
+        ++stats_.requestsCancelled;
+        r.cancelled = true;
+        label = "cancel";
+        break;
+      case CancelCause::Deadline:
+        ++stats_.requestsTimedOut;
+        r.timedOut = true;
+        label = "deadline";
+        break;
+      case CancelCause::NodeFailure:
+        ++stats_.requestsCancelled;
+        r.cancelled = true;
+        r.nodeFailure = true;
+        label = "node_failure";
+        break;
+    }
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kRequests, req->id, label,
+                        "request", sim_.now());
+    }
+
+    // Partial output and accrued accounting still reach the caller.
+    r.tokens = req->output;
+    r.promptTokens = req->firstPromptLen;
+    r.cachedPromptTokens = req->cachedPromptTokens;
+    if (req->firstScheduleTick >= 0) {
+        r.queueSeconds =
+            sim::toSeconds(req->firstScheduleTick - req->submitTick);
+    }
+    r.prefillSeconds = req->prefillSecondsAcc;
+    r.decodeSeconds = req->decodeSecondsAcc;
+    r.transferSeconds = req->transferSecondsAcc;
+    r.flops = req->flopsAcc;
+    r.preemptions = req->preemptions;
+    r.submitTick = req->submitTick;
+    r.finishTick = sim_.now();
+    r.totalSeconds = sim::toSeconds(r.finishTick - r.submitTick);
+    if (req->firstTokenTick >= 0) {
+        r.ttftSeconds =
+            sim::toSeconds(req->firstTokenTick - req->submitTick);
+    }
+    req->done.set(std::move(r));
+}
+
+bool
+LlmEngine::cancel(std::uint64_t request_id)
+{
+    auto match = [&](const ReqPtr &req) {
+        return req->id == request_id && !req->finished;
+    };
+    for (const auto &req : waiting_) {
+        if (match(req)) {
+            cancelRequest(req, CancelCause::Client);
+            updateGauges();
+            return true;
+        }
+    }
+    for (const auto &req : running_) {
+        if (match(req)) {
+            cancelRequest(req, CancelCause::Client);
+            updateGauges();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+LlmEngine::expireDeadlines()
+{
+    const sim::Tick now = sim_.now();
+    std::vector<ReqPtr> expired;
+    auto collect = [&](const ReqPtr &req) {
+        if (!req->finished && req->deadlineTick >= 0 &&
+            now >= req->deadlineTick) {
+            expired.push_back(req);
+        }
+    };
+    for (const auto &req : waiting_)
+        collect(req);
+    for (const auto &req : running_)
+        collect(req);
+    for (const auto &req : expired)
+        cancelRequest(req, CancelCause::Deadline);
+    if (!expired.empty())
+        updateGauges();
+}
+
+void
+LlmEngine::crash()
+{
+    AGENTSIM_ASSERT(online_, "crash() on an offline engine");
+    online_ = false;
+    ++stats_.crashes;
+    AGENTSIM_INFORM("engine crash: dropping %zu waiting + %zu running "
+                    "requests, KV cache lost",
+                    waiting_.size(), running_.size());
+
+    std::vector<ReqPtr> victims(waiting_.begin(), waiting_.end());
+    victims.insert(victims.end(), running_.begin(), running_.end());
+    for (const auto &req : victims)
+        cancelRequest(req, CancelCause::NodeFailure);
+    // The node's memory is gone: prefix cache and host tier come back
+    // cold after restart().
+    blocks_.reset();
+    pendingStallSeconds_ = 0.0;
+    updateGauges();
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kEngine, 1, "crash",
+                        "engine", sim_.now());
+    }
+}
+
+void
+LlmEngine::restart()
+{
+    AGENTSIM_ASSERT(!online_, "restart() on an online engine");
+    online_ = true;
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kEngine, 1, "restart",
+                        "engine", sim_.now());
+    }
+}
+
+void
+LlmEngine::injectStall(double seconds)
+{
+    AGENTSIM_ASSERT(seconds >= 0, "negative stall");
+    pendingStallSeconds_ += seconds;
 }
 
 kv::TokenId
@@ -268,6 +463,12 @@ LlmEngine::buildStep()
 {
     StepPlan plan;
     const int bs = config_.blockSize;
+
+    // Injected stalls (fault layer) extend the next step's wall time.
+    if (pendingStallSeconds_ > 0) {
+        plan.stallSeconds = pendingStallSeconds_;
+        pendingStallSeconds_ = 0.0;
+    }
 
     // 1. Every decoding sequence gets one token this step.
     for (const auto &req : running_) {
@@ -362,10 +563,12 @@ LlmEngine::buildStep()
 
         // Host-tier restores skip prefill but pay a PCIe transfer.
         if (alloc->restoredTokens > 0) {
-            plan.extraSeconds +=
+            const double restore_seconds =
                 static_cast<double>(alloc->restoredTokens *
                                     config_.model.kvBytesPerToken()) /
                 config_.node.hostOffloadBandwidth;
+            plan.extraSeconds += restore_seconds;
+            req->transferSecondsAcc += restore_seconds;
         }
 
         req->prefillDone = alloc->reusedTokens();
@@ -417,6 +620,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
 {
     ++stats_.steps;
     stats_.busySeconds += cost.seconds;
+    stats_.transferSeconds += plan.extraSeconds;
+    stats_.stallSeconds += plan.stallSeconds;
     stats_.coreActiveSeconds +=
         std::min(cost.computeSeconds, cost.seconds);
     stats_.prefillTokens += cost.prefillTokens;
@@ -451,6 +656,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
     // Advance prefills; a completed prompt emits its first token.
     for (const auto &part : plan.prefills) {
         const ReqPtr &req = part.req;
+        if (req->finished)
+            continue; // cancelled/expired while the step was in flight
         req->prefillSecondsAcc += cost.seconds;
         req->flopsAcc += perf_.prefillFlops(part.tokens,
                                             req->prefillDone);
@@ -482,8 +689,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
 
     // Decoders each produced one token.
     for (const auto &req : plan.decoders) {
-        if (!req->decoding)
-            continue; // finished or truncated within this commit
+        if (req->finished || !req->decoding)
+            continue; // finished, cancelled or truncated meanwhile
         req->decodeSecondsAcc += cost.seconds;
         req->flopsAcc += perf_.decodeFlops(blocks_.seqTokens(req->id));
         const kv::TokenId tok = genToken(*req);
@@ -513,7 +720,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
         s.prefixHitRate = blocks_.stats().hitRate();
         s.preemptions = stats_.preemptions;
         s.evictions = blocks_.stats().evictions;
-        s.stepSeconds = cost.seconds + plan.extraSeconds;
+        s.stepSeconds =
+            cost.seconds + plan.extraSeconds + plan.stallSeconds;
         sampler_.record(s);
 
         if (trace_ != nullptr) {
@@ -594,6 +802,18 @@ LlmEngine::exportMetrics(telemetry::MetricsRegistry &registry) const
     set_counter("agentsim_requests_failed_total",
                 "Requests rejected or failed (context window, KV pool)",
                 static_cast<double>(stats_.requestsFailed));
+    set_counter("agentsim_requests_cancelled_total",
+                "Requests cancelled (client cancel or node crash)",
+                static_cast<double>(stats_.requestsCancelled));
+    set_counter("agentsim_requests_timed_out_total",
+                "Requests cancelled by deadline expiry",
+                static_cast<double>(stats_.requestsTimedOut));
+    set_counter("agentsim_requests_shed_total",
+                "Requests rejected by queue-depth load shedding",
+                static_cast<double>(stats_.requestsShed));
+    set_counter("agentsim_node_crashes_total",
+                "Simulated node crashes",
+                static_cast<double>(stats_.crashes));
     set_counter("agentsim_preemptions_total",
                 "Recompute preemptions under memory pressure",
                 static_cast<double>(stats_.preemptions));
@@ -609,6 +829,12 @@ LlmEngine::exportMetrics(telemetry::MetricsRegistry &registry) const
     set_counter("agentsim_gpu_busy_seconds_total",
                 "Wall-clock seconds the GPU executed steps",
                 stats_.busySeconds);
+    set_counter("agentsim_kv_transfer_seconds_total",
+                "Host->GPU PCIe seconds restoring spilled KV",
+                stats_.transferSeconds);
+    set_counter("agentsim_engine_stall_seconds_total",
+                "Injected engine-stall seconds (fault injection)",
+                stats_.stallSeconds);
     set_counter("agentsim_gpu_core_active_seconds_total",
                 "Roofline estimate of SM-active seconds",
                 stats_.coreActiveSeconds);

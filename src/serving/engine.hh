@@ -84,6 +84,12 @@ struct EngineConfig
     std::int64_t maxBatchTokens = 512;
     /** Maximum concurrently running sequences. */
     int maxRunningSeqs = 256;
+    /**
+     * Admission control: shed new requests once the waiting queue
+     * holds this many entries (result.shed, never queued). 0 = accept
+     * everything, the pre-SLO behaviour.
+     */
+    std::size_t maxQueueDepth = 0;
     /** Seed for the generated-token streams. */
     std::uint64_t seed = 1;
 
@@ -103,11 +109,27 @@ struct EngineStats
     std::int64_t requestsSubmitted = 0;
     std::int64_t requestsCompleted = 0;
     std::int64_t requestsFailed = 0;
+    /** Requests cancelled (explicit cancel() or node crash). */
+    std::int64_t requestsCancelled = 0;
+    /** Requests cancelled by deadline expiry. */
+    std::int64_t requestsTimedOut = 0;
+    /** Requests rejected by queue-depth load shedding. */
+    std::int64_t requestsShed = 0;
     std::int64_t preemptions = 0;
     std::int64_t steps = 0;
+    /** Simulated node crashes (crash()). */
+    std::int64_t crashes = 0;
 
     /** Wall-clock seconds during which the GPU executed steps. */
     double busySeconds = 0.0;
+    /**
+     * Host->GPU PCIe seconds restoring spilled KV. Extends step wall
+     * time but is not GPU-busy time: energy-wise the GPU idles while
+     * the transfer is in flight.
+     */
+    double transferSeconds = 0.0;
+    /** Injected engine-stall seconds (fault injection). */
+    double stallSeconds = 0.0;
     /**
      * Roofline estimate of SM-active seconds (DCGM-style "core
      * utilization"): a memory-bound step keeps the cores active only
@@ -143,10 +165,49 @@ class LlmEngine
      * Multiple concurrent generate() calls batch together — this is
      * the inter-request parallelism the paper's serving analysis
      * revolves around.
+     *
+     * @param handle_out optional: receives the engine-assigned request
+     *        id (for cancel()) before the first suspension, i.e. it is
+     *        valid as soon as generate() returns its task. Left 0 when
+     *        the request is rejected up front (shed / offline / too
+     *        long for the context window).
      */
-    sim::Task<GenResult> generate(GenRequest request);
+    sim::Task<GenResult> generate(GenRequest request,
+                                  std::uint64_t *handle_out = nullptr);
+
+    /**
+     * Cancel an in-flight request by id: its KV blocks are released
+     * (whether it was waiting, prefilling or decoding) and its
+     * awaiter resumes with result.cancelled set. @return false if the
+     * id is unknown or the request already finished.
+     */
+    bool cancel(std::uint64_t request_id);
+
+    /**
+     * Simulate a node crash: every waiting and running request is
+     * cancelled with nodeFailure set (clients should retry on another
+     * node), the KV pool is reset — the prefix cache comes back cold —
+     * and the engine rejects new requests until restart().
+     */
+    void crash();
+
+    /** Bring a crashed engine back online (empty caches). */
+    void restart();
+
+    /** False between crash() and restart(). */
+    bool online() const { return online_; }
+
+    /**
+     * Fault injection: extend the next engine step by @p seconds
+     * (driver hiccup, garbage collection, a straggler all-reduce).
+     * Accumulates if called repeatedly before a step runs.
+     */
+    void injectStall(double seconds);
 
     const EngineStats &stats() const { return stats_; }
+
+    /** Read-only view of the block pool (tests, invariant checks). */
+    const kv::BlockManager &blockManager() const { return blocks_; }
 
     /** KV pool statistics (hit rate, evictions). */
     const kv::CacheStats &cacheStats() const { return blocks_.stats(); }
@@ -225,12 +286,19 @@ class LlmEngine
         std::int64_t prefillDone = 0;
         bool decoding = false;
         bool truncated = false;
+        /** Completion already delivered; skip in any in-flight plan. */
+        bool finished = false;
+
+        /** Absolute deadline tick (-1: none). */
+        sim::Tick deadlineTick = -1;
 
         sim::Tick submitTick = 0;
         sim::Tick firstScheduleTick = -1;
         sim::Tick firstTokenTick = -1;
         double prefillSecondsAcc = 0.0;
         double decodeSecondsAcc = 0.0;
+        /** PCIe seconds restoring this request's host-spilled KV. */
+        double transferSecondsAcc = 0.0;
         double flopsAcc = 0.0;
         std::int64_t cachedPromptTokens = 0;
         std::int64_t firstPromptLen = 0;
@@ -253,6 +321,8 @@ class LlmEngine
         llm::StepWork work;
         /** Extra wall time for host->GPU KV restores, seconds. */
         double extraSeconds = 0.0;
+        /** Injected stall time folded into this step, seconds. */
+        double stallSeconds = 0.0;
         /** Requests receiving one decode token. */
         std::vector<ReqPtr> decoders;
         struct PrefillPart
@@ -272,6 +342,9 @@ class LlmEngine
     std::vector<ReqPtr> running_; // admission order
     std::optional<sim::Completion<int>> wake_;
     std::uint64_t nextId_ = 1;
+    bool online_ = true;
+    /** Stall seconds awaiting the next step (injectStall). */
+    double pendingStallSeconds_ = 0.0;
     /** Cumulative attributed GPU seconds per session (LAS policy). */
     std::unordered_map<std::uint64_t, double> sessionService_;
 
@@ -305,6 +378,24 @@ class LlmEngine
 
     /** Complete a request and release its sequence. */
     void finishRequest(const ReqPtr &req);
+
+    /** Why a request is being cancelled. */
+    enum class CancelCause
+    {
+        Client,      ///< explicit cancel()
+        Deadline,    ///< per-request deadline expired
+        NodeFailure, ///< engine crash
+    };
+
+    /**
+     * Cancel a request: release its blocks (if allocated), remove it
+     * from waiting_/running_, and resume its awaiter with the flags
+     * for @p cause.
+     */
+    void cancelRequest(const ReqPtr &req, CancelCause cause);
+
+    /** Cancel every request whose deadline has passed. */
+    void expireDeadlines();
 
     /** Produce the next synthetic output token for a request. */
     kv::TokenId genToken(Req &req);

@@ -32,6 +32,13 @@ struct GenRequest
      * [23]) prioritize by cumulative service. 0 = standalone.
      */
     std::uint64_t sessionId = 0;
+
+    /**
+     * SLO deadline measured from submission, seconds; the engine
+     * cancels the request (result.timedOut) once it expires, whether
+     * it is still queued or already decoding. 0 disables.
+     */
+    double deadlineSeconds = 0.0;
 };
 
 /** Completed generation with full accounting. */
@@ -44,6 +51,24 @@ struct GenResult
     bool failed = false;
     /** Generation was cut short by unrecoverable memory pressure. */
     bool truncated = false;
+    /** Cancelled (explicit cancel() or node crash) before finishing. */
+    bool cancelled = false;
+    /** Cancelled because its deadline expired. */
+    bool timedOut = false;
+    /** Rejected at admission by queue-depth load shedding. */
+    bool shed = false;
+    /** The serving node crashed or was offline; retry elsewhere. */
+    bool nodeFailure = false;
+
+    /** True when generation ran to completion. */
+    bool ok() const
+    {
+        return !failed && !cancelled && !timedOut && !shed &&
+               !nodeFailure;
+    }
+
+    /** True when a client-side retry on another node makes sense. */
+    bool retryable() const { return shed || nodeFailure; }
 
     std::int64_t promptTokens = 0;
     /** Prompt tokens served from the prefix cache on first admission. */
@@ -55,6 +80,8 @@ struct GenResult
     double prefillSeconds = 0.0;
     /** Seconds of engine steps in which this request decoded. */
     double decodeSeconds = 0.0;
+    /** Host->GPU PCIe time restoring this request's spilled KV. */
+    double transferSeconds = 0.0;
     /** Submission-to-completion wall time, seconds. */
     double totalSeconds = 0.0;
     /** Time to first output token (queueing + prefill), seconds. */

@@ -1,0 +1,72 @@
+#include "sim/fault.hh"
+
+#include "sim/awaitable.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace agentsim::sim
+{
+
+FaultInjector::FaultInjector(Simulation &sim, const FaultConfig &config)
+    : sim_(sim), config_(config)
+{
+}
+
+void
+FaultInjector::attachNode(std::size_t node_index, NodeHooks hooks)
+{
+    if (config_.nodeMtbfSeconds > 0) {
+        AGENTSIM_ASSERT(hooks.crash && hooks.restart,
+                        "crash faults need crash/restart hooks");
+        drivers_.push_back(crashDriver(node_index, hooks));
+    }
+    if (config_.stallMtbfSeconds > 0) {
+        AGENTSIM_ASSERT(static_cast<bool>(hooks.stall),
+                        "stall faults need a stall hook");
+        drivers_.push_back(stallDriver(node_index, hooks));
+    }
+}
+
+Task<void>
+FaultInjector::crashDriver(std::size_t node_index, NodeHooks hooks)
+{
+    Rng rng(config_.seed, "fault.node",
+            static_cast<std::uint64_t>(node_index));
+    for (;;) {
+        co_await delaySec(sim_,
+                          rng.exponential(config_.nodeMtbfSeconds));
+        if (stopped_)
+            co_return;
+        hooks.crash();
+        ++stats_.crashes;
+        const double down =
+            rng.exponential(config_.nodeRestartMeanSeconds);
+        co_await delaySec(sim_, down);
+        // Always restart a node we crashed, even when stopping:
+        // leaving it offline would wedge any straggler retry loop.
+        hooks.restart();
+        ++stats_.restarts;
+        stats_.downSecondsTotal += down;
+        if (stopped_)
+            co_return;
+    }
+}
+
+Task<void>
+FaultInjector::stallDriver(std::size_t node_index, NodeHooks hooks)
+{
+    Rng rng(config_.seed, "fault.stall",
+            static_cast<std::uint64_t>(node_index));
+    for (;;) {
+        co_await delaySec(sim_,
+                          rng.exponential(config_.stallMtbfSeconds));
+        if (stopped_)
+            co_return;
+        const double stall = rng.exponential(config_.stallMeanSeconds);
+        hooks.stall(stall);
+        ++stats_.stalls;
+        stats_.stallSecondsInjected += stall;
+    }
+}
+
+} // namespace agentsim::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection for chaos experiments.
+ *
+ * Production agent serving must survive node crashes (KV cache lost,
+ * in-flight requests dropped), engine stalls (driver hiccups, GC,
+ * straggler collectives) and flaky external tools. The FaultInjector
+ * drives those events on the simulation clock from named Rng streams,
+ * so a chaos experiment is exactly reproducible from its seed and
+ * adding one fault class never perturbs the schedule of another.
+ *
+ * The injector is deliberately layer-agnostic: it fires callbacks
+ * (NodeHooks) instead of touching the serving engine directly, so the
+ * sim layer stays free of upward dependencies. The cluster layer wires
+ * the hooks to LlmEngine::crash()/restart()/injectStall(); tool-level
+ * faults are sampled by the tools layer from the same config (see
+ * tools::FaultProfile).
+ */
+
+#ifndef AGENTSIM_SIM_FAULT_HH
+#define AGENTSIM_SIM_FAULT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+
+namespace agentsim::sim
+{
+
+/** Chaos-experiment knobs. All rates are per node. */
+struct FaultConfig
+{
+    /**
+     * Mean time between node crashes, seconds (exponential). A crash
+     * drops every in-flight request on the node and loses its KV
+     * cache. 0 disables crashes.
+     */
+    double nodeMtbfSeconds = 0.0;
+    /** Mean node downtime before restart, seconds (exponential). */
+    double nodeRestartMeanSeconds = 10.0;
+
+    /** Mean time between engine stalls, seconds. 0 disables. */
+    double stallMtbfSeconds = 0.0;
+    /** Mean injected stall length, seconds (exponential). */
+    double stallMeanSeconds = 0.25;
+
+    /** Probability a tool call fails outright. */
+    double toolFailureProb = 0.0;
+    /** Wall time burned by a failing tool call, seconds. */
+    double toolFailureSeconds = 1.0;
+    /** Probability a tool call suffers a latency spike. */
+    double toolSlowdownProb = 0.0;
+    /** Latency multiplier of a spiking tool call. */
+    double toolSlowdownFactor = 4.0;
+
+    /** Seed for the fault streams ("fault.node", "fault.stall"). */
+    std::uint64_t seed = 1;
+
+    /** True if any node-level fault class is active. */
+    bool
+    nodeFaultsEnabled() const
+    {
+        return nodeMtbfSeconds > 0 || stallMtbfSeconds > 0;
+    }
+
+    /** True if any tool-level fault class is active. */
+    bool
+    toolFaultsEnabled() const
+    {
+        return toolFailureProb > 0 || toolSlowdownProb > 0;
+    }
+};
+
+/** What the injector has done so far. */
+struct FaultStats
+{
+    std::int64_t crashes = 0;
+    std::int64_t restarts = 0;
+    std::int64_t stalls = 0;
+    double stallSecondsInjected = 0.0;
+    double downSecondsTotal = 0.0;
+};
+
+/**
+ * Drives crash/restart and stall events for a set of nodes. Create it
+ * before sim.run(), attach every node, and call stop() once the
+ * workload has drained so the driver coroutines exit at their next
+ * wake (they hold pending timers; the simulation ends after those
+ * fire and see the stop flag).
+ */
+class FaultInjector
+{
+  public:
+    /** Callbacks into one node. crash/restart must be callable;
+     *  stall may be empty when stalls are disabled. */
+    struct NodeHooks
+    {
+        std::function<void()> crash;
+        std::function<void()> restart;
+        std::function<void(double)> stall;
+    };
+
+    FaultInjector(Simulation &sim, const FaultConfig &config);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /**
+     * Register one node; spawns its deterministic fault drivers
+     * (streams "fault.node"/@p node_index, "fault.stall"/@p
+     * node_index). No-op for fault classes disabled in the config.
+     */
+    void attachNode(std::size_t node_index, NodeHooks hooks);
+
+    /** Ask every driver to exit at its next wake. */
+    void stop() { stopped_ = true; }
+
+    const FaultConfig &config() const { return config_; }
+    const FaultStats &stats() const { return stats_; }
+
+  private:
+    Task<void> crashDriver(std::size_t node_index, NodeHooks hooks);
+    Task<void> stallDriver(std::size_t node_index, NodeHooks hooks);
+
+    Simulation &sim_;
+    FaultConfig config_;
+    FaultStats stats_;
+    bool stopped_ = false;
+    std::vector<Task<void>> drivers_;
+};
+
+} // namespace agentsim::sim
+
+#endif // AGENTSIM_SIM_FAULT_HH

@@ -263,6 +263,12 @@ Promise<void>::get_return_object()
  * The tasks are already running (eager start), so awaiting them in
  * sequence completes exactly when the last one does; virtual time is
  * unaffected by the awaiting order.
+ *
+ * Exception-safe fan-in: every sibling is awaited to completion before
+ * the first captured exception is rethrown. Bailing out early would
+ * destroy (detach) still-running siblings, and a detached task that
+ * later throws — e.g. more branches of the same rollout hitting the
+ * same crashed node — aborts the simulation.
  */
 template <typename T>
 Task<std::vector<T>>
@@ -270,8 +276,17 @@ allOf(std::vector<Task<T>> tasks)
 {
     std::vector<T> results;
     results.reserve(tasks.size());
-    for (auto &t : tasks)
-        results.push_back(co_await t);
+    std::exception_ptr first;
+    for (auto &t : tasks) {
+        try {
+            results.push_back(co_await t);
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
     co_return results;
 }
 
@@ -279,8 +294,17 @@ allOf(std::vector<Task<T>> tasks)
 inline Task<void>
 allOf(std::vector<Task<void>> tasks)
 {
-    for (auto &t : tasks)
-        co_await t;
+    std::exception_ptr first;
+    for (auto &t : tasks) {
+        try {
+            co_await t;
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
 }
 
 } // namespace agentsim::sim

@@ -51,6 +51,13 @@ Tool::Tool(sim::Simulation &sim, std::string name, int max_concurrency)
         limiter_.emplace(sim_, max_concurrency);
 }
 
+void
+Tool::setFaults(const FaultProfile &profile)
+{
+    faults_ = profile;
+    faultRng_.emplace(profile.seed, "fault.tool", sim::fnv1a(name_));
+}
+
 sim::Task<ToolResult>
 Tool::invoke(sim::Rng &rng)
 {
@@ -58,9 +65,36 @@ Tool::invoke(sim::Rng &rng)
     if (limiter_)
         co_await limiter_->acquire();
 
+    // Sample injected faults before executing: a failing call still
+    // holds its concurrency permit while burning wall time (a wedged
+    // endpoint blocks other callers, just like a healthy slow one).
+    bool fail = false;
+    double slowdown = 1.0;
+    if (faults_) {
+        fail = faultRng_->bernoulli(faults_->failureProb);
+        if (!fail && faultRng_->bernoulli(faults_->slowdownProb))
+            slowdown = faults_->slowdownFactor;
+    }
+
     ToolResult result;
     try {
-        result = co_await execute(rng);
+        if (fail) {
+            co_await sim::delaySec(sim_, faults_->failureSeconds);
+            result.failed = true;
+            result.observationTokens =
+                faults_->failureObservationTokens;
+            ++failures_;
+        } else {
+            const sim::Tick exec_start = sim_.now();
+            result = co_await execute(rng);
+            if (slowdown > 1.0) {
+                const double elapsed =
+                    sim::toSeconds(sim_.now() - exec_start);
+                co_await sim::delaySec(sim_,
+                                       elapsed * (slowdown - 1.0));
+                ++slowdowns_;
+            }
+        }
     } catch (...) {
         if (limiter_)
             limiter_->release();

@@ -34,6 +34,33 @@ struct ToolResult
     double latencySeconds = 0.0;
     /** True if the call consumed GPU time (LLM-in-the-loop tools). */
     bool usedGpu = false;
+    /**
+     * Injected fault: the call burned wall time and returned an error
+     * observation instead of a useful one. The agent still appends the
+     * (short) error text to its context and carries on.
+     */
+    bool failed = false;
+};
+
+/**
+ * Fault-injection profile for a tool endpoint (chaos experiments).
+ * Sampled from a tool-owned deterministic stream, so enabling faults
+ * on one tool never perturbs another tool's draws.
+ */
+struct FaultProfile
+{
+    /** Probability a call fails outright. */
+    double failureProb = 0.0;
+    /** Wall time a failing call burns before erroring, seconds. */
+    double failureSeconds = 1.0;
+    /** Error-observation length returned by a failed call, tokens. */
+    std::int64_t failureObservationTokens = 16;
+    /** Probability a (non-failing) call hits a latency spike. */
+    double slowdownProb = 0.0;
+    /** Latency multiplier during a spike. */
+    double slowdownFactor = 4.0;
+    /** Seed for the tool's "fault.tool" stream. */
+    std::uint64_t seed = 1;
 };
 
 /** Latency distribution specification. */
@@ -99,8 +126,21 @@ class Tool
      */
     sim::Task<ToolResult> invoke(sim::Rng &rng);
 
-    /** Number of completed invocations. */
+    /**
+     * Enable fault injection on this endpoint. Failures and latency
+     * spikes are sampled per call from a stream derived from
+     * (profile.seed, "fault.tool", hash(name)).
+     */
+    void setFaults(const FaultProfile &profile);
+
+    /** Number of completed invocations (including failed ones). */
     std::int64_t invocations() const { return invocations_; }
+
+    /** Number of injected call failures. */
+    std::int64_t failures() const { return failures_; }
+
+    /** Number of injected latency spikes. */
+    std::int64_t slowdowns() const { return slowdowns_; }
 
   protected:
     /** Tool-specific behaviour; runs inside the concurrency permit. */
@@ -112,6 +152,10 @@ class Tool
     std::string name_;
     std::optional<sim::Semaphore> limiter_;
     std::int64_t invocations_ = 0;
+    std::int64_t failures_ = 0;
+    std::int64_t slowdowns_ = 0;
+    std::optional<FaultProfile> faults_;
+    std::optional<sim::Rng> faultRng_;
 };
 
 /**

@@ -855,4 +855,66 @@ TEST(Cluster, Deterministic)
     EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
 }
 
+TEST(Chaos, ClusterSurvivesNodeCrashes)
+{
+    auto cfg = smallCluster(core::RoutePolicy::LeastLoaded);
+    cfg.numRequests = 40;
+    cfg.faults.nodeMtbfSeconds = 15.0;
+    cfg.faults.nodeRestartMeanSeconds = 4.0;
+    cfg.faults.stallMtbfSeconds = 10.0;
+    cfg.faults.stallMeanSeconds = 0.2;
+    cfg.faults.seed = 7;
+    const auto r = core::runCluster(cfg);
+
+    // Nothing hangs and nothing is lost: every request either
+    // completed or was abandoned after exhausting its retries.
+    EXPECT_EQ(r.completed + r.failed, 40);
+    EXPECT_GT(r.completed, 20);
+    EXPECT_GT(r.faultStats.crashes, 0);
+    EXPECT_EQ(r.faultStats.crashes, r.faultStats.restarts);
+    EXPECT_GT(r.faultStats.stalls, 0);
+    EXPECT_GT(r.retries, 0);
+    EXPECT_GT(r.failovers, 0);
+
+    std::int64_t cancelled = 0;
+    std::int64_t crashes = 0;
+    double stall_seconds = 0.0;
+    for (const auto &node : r.nodes) {
+        cancelled += node.engineStats.requestsCancelled;
+        crashes += node.engineStats.crashes;
+        stall_seconds += node.engineStats.stallSeconds;
+    }
+    EXPECT_GT(cancelled, 0);
+    EXPECT_EQ(crashes, r.faultStats.crashes);
+    EXPECT_GT(stall_seconds, 0.0);
+}
+
+TEST(Chaos, DeterministicUnderFaults)
+{
+    auto cfg = smallCluster(core::RoutePolicy::RoundRobin);
+    cfg.numRequests = 30;
+    cfg.faults.nodeMtbfSeconds = 12.0;
+    cfg.faults.nodeRestartMeanSeconds = 3.0;
+    const auto a = core::runCluster(cfg);
+    const auto b = core::runCluster(cfg);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.failovers, b.failovers);
+    EXPECT_EQ(a.faultStats.crashes, b.faultStats.crashes);
+    EXPECT_DOUBLE_EQ(a.p95(), b.p95());
+}
+
+TEST(Chaos, ToolFaultsAreNonFatal)
+{
+    auto cfg = smallCluster(core::RoutePolicy::RoundRobin);
+    cfg.numRequests = 30;
+    cfg.faults.toolFailureProb = 0.25;
+    cfg.faults.toolSlowdownProb = 0.25;
+    const auto r = core::runCluster(cfg);
+    // Tool failures return an error observation the agent absorbs;
+    // they never abort a rollout.
+    EXPECT_EQ(r.completed, 30);
+    EXPECT_EQ(r.failed, 0);
+}
+
 } // namespace

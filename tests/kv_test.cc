@@ -30,12 +30,14 @@ tokenRange(TokenId start, std::size_t n)
 }
 
 BlockManagerConfig
-cfg(std::int64_t blocks, int block_size = 16, bool prefix = true)
+cfg(std::int64_t blocks, int block_size = 16, bool prefix = true,
+    std::int64_t host_blocks = 0)
 {
     BlockManagerConfig c;
     c.numBlocks = blocks;
     c.blockSize = block_size;
     c.enablePrefixCaching = prefix;
+    c.hostCacheBlocks = host_blocks;
     return c;
 }
 
@@ -256,6 +258,72 @@ TEST(BlockManager, DivergingGenerationsKeepPrivateBlocks)
     mgr.checkInvariants();
 }
 
+// Regression: a HostRestore entry preceding a GpuHit entry in the
+// same allocatePrompt commit used to acquire its fresh block while the
+// hit block was still on the eviction list; with an empty free list
+// the eviction could pick the to-be-reused hit block as the victim,
+// aliasing one physical block into two sequence positions (and, in
+// longer runs, tripping the "idle cached block not on LRU" assert).
+TEST(BlockManager, RestoreMustNotEvictPendingHit)
+{
+    // Pool of 2 blocks, host tier on.
+    BlockManager mgr(cfg(2, 16, true, 4));
+    const auto shared = tokenRange(0, 32); // 2 full blocks: h0, h1
+
+    // Publish h0 + h1, then park both on the eviction list
+    // (h0 older than h1).
+    ASSERT_TRUE(mgr.allocatePrompt(1, shared).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.evictableBlocks(), 2);
+    EXPECT_EQ(mgr.freeBlocks(), 0);
+
+    // One fresh block of different content evicts h0's block (LRU),
+    // spilling h0 to the host tier; h1 stays GPU-cached.
+    ASSERT_TRUE(mgr.allocatePrompt(2, tokenRange(9000, 16)).has_value());
+    EXPECT_EQ(mgr.stats().evictions, 1);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 1);
+    mgr.release(2);
+
+    // Free list is empty; eviction list holds h1's block (older key)
+    // and seq 2's block (newer). Re-allocating the shared prompt
+    // probes h0 as a host restore followed by h1 as a GPU hit. The
+    // restore's fresh block must NOT come from evicting h1's block.
+    EXPECT_EQ(mgr.freeBlocks(), 0);
+    auto alloc = mgr.allocatePrompt(3, shared);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->restoredTokens, 16);
+    EXPECT_EQ(alloc->cachedTokens, 16);
+    // Two distinct physical blocks must back the two positions.
+    EXPECT_EQ(mgr.usedBlocks(), 2);
+    mgr.checkInvariants();
+    mgr.release(3);
+    mgr.checkInvariants();
+    EXPECT_EQ(mgr.usedBlocks(), 0);
+}
+
+// Same hazard at three blocks: restore at position 0, hits at 1 and 2.
+TEST(BlockManager, RestoreEvictionSkipsAllPendingHits)
+{
+    BlockManager mgr(cfg(3, 16, true, 4));
+    const auto shared = tokenRange(0, 48); // h0, h1, h2
+    ASSERT_TRUE(mgr.allocatePrompt(1, shared).has_value());
+    mgr.release(1);
+    // Evict h0's block only.
+    ASSERT_TRUE(mgr.allocatePrompt(2, tokenRange(9000, 16)).has_value());
+    EXPECT_EQ(mgr.stats().evictions, 1);
+    mgr.release(2);
+    EXPECT_EQ(mgr.freeBlocks(), 0);
+
+    auto alloc = mgr.allocatePrompt(3, shared);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->restoredTokens, 16);
+    EXPECT_EQ(alloc->cachedTokens, 32);
+    EXPECT_EQ(mgr.usedBlocks(), 3);
+    mgr.checkInvariants();
+    mgr.release(3);
+    mgr.checkInvariants();
+}
+
 // Property test: randomized allocate/append/release sequences keep all
 // internal invariants and never lose blocks.
 class BlockManagerFuzz : public ::testing::TestWithParam<std::uint64_t>
@@ -306,5 +374,60 @@ TEST_P(BlockManagerFuzz, InvariantsHoldUnderRandomWorkload)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockManagerFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 17, 99, 1234));
+
+// Host-tier fuzz: the same randomized workload over a tight pool with
+// the spill tier on, so restore-plus-hit commits (the aliasing bug
+// class above) occur under an empty free list. Invariants are checked
+// after every allocation.
+class BlockManagerHostFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BlockManagerHostFuzz, InvariantsHoldWithHostTier)
+{
+    sim::Rng rng(GetParam(), "kv-host-fuzz", 0);
+    BlockManager mgr(cfg(24, 8, true, 32));
+    std::vector<kv::SeqId> live;
+    kv::SeqId next_id = 1;
+
+    for (int step = 0; step < 3000; ++step) {
+        const double action = rng.uniform();
+        if (action < 0.5) {
+            // Mostly popular prefixes so hits and restores interleave.
+            const bool popular = rng.bernoulli(0.7);
+            const TokenId base =
+                popular ? static_cast<TokenId>(
+                              rng.uniformInt(0, 2) * 100000)
+                        : static_cast<TokenId>(
+                              rng.uniformInt(1, 1000) * 10000);
+            const auto len =
+                static_cast<std::size_t>(rng.uniformInt(1, 64));
+            const kv::SeqId id = next_id++;
+            if (mgr.allocatePrompt(id, tokenRange(base, len))
+                    .has_value()) {
+                live.push_back(id);
+            }
+            mgr.checkInvariants();
+        } else if (action < 0.75 && !live.empty()) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            mgr.appendToken(live[idx],
+                            static_cast<TokenId>(rng.next()));
+        } else if (!live.empty()) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            mgr.release(live[idx]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+    }
+    for (kv::SeqId id : live)
+        mgr.release(id);
+    mgr.checkInvariants();
+    EXPECT_EQ(mgr.usedBlocks(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockManagerHostFuzz,
+                         ::testing::Values(1, 2, 3, 7, 42, 2026));
 
 } // namespace

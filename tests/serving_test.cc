@@ -312,4 +312,226 @@ TEST(Engine, SharedPrefixAcrossConcurrentRequests)
     EXPECT_LT(peak_blocks * 16, seq_tokens * 0.5);
 }
 
+Task<GenResult>
+submitDeadline(LlmEngine &engine, std::vector<kv::TokenId> tokens,
+               std::int64_t out, double deadline)
+{
+    GenRequest req;
+    req.prompt = std::move(tokens);
+    req.maxNewTokens = out;
+    req.deadlineSeconds = deadline;
+    co_return co_await engine.generate(std::move(req));
+}
+
+Task<GenResult>
+submitTracked(LlmEngine &engine, std::vector<kv::TokenId> tokens,
+              std::int64_t out, std::uint64_t *handle)
+{
+    GenRequest req;
+    req.prompt = std::move(tokens);
+    req.maxNewTokens = out;
+    co_return co_await engine.generate(std::move(req), handle);
+}
+
+TEST(Engine, DeadlineExpiresWhileDecoding)
+{
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    auto t = submitDeadline(engine, prompt(0, 300), 2000, 0.5);
+    sim.run();
+    const GenResult r = t.result();
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.retryable()); // the SLO is already missed
+    // Partial decode output is returned with the timeout.
+    EXPECT_GT(r.tokens.size(), 0u);
+    EXPECT_LT(r.tokens.size(), 2000u);
+    EXPECT_EQ(engine.stats().requestsTimedOut, 1);
+    EXPECT_EQ(engine.stats().requestsCompleted, 0);
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, DeadlineExpiresWhileQueued)
+{
+    auto cfg = smallConfig();
+    cfg.maxRunningSeqs = 1;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    auto a = submit(engine, prompt(1, 300), 400);
+    auto b = submitDeadline(engine, prompt(2, 300), 10, 0.2);
+    sim.run();
+    EXPECT_FALSE(a.result().timedOut);
+    const GenResult rb = b.result();
+    EXPECT_TRUE(rb.timedOut);
+    EXPECT_EQ(rb.tokens.size(), 0u); // never scheduled
+    EXPECT_DOUBLE_EQ(rb.queueSeconds, 0.0);
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, CancelWhileQueued)
+{
+    auto cfg = smallConfig();
+    cfg.maxRunningSeqs = 1;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    auto a = submit(engine, prompt(1, 300), 200);
+    std::uint64_t handle = 0;
+    auto b = submitTracked(engine, prompt(2, 300), 10, &handle);
+    ASSERT_NE(handle, 0u); // valid as soon as generate() returns
+    sim.schedule(sim::fromSeconds(0.05),
+                 [&] { EXPECT_TRUE(engine.cancel(handle)); });
+    sim.run();
+    EXPECT_FALSE(a.result().cancelled);
+    const GenResult rb = b.result();
+    EXPECT_TRUE(rb.cancelled);
+    EXPECT_FALSE(rb.nodeFailure);
+    EXPECT_EQ(rb.tokens.size(), 0u);
+    EXPECT_EQ(engine.stats().requestsCancelled, 1);
+    // The id is gone: a second cancel is a no-op.
+    EXPECT_FALSE(engine.cancel(handle));
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, CancelWhileDecodingMidStep)
+{
+    // Regression: the cancel lands while an engine step holding the
+    // request in plan.decoders is in flight. commitStep must skip the
+    // finished request instead of appending a token to its released
+    // (now unknown) sequence.
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    std::uint64_t handle = 0;
+    auto t = submitTracked(engine, prompt(3, 300), 2000, &handle);
+    sim.schedule(sim::fromSeconds(0.8),
+                 [&] { EXPECT_TRUE(engine.cancel(handle)); });
+    sim.run();
+    const GenResult r = t.result();
+    EXPECT_TRUE(r.cancelled);
+    EXPECT_GT(r.tokens.size(), 0u); // partial decode returned
+    EXPECT_GT(r.decodeSeconds, 0.0);
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    EXPECT_DOUBLE_EQ(engine.kvUsageGauge().current(), 0.0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, ShedUnderOverload)
+{
+    auto cfg = smallConfig();
+    cfg.maxQueueDepth = 2;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    std::vector<Task<GenResult>> tasks;
+    for (int i = 0; i < 5; ++i)
+        tasks.push_back(submit(engine, prompt(10 + i, 200), 5));
+    sim.run();
+    int shed = 0, completed = 0;
+    for (auto &t : tasks) {
+        const GenResult r = t.result();
+        if (r.shed) {
+            ++shed;
+            EXPECT_TRUE(r.retryable());
+            EXPECT_EQ(r.tokens.size(), 0u);
+        } else {
+            ++completed;
+            EXPECT_TRUE(r.ok());
+        }
+    }
+    // All five arrive before the first engine step: two queue, the
+    // rest bounce off the depth limit.
+    EXPECT_EQ(completed, 2);
+    EXPECT_EQ(shed, 3);
+    EXPECT_EQ(engine.stats().requestsShed, 3);
+    EXPECT_EQ(engine.stats().requestsCompleted, 2);
+}
+
+TEST(Engine, CrashCancelsEverythingAndColdRestarts)
+{
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+
+    // Warm the prefix cache.
+    auto warm = submit(engine, prompt(7, 512), 4);
+    sim.run();
+    EXPECT_TRUE(warm.result().ok());
+    auto warm2 = submit(engine, prompt(7, 512), 4);
+    sim.run();
+    EXPECT_GT(warm2.result().cachedPromptTokens, 0);
+
+    // Crash mid-decode: the victim resumes with a retryable failure.
+    auto victim = submit(engine, prompt(7, 512), 2000);
+    sim.schedule(sim::fromSeconds(0.5), [&] { engine.crash(); });
+    sim.run();
+    const GenResult rv = victim.result();
+    EXPECT_TRUE(rv.cancelled);
+    EXPECT_TRUE(rv.nodeFailure);
+    EXPECT_TRUE(rv.retryable());
+    EXPECT_FALSE(engine.online());
+    EXPECT_EQ(engine.stats().crashes, 1);
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+
+    // While down, the engine refuses work without queueing it.
+    auto refused = submit(engine, prompt(7, 512), 4);
+    sim.run();
+    EXPECT_TRUE(refused.result().nodeFailure);
+
+    // After restart the node serves again — with a cold cache.
+    engine.restart();
+    EXPECT_TRUE(engine.online());
+    auto cold = submit(engine, prompt(7, 512), 4);
+    sim.run();
+    const GenResult rc = cold.result();
+    EXPECT_TRUE(rc.ok());
+    EXPECT_EQ(rc.cachedPromptTokens, 0);
+}
+
+TEST(Engine, HostRestoreTimeIsAccounted)
+{
+    auto cfg = smallConfig();
+    cfg.kvPoolBytes = 48 * 16 * cfg.model.kvBytesPerToken();
+    cfg.hostCacheBlocks = 64;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+
+    // Fill with A, then evict it to the host tier with B.
+    auto a = submit(engine, prompt(21, 512), 1);
+    sim.run();
+    ASSERT_TRUE(a.result().ok());
+    auto b = submit(engine, prompt(22, 704), 1);
+    sim.run();
+    ASSERT_TRUE(b.result().ok());
+
+    // Re-running A's prompt restores spilled blocks over PCIe; the
+    // transfer time must show up in both per-request and engine
+    // accounting (it is wall time, not GPU-busy time).
+    auto c = submit(engine, prompt(21, 512), 1);
+    sim.run();
+    const GenResult rc = c.result();
+    ASSERT_TRUE(rc.ok());
+    EXPECT_GT(rc.cachedPromptTokens, 0);
+    EXPECT_GT(rc.transferSeconds, 0.0);
+    EXPECT_GT(engine.cacheStats().restoredTokens, 0);
+    EXPECT_NEAR(engine.stats().transferSeconds, rc.transferSeconds,
+                1e-12);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, InjectedStallExtendsWallClockNotBusyTime)
+{
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    engine.injectStall(0.25);
+    auto t = submit(engine, prompt(5, 200), 20);
+    sim.run();
+    EXPECT_TRUE(t.result().ok());
+    EXPECT_NEAR(engine.stats().stallSeconds, 0.25, 1e-12);
+    // The stall extended the first step's wall time.
+    EXPECT_GT(t.result().totalSeconds, 0.25);
+    EXPECT_LT(engine.stats().busySeconds,
+              t.result().totalSeconds);
+}
+
 } // namespace
