@@ -3,8 +3,9 @@
  * Chaos/SLO sweep — what unreliable infrastructure costs an agentic
  * serving cluster. Sweeps the per-node crash rate (and, separately,
  * tool fault rates) over a mixed agent + chatbot workload and reports
- * tail latency, goodput and the retry/failover traffic the client
- * layer generates to survive.
+ * tail latency, goodput, the retry/failover traffic the client layer
+ * generates to survive, and the online SLO monitor's view: TTFT
+ * attainment and the burn-rate alerts the injected crashes trip.
  *
  * Every crash cold-starts the node's prefix cache and reroutes its
  * in-flight rollouts, so the p99 penalty is much larger than the raw
@@ -12,19 +13,23 @@
  * and a full re-prefill on a cache-cold node.
  *
  *   chaos_slo [--trace out.json] [--metrics out.prom]
+ *             [--report out.json]
  *
  * Optional telemetry captures the *last* crash-sweep point — the most
- * hostile one: the Chrome trace holds crash/restart/failover/shed and
- * cancellation instants across all three nodes, the metrics file the
- * cluster-wide retry/failover/cancel counters.
+ * hostile one: the Chrome trace holds crash/restart/failover/shed,
+ * cancellation and slo_alert instants across all three nodes, the
+ * metrics file the cluster-wide retry/failover/cancel counters plus
+ * the agentsim_slo_* families. --report accumulates every sweep
+ * point's goodput/p99/alert-count into a perf report.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <iterator>
 
 #include "common.hh"
 #include "core/cluster.hh"
+#include "sim/strfmt.hh"
+#include "telemetry/slo.hh"
 
 namespace
 {
@@ -59,50 +64,78 @@ baseConfig()
     return cfg;
 }
 
+/** SLO targets for the chaos sweep, calibrated so the fault-free run
+ *  holds its budget and injected node crashes burn through it. */
+telemetry::SloConfig
+sloConfig()
+{
+    telemetry::SloConfig slo;
+    slo.ttftTargetSeconds = 15.0;
+    slo.tbtTargetSeconds = 0.5;
+    slo.e2eTargetSeconds = 120.0;
+    slo.windowSeconds = 20.0;
+    return slo;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string trace_path;
-    std::string metrics_path;
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--trace") == 0)
-            trace_path = argv[i + 1];
-        else if (std::strcmp(argv[i], "--metrics") == 0)
-            metrics_path = argv[i + 1];
-    }
-    telemetry::TraceSink trace;
-    telemetry::MetricsRegistry metrics;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("chaos_slo");
 
     // --- Sweep 1: node crash rate vs tail latency / goodput. -------
     core::Table crash_table(
         "Chaos: node crash rate vs SLO (3 nodes, mixed workload)");
     crash_table.header({"Node MTBF", "Crashes", "Retries", "Failovers",
-                        "Goodput", "p50", "p99"});
+                        "Goodput", "p50", "p99", "TTFT attain",
+                        "SLO alerts"});
 
     const double mtbfs[] = {0.0, 120.0, 60.0, 30.0};
+    std::int64_t total_alerts = 0;
     for (double mtbf : mtbfs) {
         auto cfg = baseConfig();
         cfg.faults.nodeMtbfSeconds = mtbf;
         cfg.faults.nodeRestartMeanSeconds = 5.0;
-        if (mtbf == mtbfs[std::size(mtbfs) - 1]) {
-            if (!trace_path.empty()) {
-                trace.clear();
-                cfg.traceSink = &trace;
-            }
-            if (!metrics_path.empty())
-                cfg.metrics = &metrics;
-        }
+        telemetry::SloTracker slo(sloConfig());
+        cfg.slo = &slo;
+        // Telemetry files capture the most hostile sweep point.
+        if (mtbf == mtbfs[std::size(mtbfs) - 1])
+            telemetry.apply(cfg);
         const auto r = core::runCluster(cfg);
+        total_alerts += r.sloAlerts;
         crash_table.row(
             {mtbf > 0 ? core::fmtSeconds(mtbf) : "off",
              core::fmtCount(static_cast<double>(r.faultStats.crashes)),
              core::fmtCount(r.retries), core::fmtCount(r.failovers),
              core::fmtPercent(r.goodputFraction()),
-             core::fmtSeconds(r.p50()), core::fmtSeconds(r.p99())});
+             core::fmtSeconds(r.p50()), core::fmtSeconds(r.p99()),
+             core::fmtPercent(
+                 slo.attainment(telemetry::SloMetric::Ttft)),
+             core::fmtCount(static_cast<double>(r.sloAlerts))});
+        if (telemetry.reportRequested()) {
+            const std::string prefix =
+                mtbf > 0 ? sim::strfmt("crash_mtbf_%.0fs", mtbf)
+                         : std::string("crash_off");
+            auto &rep = telemetry.report();
+            rep.set(prefix + "_goodput", r.goodputFraction());
+            rep.set(prefix + "_p99_seconds", r.p99());
+            rep.set(prefix + "_ttft_attainment",
+                    slo.attainment(telemetry::SloMetric::Ttft));
+            rep.set(prefix + "_slo_alerts",
+                    static_cast<double>(r.sloAlerts));
+        }
     }
     crash_table.print();
+    std::printf("SLO monitor: %lld burn-rate alert(s) fired across "
+                "the crash sweep (targets: TTFT %.0fs, TBT %.1fs, "
+                "E2E %.0fs at %.0f%% attainment).\n\n",
+                static_cast<long long>(total_alerts),
+                sloConfig().ttftTargetSeconds,
+                sloConfig().tbtTargetSeconds,
+                sloConfig().e2eTargetSeconds,
+                sloConfig().attainmentTarget * 100.0);
 
     // --- Sweep 2: tool fault rate vs rollout latency. --------------
     core::Table tool_table(
@@ -122,33 +155,16 @@ main(int argc, char **argv)
     }
     tool_table.print();
 
-    if (!trace_path.empty()) {
-        if (!trace.writeJson(trace_path)) {
-            std::fprintf(stderr, "error: failed to write trace to %s\n",
-                         trace_path.c_str());
-            return 1;
-        }
-        std::printf("telemetry: wrote Chrome trace to %s\n",
-                    trace_path.c_str());
-    }
-    if (!metrics_path.empty()) {
-        if (!telemetry::writeTextFile(metrics_path,
-                                      metrics.renderPrometheus())) {
-            std::fprintf(stderr,
-                         "error: failed to write metrics to %s\n",
-                         metrics_path.c_str());
-            return 1;
-        }
-        std::printf("telemetry: wrote Prometheus metrics to %s\n",
-                    metrics_path.c_str());
-    }
-
     std::printf(
         "\nDesign note: agent rollouts amplify infrastructure "
         "faults — one node crash cancels every in-flight iteration "
         "on it, and each retried rollout re-prefills its whole "
         "accumulated context on a cache-cold node. Goodput degrades "
         "slowly (retries absorb the failures) while p99 degrades "
-        "fast (backoff + re-prefill + queueing on the survivors).\n");
+        "fast (backoff + re-prefill + queueing on the survivors); "
+        "the burn-rate monitor turns that tail damage into pageable "
+        "alerts long before goodput moves.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -14,6 +14,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/cluster.hh"
+#include "core/perf_report.hh"
 #include "core/probe.hh"
 #include "core/serving_system.hh"
 #include "core/table.hh"
@@ -53,13 +55,21 @@ supportedPairs()
 }
 
 /**
- * Shared --trace/--metrics/--csv plumbing for the fig* binaries.
+ * Shared --trace/--metrics/--csv/--report plumbing for the fig*
+ * binaries.
  *
- *   fig14_qps_sweep --trace out.json --metrics out.prom --csv out.csv
+ *   fig14_qps_sweep --trace out.json --metrics out.prom \
+ *                   --csv out.csv --report BENCH_agentsim.json
  *
- * Each instrumented run resets the session, so the emitted files
- * describe the *last* configuration the binary executed (the most
- * loaded sweep point). Binaries opt in per run via apply().
+ * Each instrumented run resets the session, so the emitted telemetry
+ * files describe the *last* configuration the binary executed (the
+ * most loaded sweep point). The perf report is different: the binary
+ * accumulates metrics from every sweep point into report() and write()
+ * emits them all at once. Binaries opt in per run via apply().
+ *
+ * All artifact writes go through telemetry::writeArtifact, so a
+ * failed write is always loud and write() returning false must make
+ * the binary exit non-zero.
  */
 class TelemetryCli
 {
@@ -70,7 +80,8 @@ class TelemetryCli
             const bool has_value = i + 1 < argc;
             if (std::strcmp(argv[i], "--trace") == 0 ||
                 std::strcmp(argv[i], "--metrics") == 0 ||
-                std::strcmp(argv[i], "--csv") == 0) {
+                std::strcmp(argv[i], "--csv") == 0 ||
+                std::strcmp(argv[i], "--report") == 0) {
                 if (!has_value) {
                     std::fprintf(stderr,
                                  "warn: %s requires a file path; "
@@ -82,8 +93,10 @@ class TelemetryCli
                     trace_ = argv[++i];
                 else if (std::strcmp(argv[i], "--metrics") == 0)
                     metrics_ = argv[++i];
-                else
+                else if (std::strcmp(argv[i], "--csv") == 0)
                     csv_ = argv[++i];
+                else
+                    reportPath_ = argv[++i];
             }
         }
     }
@@ -93,6 +106,12 @@ class TelemetryCli
     {
         return !trace_.empty() || !metrics_.empty() || !csv_.empty();
     }
+
+    /** True when --report <path> was given. */
+    bool reportRequested() const { return !reportPath_.empty(); }
+
+    /** The perf report the binary fills before calling write(). */
+    core::PerfReport &report() { return report_; }
 
     /** Attach (fresh) session telemetry to a serving run. */
     void
@@ -114,32 +133,49 @@ class TelemetryCli
         cfg.telemetry = &session_;
     }
 
+    /** Attach (fresh) trace sink + registry to a cluster run. */
+    void
+    apply(core::ClusterConfig &cfg)
+    {
+        if (!enabled())
+            return;
+        session_.reset();
+        if (!trace_.empty())
+            cfg.traceSink = &session_.trace;
+        cfg.metrics = &session_.registry;
+    }
+
     /** Write whatever outputs were requested. @return success. */
     bool
     write() const
     {
         bool ok = true;
-        auto emit = [&](const std::string &path, bool wrote,
-                        const char *what) {
-            if (path.empty())
-                return;
-            if (wrote) {
-                std::printf("telemetry: wrote %s to %s\n", what,
-                            path.c_str());
-            } else {
-                std::fprintf(stderr,
-                             "error: failed to write %s to %s\n",
-                             what, path.c_str());
-                ok = false;
-            }
-        };
-        emit(trace_, trace_.empty() || session_.writeTrace(trace_),
-             "Chrome trace");
-        emit(metrics_,
-             metrics_.empty() || session_.writeMetrics(metrics_),
-             "Prometheus metrics");
-        emit(csv_, csv_.empty() || session_.writeEngineCsv(csv_),
-             "engine iteration CSV");
+        if (!trace_.empty()) {
+            ok = telemetry::writeArtifact(trace_,
+                                          session_.trace.toJson(),
+                                          "Chrome trace") &&
+                 ok;
+        }
+        if (!metrics_.empty()) {
+            ok = telemetry::writeArtifact(
+                     metrics_, session_.registry.renderPrometheus(),
+                     "Prometheus metrics") &&
+                 ok;
+        }
+        if (!csv_.empty()) {
+            ok = telemetry::writeArtifact(
+                     csv_,
+                     telemetry::EngineSampler::renderCsv(
+                         session_.engineSamples),
+                     "engine iteration CSV") &&
+                 ok;
+        }
+        if (!reportPath_.empty()) {
+            ok = telemetry::writeArtifact(reportPath_,
+                                          report_.renderJson(),
+                                          "perf report") &&
+                 ok;
+        }
         return ok;
     }
 
@@ -152,8 +188,38 @@ class TelemetryCli
     std::string trace_;
     std::string metrics_;
     std::string csv_;
+    std::string reportPath_;
     telemetry::SessionTelemetry session_;
+    core::PerfReport report_;
 };
+
+/**
+ * Fold a serving run's headline metrics into @p report under
+ * @p prefix, plus the run's simulator self-timing into the shared
+ * sim_* totals (accumulated across sweep points).
+ */
+inline void
+reportServePoint(core::PerfReport &report, const std::string &prefix,
+                 const ServeResult &r)
+{
+    report.set(prefix + "_p50_seconds", r.p50());
+    report.set(prefix + "_p95_seconds", r.p95());
+    report.set(prefix + "_throughput_qps", r.throughputQps());
+    report.set(prefix + "_energy_wh", r.energyWh);
+    report.set(prefix + "_gpu_busy_seconds",
+               r.engineStats.busySeconds);
+
+    auto bump = [&](const std::string &name, double delta) {
+        report.set(name, report.get(name).value_or(0.0) + delta);
+    };
+    bump("sim_wall_seconds", r.simWallSeconds);
+    bump("sim_events_processed", r.simEventsProcessed);
+    const double wall = report.get("sim_wall_seconds").value_or(0.0);
+    const double events =
+        report.get("sim_events_processed").value_or(0.0);
+    report.set("sim_events_per_second",
+               wall > 0.0 ? events / wall : 0.0);
+}
 
 /** Default single-request probe configuration. */
 inline ProbeConfig

@@ -71,6 +71,7 @@ main()
     std::printf("legend: # LLM inference, ~ tool use, %% overlap, "
                 ". agent idle\n\n");
     const char *trace_dir = std::getenv("AGENTSIM_TRACE_DIR");
+    bool trace_ok = true;
     for (AgentKind kind : agents::allAgents) {
         auto cfg = defaultProbe(kind, Benchmark::HotpotQA, true, false,
                                 /*tasks=*/1);
@@ -79,11 +80,19 @@ main()
         if (trace_dir != nullptr && trace_dir[0] != '\0') {
             const std::string name =
                 std::string(agents::agentName(kind));
-            core::writeChromeTrace(std::string(trace_dir) + "/fig03_" +
-                                       name + ".json",
-                                   probe.requests.front().result,
-                                   name + " / HotpotQA");
+            if (!core::writeChromeTrace(std::string(trace_dir) +
+                                            "/fig03_" + name + ".json",
+                                        probe.requests.front().result,
+                                        name + " / HotpotQA"))
+                trace_ok = false;
         }
+    }
+    if (!trace_ok) {
+        std::fprintf(stderr,
+                     "error: failed to write one or more Chrome "
+                     "traces under AGENTSIM_TRACE_DIR=%s\n",
+                     trace_dir);
+        return 1;
     }
     if (trace_dir != nullptr) {
         std::printf("\nChrome traces written to %s (open in "

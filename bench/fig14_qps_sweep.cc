@@ -9,14 +9,27 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "sim/strfmt.hh"
 
 namespace
 {
 
 using namespace benchutil;
 
+/** Metric-name-safe tag for a QPS value ("0.5" -> "0p5"). */
+std::string
+qpsTag(double qps)
+{
+    std::string tag = sim::strfmt("%g", qps);
+    for (char &c : tag) {
+        if (c == '.')
+            c = 'p';
+    }
+    return tag;
+}
+
 void
-sweep(const char *name, bool chatbot, Benchmark bench,
+sweep(const char *name, const char *slug, bool chatbot, Benchmark bench,
       const std::vector<double> &qps_points, int requests,
       TelemetryCli *telemetry)
 {
@@ -29,6 +42,13 @@ sweep(const char *name, bool chatbot, Benchmark bench,
         t.row({core::fmtDouble(qps, 2), core::fmtSeconds(r.p50()),
                core::fmtSeconds(r.p95()),
                core::fmtDouble(r.throughputQps(), 2)});
+        if (telemetry->reportRequested()) {
+            const std::string prefix =
+                std::string(slug) + "_qps_" + qpsTag(qps);
+            reportServePoint(telemetry->report(), prefix, r);
+            telemetry->report().set(prefix + "_cost_gpu_seconds",
+                                    r.totalCost.gpuSeconds());
+        }
     }
     t.print();
     std::printf("\n");
@@ -41,14 +61,21 @@ main(int argc, char **argv)
 {
     // --trace/--metrics/--csv instrument the sweep; the files
     // describe the last (most loaded) configuration executed.
+    // --report <path> writes a machine-readable BENCH_agentsim.json
+    // accumulated across every sweep point (perf_report_diff gates on
+    // it).
     TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig14_qps_sweep");
 
-    sweep("Chatbot (ShareGPT)", true, Benchmark::ShareGpt,
+    sweep("Chatbot (ShareGPT)", "chat_sharegpt", true,
+          Benchmark::ShareGpt,
           {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}, 250,
           &telemetry);
-    sweep("Agent ReAct (HotpotQA)", false, Benchmark::HotpotQA,
+    sweep("Agent ReAct (HotpotQA)", "react_hotpotqa", false,
+          Benchmark::HotpotQA,
           {0.25, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5}, 150, &telemetry);
-    sweep("Agent ReAct (WebShop)", false, Benchmark::WebShop,
+    sweep("Agent ReAct (WebShop)", "react_webshop", false,
+          Benchmark::WebShop,
           {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}, 150, &telemetry);
 
     std::printf("Paper reference: ShareGPT sustains ~6.4 QPS; ReAct "

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Regression gate over two BENCH_agentsim.json perf reports.
+ *
+ *   perf_report_diff base.json candidate.json [--threshold 0.05]
+ *
+ * Prints a per-metric delta table and exits non-zero when any metric
+ * regressed beyond the threshold (relative change in the metric's
+ * "worse" direction — see core::metricDirection). Metrics present in
+ * only one report are listed but never fail the gate, so reports can
+ * gain metrics without breaking CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/perf_report.hh"
+#include "core/table.hh"
+
+namespace
+{
+
+using namespace agentsim;
+
+const char *
+directionName(core::MetricDirection d)
+{
+    switch (d) {
+      case core::MetricDirection::LowerIsBetter:
+        return "lower";
+      case core::MetricDirection::HigherIsBetter:
+        return "higher";
+      case core::MetricDirection::Informational:
+        return "info";
+    }
+    return "?";
+}
+
+const char *
+verdict(const core::MetricDelta &d)
+{
+    if (d.regressed)
+        return "REGRESSED";
+    if (d.improved)
+        return "improved";
+    return "ok";
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <base.json> <candidate.json> "
+                 "[--threshold <frac>]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string base_path;
+    std::string cand_path;
+    double threshold = 0.05;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            threshold = std::strtod(argv[++i], nullptr);
+        } else if (base_path.empty()) {
+            base_path = argv[i];
+        } else if (cand_path.empty()) {
+            cand_path = argv[i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (base_path.empty() || cand_path.empty())
+        return usage(argv[0]);
+
+    const auto base = core::PerfReport::load(base_path);
+    if (!base) {
+        std::fprintf(stderr, "error: cannot load base report %s\n",
+                     base_path.c_str());
+        return 2;
+    }
+    const auto cand = core::PerfReport::load(cand_path);
+    if (!cand) {
+        std::fprintf(stderr,
+                     "error: cannot load candidate report %s\n",
+                     cand_path.c_str());
+        return 2;
+    }
+
+    const core::CompareResult cmp =
+        core::compareReports(*base, *cand, threshold);
+
+    std::printf("perf diff: %s (%s) vs %s (%s), threshold %.1f%%\n",
+                base_path.c_str(), base->generator().c_str(),
+                cand_path.c_str(), cand->generator().c_str(),
+                threshold * 100.0);
+
+    core::Table table("perf report diff");
+    table.header({"metric", "base", "candidate", "delta%", "better",
+                  "verdict"});
+    int regressions = 0;
+    for (const auto &d : cmp.deltas) {
+        if (d.regressed)
+            ++regressions;
+        table.row({d.name, core::fmtDouble(d.base, 6),
+                   core::fmtDouble(d.candidate, 6),
+                   core::fmtDouble(d.relative * 100.0, 2),
+                   directionName(d.direction), verdict(d)});
+    }
+    table.print();
+
+    for (const auto &name : cmp.missing)
+        std::printf("note: %s present in only one report; skipped\n",
+                    name.c_str());
+
+    if (cmp.hasRegression) {
+        std::printf("FAIL: %d metric(s) regressed beyond %.1f%%\n",
+                    regressions, threshold * 100.0);
+        return 1;
+    }
+    std::printf("PASS: no regressions beyond %.1f%% (%zu compared)\n",
+                threshold * 100.0, cmp.deltas.size());
+    return 0;
+}

@@ -131,6 +131,8 @@ Trace::addLlmCall(const CallTokens &tokens,
     promptTokens_ += gen.promptTokens;
     cachedTokens_ += gen.cachedPromptTokens;
     queueSeconds_ += gen.queueSeconds;
+    cost_ += gen.ledger;
+    perCallCost_.push_back(gen.ledger);
     noteContextTokens(gen.promptTokens +
                       static_cast<std::int64_t>(gen.tokens.size()));
 }
@@ -169,6 +171,8 @@ Trace::finish(bool solved, sim::Tick end) const
     r.cachedPromptTokensTotal = cachedTokens_;
     r.queueSeconds = queueSeconds_;
     r.maxContextTokens = maxContextTokens_;
+    r.cost = cost_;
+    r.perCallCost = perCallCost_;
     return r;
 }
 

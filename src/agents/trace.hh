@@ -108,6 +108,11 @@ struct AgentResult
     double queueSeconds = 0.0;
     /** Peak KV footprint proxy: max concurrent sequence tokens. */
     std::int64_t maxContextTokens = 0;
+
+    /** Attributed resource cost summed over all LLM calls. */
+    serving::CostLedger cost;
+    /** Per-LLM-call ledgers, in call order (per-step attribution). */
+    std::vector<serving::CostLedger> perCallCost;
 };
 
 /**
@@ -152,6 +157,8 @@ class Trace
     std::int64_t cachedTokens_ = 0;
     double queueSeconds_ = 0.0;
     std::int64_t maxContextTokens_ = 0;
+    serving::CostLedger cost_;
+    std::vector<serving::CostLedger> perCallCost_;
 };
 
 } // namespace agentsim::agents

@@ -402,6 +402,8 @@ runCluster(const ClusterConfig &config)
             std::make_unique<serving::LlmEngine>(sim, engine_cfg);
         if (config.traceSink != nullptr)
             node.engine->attachTrace(config.traceSink);
+        if (config.slo != nullptr)
+            node.engine->attachSlo(config.slo);
         for (int b = 0; b <= static_cast<int>(
                                  workload::Benchmark::HumanEval);
              ++b) {
@@ -498,7 +500,11 @@ runCluster(const ClusterConfig &config)
         set("agentsim_cluster_node_crashes_total",
             "Injected node crashes across the cluster",
             static_cast<double>(sum.crashes));
+        if (config.slo != nullptr)
+            config.slo->exportMetrics(*config.metrics, sim.now());
     }
+    out.sloAlerts =
+        config.slo != nullptr ? config.slo->alertsFired() : 0;
     return out;
 }
 

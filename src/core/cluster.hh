@@ -28,6 +28,7 @@
 #include "sim/fault.hh"
 #include "stats/summary.hh"
 #include "telemetry/registry.hh"
+#include "telemetry/slo.hh"
 #include "telemetry/trace_sink.hh"
 #include "workload/benchmark.hh"
 
@@ -116,6 +117,14 @@ struct ClusterConfig
      * across nodes. Must outlive runCluster().
      */
     telemetry::MetricsRegistry *metrics = nullptr;
+    /**
+     * Optional online SLO tracker attached to every node's engine:
+     * one cluster-wide stream of TTFT/TBT/E2E observations with
+     * burn-rate alerts (node crashes and sheds burn budget, so fault
+     * injection trips alerts). Exported into `metrics` when both are
+     * set. Must outlive runCluster().
+     */
+    telemetry::SloTracker *slo = nullptr;
 };
 
 /** Per-node measurements. */
@@ -146,6 +155,9 @@ struct ClusterResult
     std::vector<NodeResult> nodes;
     /** What the injector actually did (crashes, stalls, downtime). */
     sim::FaultStats faultStats;
+    /** SLO burn-rate alerts fired during the run (0 without a
+     *  ClusterConfig::slo tracker). */
+    std::int64_t sloAlerts = 0;
 
     double p50() const { return e2eSeconds.percentile(50.0); }
     double p95() const { return e2eSeconds.percentile(95.0); }

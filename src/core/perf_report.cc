@@ -1,0 +1,281 @@
+#include "core/perf_report.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/strfmt.hh"
+#include "telemetry/registry.hh"
+
+namespace agentsim::core
+{
+
+std::size_t
+PerfReport::findIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (metrics_[i].first == name)
+            return i;
+    }
+    return metrics_.size();
+}
+
+void
+PerfReport::set(const std::string &name, double value)
+{
+    const std::size_t i = findIndex(name);
+    if (i < metrics_.size())
+        metrics_[i].second = value;
+    else
+        metrics_.emplace_back(name, value);
+}
+
+std::optional<double>
+PerfReport::get(const std::string &name) const
+{
+    const std::size_t i = findIndex(name);
+    if (i < metrics_.size())
+        return metrics_[i].second;
+    return std::nullopt;
+}
+
+void
+PerfReport::setGenerator(const std::string &generator)
+{
+    generator_ = generator;
+}
+
+std::string
+PerfReport::renderJson() const
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": 1,\n";
+    out << "  \"generator\": \"" << generator_ << "\",\n";
+    out << "  \"metrics\": {\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        out << "    \"" << metrics_[i].first
+            << "\": " << sim::strfmt("%.9g", metrics_[i].second);
+        out << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  }\n";
+    out << "}\n";
+    return out.str();
+}
+
+bool
+PerfReport::write(const std::string &path) const
+{
+    return telemetry::writeTextFile(path, renderJson());
+}
+
+namespace
+{
+
+/** Minimal scanner over the report's own JSON output. */
+struct Scanner
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool peek(char c)
+    {
+        skipWs();
+        return pos < s.size() && s[pos] == c;
+    }
+
+    /** Parse a quoted string (no escape handling beyond \"). */
+    bool string(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\' && pos + 1 < s.size())
+                ++pos;
+            out.push_back(s[pos++]);
+        }
+        return consume('"');
+    }
+
+    bool number(double &out)
+    {
+        skipWs();
+        const char *start = s.c_str() + pos;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        pos += static_cast<std::size_t>(end - start);
+        return true;
+    }
+};
+
+} // namespace
+
+std::optional<PerfReport>
+PerfReport::parse(const std::string &json)
+{
+    Scanner sc{json};
+    if (!sc.consume('{'))
+        return std::nullopt;
+
+    PerfReport report;
+    bool sawMetrics = false;
+    while (!sc.peek('}')) {
+        std::string key;
+        if (!sc.string(key) || !sc.consume(':'))
+            return std::nullopt;
+        if (key == "metrics") {
+            if (!sc.consume('{'))
+                return std::nullopt;
+            while (!sc.peek('}')) {
+                std::string name;
+                double value = 0.0;
+                if (!sc.string(name) || !sc.consume(':') ||
+                    !sc.number(value))
+                    return std::nullopt;
+                report.set(name, value);
+                if (!sc.consume(','))
+                    break;
+            }
+            if (!sc.consume('}'))
+                return std::nullopt;
+            sawMetrics = true;
+        } else if (key == "generator") {
+            std::string generator;
+            if (!sc.string(generator))
+                return std::nullopt;
+            report.setGenerator(generator);
+        } else {
+            double ignored = 0.0;
+            if (!sc.number(ignored))
+                return std::nullopt;
+        }
+        if (!sc.consume(','))
+            break;
+    }
+    if (!sc.consume('}') || !sawMetrics)
+        return std::nullopt;
+    return report;
+}
+
+std::optional<PerfReport>
+PerfReport::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+bool
+contains(const std::string &s, const std::string &needle)
+{
+    return s.find(needle) != std::string::npos;
+}
+
+} // namespace
+
+MetricDirection
+metricDirection(const std::string &name)
+{
+    // Simulator self-timing (host wall clock) is nondeterministic
+    // across machines and must never gate a diff.
+    if (name.rfind("sim_", 0) == 0)
+        return MetricDirection::Informational;
+    // Throughput / quality first: "tokens_per_second" must not match
+    // the latency "_seconds" suffix below.
+    if (endsWith(name, "_qps") || endsWith(name, "_per_second") ||
+        endsWith(name, "_rate") || contains(name, "goodput") ||
+        contains(name, "attainment")) {
+        return MetricDirection::HigherIsBetter;
+    }
+    if (endsWith(name, "_seconds") || endsWith(name, "_p50") ||
+        endsWith(name, "_p95") || endsWith(name, "_p99") ||
+        endsWith(name, "_joules") || endsWith(name, "_wh") ||
+        contains(name, "_p50_") || contains(name, "_p95_") ||
+        contains(name, "_p99_")) {
+        return MetricDirection::LowerIsBetter;
+    }
+    return MetricDirection::Informational;
+}
+
+CompareResult
+compareReports(const PerfReport &base, const PerfReport &candidate,
+               double threshold)
+{
+    CompareResult result;
+    for (const auto &[name, base_value] : base.metrics()) {
+        const auto cand_value = candidate.get(name);
+        if (!cand_value) {
+            result.missing.push_back(name);
+            continue;
+        }
+        MetricDelta d;
+        d.name = name;
+        d.base = base_value;
+        d.candidate = *cand_value;
+        d.direction = metricDirection(name);
+        const double denom = std::fabs(base_value);
+        d.relative =
+            denom > 0.0 ? (d.candidate - d.base) / denom
+                        : (d.candidate == d.base ? 0.0
+                           : d.candidate > d.base ? HUGE_VAL
+                                                  : -HUGE_VAL);
+        switch (d.direction) {
+          case MetricDirection::LowerIsBetter:
+            d.regressed = d.relative > threshold;
+            d.improved = d.relative < -threshold;
+            break;
+          case MetricDirection::HigherIsBetter:
+            d.regressed = d.relative < -threshold;
+            d.improved = d.relative > threshold;
+            break;
+          case MetricDirection::Informational:
+            break;
+        }
+        result.hasRegression = result.hasRegression || d.regressed;
+        result.deltas.push_back(std::move(d));
+    }
+    for (const auto &[name, value] : candidate.metrics()) {
+        (void)value;
+        if (!base.get(name))
+            result.missing.push_back(name);
+    }
+    return result;
+}
+
+} // namespace agentsim::core

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Machine-readable performance reports and regression comparison.
+ *
+ * A PerfReport is a flat, ordered map of metric name -> value that a
+ * bench binary writes as BENCH_agentsim.json when run with --report.
+ * It mixes two kinds of numbers on purpose:
+ *   - sim-domain results (latency percentiles, throughput, energy):
+ *     deterministic for a given seed, so any drift is a behaviour
+ *     change;
+ *   - simulator self-timing (events/sec, wall seconds): noisy host
+ *     numbers that track the simulator's own performance.
+ *
+ * compareReports() diffs two reports and flags regressions beyond a
+ * relative threshold, inferring the "good" direction from the metric
+ * name (seconds/percentile/joule metrics want to go down, rate and
+ * throughput metrics up). bench/perf_report_diff wraps it as a CLI
+ * that exits non-zero on regression, giving CI a one-line gate:
+ *
+ *   fig14_qps_sweep --report base.json        # on the base commit
+ *   fig14_qps_sweep --report cand.json        # on the candidate
+ *   perf_report_diff base.json cand.json --threshold 0.1
+ */
+
+#ifndef AGENTSIM_CORE_PERF_REPORT_HH
+#define AGENTSIM_CORE_PERF_REPORT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace agentsim::core
+{
+
+/** Flat named-metric report (insertion-ordered). */
+class PerfReport
+{
+  public:
+    /** Set (or overwrite) one metric. */
+    void set(const std::string &name, double value);
+
+    /** Look up a metric by name. */
+    std::optional<double> get(const std::string &name) const;
+
+    /** All metrics in insertion order. */
+    const std::vector<std::pair<std::string, double>> &metrics() const
+    {
+        return metrics_;
+    }
+
+    bool empty() const { return metrics_.empty(); }
+
+    /** Free-form provenance string ("fig14_qps_sweep"). */
+    void setGenerator(const std::string &generator);
+    const std::string &generator() const { return generator_; }
+
+    /** Render the report as a JSON document. */
+    std::string renderJson() const;
+
+    /** Write renderJson() to @p path. @return success. */
+    bool write(const std::string &path) const;
+
+    /**
+     * Parse a report previously produced by renderJson(). Tolerant of
+     * whitespace but intentionally minimal — it reads this module's
+     * own output format, not arbitrary JSON.
+     * @return std::nullopt on malformed input.
+     */
+    static std::optional<PerfReport> parse(const std::string &json);
+
+    /** Read and parse @p path. @return std::nullopt on any failure. */
+    static std::optional<PerfReport> load(const std::string &path);
+
+  private:
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::string generator_;
+
+    std::size_t findIndex(const std::string &name) const;
+};
+
+/** Which way a metric improves. */
+enum class MetricDirection
+{
+    LowerIsBetter,
+    HigherIsBetter,
+    /** No regression judgement (counts, sizes, informational). */
+    Informational,
+};
+
+/**
+ * Infer the improvement direction from a metric name: *_seconds, *_p50
+ * / _p95 / _p99, *_joules and *_wh read as latency/cost (lower is
+ * better); *_qps, *_per_second, *_rate, *goodput* and *attainment*
+ * read as throughput/quality (higher is better); anything else is
+ * informational.
+ */
+MetricDirection metricDirection(const std::string &name);
+
+/** One metric's comparison outcome. */
+struct MetricDelta
+{
+    std::string name;
+    double base = 0.0;
+    double candidate = 0.0;
+    /** Relative change (candidate - base) / |base|. */
+    double relative = 0.0;
+    MetricDirection direction = MetricDirection::Informational;
+    /** Candidate is worse than base beyond the threshold. */
+    bool regressed = false;
+    /** Candidate is better than base beyond the threshold. */
+    bool improved = false;
+};
+
+/** Full comparison of two reports. */
+struct CompareResult
+{
+    std::vector<MetricDelta> deltas;
+    /** Metrics present in only one report (skipped). */
+    std::vector<std::string> missing;
+    bool hasRegression = false;
+};
+
+/**
+ * Compare @p candidate against @p base: every metric present in both
+ * reports is judged against @p threshold (relative change in the
+ * metric's "worse" direction). Informational metrics never regress.
+ */
+CompareResult compareReports(const PerfReport &base,
+                             const PerfReport &candidate,
+                             double threshold);
+
+} // namespace agentsim::core
+
+#endif // AGENTSIM_CORE_PERF_REPORT_HH

@@ -208,6 +208,15 @@ ProbeResult::meanFlops() const
     return total / static_cast<double>(requests.size());
 }
 
+serving::CostLedger
+ProbeResult::totalCost() const
+{
+    serving::CostLedger sum;
+    for (const auto &r : requests)
+        sum += r.result.cost;
+    return sum;
+}
+
 double
 ProbeResult::meanGpuIdleFraction() const
 {

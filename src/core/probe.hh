@@ -78,6 +78,9 @@ struct ProbeResult
     double meanFlops() const;
     /** Mean share of the request window the GPU sat idle. */
     double meanGpuIdleFraction() const;
+
+    /** Attributed cost summed over all rollouts (their LLM calls). */
+    serving::CostLedger totalCost() const;
 };
 
 /** Run the probe. */

@@ -4,6 +4,7 @@
 
 #include "agents/accuracy.hh"
 #include "sim/logging.hh"
+#include "telemetry/sim_metrics.hh"
 #include "workload/token_stream.hh"
 #include "workload/toolset_factory.hh"
 
@@ -63,6 +64,7 @@ agentWorker(const ServeConfig &config, sim::Simulation &sim,
     auto agent = agents::makeAgent(config.agent);
     const sim::Tick submit = sim.now();
     agents::AgentResult result = co_await agent->run(ctx);
+    state.result.totalCost += result.cost;
     noteCompletion(state, submit, sim.now(), result.solved);
 }
 
@@ -94,6 +96,7 @@ chatWorker(const ServeConfig &config, sim::Simulation &sim,
     const sim::Tick submit = sim.now();
     serving::GenResult r = co_await engine.generate(std::move(req));
     state.result.ttftSeconds.add(r.ttftSeconds);
+    state.result.totalCost += r.ledger;
     noteCompletion(state, submit, sim.now(), !r.failed);
 }
 
@@ -139,6 +142,7 @@ sessionWorker(const ServeConfig &config, sim::Simulation &sim,
         state.result.turnSeconds.add(
             sim::toSeconds(sim.now() - turn_start));
         state.result.ttftSeconds.add(r.ttftSeconds);
+        state.result.totalCost += r.ledger;
         history.insert(history.end(), r.tokens.begin(),
                        r.tokens.end());
     }
@@ -198,6 +202,8 @@ runServing(const ServeConfig &config)
         config.telemetry->trace.processName(
             telemetry::TracePid::kAgents, "agents");
     }
+    if (config.slo != nullptr)
+        engine.attachSlo(config.slo);
     std::unique_ptr<tools::ToolSet> tools;
     if (!config.chatbot) {
         tools = workload::makeToolSet(config.bench, sim, engine,
@@ -233,10 +239,17 @@ runServing(const ServeConfig &config)
                   : 0.0;
     out.kvMaxBytes = engine.kvUsageGauge().max() * block_bytes;
     out.energyWh = engine.energyJoules(end) / 3600.0;
+    out.simWallSeconds = sim.wallSeconds();
+    out.simEventsProcessed =
+        static_cast<double>(sim.processedEvents());
+    out.simEventsPerSecond = sim.eventsPerSecond();
 
     if (config.telemetry != nullptr) {
         telemetry::SessionTelemetry &t = *config.telemetry;
         engine.exportMetrics(t.registry);
+        telemetry::exportSimMetrics(t.registry, sim);
+        if (config.slo != nullptr)
+            config.slo->exportMetrics(t.registry, end);
         if (!out.e2eSeconds.empty()) {
             auto &h = t.registry.histogram(
                 "agentsim_request_e2e_seconds",

@@ -55,6 +55,14 @@ struct ServeConfig
      * The session must outlive the call.
      */
     telemetry::SessionTelemetry *telemetry = nullptr;
+
+    /**
+     * Optional online SLO tracker: when set it is attached to the
+     * engine for the run (TTFT/TBT/E2E observations, burn-rate
+     * alerts) and its families are exported into the telemetry
+     * registry at the end. Must outlive the call.
+     */
+    telemetry::SloTracker *slo = nullptr;
 };
 
 /** Serving-experiment measurements. */
@@ -78,6 +86,18 @@ struct ServeResult
     double kvMaxBytes = 0.0;
     /** Node GPU energy over the run, Wh. */
     double energyWh = 0.0;
+
+    /**
+     * Attributed cost summed over every request the clients saw
+     * (agent rollouts or chat calls). Reconciles with engineStats
+     * busy seconds / joules — the ledger conservation property.
+     */
+    serving::CostLedger totalCost;
+
+    /** Simulator self-timing (host wall clock, see sim::Simulation). */
+    double simWallSeconds = 0.0;
+    double simEventsProcessed = 0.0;
+    double simEventsPerSecond = 0.0;
 
     double
     throughputQps() const

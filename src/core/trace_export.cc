@@ -48,9 +48,10 @@ writeChromeTrace(const std::string &path,
                  const agents::AgentResult &result,
                  const std::string &process_name)
 {
-    return telemetry::writeTextFile(path,
+    return telemetry::writeArtifact(path,
                                     toChromeTrace(result,
-                                                  process_name));
+                                                  process_name),
+                                    "Chrome trace");
 }
 
 } // namespace agentsim::core

@@ -70,6 +70,50 @@ LlmEngine::attachTrace(telemetry::TraceSink *sink)
 }
 
 void
+LlmEngine::attachSlo(telemetry::SloTracker *slo)
+{
+    slo_ = slo;
+    if (slo_ != nullptr && trace_ != nullptr)
+        slo_->attachTrace(trace_);
+}
+
+void
+LlmEngine::chargeKv(Req &req)
+{
+    const sim::Tick now = sim_.now();
+    if (req.heldBlocks > 0 && now > req.kvMarkTick) {
+        const double charge = static_cast<double>(req.heldBlocks) *
+                              sim::toSeconds(now - req.kvMarkTick);
+        req.ledger.kvBlockSeconds += charge;
+        stats_.kvBlockSeconds += charge;
+    }
+    req.kvMarkTick = now;
+    req.heldBlocks = blocks_.hasSeq(req.id)
+                         ? blocks_.blocksNeeded(blocks_.seqTokens(req.id))
+                         : 0;
+}
+
+void
+LlmEngine::chargeQueue(Req &req)
+{
+    if (req.queuedSince < 0)
+        return;
+    req.ledger.queueSeconds += sim::toSeconds(sim_.now() - req.queuedSince);
+    req.queuedSince = -1;
+}
+
+void
+LlmEngine::sloFailure(const Req &req)
+{
+    if (slo_ == nullptr)
+        return;
+    const sim::Tick now = sim_.now();
+    if (req.firstTokenTick < 0)
+        slo_->observeFailure(telemetry::SloMetric::Ttft, now);
+    slo_->observeFailure(telemetry::SloMetric::E2e, now);
+}
+
+void
 LlmEngine::tracePhaseBegin(Req &req, const char *phase)
 {
     req.tracePhase = phase;
@@ -156,6 +200,10 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
             trace_->instant(telemetry::TracePid::kEngine, 1, "shed",
                             "engine", sim_.now());
         }
+        if (slo_ != nullptr) {
+            slo_->observeFailure(telemetry::SloMetric::Ttft, sim_.now());
+            slo_->observeFailure(telemetry::SloMetric::E2e, sim_.now());
+        }
         GenResult r;
         r.shed = true;
         r.promptTokens =
@@ -179,6 +227,7 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
     if (handle_out != nullptr)
         *handle_out = req->id;
 
+    req->queuedSince = sim_.now();
     waiting_.push_back(req);
     if (trace_ != nullptr) {
         trace_->threadName(telemetry::TracePid::kRequests, req->id,
@@ -224,7 +273,12 @@ LlmEngine::preemptOne(StepPlan &plan)
     running_.pop_back();
     std::erase(plan.decoders, victim);
 
+    // Settle the occupancy charge and remember how much KV is being
+    // thrown away: re-prefilling below this watermark is pure waste.
+    chargeKv(*victim);
+    victim->recomputeWatermark = blocks_.seqTokens(victim->id);
     blocks_.release(victim->id);
+    victim->heldBlocks = 0;
     // Recompute-style preemption: generated tokens fold into the
     // prompt; on re-admission the prefix cache usually restores them.
     victim->prompt.insert(victim->prompt.end(), victim->output.begin(),
@@ -239,6 +293,7 @@ LlmEngine::preemptOne(StepPlan &plan)
                         "preempt", "request", sim_.now());
     }
     tracePhaseBegin(*victim, "queued");
+    victim->queuedSince = sim_.now();
     waiting_.push_front(victim);
 }
 
@@ -250,20 +305,25 @@ LlmEngine::failRequest(const ReqPtr &req)
                   static_cast<unsigned long long>(req->id));
     req->finished = true;
     req->decoding = false;
+    chargeQueue(*req);
     tracePhaseEnd(*req);
+    sloFailure(*req);
     GenResult r;
     r.failed = true;
     r.promptTokens = req->firstPromptLen;
     r.submitTick = req->submitTick;
     r.finishTick = sim_.now();
     r.totalSeconds = sim::toSeconds(r.finishTick - r.submitTick);
+    r.ledger = req->ledger;
     req->done.set(std::move(r));
 }
 
 void
 LlmEngine::finishRequest(const ReqPtr &req)
 {
+    chargeKv(*req);
     blocks_.release(req->id);
+    req->heldBlocks = 0;
     std::erase(running_, req);
     req->finished = true;
     req->decoding = false;
@@ -291,6 +351,11 @@ LlmEngine::finishRequest(const ReqPtr &req)
         r.ttftSeconds =
             sim::toSeconds(req->firstTokenTick - req->submitTick);
     }
+    r.ledger = req->ledger;
+    if (slo_ != nullptr) {
+        slo_->observe(telemetry::SloMetric::E2e, sim_.now(),
+                      r.totalSeconds);
+    }
     req->done.set(std::move(r));
 }
 
@@ -298,8 +363,11 @@ void
 LlmEngine::cancelRequest(const ReqPtr &req, CancelCause cause)
 {
     AGENTSIM_ASSERT(!req->finished, "cancel of a finished request");
+    chargeKv(*req);
     if (blocks_.hasSeq(req->id))
         blocks_.release(req->id);
+    req->heldBlocks = 0;
+    chargeQueue(*req);
     std::erase(running_, req);
     if (auto it = std::find(waiting_.begin(), waiting_.end(), req);
         it != waiting_.end()) {
@@ -354,6 +422,8 @@ LlmEngine::cancelRequest(const ReqPtr &req, CancelCause cause)
         r.ttftSeconds =
             sim::toSeconds(req->firstTokenTick - req->submitTick);
     }
+    r.ledger = req->ledger;
+    sloFailure(*req);
     req->done.set(std::move(r));
 }
 
@@ -560,6 +630,8 @@ LlmEngine::buildStep()
                         "allocation failed despite capacity check");
         waiting_.erase(candidate);
         running_.push_back(req);
+        chargeQueue(*req);
+        chargeKv(*req); // opens the occupancy charging interval
 
         // Host-tier restores skip prefill but pay a PCIe transfer.
         if (alloc->restoredTokens > 0) {
@@ -569,6 +641,7 @@ LlmEngine::buildStep()
                 config_.node.hostOffloadBandwidth;
             plan.extraSeconds += restore_seconds;
             req->transferSecondsAcc += restore_seconds;
+            req->ledger.transferSeconds += restore_seconds;
         }
 
         req->prefillDone = alloc->reusedTokens();
@@ -576,6 +649,14 @@ LlmEngine::buildStep()
             // Fully cached prompt: recompute the last token to obtain
             // logits (vLLM does the same).
             req->prefillDone = prompt_len - 1;
+        }
+        if (req->prefillDone > 0) {
+            // Counterfactual: what the reused tokens would have cost
+            // to prefill from scratch.
+            const double saved =
+                perf_.prefillSeconds(req->prefillDone, 0);
+            req->ledger.savedPrefillSeconds += saved;
+            stats_.savedPrefillSeconds += saved;
         }
         if (req->firstScheduleTick < 0) {
             req->firstScheduleTick = sim_.now();
@@ -631,6 +712,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
     // Attribute step time to prefill vs decode by the cost each phase
     // would have alone (both include the fixed step overhead, which
     // therefore splits proportionally).
+    double prefill_share = 0.0;
+    double decode_share = 0.0;
     {
         llm::StepWork prefill_only;
         prefill_only.prefills = plan.work.prefills;
@@ -640,8 +723,10 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
         const double td = perf_.stepCost(decode_only).seconds;
         const double total = tp + td;
         if (total > 0) {
-            stats_.prefillSeconds += cost.seconds * (tp / total);
-            stats_.decodeSeconds += cost.seconds * (td / total);
+            prefill_share = cost.seconds * (tp / total);
+            decode_share = cost.seconds * (td / total);
+            stats_.prefillSeconds += prefill_share;
+            stats_.decodeSeconds += decode_share;
         }
     }
 
@@ -653,6 +738,9 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
                          config_.node.numGpus;
     stats_.busyJoules += power * cost.seconds;
 
+    const double step_wall =
+        cost.seconds + plan.extraSeconds + plan.stallSeconds;
+
     // Advance prefills; a completed prompt emits its first token.
     for (const auto &part : plan.prefills) {
         const ReqPtr &req = part.req;
@@ -661,6 +749,29 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
         req->prefillSecondsAcc += cost.seconds;
         req->flopsAcc += perf_.prefillFlops(part.tokens,
                                             req->prefillDone);
+
+        // Ledger: this chunk's token-weighted share of the step's
+        // prefill time, with the part re-prefilling preempted work
+        // also flagged as waste.
+        if (cost.prefillTokens > 0) {
+            const double attributed =
+                prefill_share * static_cast<double>(part.tokens) /
+                static_cast<double>(cost.prefillTokens);
+            req->ledger.prefillGpuSeconds += attributed;
+            req->ledger.energyJoules += power * attributed;
+            const std::int64_t redone =
+                std::max<std::int64_t>(
+                    0, std::min(req->prefillDone + part.tokens,
+                                req->recomputeWatermark) -
+                           req->prefillDone);
+            if (redone > 0) {
+                const double wasted =
+                    attributed * static_cast<double>(redone) /
+                    static_cast<double>(part.tokens);
+                req->ledger.wastedGpuSeconds += wasted;
+                stats_.wastedSeconds += wasted;
+            }
+        }
         req->prefillDone += part.tokens;
         const auto prompt_len =
             static_cast<std::int64_t>(req->prompt.size());
@@ -678,8 +789,14 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
             req->decoding = true;
             tracePhaseEnd(*req); // prefill
             tracePhaseBegin(*req, "decode");
-            if (req->firstTokenTick < 0)
+            if (req->firstTokenTick < 0) {
                 req->firstTokenTick = sim_.now();
+                if (slo_ != nullptr) {
+                    slo_->observe(
+                        telemetry::SloMetric::Ttft, sim_.now(),
+                        sim::toSeconds(sim_.now() - req->submitTick));
+                }
+            }
             if (static_cast<std::int64_t>(req->output.size()) >=
                 req->maxNewTokens) {
                 finishRequest(req);
@@ -688,11 +805,24 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
     }
 
     // Decoders each produced one token.
+    const std::size_t planned_decoders = plan.work.decodeContexts.size();
     for (const auto &req : plan.decoders) {
         if (req->finished || !req->decoding)
             continue; // finished, cancelled or truncated meanwhile
         req->decodeSecondsAcc += cost.seconds;
         req->flopsAcc += perf_.decodeFlops(blocks_.seqTokens(req->id));
+        if (planned_decoders > 0) {
+            // Ledger: an equal share of the step's decode time per
+            // decoded token (every decoder produced exactly one).
+            const double attributed =
+                decode_share / static_cast<double>(planned_decoders);
+            req->ledger.decodeGpuSeconds += attributed;
+            req->ledger.energyJoules += power * attributed;
+        }
+        if (slo_ != nullptr) {
+            slo_->observe(telemetry::SloMetric::Tbt, sim_.now(),
+                          step_wall);
+        }
         const kv::TokenId tok = genToken(*req);
         const bool ok = blocks_.appendToken(req->id, tok);
         AGENTSIM_ASSERT(ok, "decode append failed despite reservation");
@@ -702,6 +832,11 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
             finishRequest(req);
         }
     }
+
+    // Settle KV occupancy for the survivors at their (possibly grown)
+    // block counts; finished requests settled when released.
+    for (const auto &req : running_)
+        chargeKv(*req);
 
     updateGauges();
 
@@ -850,6 +985,15 @@ LlmEngine::exportMetrics(telemetry::MetricsRegistry &registry) const
     set_counter("agentsim_model_flops_total",
                 "FLOPs executed by the engine",
                 stats_.totalFlops);
+    set_counter("agentsim_cost_wasted_gpu_seconds_total",
+                "GPU seconds re-prefilling preempted (discarded) work",
+                stats_.wastedSeconds);
+    set_counter("agentsim_cost_saved_prefill_seconds_total",
+                "Estimated prefill seconds avoided by prefix caching",
+                stats_.savedPrefillSeconds);
+    set_counter("agentsim_cost_kv_block_seconds_total",
+                "KV occupancy integral (blocks held x seconds held)",
+                stats_.kvBlockSeconds);
 
     const kv::CacheStats &cache = blocks_.stats();
     set_counter("agentsim_kv_lookup_tokens_total",

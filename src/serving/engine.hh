@@ -37,6 +37,7 @@
 #include "stats/gauge.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
+#include "telemetry/slo.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace agentsim::serving
@@ -146,6 +147,20 @@ struct EngineStats
 
     /** Node-wide GPU energy dissipated while busy, joules. */
     double busyJoules = 0.0;
+
+    /**
+     * GPU-seconds spent re-prefilling tokens discarded by recompute
+     * preemptions (a subset of prefillSeconds, not an addition).
+     */
+    double wastedSeconds = 0.0;
+    /** Estimated prefill seconds avoided by prefix-cache reuse. */
+    double savedPrefillSeconds = 0.0;
+    /**
+     * KV occupancy integral over all requests: blocks held x seconds
+     * held (settled charges; requests still holding blocks have an
+     * open interval not yet included).
+     */
+    double kvBlockSeconds = 0.0;
 };
 
 /**
@@ -255,6 +270,16 @@ class LlmEngine
     void attachTrace(telemetry::TraceSink *sink);
 
     /**
+     * Attach an online SLO tracker. The engine then feeds it TTFT (at
+     * first-token emission), TBT (one observation per decoded token,
+     * the step's wall time including restores and injected stalls) and
+     * E2E (at completion); cancelled, timed-out and shed requests are
+     * reported as unconditional violations. Pass nullptr to detach.
+     * The tracker must outlive the engine (or be detached first).
+     */
+    void attachSlo(telemetry::SloTracker *slo);
+
+    /**
      * Export current engine/cache totals and occupancy gauges into a
      * metrics registry (Prometheus-style families, agentsim_ prefix).
      */
@@ -303,6 +328,20 @@ class LlmEngine
         std::int64_t cachedPromptTokens = 0;
         std::int64_t firstPromptLen = 0;
         int preemptions = 0;
+
+        /** Attributed resource charges (serving/cost.hh). */
+        CostLedger ledger;
+        /** Blocks charged for since kvMarkTick (0 = none held). */
+        std::int64_t heldBlocks = 0;
+        /** Start of the open KV-occupancy charging interval. */
+        sim::Tick kvMarkTick = 0;
+        /**
+         * Tokens of KV this request had computed when it was last
+         * preempted; re-prefilling below this watermark is waste.
+         */
+        std::int64_t recomputeWatermark = 0;
+        /** Entry tick of the current queueing episode (-1: none). */
+        sim::Tick queuedSince = -1;
 
         /** Current lifecycle phase on the trace (nullptr = none). */
         const char *tracePhase = nullptr;
@@ -353,6 +392,7 @@ class LlmEngine
     stats::TimeWeightedGauge batchSize_;
     telemetry::EngineSampler sampler_;
     telemetry::TraceSink *trace_ = nullptr;
+    telemetry::SloTracker *slo_ = nullptr;
 
     sim::Task<void> loop_;
 
@@ -396,6 +436,20 @@ class LlmEngine
 
     /** Cancel every request whose deadline has passed. */
     void expireDeadlines();
+
+    /**
+     * Settle the request's open KV-occupancy interval into its ledger
+     * and restart the interval at the request's current block count.
+     * Must run before any operation that changes the count (append,
+     * release) so the elapsed time is charged at the old rate.
+     */
+    void chargeKv(Req &req);
+
+    /** Settle the current queueing episode into the ledger. */
+    void chargeQueue(Req &req);
+
+    /** Report a request lost before completion to the SLO tracker. */
+    void sloFailure(const Req &req);
 
     /** Produce the next synthetic output token for a request. */
     kv::TokenId genToken(Req &req);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kv/block_manager.hh"
+#include "serving/cost.hh"
 #include "sim/types.hh"
 
 namespace agentsim::serving
@@ -91,6 +92,13 @@ struct GenResult
     double flops = 0.0;
     /** Times this request was preempted (recompute). */
     int preemptions = 0;
+
+    /**
+     * Attributed resource ledger (GPU-second shares, KV block-seconds,
+     * waste, cache savings, energy). Request ledgers sum to the
+     * engine's aggregates — see serving/cost.hh.
+     */
+    CostLedger ledger;
 
     sim::Tick submitTick = 0;
     sim::Tick finishTick = 0;

@@ -1,5 +1,6 @@
 #include "sim/simulation.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -33,8 +34,13 @@ Simulation::scheduleResume(Tick delay, std::coroutine_handle<> handle)
 Tick
 Simulation::run()
 {
+    const auto start = std::chrono::steady_clock::now();
     while (step()) {
     }
+    wallSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return now_;
 }
 
@@ -42,8 +48,13 @@ Tick
 Simulation::runUntil(Tick until)
 {
     AGENTSIM_ASSERT(until >= now_, "runUntil into the past");
+    const auto start = std::chrono::steady_clock::now();
     while (!events_.empty() && events_.nextTime() <= until)
         step();
+    wallSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     now_ = until;
     return now_;
 }

@@ -70,10 +70,27 @@ class Simulation
     /** Total events ever processed. */
     std::uint64_t processedEvents() const { return processed_; }
 
+    /**
+     * Host wall-clock seconds spent inside run()/runUntil() loops —
+     * simulator self-timing, so perf reports can cite events/sec
+     * without external timer plumbing. step() called directly is not
+     * timed (per-event timer reads would dominate it).
+     */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Events processed per host wall-clock second (0 if untimed). */
+    double eventsPerSecond() const
+    {
+        return wallSeconds_ > 0.0
+                   ? static_cast<double>(processed_) / wallSeconds_
+                   : 0.0;
+    }
+
   private:
     EventQueue events_;
     Tick now_ = 0;
     std::uint64_t processed_ = 0;
+    double wallSeconds_ = 0.0;
 };
 
 } // namespace agentsim::sim

@@ -1,0 +1,110 @@
+#include "stats/quantile.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace agentsim::stats
+{
+
+P2Quantile::P2Quantile(double p) : p_(p)
+{
+    AGENTSIM_ASSERT(p > 0.0 && p < 1.0,
+                    "quantile must lie strictly inside (0, 1)");
+    dtarget_ = {0.0, p_ / 2.0, p_, (1.0 + p_) / 2.0, 1.0};
+}
+
+double
+P2Quantile::parabolic(int i, double d) const
+{
+    const auto ui = static_cast<std::size_t>(i);
+    return q_[ui] +
+           d / (n_[ui + 1] - n_[ui - 1]) *
+               ((n_[ui] - n_[ui - 1] + d) * (q_[ui + 1] - q_[ui]) /
+                    (n_[ui + 1] - n_[ui]) +
+                (n_[ui + 1] - n_[ui] - d) * (q_[ui] - q_[ui - 1]) /
+                    (n_[ui] - n_[ui - 1]));
+}
+
+double
+P2Quantile::linear(int i, int d) const
+{
+    const auto ui = static_cast<std::size_t>(i);
+    const auto uj = static_cast<std::size_t>(i + d);
+    return q_[ui] + d * (q_[uj] - q_[ui]) / (n_[uj] - n_[ui]);
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (count_ < 5) {
+        q_[count_++] = x;
+        if (count_ == 5) {
+            std::sort(q_.begin(), q_.end());
+            for (std::size_t i = 0; i < 5; ++i) {
+                n_[i] = static_cast<double>(i + 1);
+                target_[i] = 1.0 + 4.0 * dtarget_[i];
+            }
+        }
+        return;
+    }
+    ++count_;
+
+    // Find the cell k such that q_[k] <= x < q_[k+1], growing the
+    // extreme markers when x falls outside the current range.
+    int k;
+    if (x < q_[0]) {
+        q_[0] = x;
+        k = 0;
+    } else if (x >= q_[4]) {
+        q_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= q_[static_cast<std::size_t>(k + 1)])
+            ++k;
+    }
+
+    for (std::size_t i = static_cast<std::size_t>(k + 1); i < 5; ++i)
+        n_[i] += 1.0;
+    for (std::size_t i = 0; i < 5; ++i)
+        target_[i] += dtarget_[i];
+
+    // Nudge the three interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const double d = target_[ui] - n_[ui];
+        if ((d >= 1.0 && n_[ui + 1] - n_[ui] > 1.0) ||
+            (d <= -1.0 && n_[ui - 1] - n_[ui] < -1.0)) {
+            const int dir = d >= 0 ? 1 : -1;
+            const double candidate = parabolic(i, dir);
+            if (q_[ui - 1] < candidate && candidate < q_[ui + 1])
+                q_[ui] = candidate;
+            else
+                q_[ui] = linear(i, dir);
+            n_[ui] += dir;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ < 5) {
+        // Exact order statistic over the buffered observations.
+        std::array<double, 5> sorted = q_;
+        std::sort(sorted.begin(),
+                  sorted.begin() + static_cast<std::ptrdiff_t>(count_));
+        const double rank =
+            p_ * static_cast<double>(count_ - 1);
+        const auto lo = static_cast<std::size_t>(rank);
+        const std::size_t hi = std::min(lo + 1, count_ - 1);
+        const double frac = rank - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    }
+    return q_[2];
+}
+
+} // namespace agentsim::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Streaming quantile estimation for online SLO monitoring.
+ *
+ * P2Quantile implements the P² algorithm (Jain & Chlamtac, CACM '85):
+ * a single quantile is tracked with five markers in O(1) memory and
+ * O(1) time per observation — no sample buffer, so the SLO tracker can
+ * watch TTFT/TBT/E2E percentiles over millions of requests without
+ * growing with the run. For fewer than five observations the estimate
+ * is exact (order statistics of the stored samples).
+ */
+
+#ifndef AGENTSIM_STATS_QUANTILE_HH
+#define AGENTSIM_STATS_QUANTILE_HH
+
+#include <array>
+#include <cstddef>
+
+namespace agentsim::stats
+{
+
+/**
+ * P² estimator of a single quantile p in (0, 1).
+ */
+class P2Quantile
+{
+  public:
+    /** Track the @p p quantile (e.g. 0.99 for the p99). */
+    explicit P2Quantile(double p);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /**
+     * Current estimate of the tracked quantile. Exact for fewer than
+     * five observations; 0 before the first.
+     */
+    double value() const;
+
+    /** Tracked quantile in (0, 1). */
+    double quantile() const { return p_; }
+
+    /** Observations seen so far. */
+    std::size_t count() const { return count_; }
+
+  private:
+    double p_;
+    std::size_t count_ = 0;
+    /** Marker heights (estimates of the 0, p/2, p, (1+p)/2, 1
+     *  quantiles once five observations have arrived). */
+    std::array<double, 5> q_{};
+    /** Actual marker positions (1-based observation ranks). */
+    std::array<double, 5> n_{};
+    /** Desired marker positions. */
+    std::array<double, 5> target_{};
+    /** Desired-position increments per observation. */
+    std::array<double, 5> dtarget_{};
+
+    /** Piecewise-parabolic (P²) height adjustment for marker @p i. */
+    double parabolic(int i, double d) const;
+    double linear(int i, int d) const;
+};
+
+} // namespace agentsim::stats
+
+#endif // AGENTSIM_STATS_QUANTILE_HH

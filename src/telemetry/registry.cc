@@ -1,6 +1,8 @@
 #include "telemetry/registry.hh"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
@@ -186,6 +188,23 @@ writeTextFile(const std::string &path, const std::string &text)
         std::fwrite(text.data(), 1, text.size(), f);
     std::fclose(f);
     return written == text.size();
+}
+
+bool
+writeArtifact(const std::string &path, const std::string &text,
+              const std::string &what)
+{
+    errno = 0;
+    if (writeTextFile(path, text)) {
+        std::printf("telemetry: wrote %s to %s\n", what.c_str(),
+                    path.c_str());
+        return true;
+    }
+    std::fprintf(stderr, "error: failed to write %s to %s%s%s\n",
+                 what.c_str(), path.c_str(),
+                 errno != 0 ? ": " : "",
+                 errno != 0 ? std::strerror(errno) : "");
+    return false;
 }
 
 } // namespace agentsim::telemetry

@@ -202,6 +202,16 @@ class MetricsRegistry
 /** Write @p text to @p path (truncating). @return success. */
 bool writeTextFile(const std::string &path, const std::string &text);
 
+/**
+ * Write a telemetry/report artifact with uniform outcome reporting:
+ * on success prints "telemetry: wrote <what> to <path>" to stdout; on
+ * failure prints an error (with errno detail) to stderr. Binaries
+ * writing artifacts route through this so an unwritable path is
+ * always loud — and they exit non-zero when it returns false.
+ */
+bool writeArtifact(const std::string &path, const std::string &text,
+                   const std::string &what);
+
 } // namespace agentsim::telemetry
 
 #endif // AGENTSIM_TELEMETRY_REGISTRY_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Simulator self-timing export: the simulation executive's own
+ * performance (events processed, host wall-clock time, events/sec) as
+ * registry gauges. This is what lets a perf report compare *simulator*
+ * throughput across commits without any external timer plumbing — the
+ * executive already timed its run loops.
+ */
+
+#ifndef AGENTSIM_TELEMETRY_SIM_METRICS_HH
+#define AGENTSIM_TELEMETRY_SIM_METRICS_HH
+
+#include "sim/simulation.hh"
+#include "telemetry/registry.hh"
+
+namespace agentsim::telemetry
+{
+
+/** Export agentsim_sim_* self-timing gauges for @p sim. */
+inline void
+exportSimMetrics(MetricsRegistry &registry, const sim::Simulation &sim)
+{
+    const sim::Tick now = sim.now();
+    registry
+        .gauge("agentsim_sim_events_processed",
+               "Events processed by the simulation executive")
+        .set(now, static_cast<double>(sim.processedEvents()));
+    registry
+        .gauge("agentsim_sim_wall_seconds",
+               "Host wall-clock seconds inside run()/runUntil()")
+        .set(now, sim.wallSeconds());
+    registry
+        .gauge("agentsim_sim_events_per_second",
+               "Simulator throughput: events per host wall-clock second")
+        .set(now, sim.eventsPerSecond());
+    registry
+        .gauge("agentsim_sim_virtual_seconds",
+               "Virtual time reached by the simulation clock")
+        .set(now, sim.nowSec());
+}
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_SIM_METRICS_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Online SLO monitoring: streaming TTFT/TBT/E2E percentiles, windowed
+ * SLO attainment, and burn-rate alerting — watching the serving system
+ * *while it runs* rather than summarizing after the fact.
+ *
+ * The tracker follows the SRE error-budget formulation: each latency
+ * metric has a target (e.g. "TTFT under 1 s for 95% of requests"); the
+ * error budget is the tolerated violation fraction (1 - attainment
+ * target); the *burn rate* of a time window is the window's violation
+ * fraction divided by that budget. A burn rate of 1 consumes the
+ * budget exactly; a crash or stall pushes it far above 1 long before
+ * the end-of-run histogram would show anything. When a window's burn
+ * rate crosses the alert threshold, the tracker logs a warning, emits
+ * a trace instant on the SLO track, and counts the alert — so fault
+ * injection (bench/chaos_slo) visibly trips alerts in both the log and
+ * the Chrome trace.
+ *
+ * Percentiles come from constant-memory P² estimators (stats/quantile)
+ * so the tracker never grows with the run.
+ */
+
+#ifndef AGENTSIM_TELEMETRY_SLO_HH
+#define AGENTSIM_TELEMETRY_SLO_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+#include "stats/quantile.hh"
+#include "telemetry/registry.hh"
+#include "telemetry/trace_sink.hh"
+
+namespace agentsim::telemetry
+{
+
+/** The latency metrics the tracker watches. */
+enum class SloMetric
+{
+    Ttft, ///< time to first token
+    Tbt,  ///< time between tokens (per decode step)
+    E2e,  ///< submission-to-completion latency
+};
+
+std::string_view sloMetricName(SloMetric m);
+
+/** SLO objectives and alerting policy. */
+struct SloConfig
+{
+    /** Per-metric latency targets, seconds (<= 0 disables a metric). */
+    double ttftTargetSeconds = 1.0;
+    double tbtTargetSeconds = 0.25;
+    double e2eTargetSeconds = 60.0;
+
+    /** Fraction of observations that must meet the target (the SLO
+     *  objective, e.g. 0.95 for "95% under target"). */
+    double attainmentTarget = 0.95;
+
+    /** Evaluation window length, virtual seconds. */
+    double windowSeconds = 10.0;
+
+    /** Alert when a window's burn rate reaches this multiple of the
+     *  error budget. */
+    double burnRateAlertThreshold = 2.0;
+
+    /** Observations a window needs before it can alert (debounce). */
+    std::int64_t minWindowSamples = 10;
+};
+
+/**
+ * The tracker. Feed it observations stamped with virtual time; it
+ * maintains streaming percentiles, lifetime and windowed attainment,
+ * and fires at most one burn-rate alert per metric per window.
+ * Single-threaded, like everything on the simulation clock.
+ */
+class SloTracker
+{
+  public:
+    explicit SloTracker(const SloConfig &config);
+
+    /** Attach a trace sink for alert instants (nullptr detaches). */
+    void attachTrace(TraceSink *sink);
+
+    /** Record a latency observation for @p metric at time @p now. */
+    void observe(SloMetric metric, sim::Tick now, double seconds);
+
+    /**
+     * Record an unconditional violation (request cancelled, shed or
+     * lost to a node failure — it has no meaningful latency but it
+     * burns budget all the same).
+     */
+    void observeFailure(SloMetric metric, sim::Tick now);
+
+    /** Streaming percentile estimate (q in {0.5, 0.95, 0.99}). */
+    double percentile(SloMetric metric, double q) const;
+
+    /** Lifetime attainment: fraction of observations under target. */
+    double attainment(SloMetric metric) const;
+
+    /** Burn rate of the current (possibly partial) window. */
+    double windowBurnRate(SloMetric metric, sim::Tick now) const;
+
+    /** Burn-rate alerts fired so far, all metrics. */
+    std::int64_t alertsFired() const;
+
+    /** Alerts fired for one metric. */
+    std::int64_t alertsFired(SloMetric metric) const;
+
+    /** Lifetime observations for one metric. */
+    std::int64_t observations(SloMetric metric) const;
+
+    /** Lifetime violations for one metric. */
+    std::int64_t violations(SloMetric metric) const;
+
+    /**
+     * Export agentsim_slo_* families (percentile gauges, attainment,
+     * burn rate, violation and alert counters) into @p registry.
+     */
+    void exportMetrics(MetricsRegistry &registry, sim::Tick now) const;
+
+    /** Drop all state (reused across bench sweep points). */
+    void reset();
+
+    const SloConfig &config() const { return config_; }
+
+  private:
+    struct Tracker
+    {
+        double targetSeconds = 0.0;
+        stats::P2Quantile p50{0.50};
+        stats::P2Quantile p95{0.95};
+        stats::P2Quantile p99{0.99};
+        std::int64_t total = 0;
+        std::int64_t violations = 0;
+        /** Current window: [windowStart, windowStart + window). */
+        sim::Tick windowStart = 0;
+        std::int64_t windowTotal = 0;
+        std::int64_t windowViolations = 0;
+        bool windowAlerted = false;
+        std::int64_t alerts = 0;
+    };
+
+    SloConfig config_;
+    sim::Tick windowTicks_ = 0;
+    std::array<Tracker, 3> trackers_;
+    TraceSink *trace_ = nullptr;
+
+    Tracker &tracker(SloMetric m);
+    const Tracker &tracker(SloMetric m) const;
+
+    /** Roll the metric's window forward to contain @p now. */
+    void rotateWindow(Tracker &t, sim::Tick now);
+
+    /** Account one observation; @p violated forces a violation. */
+    void record(SloMetric metric, sim::Tick now, double seconds,
+                bool violated, bool has_latency);
+
+    /** Evaluate the burn rate and fire an alert if warranted. */
+    void maybeAlert(SloMetric metric, Tracker &t, sim::Tick now);
+};
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_SLO_HH

@@ -44,6 +44,8 @@ struct TracePid
     static constexpr int kEngine = 1;
     static constexpr int kRequests = 2;
     static constexpr int kAgents = 3;
+    /** Online SLO monitor: burn-rate alert instants. */
+    static constexpr int kSlo = 4;
 };
 
 /**

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "stats/gauge.hh"
 #include "stats/histogram.hh"
 #include "stats/pareto.hh"
+#include "stats/quantile.hh"
 #include "stats/summary.hh"
 
 namespace
@@ -220,6 +222,86 @@ TEST(Pareto, FrontierIsSortedByCost)
 TEST(Pareto, EmptyInput)
 {
     EXPECT_TRUE(stats::paretoFrontier({}).empty());
+}
+
+/** Deterministic uniform [0, 1) stream (64-bit LCG). */
+class UniformStream
+{
+  public:
+    explicit UniformStream(std::uint64_t seed) : state_(seed) {}
+
+    double
+    next()
+    {
+        state_ = state_ * 6364136223846793005ull +
+                 1442695040888963407ull;
+        return static_cast<double>(state_ >> 11) /
+               9007199254740992.0; // 2^53
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+TEST(P2Quantile, ExactOrderStatisticBelowFiveSamples)
+{
+    stats::P2Quantile med(0.5);
+    EXPECT_DOUBLE_EQ(med.value(), 0.0);
+    med.add(30.0);
+    EXPECT_DOUBLE_EQ(med.value(), 30.0);
+    med.add(10.0);
+    EXPECT_DOUBLE_EQ(med.value(), 20.0); // interpolated median
+    med.add(20.0);
+    EXPECT_DOUBLE_EQ(med.value(), 20.0);
+    med.add(40.0);
+    EXPECT_DOUBLE_EQ(med.value(), 25.0); // {10,20,30,40} rank 1.5
+    EXPECT_EQ(med.count(), 4u);
+}
+
+TEST(P2Quantile, ConvergesOnUniformStream)
+{
+    stats::P2Quantile p50(0.50);
+    stats::P2Quantile p95(0.95);
+    stats::P2Quantile p99(0.99);
+    UniformStream u(2026);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = u.next();
+        p50.add(x);
+        p95.add(x);
+        p99.add(x);
+    }
+    // True quantiles of U(0,1) are the quantile levels themselves.
+    EXPECT_NEAR(p50.value(), 0.50, 0.01);
+    EXPECT_NEAR(p95.value(), 0.95, 0.01);
+    EXPECT_NEAR(p99.value(), 0.99, 0.005);
+}
+
+TEST(P2Quantile, TracksExactPercentileOnHeavyTail)
+{
+    // Exponential via inverse CDF; compare the streaming estimate to
+    // the exact percentile of the full retained sample.
+    stats::P2Quantile p95(0.95);
+    SampleSet all;
+    UniformStream u(7);
+    for (int i = 0; i < 50000; ++i) {
+        const double x = -std::log(1.0 - u.next());
+        p95.add(x);
+        all.add(x);
+    }
+    const double exact = all.percentile(95.0);
+    EXPECT_NEAR(p95.value(), exact, 0.05 * exact);
+}
+
+TEST(P2Quantile, MonotoneShiftIsFollowed)
+{
+    // A regime change (latencies jump 10x) must pull the streaming
+    // p50 into the new regime once it dominates the stream.
+    stats::P2Quantile p50(0.5);
+    for (int i = 0; i < 1000; ++i)
+        p50.add(0.1);
+    for (int i = 0; i < 9000; ++i)
+        p50.add(1.0);
+    EXPECT_GT(p50.value(), 0.5);
 }
 
 } // namespace

@@ -17,6 +17,7 @@
 #include "sim/logging.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
+#include "telemetry/slo.hh"
 #include "telemetry/trace_sink.hh"
 
 using namespace agentsim;
@@ -471,3 +472,151 @@ TEST(Telemetry, BlockManagerExposesOccupancyGauges)
     EXPECT_EQ(mgr.blocksInUse(), 0);
     EXPECT_EQ(mgr.blocksFree(), 16);
 }
+
+// ---------------------------------------------------------------------
+// Online SLO tracker (telemetry/slo.hh).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+using telemetry::SloConfig;
+using telemetry::SloMetric;
+using telemetry::SloTracker;
+
+SloConfig
+tightTtft()
+{
+    SloConfig cfg;
+    cfg.ttftTargetSeconds = 1.0;
+    cfg.tbtTargetSeconds = 0.0; // disabled
+    cfg.e2eTargetSeconds = 0.0; // disabled
+    cfg.windowSeconds = 10.0;
+    cfg.attainmentTarget = 0.95;
+    cfg.burnRateAlertThreshold = 2.0;
+    cfg.minWindowSamples = 10;
+    return cfg;
+}
+
+TEST(Slo, AttainmentCountsViolationsAndFailures)
+{
+    SloTracker slo(tightTtft());
+    for (int i = 0; i < 8; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(0.1 * i), 0.5);
+    slo.observe(SloMetric::Ttft, sim::fromSeconds(0.9), 3.0);
+    slo.observeFailure(SloMetric::Ttft, sim::fromSeconds(1.0));
+    EXPECT_EQ(slo.observations(SloMetric::Ttft), 10);
+    EXPECT_EQ(slo.violations(SloMetric::Ttft), 2);
+    EXPECT_NEAR(slo.attainment(SloMetric::Ttft), 0.8, 1e-12);
+    // 2/10 violations against a 5% budget: burn rate 4x.
+    EXPECT_NEAR(
+        slo.windowBurnRate(SloMetric::Ttft, sim::fromSeconds(1.0)),
+        4.0, 1e-12);
+}
+
+TEST(Slo, DisabledMetricRecordsNothing)
+{
+    SloTracker slo(tightTtft());
+    slo.observe(SloMetric::Tbt, 0, 100.0);
+    slo.observeFailure(SloMetric::E2e, 0);
+    EXPECT_EQ(slo.observations(SloMetric::Tbt), 0);
+    EXPECT_EQ(slo.observations(SloMetric::E2e), 0);
+    EXPECT_EQ(slo.alertsFired(), 0);
+}
+
+TEST(Slo, AlertFiresOncePerWindowAndEmitsTraceInstant)
+{
+    SloTracker slo(tightTtft());
+    telemetry::TraceSink trace;
+    slo.attachTrace(&trace);
+    const std::size_t baseline = trace.eventCount();
+
+    // Window 1: 10 samples, 3 violations -> burn 6x, one alert even
+    // though more violations keep arriving.
+    for (int i = 0; i < 7; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(0.1 * i), 0.2);
+    for (int i = 0; i < 5; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(1.0 + 0.1 * i),
+                    5.0);
+    EXPECT_EQ(slo.alertsFired(SloMetric::Ttft), 1);
+    EXPECT_GT(trace.eventCount(), baseline);
+    EXPECT_NE(trace.toJson().find("slo_alert_ttft"), std::string::npos);
+
+    // Window 2 (t in [10, 20)): clean samples -> no new alert.
+    for (int i = 0; i < 20; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(10.5 + 0.1 * i),
+                    0.2);
+    EXPECT_EQ(slo.alertsFired(SloMetric::Ttft), 1);
+
+    // Window 3 (t in [20, 30)): violations again -> second alert.
+    for (int i = 0; i < 10; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(20.5 + 0.1 * i),
+                    5.0);
+    EXPECT_EQ(slo.alertsFired(SloMetric::Ttft), 2);
+}
+
+TEST(Slo, WindowRotationJumpsEmptyWindows)
+{
+    SloTracker slo(tightTtft());
+    for (int i = 0; i < 10; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(0.1 * i), 5.0);
+    EXPECT_GT(
+        slo.windowBurnRate(SloMetric::Ttft, sim::fromSeconds(1.0)),
+        0.0);
+    // Long quiet gap; the next observation lands in a fresh window
+    // whose burn rate starts from zero despite lifetime violations.
+    slo.observe(SloMetric::Ttft, sim::fromSeconds(500.0), 0.2);
+    EXPECT_DOUBLE_EQ(
+        slo.windowBurnRate(SloMetric::Ttft, sim::fromSeconds(500.0)),
+        0.0);
+    EXPECT_EQ(slo.violations(SloMetric::Ttft), 10);
+}
+
+TEST(Slo, MinWindowSamplesDebouncesAlerts)
+{
+    auto cfg = tightTtft();
+    cfg.minWindowSamples = 50;
+    SloTracker slo(cfg);
+    // 100% violations but under the sample floor: no alert.
+    for (int i = 0; i < 49; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(0.01 * i), 5.0);
+    EXPECT_EQ(slo.alertsFired(), 0);
+    slo.observe(SloMetric::Ttft, sim::fromSeconds(0.5), 5.0);
+    EXPECT_EQ(slo.alertsFired(), 1);
+}
+
+TEST(Slo, ExportMetricsEmitsFamiliesOnlyForEnabledMetrics)
+{
+    SloTracker slo(tightTtft());
+    for (int i = 0; i < 12; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(0.1 * i),
+                    i % 2 == 0 ? 0.5 : 2.0);
+    telemetry::MetricsRegistry registry;
+    slo.exportMetrics(registry, sim::fromSeconds(1.2));
+    const std::string prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("agentsim_slo_ttft_p95_seconds"),
+              std::string::npos);
+    EXPECT_NE(prom.find("agentsim_slo_ttft_attainment"),
+              std::string::npos);
+    EXPECT_NE(prom.find("agentsim_slo_ttft_violations_total"),
+              std::string::npos);
+    // Disabled metrics export nothing.
+    EXPECT_EQ(prom.find("agentsim_slo_tbt"), std::string::npos);
+    EXPECT_EQ(prom.find("agentsim_slo_e2e"), std::string::npos);
+}
+
+TEST(Slo, ResetPreservesTargets)
+{
+    SloTracker slo(tightTtft());
+    for (int i = 0; i < 15; ++i)
+        slo.observe(SloMetric::Ttft, sim::fromSeconds(0.1 * i), 5.0);
+    EXPECT_GT(slo.alertsFired(), 0);
+    slo.reset();
+    EXPECT_EQ(slo.observations(SloMetric::Ttft), 0);
+    EXPECT_EQ(slo.alertsFired(), 0);
+    // Still tracking TTFT after reset (target survived).
+    slo.observe(SloMetric::Ttft, 0, 0.5);
+    EXPECT_EQ(slo.observations(SloMetric::Ttft), 1);
+}
+
+} // namespace
