@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Full verification matrix: configure, build and test every CMake
+# preset (default, asan, ubsan), then gate the perf report against
+# the committed baseline with perf_report_diff.
+#
+#   scripts/verify.sh                 # everything
+#   AGENTSIM_PRESETS="default" scripts/verify.sh   # subset
+#   AGENTSIM_PERF_THRESHOLD=0.10 scripts/verify.sh # looser gate
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+read -ra presets <<< "${AGENTSIM_PRESETS:-default asan ubsan}"
+jobs="${JOBS:-$(nproc)}"
+
+for preset in "${presets[@]}"; do
+    echo "==> preset: ${preset}"
+    cmake --preset "${preset}" > /dev/null
+    cmake --build --preset "${preset}" -j "${jobs}"
+    ctest --preset "${preset}" -j "${jobs}"
+done
+
+# Perf regression gate: regenerate the baseline bench's report with
+# the default-preset build and diff it against the committed one.
+# Sim-domain metrics are deterministic, so any drift is a real
+# behaviour change; sim_* self-timing entries are informational only.
+echo "==> perf report gate (fig14_qps_sweep vs BENCH_agentsim.json)"
+report="$(mktemp)"
+trap 'rm -f "${report}"' EXIT
+build/bench/fig14_qps_sweep --report "${report}" > /dev/null
+build/bench/perf_report_diff BENCH_agentsim.json "${report}" \
+    --threshold "${AGENTSIM_PERF_THRESHOLD:-0.05}"
+
+echo "verify: OK (${presets[*]})"

@@ -54,6 +54,8 @@ struct ClusterState
     ClusterResult result;
     sim::Tick firstSubmit = -1;
     sim::Tick lastFinish = 0;
+    /** Workload drained; periodic coroutines exit at next wake. */
+    bool stopped = false;
 };
 
 /** Stable identity of a workload component (for affinity hashing). */
@@ -68,30 +70,45 @@ workloadKey(const WorkloadSpec &spec)
 }
 
 /**
- * Routing state shared by the driver and retrying workers. Offline
- * (crashed) nodes are never picked; pick() returns -1 when the whole
- * cluster is down and the caller should back off and re-probe.
+ * Routing state shared by the driver and retrying workers. Nodes that
+ * are not accepting (crashed or draining) are never picked, and nodes
+ * whose circuit breaker is Open are skipped while accepting peers
+ * exist; when every accepting node is breaker-denied the router fails
+ * open rather than stalling the client. pick() returns -1 only when
+ * the whole cluster is down and the caller should back off and
+ * re-probe.
  */
 struct Router
 {
     RoutePolicy policy;
     std::vector<Node> &nodes;
+    HealthRegistry &health;
     int rrNext = 0;
 
     bool
-    online(int i) const
+    accepting(int i) const
     {
-        return nodes[static_cast<std::size_t>(i)].engine->online();
+        return nodes[static_cast<std::size_t>(i)].engine->accepting();
     }
 
-    /** Least-loaded online node, or -1 if none is online. */
+    /** Accepting, and (when @p use_breakers) breaker-admitted. */
+    bool
+    available(int i, sim::Tick now, bool use_breakers)
+    {
+        if (!accepting(i))
+            return false;
+        return !use_breakers ||
+               health.allows(static_cast<std::size_t>(i), now);
+    }
+
+    /** Least-loaded available node, or -1 if none qualifies. */
     int
-    leastLoadedOnline() const
+    leastLoadedAvailable(sim::Tick now, bool use_breakers)
     {
         const int n = static_cast<int>(nodes.size());
         int best = -1;
         for (int i = 0; i < n; ++i) {
-            if (!online(i))
+            if (!available(i, now, use_breakers))
                 continue;
             if (best < 0 ||
                 nodes[static_cast<std::size_t>(i)].load() <
@@ -103,7 +120,8 @@ struct Router
     }
 
     int
-    pick(const WorkloadSpec &spec)
+    pickFiltered(const WorkloadSpec &spec, sim::Tick now,
+                 bool use_breakers)
     {
         const int n = static_cast<int>(nodes.size());
         switch (policy) {
@@ -111,25 +129,25 @@ struct Router
               for (int step = 0; step < n; ++step) {
                   const int candidate = rrNext;
                   rrNext = (rrNext + 1) % n;
-                  if (online(candidate))
+                  if (available(candidate, now, use_breakers))
                       return candidate;
               }
               return -1;
           }
           case RoutePolicy::LeastLoaded:
-            return leastLoadedOnline();
+            return leastLoadedAvailable(now, use_breakers);
           case RoutePolicy::CacheAffinity: {
               // Agent-aware: chatbot traffic has near-zero
               // cross-request prefix reuse, so it simply
               // load-balances; agent requests go to their workflow's
               // home node unless it is down or clearly overloaded
               // relative to the cluster minimum.
-              const int least = leastLoadedOnline();
+              const int least = leastLoadedAvailable(now, use_breakers);
               if (least < 0 || spec.chatbot)
                   return least;
               const int home = static_cast<int>(
                   workloadKey(spec) % static_cast<std::uint64_t>(n));
-              if (!online(home))
+              if (!available(home, now, use_breakers))
                   return least;
               const std::size_t min_load =
                   nodes[static_cast<std::size_t>(least)].load();
@@ -141,6 +159,48 @@ struct Router
           }
         }
         AGENTSIM_PANIC("unknown routing policy");
+    }
+
+    int
+    pick(const WorkloadSpec &spec, sim::Tick now)
+    {
+        int target = pickFiltered(spec, now, /*use_breakers=*/true);
+        if (target >= 0)
+            return target;
+        // Every accepting node is breaker-denied (or none accepts):
+        // fail open so a cluster-wide brown patch degrades to plain
+        // availability routing instead of livelock.
+        target = pickFiltered(spec, now, /*use_breakers=*/false);
+        if (target >= 0)
+            health.noteFailOpenPick();
+        return target;
+    }
+
+    /**
+     * Target for a live migration off @p source: the least-loaded
+     * accepting peer, preferring breaker-admitted ones. -1 when no
+     * other node can take the request.
+     */
+    int
+    pickForImport(std::size_t source, sim::Tick now)
+    {
+        int best = -1;
+        for (int pass = 0; pass < 2 && best < 0; ++pass) {
+            const bool use_breakers = pass == 0;
+            const int n = static_cast<int>(nodes.size());
+            for (int i = 0; i < n; ++i) {
+                if (i == static_cast<int>(source) ||
+                    !available(i, now, use_breakers)) {
+                    continue;
+                }
+                if (best < 0 ||
+                    nodes[static_cast<std::size_t>(i)].load() <
+                        nodes[static_cast<std::size_t>(best)].load()) {
+                    best = i;
+                }
+            }
+        }
+        return best;
     }
 };
 
@@ -181,7 +241,7 @@ routeWithFailover(const ClusterConfig &config, sim::Simulation &sim,
                   ClusterState &state)
 {
     int target;
-    while ((target = router.pick(spec)) < 0) {
+    while ((target = router.pick(spec, sim.now())) < 0) {
         // Every node is down; poll until a restart brings one back.
         co_await sim::delaySec(sim, config.retry.allDownPollSeconds);
     }
@@ -207,6 +267,7 @@ retrySleepSeconds(const RetryPolicy &retry, int attempt, sim::Rng &rng)
 sim::Task<void>
 clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
                    std::vector<Node> &nodes, Router &router,
+                   BrownoutController *brownout,
                    const WorkloadSpec &spec,
                    std::size_t workload_index, std::uint64_t index,
                    ClusterState &state)
@@ -230,25 +291,37 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
         ctx.tools = &node.toolsFor(spec.bench);
         ctx.task = gen.sample(index);
         ctx.config = spec.agentConfig;
+        // Under brownout the dispatcher trims test-time-scaling width
+        // and may downgrade deadline-less rollouts to a cheaper
+        // workflow — degraded service instead of shed service.
+        agents::AgentKind kind = spec.agent;
+        if (brownout != nullptr)
+            brownout->apply(kind, ctx.config, spec.bench);
         ctx.config.modelQuality =
             agents::modelQuality(config.engineConfig.model.name);
-        ctx.kind = spec.agent;
+        ctx.kind = kind;
         ctx.seed = config.seed;
         ctx.traceSink = config.traceSink;
         ctx.traceTid = index;
 
-        auto agent = agents::makeAgent(spec.agent);
+        auto agent = agents::makeAgent(kind);
         bool retry_pending = false;
         try {
             agents::AgentResult result = co_await agent->run(ctx);
             (void)result;
+            router.health.reportSuccess(
+                static_cast<std::size_t>(target), sim.now());
             noteCompletion(state, submit, sim.now(), workload_index);
             co_return;
         } catch (const agents::DeadlineExceededError &) {
             // The SLO is already blown; a retry cannot un-miss it.
+            router.health.reportFailure(
+                static_cast<std::size_t>(target), sim.now());
             noteFailure(state, submit, sim.now(), true);
             co_return;
         } catch (const agents::NodeFailureError &) {
+            router.health.reportFailure(
+                static_cast<std::size_t>(target), sim.now());
             if (attempt >= config.retry.maxAttempts) {
                 noteFailure(state, submit, sim.now(), false);
                 co_return;
@@ -306,14 +379,25 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
             co_await node.engine->generate(std::move(req));
 
         if (gen.ok() || gen.truncated) {
+            router.health.reportSuccess(
+                static_cast<std::size_t>(target), sim.now());
             noteCompletion(state, submit, sim.now(), workload_index);
             co_return;
         }
         if (gen.timedOut || gen.failed) {
+            if (gen.timedOut) {
+                // A context-window failure is the request's fault, a
+                // deadline miss is (partly) the node's: only the
+                // latter feeds the breaker.
+                router.health.reportFailure(
+                    static_cast<std::size_t>(target), sim.now());
+            }
             noteFailure(state, submit, sim.now(), gen.timedOut);
             co_return;
         }
         // Retryable: shed at admission or lost to a node failure.
+        router.health.reportFailure(static_cast<std::size_t>(target),
+                                    sim.now());
         if (attempt >= config.retry.maxAttempts) {
             noteFailure(state, submit, sim.now(), false);
             co_return;
@@ -324,10 +408,108 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
     }
 }
 
+/**
+ * One rolling-restart visit to node @p index: crash it (Crash mode)
+ * or drain it, migrating the leftovers to the least-loaded accepting
+ * peer (DrainMigrate) or cancelling them (Drain); then wait out the
+ * downtime and restart. Skips nodes the chaos injector already holds
+ * down — the injector's driver owns that restart.
+ */
+sim::Task<void>
+maintainNode(const ClusterConfig &config, sim::Simulation &sim,
+             std::vector<Node> &nodes, Router &router,
+             std::size_t index)
+{
+    serving::LlmEngine &eng = *nodes[index].engine;
+    const sim::MaintenanceMode mode = config.maintenance.mode;
+    if (mode == sim::MaintenanceMode::Crash) {
+        if (!eng.online() || eng.draining())
+            co_return;
+        eng.crash();
+        co_await sim::delaySec(sim,
+                               config.maintenance.downtimeSeconds);
+        if (!eng.online())
+            eng.restart();
+        co_return;
+    }
+
+    if (!eng.online() || eng.draining())
+        co_return;
+    serving::DrainOutcome outcome = co_await eng.drain(
+        config.maintenance.drainDeadlineSeconds,
+        mode == sim::MaintenanceMode::DrainMigrate);
+    if (outcome.crashed) {
+        // The injector crashed the node mid-drain and will restart it.
+        co_return;
+    }
+    for (auto &leftover : outcome.leftovers) {
+        const int target = router.pickForImport(index, sim.now());
+        if (target >= 0) {
+            nodes[static_cast<std::size_t>(target)]
+                .engine->importRequest(std::move(leftover),
+                                       config.migrationBandwidth);
+        } else {
+            // Nowhere to land it: resolve with crash semantics so the
+            // client's retry loop takes over.
+            eng.abortMigration(std::move(leftover));
+        }
+    }
+    co_await sim::delaySec(sim, config.maintenance.downtimeSeconds);
+    if (!eng.online())
+        eng.restart();
+}
+
+/**
+ * Periodic pressure monitor: samples per-node queue depth into the
+ * health EWMAs and feeds the brownout controller the cluster-max KV
+ * utilization and SLO burn rate.
+ */
+sim::Task<void>
+clusterMonitor(const ClusterConfig &config, sim::Simulation &sim,
+               std::vector<Node> &nodes, HealthRegistry &health,
+               BrownoutController *brownout, ClusterState &state)
+{
+    for (;;) {
+        co_await sim::delaySec(sim, config.monitorPeriodSeconds);
+        if (state.stopped)
+            co_return;
+        const sim::Tick now = sim.now();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            health.recordQueueDepth(
+                i, now,
+                static_cast<double>(nodes[i].engine->queueDepth()));
+        }
+        if (brownout == nullptr)
+            continue;
+        double kv_util = 0.0;
+        for (const auto &node : nodes) {
+            const auto &blocks = node.engine->blockManager();
+            if (blocks.totalBlocks() > 0) {
+                kv_util = std::max(
+                    kv_util,
+                    static_cast<double>(blocks.blocksInUse()) /
+                        static_cast<double>(blocks.totalBlocks()));
+            }
+        }
+        double burn = 0.0;
+        if (config.slo != nullptr) {
+            for (auto metric :
+                 {telemetry::SloMetric::Ttft, telemetry::SloMetric::Tbt,
+                  telemetry::SloMetric::E2e}) {
+                burn = std::max(
+                    burn, config.slo->windowBurnRate(metric, now));
+            }
+        }
+        brownout->observe(now, kv_util, burn);
+    }
+}
+
 sim::Task<void>
 clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
               std::vector<Node> &nodes, Router &router,
-              sim::FaultInjector *faults, ClusterState &state)
+              BrownoutController *brownout, sim::FaultInjector *faults,
+              sim::MaintenanceSchedule *maintenance,
+              ClusterState &state)
 {
     sim::Rng arrivals(config.seed, "cluster.arrivals", 0);
     sim::Rng mixer(config.seed, "cluster.mix", 0);
@@ -351,16 +533,19 @@ clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
                                                 router, spec, which,
                                                 index, state));
         } else {
-            workers.push_back(clusterAgentWorker(config, sim, nodes,
-                                                 router, spec, which,
-                                                 index, state));
+            workers.push_back(clusterAgentWorker(
+                config, sim, nodes, router, brownout, spec, which,
+                index, state));
         }
     }
     co_await sim::allOf(std::move(workers));
-    // Workload drained: let the fault drivers exit at their next wake
-    // so the event queue can empty.
+    // Workload drained: let the fault/maintenance/monitor drivers exit
+    // at their next wake so the event queue can empty.
+    state.stopped = true;
     if (faults != nullptr)
         faults->stop();
+    if (maintenance != nullptr)
+        maintenance->stop();
 }
 
 } // namespace
@@ -414,9 +599,29 @@ runCluster(const ClusterConfig &config)
         nodes.push_back(std::move(node));
     }
 
+    // Health + breakers are always wired (with no failures every
+    // breaker stays Closed and routing degenerates to the pure
+    // availability-based behaviour); brownout is opt-in.
+    HealthRegistry health(config.health, nodes.size());
+    if (config.traceSink != nullptr)
+        health.attachTrace(config.traceSink);
+    std::optional<BrownoutController> brownout;
+    if (config.brownout.enabled) {
+        brownout.emplace(config.brownout);
+        if (config.traceSink != nullptr)
+            brownout->attachTrace(config.traceSink);
+    }
+
+    ClusterState state;
+    state.result.perWorkloadSeconds.resize(config.mix.size());
+    Router router{config.policy, nodes, health, 0};
+
     // Chaos wiring: node-level faults drive the engines through the
     // injector's hooks; tool-level faults are sampled inside each
-    // tool from its own deterministic stream.
+    // tool from its own deterministic stream. The hooks are guarded
+    // against colliding with a concurrent maintenance drain: a
+    // draining engine is not crashed again, and a node someone else
+    // already restarted is left alone.
     std::optional<sim::FaultInjector> faults;
     if (config.faults.nodeFaultsEnabled()) {
         faults.emplace(sim, config.faults);
@@ -424,8 +629,14 @@ runCluster(const ClusterConfig &config)
             serving::LlmEngine *engine = nodes[i].engine.get();
             faults->attachNode(
                 i, sim::FaultInjector::NodeHooks{
-                       [engine] { engine->crash(); },
-                       [engine] { engine->restart(); },
+                       [engine] {
+                           if (engine->online())
+                               engine->crash();
+                       },
+                       [engine] {
+                           if (!engine->online())
+                               engine->restart();
+                       },
                        [engine](double s) { engine->injectStall(s); },
                    });
         }
@@ -445,11 +656,29 @@ runCluster(const ClusterConfig &config)
         }
     }
 
-    ClusterState state;
-    state.result.perWorkloadSeconds.resize(config.mix.size());
-    Router router{config.policy, nodes, 0};
+    // Planned churn: the maintenance schedule takes nodes out of
+    // service round-robin, through crash or (migrating) drain.
+    std::optional<sim::MaintenanceSchedule> maintenance;
+    if (config.maintenance.enabled()) {
+        maintenance.emplace(
+            sim, config.maintenance, nodes.size(),
+            [&config, &sim, &nodes, &router](std::size_t index) {
+                return maintainNode(config, sim, nodes, router, index);
+            });
+    }
+
+    std::optional<sim::Task<void>> monitor;
+    if (config.brownout.enabled || config.maintenance.enabled()) {
+        monitor.emplace(clusterMonitor(config, sim, nodes, health,
+                                       brownout ? &*brownout : nullptr,
+                                       state));
+    }
+
     auto drive = clusterDriver(config, sim, nodes, router,
-                               faults ? &*faults : nullptr, state);
+                               brownout ? &*brownout : nullptr,
+                               faults ? &*faults : nullptr,
+                               maintenance ? &*maintenance : nullptr,
+                               state);
     sim.run();
     AGENTSIM_ASSERT(drive.done(), "cluster driver did not finish");
     AGENTSIM_ASSERT(state.result.completed + state.result.failed ==
@@ -461,6 +690,17 @@ runCluster(const ClusterConfig &config)
         state.lastFinish - std::max<sim::Tick>(0, state.firstSubmit));
     if (faults)
         out.faultStats = faults->stats();
+    if (maintenance)
+        out.maintenanceStats = maintenance->stats();
+    out.breakerOpens = health.opens();
+    out.breakerCloses = health.closes();
+    out.failOpenPicks = health.failOpenPicks();
+    if (brownout) {
+        out.brownoutEscalations = brownout->escalations();
+        out.brownoutRestorations = brownout->restorations();
+        out.brownoutDegradedRollouts = brownout->degradedRollouts();
+        out.brownoutMaxLevel = brownout->maxLevelReached();
+    }
     for (const auto &node : nodes) {
         // Every cancelled/crashed/finished request must have returned
         // its blocks; chaos runs exercise this hard.
@@ -471,6 +711,11 @@ runCluster(const ClusterConfig &config)
         nr.requests = node.assigned;
         nr.cacheHitRate = node.engine->cacheStats().hitRate();
         nr.engineStats = node.engine->stats();
+        out.drains += nr.engineStats.drains;
+        out.migratedRequests += nr.engineStats.requestsMigratedOut;
+        out.migrationFallbacks += nr.engineStats.migrationFallbacks;
+        out.migrationSeconds += nr.engineStats.migrationSeconds;
+        out.lostPrefillSeconds += nr.engineStats.lostPrefillSeconds;
         out.nodes.push_back(nr);
     }
     if (config.metrics != nullptr) {
@@ -500,6 +745,24 @@ runCluster(const ClusterConfig &config)
         set("agentsim_cluster_node_crashes_total",
             "Injected node crashes across the cluster",
             static_cast<double>(sum.crashes));
+        set("agentsim_resilience_drains_total",
+            "Graceful node drains across the cluster",
+            static_cast<double>(out.drains));
+        set("agentsim_resilience_migrations_total",
+            "Requests live-migrated between nodes",
+            static_cast<double>(out.migratedRequests));
+        set("agentsim_resilience_migration_fallbacks_total",
+            "Migrations that landed cold (target lacked free blocks)",
+            static_cast<double>(out.migrationFallbacks));
+        set("agentsim_resilience_migration_seconds_total",
+            "Interconnect+PCIe seconds spent moving KV between nodes",
+            out.migrationSeconds);
+        set("agentsim_resilience_lost_prefill_seconds_total",
+            "Prefill GPU-s thrown away by crash-cancelled requests",
+            out.lostPrefillSeconds);
+        health.exportMetrics(*config.metrics, sim.now());
+        if (brownout)
+            brownout->exportMetrics(*config.metrics, sim.now());
         if (config.slo != nullptr)
             config.slo->exportMetrics(*config.metrics, sim.now());
     }

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "agents/workflows.hh"
+#include "core/brownout.hh"
+#include "core/health.hh"
 #include "serving/engine.hh"
 #include "sim/fault.hh"
 #include "stats/summary.hh"
@@ -101,6 +103,17 @@ struct ClusterConfig
 
     /** Chaos knobs (node crashes, stalls, tool faults). */
     sim::FaultConfig faults;
+    /** Planned churn: rolling restarts through crash or drain. */
+    sim::MaintenanceConfig maintenance;
+    /** Per-node health EWMAs + circuit breakers for routing. */
+    HealthConfig health;
+    /** Overload brownout (off by default). */
+    BrownoutConfig brownout;
+    /** Node-to-node KV transfer bandwidth for live migration, B/s
+     *  (defaults to the disagg interconnect assumption). */
+    double migrationBandwidth = 200e9;
+    /** Cadence of the KV-pressure/burn-rate/queue-depth monitor, s. */
+    double monitorPeriodSeconds = 1.0;
     /** Client retry discipline for retryable failures. */
     RetryPolicy retry;
     /** Per-request SLO deadline for chatbot traffic, seconds (0 off). */
@@ -155,9 +168,29 @@ struct ClusterResult
     std::vector<NodeResult> nodes;
     /** What the injector actually did (crashes, stalls, downtime). */
     sim::FaultStats faultStats;
+    /** What the rolling-restart schedule did. */
+    sim::MaintenanceStats maintenanceStats;
     /** SLO burn-rate alerts fired during the run (0 without a
      *  ClusterConfig::slo tracker). */
     std::int64_t sloAlerts = 0;
+
+    /** Circuit-breaker transitions and fail-open routing picks. */
+    std::int64_t breakerOpens = 0;
+    std::int64_t breakerCloses = 0;
+    std::int64_t failOpenPicks = 0;
+    /** Brownout controller activity (0 when disabled). */
+    std::int64_t brownoutEscalations = 0;
+    std::int64_t brownoutRestorations = 0;
+    std::int64_t brownoutDegradedRollouts = 0;
+    int brownoutMaxLevel = 0;
+    /** Graceful drains and live migrations, summed over nodes. */
+    std::int64_t drains = 0;
+    std::int64_t migratedRequests = 0;
+    std::int64_t migrationFallbacks = 0;
+    /** Interconnect+PCIe seconds spent moving KV between nodes. */
+    double migrationSeconds = 0.0;
+    /** Prefill GPU-s thrown away by crash-cancelled requests. */
+    double lostPrefillSeconds = 0.0;
 
     double p50() const { return e2eSeconds.percentile(50.0); }
     double p95() const { return e2eSeconds.percentile(95.0); }

@@ -232,6 +232,28 @@ BlockManager::appendToken(SeqId seq_id, TokenId token)
     return true;
 }
 
+ChainExport
+BlockManager::exportChain(SeqId seq_id) const
+{
+    auto it = seqs_.find(seq_id);
+    AGENTSIM_ASSERT(it != seqs_.end(),
+                    "exportChain of unknown sequence");
+    ChainExport out;
+    out.tokens = it->second.tokens;
+    out.blocks = static_cast<std::int64_t>(it->second.blocks.size());
+    return out;
+}
+
+std::optional<PromptAlloc>
+BlockManager::importChain(SeqId seq_id, std::span<const TokenId> tokens)
+{
+    // An import is a prompt allocation in disguise: the chain hashes
+    // are content-derived, so any prefix already resident here (same
+    // workflow instructions, shared conversation head) is reused and
+    // never crosses the interconnect.
+    return allocatePrompt(seq_id, tokens);
+}
+
 void
 BlockManager::release(SeqId seq_id)
 {

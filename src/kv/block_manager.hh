@@ -88,6 +88,20 @@ struct PromptAlloc
     }
 };
 
+/**
+ * Snapshot of a sequence's block chain, taken by exportChain() on the
+ * source node of a live migration. Token ids are enough to rebuild the
+ * chain anywhere: block contents are implied by the tokens, and the
+ * chain hashes are recomputed identically on the target.
+ */
+struct ChainExport
+{
+    /** All tokens of the sequence (prompt plus generated output). */
+    std::vector<TokenId> tokens;
+    /** Blocks the chain occupied on the source (transfer sizing). */
+    std::int64_t blocks = 0;
+};
+
 /** Aggregate cache statistics. */
 struct CacheStats
 {
@@ -156,6 +170,24 @@ class BlockManager
      * -1 if the pool cannot hold the prefix.
      */
     std::int64_t preloadPrefix(std::span<const TokenId> tokens);
+
+    /**
+     * Snapshot a sequence's chain for live migration. The sequence
+     * stays allocated; the caller releases it once the snapshot is
+     * handed off.
+     */
+    ChainExport exportChain(SeqId seq_id) const;
+
+    /**
+     * Rebuild a migrated chain on this (target) pool: allocate blocks
+     * for @p tokens exactly like a prompt allocation, reusing any
+     * locally cached prefix — reused tokens need no interconnect
+     * transfer, so the returned PromptAlloc tells the engine how many
+     * tokens must actually cross the wire. @return nullopt if the pool
+     * cannot hold the chain (caller falls back to recompute).
+     */
+    std::optional<PromptAlloc> importChain(SeqId seq_id,
+                                           std::span<const TokenId> tokens);
 
     /** True if the sequence is currently allocated. */
     bool hasSeq(SeqId seq_id) const { return seqs_.contains(seq_id); }

@@ -58,6 +58,15 @@ LlmEngine::LlmEngine(sim::Simulation &sim, const EngineConfig &config)
 {
 }
 
+LlmEngine::~LlmEngine()
+{
+    // The run loop is an infinite coroutine parked on wake_; detaching
+    // it (the Task destructor default) would leak its frame, so tear
+    // it down explicitly. Safe: the simulation has drained, so nothing
+    // else holds a handle to the suspended frame.
+    loop_.destroy();
+}
+
 void
 LlmEngine::attachTrace(telemetry::TraceSink *sink)
 {
@@ -161,9 +170,9 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
 
     ++stats_.requestsSubmitted;
 
-    // A crashed node refuses connections; the client should retry
-    // against another node once the router notices.
-    if (!online_) {
+    // A crashed or draining node refuses connections; the client
+    // should retry against another node once the router notices.
+    if (!online_ || draining_) {
         GenResult r;
         r.nodeFailure = true;
         r.promptTokens =
@@ -193,8 +202,12 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
 
     // Admission control: bound the waiting queue rather than letting
     // overload turn into unbounded queueing delay (SLO load shedding).
+    // Only fresh arrivals count against the depth: preemption victims
+    // and migration fallbacks are work already admitted once, and
+    // counting them would shed new requests during transient KV
+    // pressure that the preemptions themselves resolve.
     if (config_.maxQueueDepth > 0 &&
-        waiting_.size() >= config_.maxQueueDepth) {
+        waiting_.size() - requeuedInWaiting_ >= config_.maxQueueDepth) {
         ++stats_.requestsShed;
         if (trace_ != nullptr) {
             trace_->instant(telemetry::TracePid::kEngine, 1, "shed",
@@ -214,6 +227,7 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
     }
 
     auto req = std::make_shared<Req>(sim_);
+    req->owner = this;
     req->id = nextId_++;
     req->sessionId = request.sessionId;
     req->prompt = std::move(request.prompt);
@@ -292,9 +306,31 @@ LlmEngine::preemptOne(StepPlan &plan)
         trace_->instant(telemetry::TracePid::kRequests, victim->id,
                         "preempt", "request", sim_.now());
     }
-    tracePhaseBegin(*victim, "queued");
-    victim->queuedSince = sim_.now();
-    waiting_.push_front(victim);
+    requeueRequest(victim, /*front=*/true);
+}
+
+void
+LlmEngine::noteLeftWaiting(Req &req)
+{
+    if (req.requeued) {
+        req.requeued = false;
+        AGENTSIM_ASSERT(requeuedInWaiting_ > 0,
+                        "re-admission count underflow");
+        --requeuedInWaiting_;
+    }
+}
+
+void
+LlmEngine::requeueRequest(const ReqPtr &req, bool front)
+{
+    tracePhaseBegin(*req, "queued");
+    req->queuedSince = sim_.now();
+    req->requeued = true;
+    ++requeuedInWaiting_;
+    if (front)
+        waiting_.push_front(req);
+    else
+        waiting_.push_back(req);
 }
 
 void
@@ -371,6 +407,7 @@ LlmEngine::cancelRequest(const ReqPtr &req, CancelCause cause)
     std::erase(running_, req);
     if (auto it = std::find(waiting_.begin(), waiting_.end(), req);
         it != waiting_.end()) {
+        noteLeftWaiting(*req);
         waiting_.erase(it);
     }
     req->finished = true;
@@ -395,6 +432,9 @@ LlmEngine::cancelRequest(const ReqPtr &req, CancelCause cause)
         r.cancelled = true;
         r.nodeFailure = true;
         label = "node_failure";
+        // Prefill work invested in this request dies with the node;
+        // the client's retry pays it again from scratch.
+        stats_.lostPrefillSeconds += req->ledger.prefillGpuSeconds;
         break;
     }
     if (trace_ != nullptr) {
@@ -505,6 +545,268 @@ LlmEngine::restart()
         trace_->instant(telemetry::TracePid::kEngine, 1, "restart",
                         "engine", sim_.now());
     }
+}
+
+namespace
+{
+/** Drain progress poll period, seconds (sim clock; cheap events). */
+constexpr double kDrainPollSeconds = 0.02;
+} // namespace
+
+sim::Task<DrainOutcome>
+LlmEngine::drain(double deadline_seconds, bool export_leftovers)
+{
+    AGENTSIM_ASSERT(online_, "drain() on an offline engine");
+    AGENTSIM_ASSERT(!draining_, "drain() re-entered");
+    AGENTSIM_ASSERT(deadline_seconds >= 0, "negative drain deadline");
+    draining_ = true;
+    const std::int64_t completed_before = stats_.requestsCompleted;
+    const sim::Tick deadline =
+        sim_.now() + sim::fromSeconds(deadline_seconds);
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kEngine, 1, "drain_begin",
+                        "engine", sim_.now());
+    }
+    AGENTSIM_INFORM("engine drain: %zu waiting + %zu running, "
+                    "deadline %.2fs, migration %s",
+                    waiting_.size(), running_.size(), deadline_seconds,
+                    export_leftovers ? "on" : "off");
+
+    while (online_ && sim_.now() < deadline &&
+           (!waiting_.empty() || !running_.empty())) {
+        co_await sim::delaySec(sim_, kDrainPollSeconds);
+    }
+
+    DrainOutcome out;
+    out.completed = stats_.requestsCompleted - completed_before;
+    if (!online_) {
+        // Crashed mid-drain; crash() already cancelled everything and
+        // reset the pool. Nothing left to shut down.
+        draining_ = false;
+        out.crashed = true;
+        co_return out;
+    }
+
+    // Deadline (or empty): whatever is left either migrates or is
+    // cancelled like a crash victim (the client retries elsewhere).
+    std::vector<ReqPtr> leftovers(waiting_.begin(), waiting_.end());
+    leftovers.insert(leftovers.end(), running_.begin(), running_.end());
+    for (const auto &req : leftovers) {
+        if (export_leftovers) {
+            auto migrated = exportRequest(req->id);
+            AGENTSIM_ASSERT(migrated.has_value(),
+                            "drain failed to export a live request");
+            out.leftovers.push_back(std::move(*migrated));
+        } else {
+            cancelRequest(req, CancelCause::NodeFailure);
+        }
+    }
+
+    // Planned shutdown: the process restarts, so the prefix cache and
+    // host tier come back cold — identical cache semantics to crash(),
+    // minus the dropped requests.
+    online_ = false;
+    draining_ = false;
+    blocks_.reset();
+    pendingStallSeconds_ = 0.0;
+    ++stats_.drains;
+    updateGauges();
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kEngine, 1,
+                        "drain_complete", "engine", sim_.now());
+    }
+    co_return out;
+}
+
+std::optional<MigratedRequest>
+LlmEngine::exportRequest(std::uint64_t id)
+{
+    ReqPtr req;
+    for (const auto &r : running_) {
+        if (r->id == id && !r->finished) {
+            req = r;
+            break;
+        }
+    }
+    if (!req) {
+        for (const auto &r : waiting_) {
+            if (r->id == id && !r->finished) {
+                req = r;
+                break;
+            }
+        }
+    }
+    if (!req)
+        return std::nullopt;
+
+    chargeKv(*req);
+    chargeQueue(*req);
+
+    MigratedRequest out;
+    if (blocks_.hasSeq(req->id)) {
+        kv::ChainExport chain = blocks_.exportChain(req->id);
+        out.chainTokens = std::move(chain.tokens);
+        // KV exists only for the prefilled part of the prompt plus
+        // every generated token; trailing prompt blocks are allocated
+        // but not yet computed and need no transfer.
+        out.computedTokens =
+            req->prefillDone +
+            static_cast<std::int64_t>(req->output.size());
+        blocks_.release(req->id);
+        req->heldBlocks = 0;
+    } else {
+        // Still queued: nothing computed, the snapshot is just the
+        // request state; the target admits it like a fresh arrival.
+        out.chainTokens = req->prompt;
+        out.computedTokens = 0;
+    }
+
+    std::erase(running_, req);
+    if (auto it = std::find(waiting_.begin(), waiting_.end(), req);
+        it != waiting_.end()) {
+        noteLeftWaiting(*req);
+        waiting_.erase(it);
+    }
+    req->exported = true;
+    req->owner = nullptr;
+    tracePhaseEnd(*req);
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kRequests, req->id,
+                        "migrate_out", "request", sim_.now());
+    }
+    ++stats_.requestsMigratedOut;
+    updateGauges();
+    out.state = req;
+    return out;
+}
+
+void
+LlmEngine::importRequest(MigratedRequest migrated,
+                         double interconnect_bandwidth)
+{
+    AGENTSIM_ASSERT(migrated.valid(), "import of an empty migration");
+    AGENTSIM_ASSERT(interconnect_bandwidth > 0,
+                    "import needs a positive interconnect bandwidth");
+    auto req = std::static_pointer_cast<Req>(migrated.state);
+    AGENTSIM_ASSERT(req->exported && !req->finished,
+                    "import of a request that is not in flight");
+    AGENTSIM_ASSERT(accepting(), "import into a non-accepting engine");
+
+    req->owner = this;
+    req->id = nextId_++;
+    ++stats_.requestsMigratedIn;
+    if (trace_ != nullptr) {
+        trace_->threadName(
+            telemetry::TracePid::kRequests, req->id,
+            sim::strfmt("req %llu", static_cast<unsigned long long>(
+                                        req->id)));
+    }
+
+    // Try to land the KV chain now; the blocks are reserved while the
+    // transfer is in flight (the realistic order — the target commits
+    // memory before the wire copy starts).
+    double transfer_seconds = 0.0;
+    bool warm = false;
+    if (migrated.computedTokens > 0) {
+        auto alloc = blocks_.importChain(req->id, migrated.chainTokens);
+        if (alloc.has_value()) {
+            warm = true;
+            // Locally cached (or host-resident) prefix blocks never
+            // cross the interconnect; host restores pay PCIe instead.
+            const std::int64_t wire_tokens = std::max<std::int64_t>(
+                0, migrated.computedTokens - alloc->reusedTokens());
+            const double kv_bytes = static_cast<double>(
+                config_.model.kvBytesPerToken());
+            transfer_seconds =
+                static_cast<double>(wire_tokens) * kv_bytes /
+                    interconnect_bandwidth +
+                static_cast<double>(alloc->restoredTokens) * kv_bytes /
+                    config_.node.hostOffloadBandwidth;
+            req->transferSecondsAcc += transfer_seconds;
+            req->ledger.transferSeconds += transfer_seconds;
+            stats_.migrationSeconds += transfer_seconds;
+            // Open the occupancy interval at the reserved chain size.
+            req->kvMarkTick = sim_.now();
+            req->heldBlocks =
+                blocks_.blocksNeeded(blocks_.seqTokens(req->id));
+        } else {
+            ++stats_.migrationFallbacks;
+        }
+    }
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kRequests, req->id,
+                        warm ? "migrate_in" : "migrate_in_cold",
+                        "request", sim_.now());
+    }
+
+    if (transfer_seconds <= 0.0) {
+        activateImported(req, std::move(migrated.chainTokens),
+                         migrated.computedTokens);
+        return;
+    }
+    sim_.schedule(
+        sim::fromSeconds(transfer_seconds),
+        [this, req, tokens = std::move(migrated.chainTokens),
+         computed = migrated.computedTokens]() mutable {
+            activateImported(req, std::move(tokens), computed);
+        });
+}
+
+void
+LlmEngine::activateImported(const ReqPtr &req,
+                            std::vector<kv::TokenId> chain_tokens,
+                            std::int64_t computed_tokens)
+{
+    AGENTSIM_ASSERT(!req->finished, "activation of a finished import");
+    req->exported = false;
+
+    // The node may have crashed (losing the reserved chain) or begun
+    // draining again while the transfer was in flight; cancelRequest
+    // releases the chain if it survived.
+    if (!accepting()) {
+        cancelRequest(req, CancelCause::NodeFailure);
+        return;
+    }
+    if (req->deadlineTick >= 0 && sim_.now() >= req->deadlineTick) {
+        cancelRequest(req, CancelCause::Deadline);
+        return;
+    }
+
+    if (blocks_.hasSeq(req->id)) {
+        // Warm landing: the chain survived; resume decode (or chunked
+        // prefill) exactly where the source left off.
+        running_.push_back(req);
+        chargeKv(*req);
+        tracePhaseBegin(*req, req->decoding ? "decode" : "prefill");
+    } else {
+        // Cold landing: recompute-preemption semantics. Generated
+        // tokens fold into the prompt (the chain snapshot is exactly
+        // that folded form) and re-prefilling below the old watermark
+        // is charged as waste.
+        if (!chain_tokens.empty())
+            req->prompt = std::move(chain_tokens);
+        req->recomputeWatermark =
+            std::max(req->recomputeWatermark, computed_tokens);
+        req->prefillDone = 0;
+        req->decoding = false;
+        requeueRequest(req, /*front=*/false);
+    }
+    updateGauges();
+    if (wake_ && !wake_->ready())
+        wake_->set(1);
+}
+
+void
+LlmEngine::abortMigration(MigratedRequest migrated)
+{
+    AGENTSIM_ASSERT(migrated.valid(), "abort of an empty migration");
+    auto req = std::static_pointer_cast<Req>(migrated.state);
+    AGENTSIM_ASSERT(req->exported && !req->finished,
+                    "abort of a request that is not in flight");
+    // Not in any queue and holding no blocks: resolve the awaiter
+    // directly with crash semantics so the client retries.
+    req->exported = false;
+    cancelRequest(req, CancelCause::NodeFailure);
 }
 
 void
@@ -618,6 +920,7 @@ LlmEngine::buildStep()
         const std::int64_t upper_bound =
             blocks_.blocksNeeded(prompt_len) + 1;
         if (upper_bound > blocks_.totalBlocks()) {
+            noteLeftWaiting(*req);
             waiting_.erase(candidate);
             failRequest(req);
             continue;
@@ -628,6 +931,7 @@ LlmEngine::buildStep()
         auto alloc = blocks_.allocatePrompt(req->id, req->prompt);
         AGENTSIM_ASSERT(alloc.has_value(),
                         "allocation failed despite capacity check");
+        noteLeftWaiting(*req);
         waiting_.erase(candidate);
         running_.push_back(req);
         chargeQueue(*req);
@@ -699,6 +1003,12 @@ void
 LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
                       sim::Tick step_start)
 {
+    // A deadline landing mid-step expires *before* the step's results
+    // are charged and emitted: the request neither receives nor pays
+    // for tokens generated after its deadline. (The loop-top expiry
+    // alone would cancel at the same tick but after the charge.)
+    expireDeadlines();
+
     ++stats_.steps;
     stats_.busySeconds += cost.seconds;
     stats_.transferSeconds += plan.extraSeconds;
@@ -744,8 +1054,8 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
     // Advance prefills; a completed prompt emits its first token.
     for (const auto &part : plan.prefills) {
         const ReqPtr &req = part.req;
-        if (req->finished)
-            continue; // cancelled/expired while the step was in flight
+        if (req->finished || req->exported || req->owner != this)
+            continue; // cancelled/expired/migrated mid-step
         req->prefillSecondsAcc += cost.seconds;
         req->flopsAcc += perf_.prefillFlops(part.tokens,
                                             req->prefillDone);
@@ -807,8 +1117,10 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
     // Decoders each produced one token.
     const std::size_t planned_decoders = plan.work.decodeContexts.size();
     for (const auto &req : plan.decoders) {
-        if (req->finished || !req->decoding)
-            continue; // finished, cancelled or truncated meanwhile
+        if (req->finished || req->exported || req->owner != this ||
+            !req->decoding) {
+            continue; // finished, cancelled or migrated meanwhile
+        }
         req->decodeSecondsAcc += cost.seconds;
         req->flopsAcc += perf_.decodeFlops(blocks_.seqTokens(req->id));
         if (planned_decoders > 0) {
@@ -949,6 +1261,24 @@ LlmEngine::exportMetrics(telemetry::MetricsRegistry &registry) const
     set_counter("agentsim_node_crashes_total",
                 "Simulated node crashes",
                 static_cast<double>(stats_.crashes));
+    set_counter("agentsim_resilience_drains_total",
+                "Graceful drains completed by this engine",
+                static_cast<double>(stats_.drains));
+    set_counter("agentsim_resilience_migrations_out_total",
+                "Requests exported by live migration",
+                static_cast<double>(stats_.requestsMigratedOut));
+    set_counter("agentsim_resilience_migrations_in_total",
+                "Requests imported by live migration",
+                static_cast<double>(stats_.requestsMigratedIn));
+    set_counter("agentsim_resilience_migration_fallbacks_total",
+                "Imports that fell back to recompute (pool full)",
+                static_cast<double>(stats_.migrationFallbacks));
+    set_counter("agentsim_resilience_migration_seconds_total",
+                "Interconnect+PCIe seconds moving migrated KV in",
+                stats_.migrationSeconds);
+    set_counter("agentsim_resilience_lost_prefill_seconds_total",
+                "Prefill GPU-s discarded by node-failure cancels",
+                stats_.lostPrefillSeconds);
     set_counter("agentsim_preemptions_total",
                 "Recompute preemptions under memory pressure",
                 static_cast<double>(stats_.preemptions));

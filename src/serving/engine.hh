@@ -120,6 +120,18 @@ struct EngineStats
     std::int64_t steps = 0;
     /** Simulated node crashes (crash()). */
     std::int64_t crashes = 0;
+    /** Graceful drains completed (drain() reaching shutdown). */
+    std::int64_t drains = 0;
+    /** Requests exported to another node by live migration. */
+    std::int64_t requestsMigratedOut = 0;
+    /** Requests imported from another node by live migration. */
+    std::int64_t requestsMigratedIn = 0;
+    /**
+     * Imports that could not land their KV chain (target pool full or
+     * KV lost in transit) and fell back to recompute-preemption
+     * semantics: the request requeues cold and re-prefills.
+     */
+    std::int64_t migrationFallbacks = 0;
 
     /** Wall-clock seconds during which the GPU executed steps. */
     double busySeconds = 0.0;
@@ -161,6 +173,50 @@ struct EngineStats
      * open interval not yet included).
      */
     double kvBlockSeconds = 0.0;
+    /**
+     * Interconnect + PCIe seconds spent moving migrated KV chains into
+     * this node (importRequest). Off the step critical path: the
+     * request is simply unavailable while its KV is in flight.
+     */
+    double migrationSeconds = 0.0;
+    /**
+     * Prefill GPU-seconds already invested in requests that were then
+     * cancelled by a node failure (crash, or drain without migration)
+     * — work a retry must repeat from scratch. Live migration exists
+     * to keep this near zero.
+     */
+    double lostPrefillSeconds = 0.0;
+};
+
+/**
+ * A request in flight between two engines during live migration:
+ * opaque engine-internal state plus the KV chain snapshot needed to
+ * rebuild (or recompute) it on the target. Produced by
+ * LlmEngine::exportRequest(), consumed by importRequest() — or by
+ * abortMigration() when no target can take it.
+ */
+struct MigratedRequest
+{
+    /** Engine-private request state (lifecycle, ledger, awaiter). */
+    std::shared_ptr<void> state;
+    /** Full token chain (prompt + generated output) for reallocation. */
+    std::vector<kv::TokenId> chainTokens;
+    /** Tokens whose KV was actually computed on the source — the part
+     *  that must cross the interconnect (minus target cache hits). */
+    std::int64_t computedTokens = 0;
+
+    bool valid() const { return state != nullptr; }
+};
+
+/** What a graceful drain accomplished. */
+struct DrainOutcome
+{
+    /** Requests that finished normally during the drain window. */
+    std::int64_t completed = 0;
+    /** Requests exported for migration at the drain deadline. */
+    std::vector<MigratedRequest> leftovers;
+    /** True if the drain was cut short by a concurrent crash. */
+    bool crashed = false;
 };
 
 /**
@@ -173,6 +229,16 @@ class LlmEngine
 
     LlmEngine(const LlmEngine &) = delete;
     LlmEngine &operator=(const LlmEngine &) = delete;
+
+    /**
+     * Destroys the engine loop's coroutine frame. The engine must not
+     * be destroyed while its simulation still holds scheduled events
+     * for it (destroy after the sim has drained): the run loop is
+     * then parked on its wake completion and can be torn down safely
+     * — merely detaching it would leak the frame, as an infinite
+     * loop never reaches final suspend.
+     */
+    ~LlmEngine();
 
     /**
      * Submit a request and await its completion.
@@ -211,6 +277,59 @@ class LlmEngine
 
     /** False between crash() and restart(). */
     bool online() const { return online_; }
+
+    /**
+     * Gracefully drain the node for planned maintenance: stop
+     * admitting new requests immediately (generate() returns a
+     * retryable nodeFailure, as for an offline node), let in-flight
+     * work run to completion for up to @p deadline_seconds, then
+     * handle the remainder — exported for live migration when
+     * @p export_leftovers is set, cancelled with nodeFailure
+     * otherwise. On completion the engine is offline (caches cold,
+     * like any process restart); bring it back with restart().
+     * A crash() during the drain window aborts the drain (the crash
+     * already cancelled everything).
+     */
+    sim::Task<DrainOutcome> drain(double deadline_seconds,
+                                  bool export_leftovers);
+
+    /** True while drain() is waiting out its deadline. */
+    bool draining() const { return draining_; }
+
+    /** Online and not draining: the router may send traffic here. */
+    bool accepting() const { return online_ && !draining_; }
+
+    /**
+     * Snapshot a waiting or running request for live migration: its
+     * open KV/queue charges are settled, its block chain is exported
+     * and released, and it leaves this engine's queues (the in-flight
+     * step, if any, skips it). The caller owns getting the snapshot
+     * to importRequest() on another node — or abortMigration().
+     * @return nullopt if the id is unknown or already finished.
+     */
+    std::optional<MigratedRequest> exportRequest(std::uint64_t id);
+
+    /**
+     * Land a migrated request on this node. Its KV chain is
+     * reallocated immediately (reusing any locally cached prefix);
+     * the non-reused computed tokens pay an interconnect transfer at
+     * @p interconnect_bandwidth bytes/s (plus PCIe for host-tier
+     * restores), and the request activates — resuming decode or
+     * chunked prefill exactly where it left off — once the transfer
+     * completes. If the pool cannot hold the chain, falls back to
+     * recompute-preemption semantics: generated tokens fold into the
+     * prompt and the request requeues cold (the re-prefill below the
+     * old watermark is charged as waste).
+     */
+    void importRequest(MigratedRequest migrated,
+                       double interconnect_bandwidth);
+
+    /**
+     * Resolve an exported request that no node could import (whole
+     * cluster draining/down): its awaiter resumes with a retryable
+     * nodeFailure, exactly as if the source had crashed.
+     */
+    void abortMigration(MigratedRequest migrated);
 
     /**
      * Fault injection: extend the next engine step by @p seconds
@@ -313,6 +432,22 @@ class LlmEngine
         bool truncated = false;
         /** Completion already delivered; skip in any in-flight plan. */
         bool finished = false;
+        /** Exported for migration; skip in any in-flight plan. */
+        bool exported = false;
+        /**
+         * Engine currently responsible for this request. Changes on
+         * live migration — the source's in-flight step plan still
+         * references the Req after a same-tick re-import has cleared
+         * `exported` and reassigned `id`, so plan consumers must also
+         * check ownership before touching engine-local state.
+         */
+        LlmEngine *owner = nullptr;
+        /**
+         * Sitting in waiting_ as a re-admission (preemption victim or
+         * migration fallback), not a fresh arrival — exempt from the
+         * maxQueueDepth shed check, which guards against *new* load.
+         */
+        bool requeued = false;
 
         /** Absolute deadline tick (-1: none). */
         sim::Tick deadlineTick = -1;
@@ -382,6 +517,10 @@ class LlmEngine
     std::optional<sim::Completion<int>> wake_;
     std::uint64_t nextId_ = 1;
     bool online_ = true;
+    /** drain() in progress: admissions closed, work finishing. */
+    bool draining_ = false;
+    /** Entries of waiting_ that are re-admissions (Req::requeued). */
+    std::size_t requeuedInWaiting_ = 0;
     /** Stall seconds awaiting the next step (injectStall). */
     double pendingStallSeconds_ = 0.0;
     /** Cumulative attributed GPU seconds per session (LAS policy). */
@@ -436,6 +575,21 @@ class LlmEngine
 
     /** Cancel every request whose deadline has passed. */
     void expireDeadlines();
+
+    /**
+     * Bookkeeping for a request leaving waiting_ by any path: clears
+     * its re-admission mark so the shed check's fresh-arrival count
+     * stays exact.
+     */
+    void noteLeftWaiting(Req &req);
+
+    /** Requeue a request with re-admission accounting and trace. */
+    void requeueRequest(const ReqPtr &req, bool front);
+
+    /** Activate an imported request once its KV transfer lands. */
+    void activateImported(const ReqPtr &req,
+                          std::vector<kv::TokenId> chain_tokens,
+                          std::int64_t computed_tokens);
 
     /**
      * Settle the request's open KV-occupancy interval into its ledger

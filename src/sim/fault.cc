@@ -52,6 +52,50 @@ FaultInjector::crashDriver(std::size_t node_index, NodeHooks hooks)
     }
 }
 
+std::string_view
+maintenanceModeName(MaintenanceMode mode)
+{
+    switch (mode) {
+      case MaintenanceMode::Crash:
+        return "crash";
+      case MaintenanceMode::Drain:
+        return "drain";
+      case MaintenanceMode::DrainMigrate:
+        return "drain+migrate";
+    }
+    AGENTSIM_PANIC("unknown maintenance mode");
+}
+
+MaintenanceSchedule::MaintenanceSchedule(Simulation &sim,
+                                         const MaintenanceConfig &config,
+                                         std::size_t num_nodes,
+                                         MaintainHook hook)
+    : sim_(sim), config_(config), numNodes_(num_nodes),
+      hook_(std::move(hook)), driver_(driver())
+{
+    AGENTSIM_ASSERT(config_.enabled(),
+                    "maintenance schedule needs a positive period");
+    AGENTSIM_ASSERT(num_nodes > 0, "maintenance schedule needs nodes");
+    AGENTSIM_ASSERT(static_cast<bool>(hook_),
+                    "maintenance schedule needs a maintain hook");
+}
+
+Task<void>
+MaintenanceSchedule::driver()
+{
+    std::size_t next = 0;
+    for (;;) {
+        co_await delaySec(sim_, config_.periodSeconds);
+        if (stopped_)
+            co_return;
+        co_await hook_(next);
+        ++stats_.cycles;
+        next = (next + 1) % numNodes_;
+        if (stopped_)
+            co_return;
+    }
+}
+
 Task<void>
 FaultInjector::stallDriver(std::size_t node_index, NodeHooks hooks)
 {

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "sim/simulation.hh"
@@ -130,6 +131,82 @@ class FaultInjector
     FaultStats stats_;
     bool stopped_ = false;
     std::vector<Task<void>> drivers_;
+};
+
+/** How a MaintenanceSchedule takes a node out of service. */
+enum class MaintenanceMode
+{
+    /** Hard restart: crash semantics (requests dropped, KV lost). */
+    Crash,
+    /** Graceful drain; leftovers at the deadline are cancelled. */
+    Drain,
+    /** Graceful drain; leftovers live-migrate to another node. */
+    DrainMigrate,
+};
+
+std::string_view maintenanceModeName(MaintenanceMode mode);
+
+/**
+ * Planned-churn knobs: a rolling restart visits nodes round-robin at a
+ * fixed cadence (maintenance is scheduled, not random — the stochastic
+ * counterpart lives in FaultConfig).
+ */
+struct MaintenanceConfig
+{
+    /** Time between node maintenances, seconds. 0 disables. */
+    double periodSeconds = 0.0;
+    /** Drain deadline before leftovers are migrated or cancelled. */
+    double drainDeadlineSeconds = 5.0;
+    /** Offline time after the drain/crash before restart, seconds. */
+    double downtimeSeconds = 2.0;
+    MaintenanceMode mode = MaintenanceMode::DrainMigrate;
+
+    bool enabled() const { return periodSeconds > 0; }
+};
+
+/** What the schedule has done so far. */
+struct MaintenanceStats
+{
+    /** Maintenance cycles completed (one node each). */
+    std::int64_t cycles = 0;
+};
+
+/**
+ * Drives rolling restarts through a layer-supplied hook, one node per
+ * period in round-robin order. Like FaultInjector, the sim layer
+ * stays ignorant of engines: the cluster layer's hook performs the
+ * actual crash-or-drain(-and-migrate) and the restart. Call stop()
+ * once the workload has drained.
+ */
+class MaintenanceSchedule
+{
+  public:
+    /** Performs one full maintenance of node @p index (take out of
+     *  service, wait out the downtime, restart). */
+    using MaintainHook = std::function<Task<void>(std::size_t index)>;
+
+    MaintenanceSchedule(Simulation &sim, const MaintenanceConfig &config,
+                        std::size_t num_nodes, MaintainHook hook);
+
+    MaintenanceSchedule(const MaintenanceSchedule &) = delete;
+    MaintenanceSchedule &operator=(const MaintenanceSchedule &) = delete;
+
+    /** Ask the driver to exit at its next wake. */
+    void stop() { stopped_ = true; }
+
+    const MaintenanceConfig &config() const { return config_; }
+    const MaintenanceStats &stats() const { return stats_; }
+
+  private:
+    Task<void> driver();
+
+    Simulation &sim_;
+    MaintenanceConfig config_;
+    std::size_t numNodes_;
+    MaintainHook hook_;
+    MaintenanceStats stats_;
+    bool stopped_ = false;
+    Task<void> driver_;
 };
 
 } // namespace agentsim::sim

@@ -185,6 +185,23 @@ class [[nodiscard]] Task
         }
     }
 
+    /**
+     * Destroy the coroutine frame outright instead of detaching it.
+     * Only legal while the coroutine is *suspended* and nothing else
+     * will resume it — no pending simulation event, completion waiter
+     * list, or awaiting parent may still hold its handle. Meant for
+     * owners tearing down an infinite service loop (an engine's run
+     * loop parked on its wake completion): detaching such a loop
+     * would leak the frame, since it never reaches final suspend.
+     */
+    void
+    destroy()
+    {
+        if (handle_)
+            handle_.destroy();
+        handle_ = nullptr;
+    }
+
     /** Awaiter: resumes the awaiting coroutine when this task ends. */
     auto
     operator co_await() const noexcept

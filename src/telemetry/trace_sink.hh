@@ -46,6 +46,9 @@ struct TracePid
     static constexpr int kAgents = 3;
     /** Online SLO monitor: burn-rate alert instants. */
     static constexpr int kSlo = 4;
+    /** Operational resilience: circuit-breaker transitions (tid =
+     *  node index) and brownout level changes (tid 0). */
+    static constexpr int kResilience = 5;
 };
 
 /**

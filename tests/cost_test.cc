@@ -50,6 +50,18 @@ smallConfig()
     return cfg;
 }
 
+Task<GenResult>
+submitTracked(LlmEngine &engine, std::uint64_t stream,
+              std::int64_t prompt_len, std::int64_t out,
+              std::uint64_t *handle)
+{
+    GenRequest req;
+    req.prompt = workload::makeTokens(
+        workload::streamId(3, "cost") + stream, prompt_len);
+    req.maxNewTokens = out;
+    co_return co_await engine.generate(std::move(req), handle);
+}
+
 // ---------------------------------------------------------------------
 // Ledger conservation.
 // ---------------------------------------------------------------------
@@ -129,6 +141,58 @@ TEST(CostLedger, PreemptionChargesWasteAndConservationHolds)
     EXPECT_LE(sum.wastedGpuSeconds, sum.prefillGpuSeconds + 1e-12);
     EXPECT_NEAR(sum.gpuSeconds(), engine.stats().busySeconds,
                 1e-9 * engine.stats().busySeconds);
+}
+
+TEST(CostLedger, LiveMigrationConservesGpuWork)
+{
+    // A warm live migration must not change what the request's GPU
+    // work costs: the decode resumes where it left off, so migrated
+    // ledger GPU-s matches the unmigrated baseline within tolerance
+    // and the interconnect transfer shows up as a separate charge,
+    // not as recompute.
+    double baseline = 0.0;
+    {
+        Simulation sim;
+        LlmEngine engine(sim, smallConfig());
+        auto t = submit(engine, 70, 400, 200);
+        sim.run();
+        ASSERT_TRUE(t.result().ok());
+        baseline = t.result().ledger.gpuSeconds();
+    }
+
+    Simulation sim;
+    LlmEngine source(sim, smallConfig());
+    LlmEngine target(sim, smallConfig());
+    std::uint64_t handle = 0;
+    auto t = submitTracked(source, 70, 400, 200, &handle);
+    ASSERT_NE(handle, 0u);
+    // Export mid-decode; the target is cache-cold, so the whole
+    // computed chain crosses the interconnect.
+    sim.schedule(sim::fromSeconds(1.5), [&] {
+        auto m = source.exportRequest(handle);
+        ASSERT_TRUE(m.has_value());
+        target.importRequest(std::move(*m), /*interconnect=*/200e9);
+    });
+    sim.run();
+
+    const GenResult r = t.result();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.tokens.size(), 200u);
+    ASSERT_GT(baseline, 0.0);
+    EXPECT_NEAR(r.ledger.gpuSeconds(), baseline, 0.02 * baseline);
+    EXPECT_GT(r.ledger.transferSeconds, 0.0);
+    EXPECT_NEAR(r.ledger.transferSeconds,
+                target.stats().migrationSeconds, 1e-9);
+    // Warm landing: nothing recomputed on either side.
+    EXPECT_DOUBLE_EQ(r.ledger.wastedGpuSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(source.stats().wastedSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(target.stats().wastedSeconds, 0.0);
+    // The split work reconciles with the two engines' busy time.
+    EXPECT_NEAR(r.ledger.gpuSeconds(),
+                source.stats().busySeconds + target.stats().busySeconds,
+                0.02 * baseline);
+    source.blockManager().checkInvariants();
+    target.blockManager().checkInvariants();
 }
 
 TEST(CostLedger, ServingRunConservesWithinOnePercent)

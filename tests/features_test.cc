@@ -917,4 +917,220 @@ TEST(Chaos, ToolFaultsAreNonFatal)
     EXPECT_EQ(r.failed, 0);
 }
 
+// ---------------------------------------------------------------
+// Operational resilience: rolling maintenance, circuit breakers,
+// overload brownout.
+// ---------------------------------------------------------------
+
+TEST(Resilience, RollingDrainMigrateLosesNoWork)
+{
+    auto cfg = smallCluster(core::RoutePolicy::LeastLoaded);
+    cfg.numRequests = 60;
+    cfg.maintenance.periodSeconds = 15.0;
+    cfg.maintenance.drainDeadlineSeconds = 2.0;
+    cfg.maintenance.downtimeSeconds = 3.0;
+    cfg.maintenance.mode = sim::MaintenanceMode::DrainMigrate;
+    const auto r = core::runCluster(cfg);
+
+    // Nothing hangs and nothing is lost across the rolling restarts.
+    EXPECT_EQ(r.completed + r.failed, 60);
+    EXPECT_GT(r.maintenanceStats.cycles, 0);
+    EXPECT_GT(r.drains, 0);
+    EXPECT_GT(r.migratedRequests, 0);
+    EXPECT_GT(r.migrationSeconds, 0.0);
+    // Live migration keeps invested prefill alive: no request was
+    // cancelled by a takedown, so no prefill GPU-s were thrown away.
+    EXPECT_DOUBLE_EQ(r.lostPrefillSeconds, 0.0);
+    for (const auto &node : r.nodes)
+        EXPECT_EQ(node.engineStats.crashes, 0);
+}
+
+TEST(Resilience, CrashTakedownsLoseInvestedPrefill)
+{
+    auto cfg = smallCluster(core::RoutePolicy::LeastLoaded);
+    cfg.numRequests = 60;
+    cfg.maintenance.periodSeconds = 15.0;
+    cfg.maintenance.downtimeSeconds = 3.0;
+    cfg.maintenance.mode = sim::MaintenanceMode::Crash;
+    const auto r = core::runCluster(cfg);
+
+    EXPECT_EQ(r.completed + r.failed, 60);
+    EXPECT_GT(r.maintenanceStats.cycles, 0);
+    EXPECT_EQ(r.migratedRequests, 0);
+    // The hard restarts destroyed in-flight prefill work that retries
+    // then had to repeat — the bill drain+migrate avoids.
+    EXPECT_GT(r.lostPrefillSeconds, 0.0);
+    EXPECT_GT(r.retries, 0);
+}
+
+TEST(Resilience, DeterministicUnderMaintenance)
+{
+    auto cfg = smallCluster(core::RoutePolicy::LeastLoaded);
+    cfg.numRequests = 40;
+    cfg.maintenance.periodSeconds = 12.0;
+    cfg.maintenance.drainDeadlineSeconds = 1.5;
+    cfg.maintenance.downtimeSeconds = 2.0;
+    cfg.maintenance.mode = sim::MaintenanceMode::DrainMigrate;
+    const auto a = core::runCluster(cfg);
+    const auto b = core::runCluster(cfg);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.migratedRequests, b.migratedRequests);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+}
+
+TEST(Health, BreakerOpensOnSustainedFailureAndRecovers)
+{
+    core::HealthConfig hc; // defaults: open at 60% over >=4 events
+    core::HealthRegistry reg(hc, 2);
+    EXPECT_TRUE(reg.allows(0, 0));
+    EXPECT_EQ(reg.state(0), core::BreakerState::Closed);
+
+    for (int i = 0; i < 5; ++i)
+        reg.reportFailure(0, sim::fromSeconds(0.1 * i));
+    EXPECT_EQ(reg.state(0), core::BreakerState::Open);
+    EXPECT_FALSE(reg.allows(0, sim::fromSeconds(1.0)));
+    // The neighbour's breaker is independent.
+    EXPECT_TRUE(reg.allows(1, sim::fromSeconds(1.0)));
+    EXPECT_EQ(reg.opens(), 1);
+
+    // Cool-down elapsed: the next pick is a half-open probe.
+    EXPECT_TRUE(reg.allows(0, sim::fromSeconds(5.0)));
+    EXPECT_EQ(reg.state(0), core::BreakerState::HalfOpen);
+    // Two successful probes close it again.
+    reg.reportSuccess(0, sim::fromSeconds(5.1));
+    EXPECT_EQ(reg.state(0), core::BreakerState::HalfOpen);
+    reg.reportSuccess(0, sim::fromSeconds(5.2));
+    EXPECT_EQ(reg.state(0), core::BreakerState::Closed);
+    EXPECT_EQ(reg.closes(), 1);
+    // Closing reset the failure history: one new failure does not
+    // immediately re-open on the stale EWMA.
+    reg.reportFailure(0, sim::fromSeconds(5.3));
+    EXPECT_EQ(reg.state(0), core::BreakerState::Closed);
+}
+
+TEST(Health, FailedProbeReopensForAFreshCoolDown)
+{
+    core::HealthConfig hc;
+    core::HealthRegistry reg(hc, 1);
+    for (int i = 0; i < 5; ++i)
+        reg.reportFailure(0, sim::fromSeconds(0.1 * i));
+    ASSERT_EQ(reg.state(0), core::BreakerState::Open);
+    EXPECT_TRUE(reg.allows(0, sim::fromSeconds(5.0)));
+    ASSERT_EQ(reg.state(0), core::BreakerState::HalfOpen);
+
+    reg.reportFailure(0, sim::fromSeconds(5.1));
+    EXPECT_EQ(reg.state(0), core::BreakerState::Open);
+    EXPECT_EQ(reg.opens(), 2);
+    // The cool-down restarts from the re-open, not the first open.
+    EXPECT_FALSE(reg.allows(0, sim::fromSeconds(8.0)));
+    EXPECT_TRUE(reg.allows(0, sim::fromSeconds(9.2)));
+}
+
+TEST(Health, DisabledBreakersAlwaysAllow)
+{
+    core::HealthConfig hc;
+    hc.breakerEnabled = false;
+    core::HealthRegistry reg(hc, 1);
+    for (int i = 0; i < 20; ++i)
+        reg.reportFailure(0, sim::fromSeconds(0.1 * i));
+    EXPECT_TRUE(reg.allows(0, sim::fromSeconds(2.0)));
+    EXPECT_EQ(reg.state(0), core::BreakerState::Closed);
+    EXPECT_EQ(reg.opens(), 0);
+    // The health EWMA still tracks, for observability.
+    EXPECT_GT(reg.health(0).failureRate(sim::fromSeconds(2.0)), 0.9);
+}
+
+TEST(Brownout, EscalatesWithDwellAndRestoresWithHysteresis)
+{
+    core::BrownoutConfig bc;
+    bc.enabled = true; // defaults: 0.90/0.65 KV, 1.5/0.75 burn, 4 s
+    core::BrownoutController ctl(bc);
+    EXPECT_EQ(ctl.level(), 0);
+
+    // Pressure right away: the dwell time has not elapsed yet.
+    ctl.observe(sim::fromSeconds(1.0), 0.95, 0.0);
+    EXPECT_EQ(ctl.level(), 0);
+    // One level per dwell window, never two at once.
+    ctl.observe(sim::fromSeconds(5.0), 0.95, 0.0);
+    EXPECT_EQ(ctl.level(), 1);
+    ctl.observe(sim::fromSeconds(6.0), 0.5, 2.0); // burn alone
+    EXPECT_EQ(ctl.level(), 1);                    // dwell again
+    ctl.observe(sim::fromSeconds(10.0), 0.5, 2.0);
+    EXPECT_EQ(ctl.level(), 2);
+    ctl.observe(sim::fromSeconds(15.0), 0.95, 2.0);
+    EXPECT_EQ(ctl.level(), 2); // capped at maxLevel
+
+    // The mid-band holds the level (hysteresis): below the high
+    // watermarks but not yet below the low ones.
+    ctl.observe(sim::fromSeconds(20.0), 0.80, 1.0);
+    EXPECT_EQ(ctl.level(), 2);
+    // Full relief steps back down one dwell window at a time.
+    ctl.observe(sim::fromSeconds(24.0), 0.5, 0.1);
+    EXPECT_EQ(ctl.level(), 1);
+    ctl.observe(sim::fromSeconds(25.0), 0.5, 0.1);
+    EXPECT_EQ(ctl.level(), 1);
+    ctl.observe(sim::fromSeconds(29.0), 0.5, 0.1);
+    EXPECT_EQ(ctl.level(), 0);
+
+    EXPECT_EQ(ctl.escalations(), 2);
+    EXPECT_EQ(ctl.restorations(), 2);
+    EXPECT_EQ(ctl.maxLevelReached(), 2);
+}
+
+TEST(Brownout, ApplyTrimsWidthThenDowngradesDeadlineless)
+{
+    core::BrownoutConfig bc;
+    bc.enabled = true;
+    core::BrownoutController ctl(bc);
+
+    agents::AgentConfig base;
+    base.latsChildren = 5;
+    base.scSamples = 5;
+    base.maxReflections = 3;
+
+    // Level 0: rollouts run as configured.
+    {
+        AgentKind kind = AgentKind::Lats;
+        agents::AgentConfig cfg = base;
+        EXPECT_FALSE(ctl.apply(kind, cfg, Benchmark::WebShop));
+        EXPECT_EQ(kind, AgentKind::Lats);
+        EXPECT_EQ(cfg.latsChildren, 5);
+    }
+
+    ctl.observe(sim::fromSeconds(5.0), 0.95, 2.0);
+    ASSERT_EQ(ctl.level(), 1);
+    // Level 1 caps test-time-scaling width but keeps the workflow.
+    {
+        AgentKind kind = AgentKind::Lats;
+        agents::AgentConfig cfg = base;
+        EXPECT_TRUE(ctl.apply(kind, cfg, Benchmark::WebShop));
+        EXPECT_EQ(kind, AgentKind::Lats);
+        EXPECT_EQ(cfg.latsChildren, 2);
+        EXPECT_EQ(cfg.scSamples, 2);
+        EXPECT_EQ(cfg.maxReflections, 1);
+    }
+
+    ctl.observe(sim::fromSeconds(10.0), 0.95, 2.0);
+    ASSERT_EQ(ctl.level(), 2);
+    // Level 2 downgrades deadline-less rollouts to a cheaper
+    // workflow...
+    {
+        AgentKind kind = AgentKind::Lats;
+        agents::AgentConfig cfg = base;
+        EXPECT_TRUE(ctl.apply(kind, cfg, Benchmark::WebShop));
+        EXPECT_EQ(kind, AgentKind::ReAct);
+    }
+    // ...but deadline-bearing traffic keeps its configured workflow
+    // (it is already bounded; swapping it mid-SLO helps nobody).
+    {
+        AgentKind kind = AgentKind::Lats;
+        agents::AgentConfig cfg = base;
+        cfg.llmDeadlineSeconds = 30.0;
+        EXPECT_TRUE(ctl.apply(kind, cfg, Benchmark::WebShop));
+        EXPECT_EQ(kind, AgentKind::Lats);
+        EXPECT_EQ(cfg.latsChildren, 2);
+    }
+    EXPECT_GT(ctl.degradedRollouts(), 0);
+}
+
 } // namespace

@@ -534,4 +534,278 @@ TEST(Engine, InjectedStallExtendsWallClockNotBusyTime)
               t.result().totalSeconds);
 }
 
+// ---------------------------------------------------------------
+// Graceful drain and live migration.
+// ---------------------------------------------------------------
+
+Task<serving::DrainOutcome>
+drainAt(Simulation &sim, LlmEngine &engine, double when,
+        double deadline, bool export_leftovers)
+{
+    co_await sim::delaySec(sim, when);
+    co_return co_await engine.drain(deadline, export_leftovers);
+}
+
+Task<GenResult>
+submitAt(Simulation &sim, LlmEngine &engine, double when,
+         std::vector<kv::TokenId> tokens, std::int64_t out)
+{
+    co_await sim::delaySec(sim, when);
+    co_return co_await submit(engine, std::move(tokens), out);
+}
+
+/** submitAt with a session id, for program-aware scheduler tests. */
+Task<GenResult>
+submitSessionAt(Simulation &sim, LlmEngine &engine, double when,
+                std::vector<kv::TokenId> tokens, std::int64_t out,
+                std::uint64_t sid)
+{
+    co_await sim::delaySec(sim, when);
+    GenRequest req;
+    req.prompt = std::move(tokens);
+    req.maxNewTokens = out;
+    req.sessionId = sid;
+    co_return co_await engine.generate(std::move(req));
+}
+
+/** Drain @p source at @p when and land every leftover on @p target. */
+Task<void>
+drainInto(Simulation &sim, LlmEngine &source, LlmEngine &target,
+          double when, double deadline, int *migrated)
+{
+    co_await sim::delaySec(sim, when);
+    auto outcome = co_await source.drain(deadline,
+                                         /*export_leftovers=*/true);
+    EXPECT_FALSE(outcome.crashed);
+    for (auto &m : outcome.leftovers) {
+        ++*migrated;
+        target.importRequest(std::move(m), /*interconnect=*/200e9);
+    }
+}
+
+TEST(Engine, DrainCompletesRunningAndRejectsNew)
+{
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    auto a = submit(engine, prompt(0, 300), 50);
+    // Generous deadline: the running request finishes in place.
+    auto d = drainAt(sim, engine, 0.2, 30.0, /*export=*/false);
+    // Arrives after the drain began: bounced as a retryable node
+    // failure, exactly like an offline node.
+    auto late = submitAt(sim, engine, 0.3, prompt(1, 100), 10);
+    sim.run();
+
+    EXPECT_TRUE(a.result().ok());
+    const auto outcome = d.result();
+    EXPECT_EQ(outcome.completed, 1);
+    EXPECT_TRUE(outcome.leftovers.empty());
+    EXPECT_FALSE(outcome.crashed);
+    EXPECT_TRUE(late.result().nodeFailure);
+    EXPECT_TRUE(late.result().retryable());
+    EXPECT_EQ(engine.stats().drains, 1);
+    // Drain ends in the offline state (process restart semantics).
+    EXPECT_FALSE(engine.online());
+    engine.restart();
+    EXPECT_TRUE(engine.accepting());
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, DrainMigrationResumesWarmOnTarget)
+{
+    Simulation sim;
+    LlmEngine source(sim, smallConfig());
+    LlmEngine target(sim, smallConfig());
+    auto t = submit(source, prompt(7, 400), 300);
+    int migrated = 0;
+    // The short deadline guarantees the request is still decoding at
+    // the cutoff and gets exported mid-flight.
+    auto d = drainInto(sim, source, target, 1.0, 0.3, &migrated);
+    sim.run();
+
+    EXPECT_EQ(migrated, 1);
+    const GenResult r = t.result();
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.tokens.size(), 300u);
+    EXPECT_EQ(source.stats().requestsMigratedOut, 1);
+    EXPECT_EQ(target.stats().requestsMigratedIn, 1);
+    EXPECT_EQ(target.stats().migrationFallbacks, 0);
+    // The target's cache is cold, so the chain paid an interconnect
+    // transfer; decode resumed warm, so nothing was recomputed.
+    EXPECT_GT(target.stats().migrationSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(target.stats().wastedSeconds, 0.0);
+    EXPECT_GT(r.ledger.transferSeconds, 0.0);
+    // Nothing was cancelled: migration is invisible to the client.
+    EXPECT_EQ(source.stats().requestsCancelled, 0);
+    EXPECT_DOUBLE_EQ(source.stats().lostPrefillSeconds, 0.0);
+    EXPECT_EQ(source.blockManager().usedBlocks(), 0);
+    source.blockManager().checkInvariants();
+    target.blockManager().checkInvariants();
+}
+
+TEST(Engine, MigrationFallsBackColdWhenTargetPoolIsFull)
+{
+    auto cfg = smallConfig();
+    Simulation sim;
+    LlmEngine source(sim, smallConfig());
+    // Target pool: 48 blocks. The resident request below holds ~30+
+    // of them at import time, so the migrated chain cannot land and
+    // the import falls back to recompute-preemption semantics.
+    cfg.kvPoolBytes = 48 * 16 * cfg.model.kvBytesPerToken();
+    LlmEngine target(sim, cfg);
+    auto resident = submit(target, prompt(20, 480), 200);
+    auto t = submit(source, prompt(21, 400), 300);
+    int migrated = 0;
+    auto d = drainInto(sim, source, target, 1.0, 0.3, &migrated);
+    sim.run();
+
+    EXPECT_EQ(migrated, 1);
+    EXPECT_TRUE(resident.result().ok());
+    EXPECT_EQ(target.stats().migrationFallbacks, 1);
+    // The request still completes — cold: its generated tokens folded
+    // into the prompt and the re-prefill was charged as waste.
+    const GenResult r = t.result();
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.tokens.size(), 300u);
+    EXPECT_GT(target.stats().wastedSeconds, 0.0);
+    EXPECT_EQ(source.blockManager().usedBlocks(), 0);
+    EXPECT_EQ(target.blockManager().usedBlocks(), 0);
+    source.blockManager().checkInvariants();
+    target.blockManager().checkInvariants();
+}
+
+TEST(Engine, AbortedMigrationResumesClientWithNodeFailure)
+{
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    auto t = submit(engine, prompt(3, 400), 300);
+    auto d = drainAt(sim, engine, 1.0, 0.3, /*export=*/true);
+    sim.run();
+    // drain() leaves the leftover unresolved until the caller routes
+    // it; sim.run() returns with the export still in flight.
+    auto outcome = d.result();
+    ASSERT_EQ(outcome.leftovers.size(), 1u);
+    EXPECT_FALSE(t.done());
+    engine.abortMigration(std::move(outcome.leftovers.front()));
+    sim.run();
+    const GenResult r = t.result();
+    EXPECT_TRUE(r.nodeFailure);
+    EXPECT_TRUE(r.retryable());
+    engine.blockManager().checkInvariants();
+}
+
+// ---------------------------------------------------------------
+// Re-admission vs admission control (PR 4 bugfix).
+// ---------------------------------------------------------------
+
+TEST(Engine, RequeuedVictimsDoNotConsumeQueueDepth)
+{
+    // Regression: preemption re-admissions used to count against
+    // maxQueueDepth, so a node paging KV in and out shed fresh
+    // arrivals even though its real backlog was empty.
+    auto cfg = smallConfig();
+    cfg.kvPoolBytes = 48 * 16 * cfg.model.kvBytesPerToken();
+    cfg.maxQueueDepth = 1;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    // Two long requests thrash the pool (staggered so the second is
+    // admitted before the queue-depth gate can see the first).
+    auto a = submit(engine, prompt(11, 320), 260);
+    auto b = submitAt(sim, engine, 0.5, prompt(12, 320), 260);
+    // A small fresh arrival while the preemption victim sits requeued
+    // must still be accepted: the victim is not backlog.
+    auto probe = submitAt(sim, engine, 3.0, prompt(30, 32), 2);
+    sim.run();
+
+    EXPECT_GT(engine.stats().preemptions, 0);
+    EXPECT_EQ(engine.stats().requestsShed, 0);
+    EXPECT_TRUE(a.result().ok());
+    EXPECT_TRUE(b.result().ok());
+    EXPECT_TRUE(probe.result().ok());
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, DeadlineExpiringMidStepEmitsNothing)
+{
+    // Regression: expiry was only checked at the top of the engine
+    // loop, so a request whose deadline landed inside a step was
+    // still charged for — and received — that step's token.
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    // 500 prompt tokens prefill in one step (several tens of ms); the
+    // 10 ms deadline expires inside it, before the first token is
+    // emitted by prefill completion.
+    auto t = submitDeadline(engine, prompt(9, 500), 100, 0.01);
+    sim.run();
+    const GenResult r = t.result();
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_EQ(r.tokens.size(), 0u);
+    EXPECT_EQ(engine.stats().requestsTimedOut, 1);
+    EXPECT_EQ(engine.blockManager().usedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+}
+
+// ---------------------------------------------------------------
+// Scheduler orderings across preemption churn.
+// ---------------------------------------------------------------
+
+TEST(Engine, SpfOrderHoldsAcrossPreemptionRequeue)
+{
+    // A preemption victim re-enters at the deque front with its
+    // generated tokens folded into a now-larger prompt. Under SPF a
+    // small fresh arrival must still be admitted ahead of it.
+    auto cfg = smallConfig();
+    cfg.schedulerPolicy = serving::SchedulerPolicy::ShortestPromptFirst;
+    cfg.kvPoolBytes = 48 * 16 * cfg.model.kvBytesPerToken();
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    auto a = submit(engine, prompt(11, 320), 260);
+    auto b = submit(engine, prompt(12, 320), 260);
+    auto c = submitAt(sim, engine, 2.0, prompt(13, 64), 4);
+    sim.run();
+
+    EXPECT_GT(engine.stats().preemptions, 0);
+    EXPECT_TRUE(a.result().ok());
+    EXPECT_TRUE(b.result().ok());
+    const GenResult rc = c.result();
+    EXPECT_TRUE(rc.ok());
+    // The probe jumped the requeued 300+-token victims; under FCFS it
+    // would sit behind them for seconds.
+    EXPECT_LT(rc.queueSeconds, 0.5);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, LasOrderHoldsAcrossPreemptionRequeue)
+{
+    // Same churn, program-aware scheduling: the requeued victims
+    // belong to a session with heavy attained service, so a fresh
+    // zero-service session is admitted first.
+    auto cfg = smallConfig();
+    cfg.schedulerPolicy =
+        serving::SchedulerPolicy::LeastAttainedService;
+    cfg.kvPoolBytes = 48 * 16 * cfg.model.kvBytesPerToken();
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    // Attained service is accrued per completed call, so the session
+    // must finish an earlier call before its heavy ones are churned.
+    auto a1 = submitSessionAt(sim, engine, 0.0, prompt(10, 320), 60,
+                              /*sid=*/7);
+    auto a2 = submitSessionAt(sim, engine, 1.5, prompt(11, 320), 260,
+                              /*sid=*/7);
+    auto b = submitSessionAt(sim, engine, 1.5, prompt(12, 320), 260,
+                             /*sid=*/7);
+    auto c = submitSessionAt(sim, engine, 3.5, prompt(13, 16), 2,
+                             /*sid=*/9);
+    sim.run();
+
+    EXPECT_GT(engine.stats().preemptions, 0);
+    EXPECT_TRUE(a1.result().ok());
+    EXPECT_TRUE(a2.result().ok());
+    EXPECT_TRUE(b.result().ok());
+    const GenResult rc = c.result();
+    EXPECT_TRUE(rc.ok());
+    EXPECT_LT(rc.queueSeconds, 0.5);
+    engine.blockManager().checkInvariants();
+}
+
 } // namespace
