@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Elastic serving sweep — what closed-loop autoscaling buys against
+ * static provisioning on a diurnal + bursty arrival pattern.
+ *
+ * The same mixed agent + chatbot workload arrives along a raised-
+ * cosine day/night curve with a fixed-phase burst window each period
+ * (a compressed diurnal cycle), and is served three ways:
+ *
+ *   static-small  the capacity floor, always on: cheapest possible
+ *                 fleet, but the peak lands on a saturated queue.
+ *   static-large  the capacity ceiling, always on: peak-proof, but
+ *                 the trough pays for idle GPUs all night.
+ *   autoscaled    starts at the floor; the controller watches the
+ *                 EWMA arrival rate, a P² queue-delay percentile and
+ *                 the SLO burn rate, pays a simulated warm-up (boot +
+ *                 model-weight load over PCIe) per scale-out, drains
+ *                 and live-migrates on scale-in, and reject-fasts
+ *                 requests whose projected queue delay would eat
+ *                 their deadline budget.
+ *
+ * Reported per scenario: goodput, TTFT/E2E attainment, tail latency,
+ * provisioned vs busy GPU-seconds (the cost of elasticity in real
+ * units), GPU-seconds per completed request, scaling activity, and
+ * lost prefill (must be 0 for the autoscaler: scale-in uses the
+ * migration path, never the crash path). The headline: autoscaling
+ * holds SLO attainment near static-large at materially lower
+ * provisioned GPU-seconds.
+ *
+ *   autoscale_sweep [--trace out.json] [--metrics out.prom]
+ *                   [--report out.json]
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/cluster.hh"
+#include "telemetry/slo.hh"
+
+namespace
+{
+
+using namespace benchutil;
+
+constexpr int kFloorNodes = 1;
+constexpr int kCeilingNodes = 4;
+
+core::ClusterConfig
+baseConfig()
+{
+    core::ClusterConfig cfg;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.policy = core::RoutePolicy::LeastLoaded;
+
+    core::WorkloadSpec react_hotpot;
+    react_hotpot.agent = AgentKind::ReAct;
+    react_hotpot.bench = Benchmark::HotpotQA;
+    cfg.mix.push_back(react_hotpot);
+
+    core::WorkloadSpec chat;
+    chat.chatbot = true;
+    chat.weight = 2.0;
+    cfg.mix.push_back(chat);
+
+    cfg.numRequests = 620;
+    cfg.seed = kSeed;
+    cfg.chatDeadlineSeconds = 60.0;
+
+    // A compressed diurnal cycle: 2 min per "day", a 20x trough-to-
+    // crest swing, and a 20 s flash-crowd burst in the evening that
+    // a single node cannot absorb.
+    cfg.arrival.kind = core::ArrivalPattern::Kind::Diurnal;
+    cfg.arrival.periodSeconds = 120.0;
+    cfg.arrival.baseQps = 0.3;
+    cfg.arrival.peakQps = 6.0;
+    cfg.arrival.burstStartFraction = 0.55;
+    cfg.arrival.burstDurationSeconds = 20.0;
+    cfg.arrival.burstMultiplier = 3.0;
+    return cfg;
+}
+
+core::AutoscalerConfig
+autoscalerConfig()
+{
+    core::AutoscalerConfig a;
+    a.enabled = true;
+    a.minNodes = kFloorNodes;
+    a.maxNodes = kCeilingNodes;
+    // One 8B node sustains ~2.2 qps of this mix (static-small serves
+    // 360 requests in ~117 s at 99% utilization); the capacity term
+    // orders nodes as soon as the EWMA arrival rate clears 75% of
+    // provisioned throughput, before queueing damage shows up.
+    a.nodeServiceQps = 2.2;
+    a.queueDelayQuantile = 0.9;
+    a.queueDelayHighSeconds = 4.0;
+    a.queueDelayLowSeconds = 0.5;
+    a.minDelaySamples = 6;
+    a.scaleOutCooldownSeconds = 8.0;
+    a.scaleInCooldownSeconds = 18.0;
+    a.drainDeadlineSeconds = 5.0;
+    a.admissionDeadlineFraction = 0.5;
+    return a;
+}
+
+telemetry::SloConfig
+sloConfig()
+{
+    telemetry::SloConfig slo;
+    slo.ttftTargetSeconds = 5.0;
+    slo.tbtTargetSeconds = 0.3;
+    slo.e2eTargetSeconds = 30.0;
+    slo.windowSeconds = 15.0;
+    return slo;
+}
+
+double
+busyGpuSeconds(const core::ClusterResult &r)
+{
+    double busy = 0.0;
+    for (const auto &node : r.nodes)
+        busy += node.engineStats.busySeconds;
+    return busy;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("autoscale_sweep");
+
+    struct Scenario
+    {
+        const char *name;
+        const char *key;
+        int numNodes;
+        bool autoscale;
+    };
+    const Scenario scenarios[] = {
+        {"static-small", "static_small", kFloorNodes, false},
+        {"static-large", "static_large", kCeilingNodes, false},
+        {"autoscaled", "autoscaled", kFloorNodes, true},
+    };
+
+    core::Table table(
+        "Elastic serving: diurnal + bursty arrivals, floor 1 / "
+        "ceiling 4 nodes");
+    table.header({"Scenario", "Nodes", "Goodput", "TTFT attain",
+                  "E2E attain", "p99", "Prov GPU-s", "Busy GPU-s",
+                  "Util", "GPU-s/req", "Out/In", "Rejects",
+                  "Lost prefill"});
+
+    for (const Scenario &scenario : scenarios) {
+        auto cfg = baseConfig();
+        cfg.numNodes = scenario.numNodes;
+        if (scenario.autoscale)
+            cfg.autoscaler = autoscalerConfig();
+        telemetry::SloTracker slo(sloConfig());
+        cfg.slo = &slo;
+        // Telemetry files capture the autoscaled run: the resilience
+        // track of the Chrome trace holds every scaling decision
+        // (scale_out:<reason>, node_boot, node_ready, scale_in) and
+        // admission_reject instants.
+        if (scenario.autoscale)
+            telemetry.apply(cfg);
+        const auto r = core::runCluster(cfg);
+
+        const double busy = busyGpuSeconds(r);
+        const double util =
+            r.provisionedGpuSeconds > 0
+                ? busy / r.provisionedGpuSeconds
+                : 0.0;
+        const double per_request =
+            r.completed > 0 ? r.provisionedGpuSeconds / r.completed
+                            : 0.0;
+        const std::string node_label =
+            scenario.autoscale
+                ? sim::strfmt("%d..%d (peak %d)", kFloorNodes,
+                              kCeilingNodes, r.peakActiveNodes)
+                : sim::strfmt("%d", scenario.numNodes);
+        table.row(
+            {scenario.name, node_label,
+             core::fmtPercent(r.goodputFraction()),
+             core::fmtPercent(
+                 slo.attainment(telemetry::SloMetric::Ttft)),
+             core::fmtPercent(
+                 slo.attainment(telemetry::SloMetric::E2e)),
+             core::fmtSeconds(r.p99()),
+             core::fmtSeconds(r.provisionedGpuSeconds),
+             core::fmtSeconds(busy), core::fmtPercent(util),
+             core::fmtSeconds(per_request),
+             sim::strfmt("%lld/%lld",
+                         static_cast<long long>(r.scaleOuts),
+                         static_cast<long long>(r.scaleIns)),
+             core::fmtCount(static_cast<double>(r.admissionRejects)),
+             core::fmtSeconds(r.lostPrefillSeconds)});
+
+        if (telemetry.reportRequested()) {
+            const std::string prefix = scenario.key;
+            auto &rep = telemetry.report();
+            rep.set(prefix + "_goodput", r.goodputFraction());
+            rep.set(prefix + "_ttft_attainment",
+                    slo.attainment(telemetry::SloMetric::Ttft));
+            rep.set(prefix + "_e2e_attainment",
+                    slo.attainment(telemetry::SloMetric::E2e));
+            rep.set(prefix + "_p99_seconds", r.p99());
+            rep.set(prefix + "_provisioned_gpu_seconds",
+                    r.provisionedGpuSeconds);
+            rep.set(prefix + "_busy_gpu_seconds", busy);
+            rep.set(prefix + "_gpu_seconds_per_request", per_request);
+            rep.set(prefix + "_scale_outs",
+                    static_cast<double>(r.scaleOuts));
+            rep.set(prefix + "_scale_ins",
+                    static_cast<double>(r.scaleIns));
+            rep.set(prefix + "_admission_rejects",
+                    static_cast<double>(r.admissionRejects));
+            rep.set(prefix + "_lost_prefill_seconds",
+                    r.lostPrefillSeconds);
+        }
+    }
+    table.print();
+
+    std::printf(
+        "\nDesign note: a static fleet must be sized for a point on "
+        "the arrival curve — the floor melts at the evening burst, "
+        "the ceiling burns idle GPU-seconds through the trough. The "
+        "controller rides the curve instead: the arrival-rate EWMA "
+        "and queue-delay percentile order capacity before the burn "
+        "rate confirms the damage, each scale-out pays an honest "
+        "warm-up (boot + weight load over PCIe) before taking "
+        "traffic through a half-open breaker, and scale-in drains "
+        "and live-migrates so elasticity never torches in-flight "
+        "prefill. Admission control converts the residual "
+        "under-capacity into fast, retryable rejects instead of "
+        "requests dying deep in a queue.\n");
+    if (!telemetry.write())
+        return 1;
+    return 0;
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Documentation gate, run by the CI `docs` job (and locally).
+#
+#  1. Every relative markdown link in the repo's *.md files must
+#     point at a file that exists.
+#  2. If doxygen is installed, the API reference must build with an
+#     empty warning log (docs/Doxyfile routes warnings to a file;
+#     WARN_IF_DOC_ERROR covers malformed doc blocks). Skipped with a
+#     notice when doxygen is absent, so the script stays runnable in
+#     minimal containers.
+#
+# Usage: scripts/check_docs.sh   (from the repository root)
+set -u
+
+cd "$(dirname "$0")/.."
+status=0
+
+# --- 1. Dead relative markdown links ------------------------------
+echo "== checking relative markdown links =="
+# Tracked markdown only: build trees may hold generated copies.
+mapfile -t md_files < <(git ls-files '*.md')
+for md in "${md_files[@]}"; do
+    dir=$(dirname "$md")
+    # Inline links: capture the (...) target of [text](target).
+    while IFS= read -r target; do
+        # External, intra-page, and mail links are out of scope.
+        case "$target" in
+            http://*|https://*|\#*|mailto:*) continue ;;
+        esac
+        path="${target%%#*}"           # strip any #anchor
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "DEAD LINK: $md -> $target"
+            status=1
+        fi
+    done < <(grep -oE '\]\(([^)]+)\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$status" -eq 0 ]; then
+    echo "ok: ${#md_files[@]} markdown files, no dead relative links"
+fi
+
+# --- 2. Doxygen warnings ------------------------------------------
+if command -v doxygen > /dev/null 2>&1; then
+    echo "== building API reference (doxygen) =="
+    mkdir -p build/docs
+    if ! doxygen docs/Doxyfile > /dev/null; then
+        echo "doxygen failed"
+        status=1
+    fi
+    warnlog=build/docs/doxygen-warnings.log
+    if [ -s "$warnlog" ]; then
+        echo "doxygen warnings (must be zero):"
+        cat "$warnlog"
+        status=1
+    else
+        echo "ok: doxygen build is warning-clean"
+    fi
+else
+    echo "notice: doxygen not installed; skipping API-reference check"
+fi
+
+exit "$status"

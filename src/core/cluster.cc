@@ -1,6 +1,8 @@
 #include "core/cluster.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <optional>
 
 #include "agents/accuracy.hh"
@@ -10,6 +12,35 @@
 
 namespace agentsim::core
 {
+
+double
+ArrivalPattern::rateAt(double t_seconds, double constant_qps) const
+{
+    if (kind == Kind::Constant)
+        return constant_qps;
+    const double cycles = t_seconds / periodSeconds;
+    const double phase = cycles - std::floor(cycles);
+    // Raised cosine: trough at phase 0, crest at phase 0.5.
+    double rate = baseQps + (peakQps - baseQps) * 0.5 *
+                                (1.0 - std::cos(2.0 * std::numbers::pi *
+                                                phase));
+    if (burstDurationSeconds > 0.0) {
+        const double into =
+            (phase - burstStartFraction) * periodSeconds;
+        if (into >= 0.0 && into < burstDurationSeconds)
+            rate *= burstMultiplier;
+    }
+    return rate;
+}
+
+double
+ArrivalPattern::maxQps(double constant_qps) const
+{
+    if (kind == Kind::Constant)
+        return constant_qps;
+    return peakQps *
+           (burstDurationSeconds > 0.0 ? burstMultiplier : 1.0);
+}
 
 std::string_view
 routePolicyName(RoutePolicy policy)
@@ -34,6 +65,12 @@ struct Node
     std::unique_ptr<serving::LlmEngine> engine;
     std::vector<std::unique_ptr<tools::ToolSet>> toolsByBenchmark;
     int assigned = 0;
+    /** Part of the paid-for fleet (active, warming or chaos-downed —
+     *  as opposed to parked standby capacity). */
+    bool provisioned = false;
+    sim::Tick provisionedSince = 0;
+    /** Settled node-seconds from earlier provisioned episodes. */
+    double provisionedSeconds = 0.0;
 
     tools::ToolSet &
     toolsFor(workload::Benchmark bench)
@@ -56,6 +93,18 @@ struct ClusterState
     sim::Tick lastFinish = 0;
     /** Workload drained; periodic coroutines exit at next wake. */
     bool stopped = false;
+
+    /** Elasticity wiring (null unless the autoscaler is enabled). */
+    AutoscalerController *autoscaler = nullptr;
+    AdmissionController *admission = nullptr;
+    /** Nodes currently serving traffic (not warming, not standby). */
+    int activeNodes = 0;
+    /** Scaled-out nodes still paying their warm-up. */
+    int warmingNodes = 0;
+    /** One scale-in (drain + migrate) at a time. */
+    bool scaleInInFlight = false;
+    /** Keeps in-flight scale-out/scale-in coroutine frames alive. */
+    std::vector<sim::Task<void>> scaleOps;
 };
 
 /** Stable identity of a workload component (for affinity hashing). */
@@ -264,6 +313,34 @@ retrySleepSeconds(const RetryPolicy &retry, int attempt, sim::Rng &rng)
            (1.0 + rng.uniform(0.0, retry.jitter));
 }
 
+/**
+ * Predictive admission gate for one routed attempt: reject-fast when
+ * the projected queue delay on the chosen node would eat the
+ * request's deadline budget. A reject is retryable (the client backs
+ * off and re-routes) and is *not* reported to the node's breaker —
+ * the node is overloaded, not broken. @return true to dispatch.
+ */
+bool
+admitAttempt(const ClusterConfig &config, sim::Simulation &sim,
+             const Node &node, std::uint64_t index,
+             double budget_seconds, ClusterState &state)
+{
+    if (state.admission == nullptr)
+        return true;
+    if (state.admission->admit(node.engine->queueDepth(),
+                               std::max(1, state.activeNodes),
+                               budget_seconds, sim.now())) {
+        return true;
+    }
+    ++state.result.admissionRejects;
+    if (config.traceSink != nullptr) {
+        config.traceSink->instant(telemetry::TracePid::kResilience,
+                                  index, "admission_reject",
+                                  "autoscale", sim.now());
+    }
+    return false;
+}
+
 sim::Task<void>
 clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
                    std::vector<Node> &nodes, Router &router,
@@ -283,6 +360,22 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
         prev_node = target;
         ++attempt;
         Node &node = nodes[static_cast<std::size_t>(target)];
+
+        // Agent rollouts have no end-to-end deadline; their admission
+        // budget is the per-LLM-call deadline (the first call would
+        // wait through the same queue).
+        if (!admitAttempt(config, sim, node, index,
+                          spec.agentConfig.llmDeadlineSeconds, state)) {
+            if (attempt >= config.retry.maxAttempts) {
+                noteFailure(state, submit, sim.now(), false);
+                co_return;
+            }
+            ++state.result.retries;
+            co_await sim::delaySec(
+                sim,
+                retrySleepSeconds(config.retry, attempt, backoff));
+            continue;
+        }
         ++node.assigned;
 
         agents::AgentContext ctx;
@@ -308,7 +401,13 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
         bool retry_pending = false;
         try {
             agents::AgentResult result = co_await agent->run(ctx);
-            (void)result;
+            if (state.autoscaler != nullptr && result.llmCalls > 0) {
+                state.autoscaler->recordQueueDelay(
+                    result.queueSeconds /
+                    static_cast<double>(result.llmCalls));
+            }
+            if (state.admission != nullptr)
+                state.admission->recordCompletion(sim.now());
             router.health.reportSuccess(
                 static_cast<std::size_t>(target), sim.now());
             noteCompletion(state, submit, sim.now(), workload_index);
@@ -368,6 +467,23 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
         prev_node = target;
         ++attempt;
         Node &node = nodes[static_cast<std::size_t>(target)];
+
+        const double budget =
+            config.chatDeadlineSeconds > 0.0
+                ? config.chatDeadlineSeconds -
+                      sim::toSeconds(sim.now() - submit)
+                : 0.0;
+        if (!admitAttempt(config, sim, node, index, budget, state)) {
+            if (attempt >= config.retry.maxAttempts) {
+                noteFailure(state, submit, sim.now(), false);
+                co_return;
+            }
+            ++state.result.retries;
+            co_await sim::delaySec(
+                sim,
+                retrySleepSeconds(config.retry, attempt, backoff));
+            continue;
+        }
         ++node.assigned;
 
         serving::GenRequest req;
@@ -379,6 +495,10 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
             co_await node.engine->generate(std::move(req));
 
         if (gen.ok() || gen.truncated) {
+            if (state.autoscaler != nullptr)
+                state.autoscaler->recordQueueDelay(gen.queueSeconds);
+            if (state.admission != nullptr)
+                state.admission->recordCompletion(sim.now());
             router.health.reportSuccess(
                 static_cast<std::size_t>(target), sim.now());
             noteCompletion(state, submit, sim.now(), workload_index);
@@ -460,14 +580,144 @@ maintainNode(const ClusterConfig &config, sim::Simulation &sim,
 }
 
 /**
+ * Bring standby node @p index into service: pay the simulated warm-up
+ * (instance boot + model-weight load) before the engine restarts,
+ * then enter routing through a HalfOpen breaker. Provisioned time —
+ * and therefore cost — starts at the scale-out decision, not at
+ * readiness: capacity is paid for while it boots.
+ */
+sim::Task<void>
+scaleOutNode(const ClusterConfig &config, sim::Simulation &sim,
+             std::vector<Node> &nodes, Router &router,
+             std::size_t index, double warmup_seconds,
+             ClusterState &state)
+{
+    Node &node = nodes[index];
+    AGENTSIM_ASSERT(!node.provisioned,
+                    "scale-out of an already provisioned node");
+    node.provisioned = true;
+    node.provisionedSince = sim.now();
+    ++state.warmingNodes;
+    state.result.warmupSecondsTotal += warmup_seconds;
+    AGENTSIM_INFORM("autoscaler: node %zu booting (%.1fs warm-up)",
+                    index, warmup_seconds);
+    if (config.traceSink != nullptr) {
+        config.traceSink->instant(telemetry::TracePid::kResilience,
+                                  index, "node_boot", "autoscale",
+                                  sim.now());
+    }
+    co_await sim::delaySec(sim, warmup_seconds);
+    --state.warmingNodes;
+    if (state.stopped) {
+        // The run ended mid-boot: the capacity was still paid for,
+        // but the node never takes traffic.
+        node.provisioned = false;
+        node.provisionedSeconds +=
+            sim::toSeconds(sim.now() - node.provisionedSince);
+        co_return;
+    }
+    node.engine->restart();
+    router.health.markProvisioned(index, sim.now());
+    ++state.activeNodes;
+    state.result.peakActiveNodes =
+        std::max(state.result.peakActiveNodes, state.activeNodes);
+    if (state.autoscaler != nullptr)
+        state.autoscaler->noteNodeReady(sim.now());
+}
+
+/**
+ * Decommission node @p index losslessly: graceful drain with the
+ * leftovers live-migrated to the least-loaded accepting peer (the
+ * same machinery as DrainMigrate maintenance — never the crash path,
+ * so scale-in torches no in-flight prefill). The node leaves the
+ * active count at the drain decision (admissions close immediately)
+ * and stops being billed once the drain completes.
+ */
+sim::Task<void>
+scaleInNode(const ClusterConfig &config, sim::Simulation &sim,
+            std::vector<Node> &nodes, Router &router,
+            std::size_t index, ClusterState &state)
+{
+    Node &node = nodes[index];
+    serving::LlmEngine &eng = *node.engine;
+    if (!eng.online() || eng.draining()) {
+        // Chaos or maintenance got there first; that driver owns the
+        // node's lifecycle now.
+        state.scaleInInFlight = false;
+        co_return;
+    }
+    --state.activeNodes;
+    serving::DrainOutcome outcome = co_await eng.drain(
+        config.autoscaler.drainDeadlineSeconds,
+        /*export_leftovers=*/true);
+    if (outcome.crashed) {
+        // Crashed mid-drain: the fault injector restarts it later, so
+        // the node stays provisioned and returns to service.
+        ++state.activeNodes;
+        state.scaleInInFlight = false;
+        co_return;
+    }
+    for (auto &leftover : outcome.leftovers) {
+        const int target = router.pickForImport(index, sim.now());
+        if (target >= 0) {
+            nodes[static_cast<std::size_t>(target)]
+                .engine->importRequest(std::move(leftover),
+                                       config.migrationBandwidth);
+        } else {
+            // Nowhere to land it: crash semantics, client retries.
+            eng.abortMigration(std::move(leftover));
+        }
+    }
+    // drain() left the engine powered down; settle the capacity bill.
+    node.provisioned = false;
+    node.provisionedSeconds +=
+        sim::toSeconds(sim.now() - node.provisionedSince);
+    state.scaleInInFlight = false;
+}
+
+/** Standby node to scale out next, or -1 when the pool is exhausted. */
+int
+findStandbyNode(const std::vector<Node> &nodes)
+{
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (!nodes[i].provisioned)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+/**
+ * Scale-in victim: the least-loaded provisioned node that is online
+ * and not draining (migrating the fewest requests), or -1.
+ */
+int
+pickScaleInVictim(const std::vector<Node> &nodes)
+{
+    int best = -1;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &node = nodes[i];
+        if (!node.provisioned || !node.engine->accepting())
+            continue;
+        if (best < 0 ||
+            node.load() <
+                nodes[static_cast<std::size_t>(best)].load()) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+/**
  * Periodic pressure monitor: samples per-node queue depth into the
- * health EWMAs and feeds the brownout controller the cluster-max KV
- * utilization and SLO burn rate.
+ * health EWMAs, feeds the brownout controller the cluster-max KV
+ * utilization and SLO burn rate, and runs the autoscaler control
+ * loop, spawning scale-out/scale-in operations on its decisions.
  */
 sim::Task<void>
 clusterMonitor(const ClusterConfig &config, sim::Simulation &sim,
-               std::vector<Node> &nodes, HealthRegistry &health,
-               BrownoutController *brownout, ClusterState &state)
+               std::vector<Node> &nodes, Router &router,
+               HealthRegistry &health, BrownoutController *brownout,
+               ClusterState &state)
 {
     for (;;) {
         co_await sim::delaySec(sim, config.monitorPeriodSeconds);
@@ -479,7 +729,7 @@ clusterMonitor(const ClusterConfig &config, sim::Simulation &sim,
                 i, now,
                 static_cast<double>(nodes[i].engine->queueDepth()));
         }
-        if (brownout == nullptr)
+        if (brownout == nullptr && state.autoscaler == nullptr)
             continue;
         double kv_util = 0.0;
         for (const auto &node : nodes) {
@@ -500,7 +750,32 @@ clusterMonitor(const ClusterConfig &config, sim::Simulation &sim,
                     burn, config.slo->windowBurnRate(metric, now));
             }
         }
-        brownout->observe(now, kv_util, burn);
+        if (brownout != nullptr)
+            brownout->observe(now, kv_util, burn);
+        if (state.autoscaler == nullptr || state.scaleInInFlight)
+            continue;
+        const ScaleDecision decision = state.autoscaler->evaluate(
+            now, state.activeNodes, state.warmingNodes, burn);
+        if (decision == ScaleDecision::ScaleOut) {
+            const int idx = findStandbyNode(nodes);
+            AGENTSIM_ASSERT(idx >= 0,
+                            "scale-out past the standby pool");
+            state.scaleOps.push_back(scaleOutNode(
+                config, sim, nodes, router,
+                static_cast<std::size_t>(idx),
+                nodeWarmupSeconds(config.autoscaler,
+                                  config.engineConfig.model,
+                                  config.engineConfig.node),
+                state));
+        } else if (decision == ScaleDecision::ScaleIn) {
+            const int victim = pickScaleInVictim(nodes);
+            if (victim >= 0) {
+                state.scaleInInFlight = true;
+                state.scaleOps.push_back(scaleInNode(
+                    config, sim, nodes, router,
+                    static_cast<std::size_t>(victim), state));
+            }
+        }
     }
 }
 
@@ -518,13 +793,34 @@ clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
     for (const auto &spec : config.mix)
         weights.push_back(spec.weight);
 
+    // Diurnal arrivals are a non-homogeneous Poisson process sampled
+    // by thinning against the pattern's rate envelope; Constant keeps
+    // the classic single-draw path (bit-identical RNG consumption to
+    // the pre-autoscaler driver).
+    const bool diurnal =
+        config.arrival.kind == ArrivalPattern::Kind::Diurnal;
+    const double rate_max = config.arrival.maxQps(config.qps);
+
     std::vector<sim::Task<void>> workers;
     workers.reserve(static_cast<std::size_t>(config.numRequests));
     for (int i = 0; i < config.numRequests; ++i) {
         if (i > 0) {
-            co_await sim::delaySec(
-                sim, arrivals.exponential(1.0 / config.qps));
+            if (!diurnal) {
+                co_await sim::delaySec(
+                    sim, arrivals.exponential(1.0 / config.qps));
+            } else {
+                for (;;) {
+                    co_await sim::delaySec(
+                        sim, arrivals.exponential(1.0 / rate_max));
+                    const double rate = config.arrival.rateAt(
+                        sim::toSeconds(sim.now()), config.qps);
+                    if (arrivals.uniform(0.0, 1.0) * rate_max <= rate)
+                        break;
+                }
+            }
         }
+        if (state.autoscaler != nullptr)
+            state.autoscaler->recordArrival(sim.now());
         const std::size_t which = mixer.categorical(weights);
         const WorkloadSpec &spec = config.mix[which];
         const auto index = static_cast<std::uint64_t>(i);
@@ -562,22 +858,146 @@ ClusterResult::aggregateHitRate() const
     return total > 0 ? weighted / total : 0.0;
 }
 
-ClusterResult
-runCluster(const ClusterConfig &config)
+void
+validateClusterConfig(const ClusterConfig &config)
 {
-    AGENTSIM_ASSERT(config.numNodes > 0, "cluster needs nodes");
-    AGENTSIM_ASSERT(!config.mix.empty(), "cluster needs a workload");
+    if (config.numNodes <= 0) {
+        AGENTSIM_FATAL("cluster config: numNodes must be >= 1 "
+                       "(got %d)", config.numNodes);
+    }
+    if (config.mix.empty())
+        AGENTSIM_FATAL("cluster config: workload mix is empty");
     for (const auto &spec : config.mix) {
+        if (!(spec.weight > 0)) {
+            AGENTSIM_FATAL("cluster config: workload weight must be "
+                           "> 0 (got %g)", spec.weight);
+        }
         if (!spec.chatbot &&
             !agents::agentSupports(spec.agent, spec.bench)) {
-            AGENTSIM_FATAL("unsupported agent/benchmark in mix");
+            AGENTSIM_FATAL("cluster config: unsupported "
+                           "agent/benchmark pair in mix");
+        }
+    }
+    if (!(config.qps > 0))
+        AGENTSIM_FATAL("cluster config: qps must be > 0");
+    if (config.numRequests <= 0)
+        AGENTSIM_FATAL("cluster config: numRequests must be >= 1");
+    if (config.retry.maxAttempts < 1)
+        AGENTSIM_FATAL("cluster config: retry.maxAttempts must be >= 1");
+    if (!(config.monitorPeriodSeconds > 0))
+        AGENTSIM_FATAL("cluster config: monitor period must be > 0");
+    if (!(config.migrationBandwidth > 0))
+        AGENTSIM_FATAL("cluster config: migration bandwidth must be "
+                       "> 0");
+    if (config.chatDeadlineSeconds < 0)
+        AGENTSIM_FATAL("cluster config: negative chat deadline");
+
+    const ArrivalPattern &arr = config.arrival;
+    if (arr.kind == ArrivalPattern::Kind::Diurnal) {
+        if (!(arr.periodSeconds > 0))
+            AGENTSIM_FATAL("arrival pattern: period must be > 0");
+        if (!(arr.baseQps > 0) || arr.peakQps < arr.baseQps) {
+            AGENTSIM_FATAL("arrival pattern: need 0 < baseQps <= "
+                           "peakQps (got %g..%g)",
+                           arr.baseQps, arr.peakQps);
+        }
+        if (arr.burstMultiplier < 1)
+            AGENTSIM_FATAL("arrival pattern: burst multiplier < 1");
+        if (arr.burstStartFraction < 0 || arr.burstStartFraction >= 1)
+            AGENTSIM_FATAL("arrival pattern: burst start fraction "
+                           "outside [0, 1)");
+        if (arr.burstDurationSeconds < 0 ||
+            arr.burstDurationSeconds >
+                (1.0 - arr.burstStartFraction) * arr.periodSeconds) {
+            AGENTSIM_FATAL("arrival pattern: burst window overruns "
+                           "its period");
         }
     }
 
+    const BrownoutConfig &b = config.brownout;
+    if (b.enabled) {
+        if (b.kvLowWatermark >= b.kvHighWatermark)
+            AGENTSIM_FATAL("brownout: KV watermarks inverted "
+                           "(low %g >= high %g)",
+                           b.kvLowWatermark, b.kvHighWatermark);
+        if (b.burnLowThreshold >= b.burnHighThreshold)
+            AGENTSIM_FATAL("brownout: burn thresholds inverted");
+        if (b.maxLevel < 1 || b.maxLevel > 2)
+            AGENTSIM_FATAL("brownout: maxLevel must be 1 or 2");
+        if (b.holdSeconds < 0)
+            AGENTSIM_FATAL("brownout: negative dwell time");
+    }
+
+    const AutoscalerConfig &a = config.autoscaler;
+    if (a.enabled) {
+        if (a.minNodes < 1) {
+            AGENTSIM_FATAL("autoscaler: a 0-node floor cannot serve "
+                           "(minNodes %d)", a.minNodes);
+        }
+        if (a.minNodes > a.maxNodes) {
+            AGENTSIM_FATAL("autoscaler: minNodes %d > maxNodes %d",
+                           a.minNodes, a.maxNodes);
+        }
+        if (config.numNodes < a.minNodes ||
+            config.numNodes > a.maxNodes) {
+            AGENTSIM_FATAL("autoscaler: initial fleet (%d) outside "
+                           "[minNodes %d, maxNodes %d]",
+                           config.numNodes, a.minNodes, a.maxNodes);
+        }
+        if (!(a.targetUtilization > 0) || a.targetUtilization > 1)
+            AGENTSIM_FATAL("autoscaler: target utilization outside "
+                           "(0, 1]");
+        if (!(a.queueDelayQuantile > 0) || a.queueDelayQuantile >= 1)
+            AGENTSIM_FATAL("autoscaler: queue-delay quantile outside "
+                           "(0, 1)");
+        if (a.minDelaySamples < 1)
+            AGENTSIM_FATAL("autoscaler: minDelaySamples must be >= 1");
+        if (a.queueDelayLowSeconds > a.queueDelayHighSeconds)
+            AGENTSIM_FATAL("autoscaler: queue-delay thresholds "
+                           "inverted");
+        if (a.burnLowThreshold > a.burnHighThreshold)
+            AGENTSIM_FATAL("autoscaler: burn thresholds inverted");
+        if (a.nodeServiceQps < 0)
+            AGENTSIM_FATAL("autoscaler: negative node service rate");
+        if (a.nodeServiceQps > 0 &&
+            a.scaleInUtilization >= a.targetUtilization) {
+            AGENTSIM_FATAL("autoscaler: scale-in utilization %g must "
+                           "sit below target %g (hysteresis)",
+                           a.scaleInUtilization, a.targetUtilization);
+        }
+        if (a.scaleOutCooldownSeconds < 0 ||
+            a.scaleInCooldownSeconds < 0) {
+            AGENTSIM_FATAL("autoscaler: negative cooldown");
+        }
+        if (a.nodeBootSeconds < 0 || a.weightLoadBandwidth < 0)
+            AGENTSIM_FATAL("autoscaler: negative warm-up parameter");
+        if (a.drainDeadlineSeconds < 0)
+            AGENTSIM_FATAL("autoscaler: negative drain deadline");
+        if (!(a.admissionDeadlineFraction > 0) ||
+            a.admissionDeadlineFraction > 1) {
+            AGENTSIM_FATAL("autoscaler: admission deadline fraction "
+                           "outside (0, 1]");
+        }
+        if (a.admissionMaxDelaySeconds < 0)
+            AGENTSIM_FATAL("autoscaler: negative admission delay cap");
+        if (!(a.arrivalTauSeconds > 0))
+            AGENTSIM_FATAL("autoscaler: arrival EWMA tau must be > 0");
+    }
+}
+
+ClusterResult
+runCluster(const ClusterConfig &config)
+{
+    validateClusterConfig(config);
+
+    const bool autoscaled = config.autoscaler.enabled;
+    const int total_nodes =
+        autoscaled ? config.autoscaler.maxNodes : config.numNodes;
+
     sim::Simulation sim;
     std::vector<Node> nodes;
-    nodes.reserve(static_cast<std::size_t>(config.numNodes));
-    for (int i = 0; i < config.numNodes; ++i) {
+    nodes.reserve(static_cast<std::size_t>(total_nodes));
+    for (int i = 0; i < total_nodes; ++i) {
         Node node;
         auto engine_cfg = config.engineConfig;
         engine_cfg.seed =
@@ -598,6 +1018,15 @@ runCluster(const ClusterConfig &config)
         }
         nodes.push_back(std::move(node));
     }
+    // Autoscaled runs pre-build the whole [0, maxNodes) pool and park
+    // the surplus in standby (offline, empty, unbilled); the initial
+    // numNodes serve — and are billed — from t = 0.
+    for (int i = config.numNodes; i < total_nodes; ++i)
+        nodes[static_cast<std::size_t>(i)].engine->standby();
+    for (int i = 0; i < config.numNodes; ++i) {
+        nodes[static_cast<std::size_t>(i)].provisioned = true;
+        nodes[static_cast<std::size_t>(i)].provisionedSince = 0;
+    }
 
     // Health + breakers are always wired (with no failures every
     // breaker stays Closed and routing degenerates to the pure
@@ -614,7 +1043,22 @@ runCluster(const ClusterConfig &config)
 
     ClusterState state;
     state.result.perWorkloadSeconds.resize(config.mix.size());
+    state.activeNodes = config.numNodes;
+    state.result.peakActiveNodes = config.numNodes;
     Router router{config.policy, nodes, health, 0};
+
+    std::optional<AutoscalerController> autoscaler;
+    std::optional<AdmissionController> admission;
+    if (autoscaled) {
+        autoscaler.emplace(config.autoscaler);
+        if (config.traceSink != nullptr)
+            autoscaler->attachTrace(config.traceSink);
+        state.autoscaler = &*autoscaler;
+        if (config.autoscaler.admissionControl) {
+            admission.emplace(config.autoscaler);
+            state.admission = &*admission;
+        }
+    }
 
     // Chaos wiring: node-level faults drive the engines through the
     // injector's hooks; tool-level faults are sampled inside each
@@ -668,8 +1112,10 @@ runCluster(const ClusterConfig &config)
     }
 
     std::optional<sim::Task<void>> monitor;
-    if (config.brownout.enabled || config.maintenance.enabled()) {
-        monitor.emplace(clusterMonitor(config, sim, nodes, health,
+    if (config.brownout.enabled || config.maintenance.enabled() ||
+        autoscaled) {
+        monitor.emplace(clusterMonitor(config, sim, nodes, router,
+                                       health,
                                        brownout ? &*brownout : nullptr,
                                        state));
     }
@@ -700,6 +1146,23 @@ runCluster(const ClusterConfig &config)
         out.brownoutRestorations = brownout->restorations();
         out.brownoutDegradedRollouts = brownout->degradedRollouts();
         out.brownoutMaxLevel = brownout->maxLevelReached();
+    }
+    // Settle the capacity bill for nodes still provisioned at the
+    // end (static fleets: every node, for the whole run).
+    const sim::Tick sim_end = sim.now();
+    for (auto &node : nodes) {
+        if (node.provisioned) {
+            node.provisionedSeconds +=
+                sim::toSeconds(sim_end - node.provisionedSince);
+            node.provisioned = false;
+        }
+        out.provisionedNodeSeconds += node.provisionedSeconds;
+    }
+    out.provisionedGpuSeconds =
+        out.provisionedNodeSeconds * config.engineConfig.node.numGpus;
+    if (autoscaler) {
+        out.scaleOuts = autoscaler->scaleOuts();
+        out.scaleIns = autoscaler->scaleIns();
     }
     for (const auto &node : nodes) {
         // Every cancelled/crashed/finished request must have returned
@@ -765,6 +1228,28 @@ runCluster(const ClusterConfig &config)
             brownout->exportMetrics(*config.metrics, sim.now());
         if (config.slo != nullptr)
             config.slo->exportMetrics(*config.metrics, sim.now());
+        if (autoscaler) {
+            autoscaler->exportMetrics(*config.metrics, sim.now());
+            set("agentsim_autoscale_admission_rejects_total",
+                "Attempts reject-fast'd by predictive admission "
+                "control",
+                static_cast<double>(out.admissionRejects));
+            set("agentsim_autoscale_provisioned_node_seconds_total",
+                "Node-seconds provisioned (busy or idle, warm-up "
+                "included)",
+                out.provisionedNodeSeconds);
+            set("agentsim_autoscale_provisioned_gpu_seconds_total",
+                "GPU-seconds provisioned (node-seconds x GPUs per "
+                "node)",
+                out.provisionedGpuSeconds);
+            set("agentsim_autoscale_warmup_seconds_total",
+                "Warm-up seconds charged to scaled-out nodes",
+                out.warmupSecondsTotal);
+            config.metrics
+                ->gauge("agentsim_autoscale_active_nodes",
+                        "Nodes currently serving traffic")
+                .set(sim.now(), state.activeNodes);
+        }
     }
     out.sloAlerts =
         config.slo != nullptr ? config.slo->alertsFired() : 0;

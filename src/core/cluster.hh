@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "agents/workflows.hh"
+#include "core/autoscaler.hh"
 #include "core/brownout.hh"
 #include "core/health.hh"
 #include "serving/engine.hh"
@@ -89,6 +90,43 @@ struct RetryPolicy
     }
 };
 
+/**
+ * Time-varying offered load. Constant keeps the classic homogeneous
+ * Poisson arrivals at ClusterConfig::qps (bit-identical to the
+ * pre-autoscaler driver). Diurnal modulates a non-homogeneous Poisson
+ * process (thinning) along a raised-cosine day/night curve between
+ * baseQps and peakQps, optionally with a fixed-phase burst window each
+ * period — the workload shape elastic capacity exists for.
+ */
+struct ArrivalPattern
+{
+    enum class Kind
+    {
+        Constant,
+        Diurnal,
+    };
+    Kind kind = Kind::Constant;
+
+    /** Length of one diurnal cycle, seconds. */
+    double periodSeconds = 240.0;
+    /** Trough arrival rate, requests/s. */
+    double baseQps = 0.5;
+    /** Crest arrival rate, requests/s. */
+    double peakQps = 4.0;
+    /** Phase (fraction of the period) where the burst window opens. */
+    double burstStartFraction = 0.6;
+    /** Burst window length, seconds (0 disables bursts). */
+    double burstDurationSeconds = 0.0;
+    /** Rate multiplier inside the burst window (>= 1). */
+    double burstMultiplier = 3.0;
+
+    /** Instantaneous rate at sim-time @p t_seconds; Constant returns
+     *  @p constant_qps. */
+    double rateAt(double t_seconds, double constant_qps) const;
+    /** Tight upper bound on rateAt (the thinning envelope). */
+    double maxQps(double constant_qps) const;
+};
+
 /** Cluster experiment configuration. */
 struct ClusterConfig
 {
@@ -96,8 +134,10 @@ struct ClusterConfig
     serving::EngineConfig engineConfig;
     RoutePolicy policy = RoutePolicy::RoundRobin;
     std::vector<WorkloadSpec> mix;
-    /** Offered cluster-wide load (Poisson). */
+    /** Offered cluster-wide load (Poisson; Constant arrivals). */
     double qps = 1.0;
+    /** Time-varying arrival shape (Diurnal ignores `qps`). */
+    ArrivalPattern arrival;
     int numRequests = 200;
     std::uint64_t seed = 1;
 
@@ -109,6 +149,14 @@ struct ClusterConfig
     HealthConfig health;
     /** Overload brownout (off by default). */
     BrownoutConfig brownout;
+    /**
+     * Elastic capacity + predictive admission control (off by
+     * default). When enabled, `numNodes` is the *initial* fleet and
+     * the cluster pre-builds `autoscaler.maxNodes` nodes, parking the
+     * surplus in standby; the controller then scales within
+     * [minNodes, maxNodes].
+     */
+    AutoscalerConfig autoscaler;
     /** Node-to-node KV transfer bandwidth for live migration, B/s
      *  (defaults to the disagg interconnect assumption). */
     double migrationBandwidth = 200e9;
@@ -192,6 +240,23 @@ struct ClusterResult
     /** Prefill GPU-s thrown away by crash-cancelled requests. */
     double lostPrefillSeconds = 0.0;
 
+    /** Autoscaler activity (0 unless ClusterConfig::autoscaler is
+     *  enabled). */
+    std::int64_t scaleOuts = 0;
+    std::int64_t scaleIns = 0;
+    /** Requests reject-fast'd by predictive admission control
+     *  (attempts, not unique requests). */
+    std::int64_t admissionRejects = 0;
+    /** Node-seconds paid for over the run (busy or idle, warm-up
+     *  included). Static runs report numNodes x run duration. */
+    double provisionedNodeSeconds = 0.0;
+    /** provisionedNodeSeconds x GPUs per node. */
+    double provisionedGpuSeconds = 0.0;
+    /** Warm-up seconds charged to scaled-out nodes. */
+    double warmupSecondsTotal = 0.0;
+    /** Most nodes simultaneously serving traffic. */
+    int peakActiveNodes = 0;
+
     double p50() const { return e2eSeconds.percentile(50.0); }
     double p95() const { return e2eSeconds.percentile(95.0); }
     double p99() const { return e2eSeconds.percentile(99.0); }
@@ -215,6 +280,16 @@ struct ClusterResult
     /** Request-weighted mean prefix-cache hit rate across nodes. */
     double aggregateHitRate() const;
 };
+
+/**
+ * Sanity-check a configuration before the run starts, with a fatal
+ * for every nonsensical combination (minNodes > maxNodes, autoscaler
+ * with a 0-node floor, inverted brownout watermarks, a burst window
+ * that overruns its period, ...) — a clear message up front instead
+ * of undefined behaviour mid-run. runCluster() calls this first;
+ * exposed so tests and tools can validate configs directly.
+ */
+void validateClusterConfig(const ClusterConfig &config);
 
 /** Run one cluster experiment. */
 ClusterResult runCluster(const ClusterConfig &config);

@@ -1,5 +1,6 @@
 #include "core/cost_report.hh"
 
+#include <algorithm>
 #include <cctype>
 
 #include "energy/projection.hh"
@@ -81,14 +82,29 @@ CostReport::render(const std::string &title) const
         total_count += row.count;
     }
     emit("TOTAL", total(), total_count);
+    if (provisioned_ > 0.0) {
+        const double busy = total().gpuSeconds();
+        table.row({"PROVISIONED", "-", fmtDouble(provisioned_, 3), "-",
+                   "-", "-", "-", "-", "-",
+                   sim::strfmt("util %.0f%%",
+                               100.0 * busy /
+                                   std::max(provisioned_, 1e-12))});
+    }
     return table;
+}
+
+void
+CostReport::setProvisionedGpuSeconds(double seconds)
+{
+    AGENTSIM_ASSERT(seconds >= 0.0,
+                    "negative provisioned GPU seconds");
+    provisioned_ = seconds;
 }
 
 void
 CostReport::exportMetrics(telemetry::MetricsRegistry &registry,
                           sim::Tick now) const
 {
-    (void)now;
     auto emit = [&](const std::string &suffix,
                     const serving::CostLedger &l) {
         auto set = [&](const char *family, const char *help,
@@ -121,12 +137,24 @@ CostReport::exportMetrics(telemetry::MetricsRegistry &registry,
     emit("", total());
     for (const Row &row : rows_)
         emit("_" + sanitizeMetricLabel(row.label), row.ledger);
+    if (provisioned_ > 0.0) {
+        registry
+            .counter("agentsim_cost_provisioned_gpu_seconds_total",
+                     "GPU seconds provisioned (busy or idle, "
+                     "including node warm-up)")
+            .set(provisioned_);
+        registry
+            .gauge("agentsim_cost_provisioned_utilization",
+                   "Attributed busy GPU seconds over provisioned")
+            .set(now, total().gpuSeconds() / provisioned_);
+    }
 }
 
 void
 CostReport::clear()
 {
     rows_.clear();
+    provisioned_ = 0.0;
 }
 
 std::string

@@ -50,6 +50,18 @@ class CostReport
     const serving::CostLedger &ledger(const std::string &label) const;
 
     /**
+     * Record the run's provisioned capacity (GPU-seconds paid for,
+     * whether busy or idle — on autoscaled runs this includes node
+     * warm-up). Adds a PROVISIONED footer row to render() and the
+     * agentsim_cost_provisioned_* metric families; the gap between it
+     * and TOTAL's attributed gpu_s is the run's idle overhead.
+     */
+    void setProvisionedGpuSeconds(double seconds);
+
+    /** Provisioned capacity, or 0 when never recorded. */
+    double provisionedGpuSeconds() const { return provisioned_; }
+
+    /**
      * Render the cost table: one row per label plus a TOTAL row, with
      * GPU-seconds split prefill/decode, waste, cache savings, KV
      * block-seconds and energy (via energy/projection watt-hours).
@@ -74,6 +86,8 @@ class CostReport
         std::int64_t count = 0;
     };
     std::vector<Row> rows_;
+    /** Provisioned GPU-seconds; <= 0 means "not recorded". */
+    double provisioned_ = 0.0;
 
     Row &rowFor(const std::string &label);
 };

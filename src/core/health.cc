@@ -184,6 +184,27 @@ HealthRegistry::recordQueueDepth(std::size_t node, sim::Tick now,
     entries_[node].health.recordQueueDepth(now, depth);
 }
 
+void
+HealthRegistry::markProvisioned(std::size_t node, sim::Tick now)
+{
+    Entry &e = entries_[node];
+    e.health.reset();
+    e.probeSuccesses = 0;
+    if (config_.breakerEnabled &&
+        e.state != BreakerState::HalfOpen) {
+        // Bypass transition()'s Open bookkeeping: this is a fresh
+        // node earning trust, not a sick one cooling down.
+        e.state = BreakerState::HalfOpen;
+        AGENTSIM_INFORM("node %zu provisioned: breaker half-open",
+                        node);
+        if (trace_ != nullptr) {
+            trace_->instant(telemetry::TracePid::kResilience,
+                            static_cast<std::uint64_t>(node),
+                            "breaker_half_open", "resilience", now);
+        }
+    }
+}
+
 BreakerState
 HealthRegistry::state(std::size_t node) const
 {

@@ -119,6 +119,14 @@ class HealthRegistry
     /** Periodic queue-depth sample (monitor coroutine). */
     void recordQueueDepth(std::size_t node, sim::Tick now, double depth);
 
+    /**
+     * A freshly provisioned node (autoscaler scale-out) enters the
+     * fleet: its history is wiped and — when breakers are enabled —
+     * it starts HalfOpen, earning trust through probe admissions
+     * rather than receiving a full traffic share cold.
+     */
+    void markProvisioned(std::size_t node, sim::Tick now);
+
     BreakerState state(std::size_t node) const;
     const NodeHealth &health(std::size_t node) const;
 

@@ -537,6 +537,24 @@ LlmEngine::crash()
 }
 
 void
+LlmEngine::standby()
+{
+    AGENTSIM_ASSERT(online_, "standby() on an offline engine");
+    AGENTSIM_ASSERT(!draining_, "standby() while draining");
+    AGENTSIM_ASSERT(waiting_.empty() && running_.empty(),
+                    "standby() with requests in flight");
+    online_ = false;
+    // Power down cleanly: the KV pool empties (nothing referenced it)
+    // and the prefix cache comes back cold on restart().
+    blocks_.reset();
+    updateGauges();
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kEngine, 1, "standby",
+                        "engine", sim_.now());
+    }
+}
+
+void
 LlmEngine::restart()
 {
     AGENTSIM_ASSERT(!online_, "restart() on an online engine");

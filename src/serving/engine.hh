@@ -275,6 +275,15 @@ class LlmEngine
     /** Bring a crashed engine back online (empty caches). */
     void restart();
 
+    /**
+     * Take an idle engine offline without the failure semantics of
+     * crash(): no requests may be in flight (the caller drains
+     * first), nothing is cancelled and no crash is counted. Used by
+     * the autoscaler to park standby capacity; restart() brings the
+     * node back (cold caches, as after any power cycle).
+     */
+    void standby();
+
     /** False between crash() and restart(). */
     bool online() const { return online_; }
 

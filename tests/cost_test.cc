@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "core/cluster.hh"
 #include "core/cost_report.hh"
 #include "core/perf_report.hh"
 #include "core/probe.hh"
@@ -287,6 +288,68 @@ TEST(CostReport, SanitizeMetricLabel)
     EXPECT_EQ(core::sanitizeMetricLabel("HotpotQA/ReAct"),
               "hotpotqa_react");
     EXPECT_EQ(core::sanitizeMetricLabel("a  b--C"), "a_b_c");
+}
+
+TEST(CostReport, ProvisionedFooterReportsElasticCapacity)
+{
+    core::CostReport report;
+    report.add("chat", ledgerOf(1.0, 4.0, 100.0));
+
+    // Without a provisioned figure the footer stays out of the way.
+    EXPECT_EQ(report.render("unit test").render().find("PROVISIONED"),
+              std::string::npos);
+
+    report.setProvisionedGpuSeconds(10.0);
+    EXPECT_DOUBLE_EQ(report.provisionedGpuSeconds(), 10.0);
+    const std::string table = report.render("unit test").render();
+    EXPECT_NE(table.find("PROVISIONED"), std::string::npos);
+
+    telemetry::MetricsRegistry registry;
+    report.exportMetrics(registry, 0);
+    const std::string prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("agentsim_cost_provisioned_gpu_seconds_total"),
+              std::string::npos);
+    EXPECT_NE(prom.find("agentsim_cost_provisioned_utilization"),
+              std::string::npos);
+
+    report.clear();
+    EXPECT_DOUBLE_EQ(report.provisionedGpuSeconds(), 0.0);
+}
+
+TEST(CostReport, ProvisionedBoundsAttributedBusySeconds)
+{
+    // An autoscaled cluster bills capacity from each scale-out
+    // decision (warm-up included) to decommission or run end, so the
+    // provisioned GPU-seconds must bound the busy GPU-seconds the
+    // engines actually attributed to requests.
+    core::ClusterConfig cfg;
+    cfg.numNodes = 1;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.policy = core::RoutePolicy::LeastLoaded;
+    core::WorkloadSpec chat;
+    chat.chatbot = true;
+    cfg.mix.push_back(chat);
+    cfg.numRequests = 150;
+    cfg.seed = 7;
+    cfg.arrival.kind = core::ArrivalPattern::Kind::Diurnal;
+    cfg.arrival.periodSeconds = 60.0;
+    cfg.arrival.baseQps = 0.5;
+    cfg.arrival.peakQps = 5.0;
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.maxNodes = 3;
+    cfg.autoscaler.nodeServiceQps = 1.5;
+    cfg.autoscaler.scaleOutCooldownSeconds = 5.0;
+    const auto r = core::runCluster(cfg);
+
+    double busy = 0.0;
+    for (const auto &node : r.nodes)
+        busy += node.engineStats.busySeconds;
+    EXPECT_GT(r.provisionedGpuSeconds, 0.0);
+    EXPECT_GE(r.provisionedGpuSeconds, busy);
+
+    core::CostReport report;
+    report.setProvisionedGpuSeconds(r.provisionedGpuSeconds);
+    EXPECT_GE(report.provisionedGpuSeconds(), busy);
 }
 
 // ---------------------------------------------------------------------

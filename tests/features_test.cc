@@ -15,6 +15,8 @@
 #include "core/probe.hh"
 #include "core/serving_system.hh"
 #include "core/table.hh"
+#include "llm/hardware.hh"
+#include "llm/model_spec.hh"
 #include "serving/disagg.hh"
 #include "kv/block_manager.hh"
 #include "workload/token_stream.hh"
@@ -1131,6 +1133,340 @@ TEST(Brownout, ApplyTrimsWidthThenDowngradesDeadlineless)
         EXPECT_EQ(cfg.latsChildren, 2);
     }
     EXPECT_GT(ctl.degradedRollouts(), 0);
+}
+
+// ---------------------------------------------------------------
+// Autoscaler: controller state machine, warm-up pricing, admission
+// control, and the elastic cluster end to end.
+// ---------------------------------------------------------------
+
+core::AutoscalerConfig
+controllerConfig()
+{
+    core::AutoscalerConfig a;
+    a.enabled = true;
+    a.minNodes = 1;
+    a.maxNodes = 4;
+    a.arrivalTauSeconds = 20.0;
+    a.nodeServiceQps = 1.0;
+    a.targetUtilization = 0.75;
+    a.scaleOutCooldownSeconds = 10.0;
+    a.scaleInCooldownSeconds = 30.0;
+    a.scaleInUtilization = 0.5;
+    return a;
+}
+
+TEST(Autoscaler, CapacityPressureScalesOutAndCooldownSuppresses)
+{
+    core::AutoscalerController ctl(controllerConfig());
+
+    // 4 requests/s sustained: after one tau the EWMA sits around
+    // 4 * (1 - 1/e) ~ 2.5/s, well past one node's 0.75 * 1.0/s
+    // capacity threshold.
+    for (int i = 0; i <= 128; ++i)
+        ctl.recordArrival(sim::fromSeconds(0.25 * i));
+    const sim::Tick t20 = sim::fromSeconds(20.0);
+    EXPECT_GT(ctl.predictedQps(t20), 2.0);
+
+    EXPECT_EQ(ctl.evaluate(t20, 1, 0, 0.0),
+              core::ScaleDecision::ScaleOut);
+    EXPECT_EQ(ctl.lastReason(), "capacity");
+
+    // Pressure persists but the cooldown window suppresses a second
+    // order; the booting node already counts as provisioned.
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(22.0), 1, 1, 0.0),
+              core::ScaleDecision::Hold);
+    // Arrivals keep flowing (recorded through t=32), so once the
+    // cooldown elapses demand still exceeds the now-2-node fleet and
+    // the controller re-fires.
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(31.0), 2, 0, 0.0),
+              core::ScaleDecision::ScaleOut);
+    EXPECT_EQ(ctl.scaleOuts(), 2);
+}
+
+TEST(Autoscaler, QueueDelayAndBurnTriggersGateOnEvidence)
+{
+    auto cfg = controllerConfig();
+    cfg.nodeServiceQps = 0.0; // capacity term off
+    cfg.minDelaySamples = 4;
+    cfg.queueDelayHighSeconds = 2.0;
+
+    {
+        core::AutoscalerController ctl(cfg);
+        // Below minDelaySamples the estimator stays silent no matter
+        // how bad the observations are.
+        for (int i = 0; i < 3; ++i)
+            ctl.recordQueueDelay(10.0);
+        EXPECT_EQ(ctl.queueDelayPercentile(), 0.0);
+        EXPECT_EQ(ctl.evaluate(sim::fromSeconds(1.0), 1, 0, 0.0),
+                  core::ScaleDecision::Hold);
+        ctl.recordQueueDelay(10.0);
+        EXPECT_GT(ctl.queueDelayPercentile(), 2.0);
+        EXPECT_EQ(ctl.evaluate(sim::fromSeconds(2.0), 1, 0, 0.0),
+                  core::ScaleDecision::ScaleOut);
+        EXPECT_EQ(ctl.lastReason(), "queue_delay");
+        // Each decision resets the estimator: fresh evidence only.
+        EXPECT_EQ(ctl.queueDelayPercentile(), 0.0);
+    }
+    {
+        core::AutoscalerController ctl(cfg);
+        EXPECT_EQ(ctl.evaluate(sim::fromSeconds(1.0), 1, 0, 2.0),
+                  core::ScaleDecision::ScaleOut);
+        EXPECT_EQ(ctl.lastReason(), "burn");
+        // At the ceiling, pressure cannot order more nodes.
+        EXPECT_EQ(ctl.evaluate(sim::fromSeconds(20.0), 4, 0, 5.0),
+                  core::ScaleDecision::Hold);
+    }
+}
+
+TEST(Autoscaler, ScaleInWaitsOutSustainedRelief)
+{
+    auto cfg = controllerConfig();
+    cfg.scaleOutCooldownSeconds = 5.0;
+    core::AutoscalerController ctl(cfg);
+
+    // Load a 4/s estimate by t=10, then silence.
+    for (int i = 0; i <= 40; ++i)
+        ctl.recordArrival(sim::fromSeconds(0.25 * i));
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(10.0), 2, 0, 0.0),
+              core::ScaleDecision::ScaleOut);
+
+    // t=25: the estimate has decayed below pressure but not yet below
+    // the scale-in band, and the relief window has not elapsed.
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(25.0), 3, 0, 0.0),
+              core::ScaleDecision::Hold);
+    // t=41: 31 s of quiet — past scaleInCooldownSeconds since both
+    // the last pressure (t=10) and the last decision — and demand now
+    // fits in one fewer node at scaleInUtilization.
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(41.0), 3, 0, 0.0),
+              core::ScaleDecision::ScaleIn);
+    EXPECT_EQ(ctl.lastReason(), "idle");
+    // Back-to-back shrink is suppressed by the scale-in cooldown...
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(42.0), 2, 0, 0.0),
+              core::ScaleDecision::Hold);
+    // ...a warming node blocks shrink outright (capacity in flight
+    // means the controller recently wanted MORE, not less)...
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(80.0), 2, 1, 0.0),
+              core::ScaleDecision::Hold);
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(80.0), 2, 0, 0.0),
+              core::ScaleDecision::ScaleIn);
+    // ...and the floor is never breached.
+    EXPECT_EQ(ctl.evaluate(sim::fromSeconds(200.0), 1, 0, 0.0),
+              core::ScaleDecision::Hold);
+    EXPECT_EQ(ctl.scaleIns(), 2);
+}
+
+TEST(Autoscaler, WarmupPricesBootPlusShardedWeightLoad)
+{
+    core::AutoscalerConfig a;
+    a.nodeBootSeconds = 4.0;
+    const llm::ModelSpec model = llm::llama31_8b();
+    const llm::NodeSpec node = llm::singleA100();
+
+    // Default bandwidth: the host->GPU (PCIe) offload link.
+    const double expect_pcie =
+        4.0 + model.weightBytes() /
+                  static_cast<double>(node.numGpus) /
+                  node.hostOffloadBandwidth;
+    EXPECT_DOUBLE_EQ(core::nodeWarmupSeconds(a, model, node),
+                     expect_pcie);
+
+    // An explicit bandwidth overrides it; faster links load faster,
+    // but the boot floor always remains.
+    a.weightLoadBandwidth = 4.0 * node.hostOffloadBandwidth;
+    const double fast = core::nodeWarmupSeconds(a, model, node);
+    EXPECT_LT(fast, expect_pcie);
+    EXPECT_GT(fast, a.nodeBootSeconds);
+}
+
+TEST(Admission, RejectsWhenProjectedDelayEatsBudget)
+{
+    auto cfg = controllerConfig();
+    cfg.nodeServiceQps = 2.0;
+    cfg.admissionDeadlineFraction = 0.5;
+    core::AdmissionController ac(cfg);
+
+    // Little's law with a pinned service rate: 4 queued / 2 per s.
+    EXPECT_DOUBLE_EQ(ac.projectedDelaySeconds(4, 1, 0), 2.0);
+    // 2 s projected vs a 5 s admissible share of a 10 s budget.
+    EXPECT_TRUE(ac.admit(4, 1, 10.0, 0));
+    // 15 s projected blows the same budget: reject-fast.
+    EXPECT_FALSE(ac.admit(30, 1, 10.0, 0));
+    EXPECT_EQ(ac.decisions(), 2);
+    EXPECT_EQ(ac.rejects(), 1);
+    // Deadline-less requests pass unless admissionMaxDelaySeconds
+    // gates them.
+    EXPECT_TRUE(ac.admit(1000, 1, 0.0, 0));
+    cfg.admissionMaxDelaySeconds = 3.0;
+    core::AdmissionController strict(cfg);
+    EXPECT_FALSE(strict.admit(1000, 1, 0.0, 0));
+}
+
+TEST(Admission, ColdStartAdmitsUntilServiceRateIsLearned)
+{
+    auto cfg = controllerConfig();
+    cfg.nodeServiceQps = 0.0; // learn the rate online
+    core::AdmissionController ac(cfg);
+
+    // No completions seen: no evidence of doom, everything admits.
+    EXPECT_DOUBLE_EQ(ac.projectedDelaySeconds(100, 1, 0), 0.0);
+    EXPECT_TRUE(ac.admit(100, 1, 1.0, 0));
+
+    // Completions at 2/s teach the estimator; a deep queue on a
+    // single node now projects far past a 1 s budget.
+    for (int i = 0; i <= 40; ++i)
+        ac.recordCompletion(sim::fromSeconds(0.5 * i));
+    const sim::Tick t = sim::fromSeconds(20.0);
+    EXPECT_GT(ac.projectedDelaySeconds(100, 1, t), 10.0);
+    EXPECT_FALSE(ac.admit(100, 1, 1.0, t));
+}
+
+/** Small elastic cluster on a diurnal curve: chat-heavy so runs stay
+ *  fast, sized so the controller demonstrably breathes. */
+core::ClusterConfig
+elasticCluster()
+{
+    core::ClusterConfig cfg;
+    cfg.numNodes = 1;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.policy = core::RoutePolicy::LeastLoaded;
+    core::WorkloadSpec chat;
+    chat.chatbot = true;
+    chat.weight = 1.0;
+    cfg.mix.push_back(chat);
+    cfg.numRequests = 300;
+    cfg.seed = 11;
+    cfg.chatDeadlineSeconds = 60.0;
+    cfg.arrival.kind = core::ArrivalPattern::Kind::Diurnal;
+    cfg.arrival.periodSeconds = 80.0;
+    cfg.arrival.baseQps = 0.4;
+    cfg.arrival.peakQps = 6.0;
+    cfg.autoscaler.enabled = true;
+    cfg.autoscaler.minNodes = 1;
+    cfg.autoscaler.maxNodes = 3;
+    cfg.autoscaler.nodeServiceQps = 1.5;
+    cfg.autoscaler.scaleOutCooldownSeconds = 5.0;
+    cfg.autoscaler.scaleInCooldownSeconds = 12.0;
+    cfg.autoscaler.drainDeadlineSeconds = 3.0;
+    return cfg;
+}
+
+TEST(Autoscaler, ElasticClusterScalesOutAndInLosslessly)
+{
+    const auto r = core::runCluster(elasticCluster());
+
+    // Every request is accounted for and the fleet breathed.
+    EXPECT_EQ(r.completed + r.failed, 300);
+    EXPECT_GT(r.completed, 270);
+    EXPECT_GE(r.scaleOuts, 1);
+    EXPECT_GE(r.scaleIns, 1);
+    EXPECT_GT(r.peakActiveNodes, 1);
+    // Scale-in uses drain + live migration, never the crash path:
+    // elasticity costs zero lost prefill and zero crash restarts.
+    EXPECT_DOUBLE_EQ(r.lostPrefillSeconds, 0.0);
+    for (const auto &node : r.nodes)
+        EXPECT_EQ(node.engineStats.crashes, 0);
+    // Capacity is billed from the scale-out decision to the end of
+    // the run, so provisioned time bounds attributed busy time.
+    double busy = 0.0;
+    for (const auto &node : r.nodes)
+        busy += node.engineStats.busySeconds;
+    EXPECT_GE(r.provisionedGpuSeconds, busy);
+    EXPECT_GT(r.warmupSecondsTotal, 0.0);
+}
+
+TEST(Autoscaler, DeterministicAcrossRuns)
+{
+    const auto a = core::runCluster(elasticCluster());
+    const auto b = core::runCluster(elasticCluster());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.scaleOuts, b.scaleOuts);
+    EXPECT_EQ(a.scaleIns, b.scaleIns);
+    EXPECT_DOUBLE_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_DOUBLE_EQ(a.provisionedGpuSeconds,
+                     b.provisionedGpuSeconds);
+}
+
+TEST(Autoscaler, WarmupIsChargedBeforeTrafficFlows)
+{
+    auto cfg = elasticCluster();
+    // Boot takes longer than the whole run: scale-outs are ordered
+    // and billed, but the nodes never finish warming.
+    cfg.autoscaler.nodeBootSeconds = 10000.0;
+    const auto r = core::runCluster(cfg);
+
+    EXPECT_EQ(r.completed + r.failed, 300);
+    EXPECT_GE(r.scaleOuts, 1);
+    // No scaled-out node ever took a request...
+    EXPECT_EQ(r.peakActiveNodes, 1);
+    for (std::size_t i = 1; i < r.nodes.size(); ++i)
+        EXPECT_EQ(r.nodes[i].requests, 0);
+    // ...but its warm-up bill was still charged.
+    EXPECT_GE(r.warmupSecondsTotal, 10000.0);
+    EXPECT_EQ(r.scaleIns, 0);
+}
+
+TEST(ClusterValidation, RejectsNonsensicalConfigs)
+{
+    const auto valid = [] {
+        core::ClusterConfig cfg;
+        cfg.numNodes = 1;
+        cfg.engineConfig = core::enginePreset8b();
+        core::WorkloadSpec chat;
+        chat.chatbot = true;
+        cfg.mix.push_back(chat);
+        return cfg;
+    };
+    // The baseline passes.
+    core::validateClusterConfig(valid());
+
+    {
+        auto cfg = valid();
+        cfg.autoscaler.enabled = true;
+        cfg.autoscaler.minNodes = 3;
+        cfg.autoscaler.maxNodes = 2;
+        EXPECT_DEATH(core::validateClusterConfig(cfg),
+                     "minNodes 3 > maxNodes 2");
+    }
+    {
+        auto cfg = valid();
+        cfg.autoscaler.enabled = true;
+        cfg.autoscaler.minNodes = 0;
+        EXPECT_DEATH(core::validateClusterConfig(cfg),
+                     "0-node floor");
+    }
+    {
+        auto cfg = valid();
+        cfg.numNodes = 5;
+        cfg.autoscaler.enabled = true; // maxNodes defaults to 4
+        EXPECT_DEATH(core::validateClusterConfig(cfg),
+                     "outside");
+    }
+    {
+        auto cfg = valid();
+        cfg.brownout.enabled = true;
+        cfg.brownout.kvHighWatermark = 0.5;
+        cfg.brownout.kvLowWatermark = 0.9;
+        EXPECT_DEATH(core::validateClusterConfig(cfg),
+                     "KV watermarks inverted");
+    }
+    {
+        auto cfg = valid();
+        cfg.arrival.kind = core::ArrivalPattern::Kind::Diurnal;
+        cfg.arrival.periodSeconds = 100.0;
+        cfg.arrival.burstStartFraction = 0.9;
+        cfg.arrival.burstDurationSeconds = 20.0;
+        EXPECT_DEATH(core::validateClusterConfig(cfg),
+                     "overruns");
+    }
+    {
+        auto cfg = valid();
+        cfg.autoscaler.enabled = true;
+        cfg.autoscaler.nodeServiceQps = 1.0;
+        cfg.autoscaler.scaleInUtilization = 0.9; // >= target 0.75
+        EXPECT_DEATH(core::validateClusterConfig(cfg),
+                     "hysteresis");
+    }
 }
 
 } // namespace
