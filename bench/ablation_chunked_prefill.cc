@@ -12,9 +12,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_chunked_prefill");
 
     for (bool chatbot : {true, false}) {
         core::Table t(std::string("Ablation: per-step token budget — ") +
@@ -32,6 +34,7 @@ main()
             cfg.qps = chatbot ? 4.0 : 1.2;
             cfg.numRequests = chatbot ? 200 : 120;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             t.row({core::fmtCount(static_cast<double>(budget)),
                    core::fmtSeconds(r.p50()),
@@ -42,5 +45,7 @@ main()
         t.print();
         std::printf("\n");
     }
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

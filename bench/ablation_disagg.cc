@@ -119,9 +119,11 @@ runDisaggregated(double qps, int n, std::int64_t step_budget)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_disagg");
 
     core::Table t("Ablation: prefill/decode disaggregation "
                   "(2 GPUs each; prefill-heavy chat)");
@@ -159,5 +161,7 @@ main()
                 "only one node to prefill inflates TTFT — phase-aware "
                 "capacity sizing is the whole game, exactly as "
                 "Splitwise argues.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

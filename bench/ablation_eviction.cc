@@ -12,9 +12,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_eviction");
 
     const auto weight_bytes = llm::llama31_8b().weightBytes();
 
@@ -44,6 +46,7 @@ main()
                 cfg.qps = point.qps;
                 cfg.numRequests = 100;
                 cfg.seed = kSeed;
+                telemetry.apply(cfg);
                 const auto r = core::runServing(cfg);
                 t.row({std::string(workload::benchmarkName(
                            point.bench)),
@@ -57,5 +60,7 @@ main()
         }
     }
     t.print();
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

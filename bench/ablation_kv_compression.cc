@@ -11,9 +11,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_kv_compression");
 
     const auto weight_bytes = llm::llama31_8b().weightBytes();
 
@@ -34,6 +36,7 @@ main()
             cfg.qps = 1.2;
             cfg.numRequests = 100;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             t.row({core::fmtPercent(frac, 0),
                    ratio == 1.0 ? "off (FP16)"
@@ -49,5 +52,7 @@ main()
                 "compression techniques\" — the compressed cache "
                 "holds more prefixes (less thrashing) and each decode "
                 "step streams fewer KV bytes.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -11,9 +11,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_offload");
 
     const auto weight_bytes = llm::llama31_8b().weightBytes();
 
@@ -34,6 +36,7 @@ main()
             cfg.qps = 1.0;
             cfg.numRequests = 100;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             const auto &cs = r.cacheStats;
             const double restore_rate =
@@ -54,5 +57,7 @@ main()
     std::printf("\nDesign note: implements the paper's suggestion of "
                 "\"offloading all or parts of KV cache contexts to "
                 "CPU memory or SSD\" and quantifies its benefit.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

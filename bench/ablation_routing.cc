@@ -13,9 +13,11 @@
 #include "core/cluster.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_routing");
 
     std::vector<core::WorkloadSpec> mix;
     {
@@ -53,6 +55,7 @@ main()
         cfg.qps = 4.0;
         cfg.numRequests = 300;
         cfg.seed = kSeed;
+        telemetry.apply(cfg);
         const auto r = core::runCluster(cfg);
 
         std::string spread;
@@ -74,5 +77,7 @@ main()
                 "instruction/few-shot blocks into cross-request "
                 "prefix hits instead of duplicating them on every "
                 "node.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -12,9 +12,11 @@
 #include "core/cluster.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_scheduling");
 
     core::Table t("Ablation: admission scheduling policy "
                   "(ShareGPT, heavy load)");
@@ -36,6 +38,7 @@ main()
             cfg.qps = qps;
             cfg.numRequests = 200;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             const char *policy_name =
                 policy == serving::SchedulerPolicy::Fcfs
@@ -83,6 +86,7 @@ main()
         cfg.qps = 2.5;
         cfg.numRequests = 180;
         cfg.seed = kSeed;
+        telemetry.apply(cfg);
         const auto r = core::runCluster(cfg);
         const auto &chat_lat = r.perWorkloadSeconds[0];
         const auto &agent_lat = r.perWorkloadSeconds[1];
@@ -102,5 +106,7 @@ main()
                 "both the engine-level policy choice and the "
                 "program-aware LAS policy of the cited Autellix "
                 "system.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

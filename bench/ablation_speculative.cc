@@ -13,9 +13,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ablation_speculative");
 
     core::Table t("Ablation: speculative tool invocation "
                   "(ReAct, single request at a time)");
@@ -27,6 +29,7 @@ main()
         for (bool speculative : {false, true}) {
             auto cfg = defaultProbe(AgentKind::ReAct, bench);
             cfg.agentConfig.speculativeTools = speculative;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             const double latency = r.e2eSeconds().mean();
             if (!speculative)
@@ -47,5 +50,7 @@ main()
                 "\"speculative tool invocation ... to overlap LLM "
                 "inference with tool execution\"; the extra tool "
                 "calls are the price of wrong predictions.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

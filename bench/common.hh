@@ -56,7 +56,7 @@ supportedPairs()
 
 /**
  * Shared --trace/--metrics/--csv/--report plumbing for the fig*
- * binaries.
+ * binaries (--trace-out is accepted as an alias of --trace).
  *
  *   fig14_qps_sweep --trace out.json --metrics out.prom \
  *                   --csv out.csv --report BENCH_agentsim.json
@@ -79,6 +79,7 @@ class TelemetryCli
         for (int i = 1; i < argc; ++i) {
             const bool has_value = i + 1 < argc;
             if (std::strcmp(argv[i], "--trace") == 0 ||
+                std::strcmp(argv[i], "--trace-out") == 0 ||
                 std::strcmp(argv[i], "--metrics") == 0 ||
                 std::strcmp(argv[i], "--csv") == 0 ||
                 std::strcmp(argv[i], "--report") == 0) {
@@ -89,7 +90,8 @@ class TelemetryCli
                                  argv[i]);
                     continue;
                 }
-                if (std::strcmp(argv[i], "--trace") == 0)
+                if (std::strcmp(argv[i], "--trace") == 0 ||
+                    std::strcmp(argv[i], "--trace-out") == 0)
                     trace_ = argv[++i];
                 else if (std::strcmp(argv[i], "--metrics") == 0)
                     metrics_ = argv[++i];

@@ -30,9 +30,11 @@ preset(bool h100)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ext_hardware");
 
     core::Table t("Extension: A100 vs H100 per-query cost "
                   "(Llama-3.1-8B)");
@@ -48,6 +50,7 @@ main()
             cfg.closedLoop = true;
             cfg.numRequests = 80;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             t.row({"Chatbot (ShareGPT)", gpu,
                    core::fmtSeconds(r.e2eSeconds.mean()),
@@ -61,6 +64,7 @@ main()
             cfg.engineConfig = preset(h100);
             cfg.numTasks = 30;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             t.row({std::string(agents::agentName(agent)), gpu,
                    core::fmtSeconds(r.e2eSeconds().mean()),
@@ -75,5 +79,7 @@ main()
                 "than proportionally (higher draw, and tool-idle time "
                 "does not shrink) — hardware generations alone do not "
                 "solve the paper's sustainability problem.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -14,9 +14,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ext_multi_agent");
 
     for (Benchmark bench : {Benchmark::HotpotQA, Benchmark::HumanEval}) {
         core::Table t("Extension: actor-critic duo vs single agents "
@@ -27,7 +29,9 @@ main()
         for (AgentKind agent :
              {AgentKind::ReAct, AgentKind::ActorCritic,
               AgentKind::Reflexion}) {
-            const auto r = core::runProbe(defaultProbe(agent, bench));
+            auto r_cfg = defaultProbe(agent, bench);
+            telemetry.apply(r_cfg);
+            const auto r = core::runProbe(r_cfg);
             t.row({std::string(agents::agentName(agent)),
                    core::fmtPercent(r.accuracy()),
                    core::fmtSeconds(r.e2eSeconds().mean()),
@@ -42,5 +46,7 @@ main()
                 "access, at multi-agent coordination cost — the "
                 "workflows the paper's related work points to inherit "
                 "the same infrastructure economics.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -13,9 +13,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ext_multiturn_chat");
 
     core::Table t("Extension: multi-turn chat sessions, prefix "
                   "persistence across turns");
@@ -32,6 +34,7 @@ main()
             cfg.qps = qps;
             cfg.numRequests = 80; // sessions
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             t.row({caching ? "on" : "off", core::fmtDouble(qps, 1),
                    core::fmtSeconds(r.turnSeconds.percentile(50)),
@@ -49,5 +52,7 @@ main()
                 "queries\": a session's turns are separate engine "
                 "queries whose shared conversation prefix stays "
                 "cached between them.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

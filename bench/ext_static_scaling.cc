@@ -13,9 +13,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ext_static_scaling");
 
     for (Benchmark bench : {Benchmark::HotpotQA, Benchmark::Math}) {
         core::Table t("Extension: static multi-sample scaling vs "
@@ -36,6 +38,7 @@ main()
             auto cfg =
                 defaultProbe(AgentKind::SelfConsistency, bench);
             cfg.agentConfig.scSamples = n;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             t.row({"Self-Consistency n=" + std::to_string(n),
                    core::fmtPercent(r.accuracy()),
@@ -46,6 +49,7 @@ main()
         for (int n : {5, 10}) {
             auto cfg = defaultProbe(AgentKind::BestOfN, bench);
             cfg.agentConfig.scSamples = n;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             t.row({"Best-of-N n=" + std::to_string(n),
                    core::fmtPercent(r.accuracy()),
@@ -56,6 +60,7 @@ main()
         for (int breadth : {3, 5}) {
             auto cfg = defaultProbe(AgentKind::TreeOfThoughts, bench);
             cfg.agentConfig.latsChildren = breadth;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             t.row({"Tree-of-Thoughts b=" + std::to_string(breadth),
                    core::fmtPercent(r.accuracy()),
@@ -64,7 +69,9 @@ main()
                    core::fmtDouble(r.meanLlmCalls(), 1)});
         }
         for (AgentKind agent : {AgentKind::ReAct, AgentKind::Lats}) {
-            const auto r = core::runProbe(defaultProbe(agent, bench));
+            auto r_cfg = defaultProbe(agent, bench);
+            telemetry.apply(r_cfg);
+            const auto r = core::runProbe(r_cfg);
             t.row({std::string(agents::agentName(agent)),
                    core::fmtPercent(r.accuracy()),
                    core::fmtSeconds(r.e2eSeconds().mean()),
@@ -78,5 +85,7 @@ main()
                 "below tool-augmented dynamic reasoning on "
                 "knowledge-gated tasks — internal diversity cannot "
                 "substitute for external evidence.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -26,9 +26,11 @@ agentWh(AgentKind agent, bool use70b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ext_sustainability");
 
     core::Table t("Extension: electricity cost and carbon of agentic "
                   "serving");
@@ -75,5 +77,7 @@ main()
                 "(no cooling/PUE), so real figures are higher — the "
                 "paper's conservatism argument.\n",
                 energy::usdPerKwh, energy::kgCo2PerKwh);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

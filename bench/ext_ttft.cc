@@ -12,9 +12,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("ext_ttft");
 
     core::Table t("Extension: TTFT under load — multi-turn chat "
                   "sessions (prefill-heavy follow-ups)");
@@ -30,6 +32,7 @@ main()
             cfg.qps = qps;
             cfg.numRequests = 60;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             t.row({caching ? "on" : "off", core::fmtDouble(qps, 1),
                    core::fmtSeconds(r.ttftSeconds.percentile(50)),
@@ -51,6 +54,7 @@ main()
             cfg.qps = qps;
             cfg.numRequests = 200;
             cfg.seed = kSeed;
+            telemetry.apply(cfg);
             const auto r = core::runServing(cfg);
             t2.row({caching ? "on" : "off", core::fmtDouble(qps, 1),
                     core::fmtSeconds(r.ttftSeconds.percentile(50)),
@@ -65,5 +69,7 @@ main()
                 "and is neutral where they do not (single-turn "
                 "chat) — the per-metric view behind keytakeaway "
                 "#5.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

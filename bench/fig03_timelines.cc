@@ -62,9 +62,11 @@ renderTimeline(const agents::AgentResult &r, AgentKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig03_timelines");
 
     std::printf("== Fig 3: Execution timeline of each AI agent "
                 "(HotpotQA, one request) ==\n");
@@ -75,6 +77,7 @@ main()
     for (AgentKind kind : agents::allAgents) {
         auto cfg = defaultProbe(kind, Benchmark::HotpotQA, true, false,
                                 /*tasks=*/1);
+        telemetry.apply(cfg);
         const auto probe = core::runProbe(cfg);
         renderTimeline(probe.requests.front().result, kind);
         if (trace_dir != nullptr && trace_dir[0] != '\0') {
@@ -99,5 +102,7 @@ main()
                     "chrome://tracing or Perfetto)\n",
                     trace_dir);
     }
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -10,9 +10,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig04_invocations");
 
     core::Table t("Fig 4: Average LLM and tool invocations per request");
     t.header({"Benchmark", "Agent", "LLM calls", "Tool calls"});
@@ -25,7 +27,9 @@ main()
     int lats_count = 0;
 
     for (const auto &[agent, bench] : supportedPairs()) {
-        const auto r = core::runProbe(defaultProbe(agent, bench));
+        auto r_cfg = defaultProbe(agent, bench);
+        telemetry.apply(r_cfg);
+        const auto r = core::runProbe(r_cfg);
         t.row({std::string(workload::benchmarkName(bench)),
                std::string(agents::agentName(agent)),
                core::fmtDouble(r.meanLlmCalls(), 1),
@@ -51,5 +55,7 @@ main()
     std::printf("LATS averages %.1f LLM calls per request "
                 "(paper: 71.0).\n",
                 lats_calls / lats_count);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -9,16 +9,20 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig06_gpu_breakdown");
 
     core::Table t("Fig 6: GPU runtime breakdown and utilization");
     t.header({"Benchmark", "Agent", "Prefill %", "Decode %", "Idle %",
               "GPU util %", "SM compute %"});
 
     for (const auto &[agent, bench] : supportedPairs()) {
-        const auto r = core::runProbe(defaultProbe(agent, bench));
+        auto r_cfg = defaultProbe(agent, bench);
+        telemetry.apply(r_cfg);
+        const auto r = core::runProbe(r_cfg);
         double prefill = 0.0;
         double decode = 0.0;
         double window = 0.0;
@@ -46,5 +50,7 @@ main()
     std::printf("\nPaper reference: tool-augmented agents idle the GPU "
                 "up to 54.5%% of the time; decode dominates the busy "
                 "share (74.1%% vs 4.7%% prefill, caching on).\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

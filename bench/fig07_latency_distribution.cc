@@ -11,15 +11,18 @@
 #include "stats/histogram.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig07_latency_distribution");
 
     const int n = 150;
     const auto chat = shareGptClosedLoop(n);
-    const auto react = core::runProbe(
-        defaultProbe(AgentKind::ReAct, Benchmark::HotpotQA, true,
-                     false, n));
+    auto react_cfg = defaultProbe(AgentKind::ReAct,
+                                  Benchmark::HotpotQA, true, false, n);
+    telemetry.apply(react_cfg);
+    const auto react = core::runProbe(react_cfg);
 
     std::printf("== Fig 7: Latency distribution, ShareGPT vs ReAct "
                 "(HotpotQA) ==\n\n");
@@ -58,5 +61,7 @@ main()
                 "a broad, heavy-tailed spread).\n",
                 chat_width, chat.e2eSeconds.stddev(), react_width,
                 react_e2e.stddev());
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

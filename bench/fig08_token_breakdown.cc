@@ -10,16 +10,20 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig08_token_breakdown");
 
     core::Table t("Fig 8: Input/output token breakdown per LLM call");
     t.header({"Benchmark", "Agent", "Instr", "Few-shot", "User",
               "LLM hist", "Tool hist", "Output"});
 
     for (const auto &[agent, bench] : supportedPairs()) {
-        const auto r = core::runProbe(defaultProbe(agent, bench));
+        auto r_cfg = defaultProbe(agent, bench);
+        telemetry.apply(r_cfg);
+        const auto r = core::runProbe(r_cfg);
         agents::CallTokens totals;
         std::int64_t calls = 0;
         for (const auto &req : r.requests) {
@@ -42,5 +46,7 @@ main()
                 "input but fewer output tokens per call than CoT; "
                 "LATS keeps contexts short (path-only history) but "
                 "samples many outputs.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -11,15 +11,18 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig09_context_growth");
 
     for (AgentKind agent :
          {AgentKind::ReAct, AgentKind::Reflexion, AgentKind::Lats,
           AgentKind::LlmCompiler}) {
-        const auto r = core::runProbe(
-            defaultProbe(agent, Benchmark::HotpotQA));
+        auto cfg = defaultProbe(agent, Benchmark::HotpotQA);
+        telemetry.apply(cfg);
+        const auto r = core::runProbe(cfg);
 
         // Average the i-th call's breakdown across requests.
         std::size_t max_calls = 0;
@@ -64,5 +67,7 @@ main()
                     "(paper: ~1k tokens initially, growing 3-4x)\n\n",
                     last_total / first_total);
     }
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -9,9 +9,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig10_prefix_prefill");
 
     core::Table t("Fig 10: Prefill/decode latency split, with vs "
                   "without prefix caching");
@@ -23,10 +25,12 @@ main()
     int reduction_count = 0;
 
     for (const auto &[agent, bench] : supportedPairs()) {
-        const auto off =
-            core::runProbe(defaultProbe(agent, bench, false));
-        const auto on =
-            core::runProbe(defaultProbe(agent, bench, true));
+        auto off_cfg = defaultProbe(agent, bench, false);
+        telemetry.apply(off_cfg);
+        const auto off = core::runProbe(off_cfg);
+        auto on_cfg = defaultProbe(agent, bench, true);
+        telemetry.apply(on_cfg);
+        const auto on = core::runProbe(on_cfg);
 
         auto phase_avgs = [](const core::ProbeResult &r) {
             double prefill = 0.0;
@@ -56,5 +60,7 @@ main()
     std::printf("\nPrefix caching cuts agent prefill time by %.1f%% on "
                 "average (paper: 58.6%%); decode is untouched.\n",
                 100.0 * reduction_total / reduction_count);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

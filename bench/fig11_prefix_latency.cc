@@ -10,9 +10,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig11_prefix_latency");
 
     core::Table t("Fig 11: LLM inference latency with/without prefix "
                   "caching");
@@ -25,10 +27,12 @@ main()
     int cot_count = 0;
 
     for (const auto &[agent, bench] : supportedPairs()) {
-        const auto off =
-            core::runProbe(defaultProbe(agent, bench, false));
-        const auto on =
-            core::runProbe(defaultProbe(agent, bench, true));
+        auto off_cfg = defaultProbe(agent, bench, false);
+        telemetry.apply(off_cfg);
+        const auto off = core::runProbe(off_cfg);
+        auto on_cfg = defaultProbe(agent, bench, true);
+        telemetry.apply(on_cfg);
+        const auto on = core::runProbe(on_cfg);
         auto llm_time = [](const core::ProbeResult &r) {
             double total = 0.0;
             for (const auto &req : r.requests)
@@ -57,5 +61,7 @@ main()
                 "(paper: minimal — decode dominates).\n",
                 100.0 * agent_reduction / agent_count,
                 100.0 * cot_reduction / cot_count);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -11,9 +11,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig12_kv_memory");
 
     core::Table t("Fig 12: KV-cache memory per request, with vs "
                   "without prefix caching");
@@ -28,10 +30,12 @@ main()
     int lats_count = 0;
 
     for (const auto &[agent, bench] : supportedPairs()) {
-        const auto off =
-            core::runProbe(defaultProbe(agent, bench, false));
-        const auto on =
-            core::runProbe(defaultProbe(agent, bench, true));
+        auto off_cfg = defaultProbe(agent, bench, false);
+        telemetry.apply(off_cfg);
+        const auto off = core::runProbe(off_cfg);
+        auto on_cfg = defaultProbe(agent, bench, true);
+        telemetry.apply(on_cfg);
+        const auto on = core::runProbe(on_cfg);
         auto avg_kv = [](const core::ProbeResult &r) {
             double total = 0.0;
             for (const auto &req : r.requests)
@@ -72,5 +76,7 @@ main()
                 "(paper: 64.8%%).\n",
                 (agent_avg_mb / agent_count) / (cot_avg_mb / cot_count),
                 100.0 * lats_reduction / lats_count);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -10,9 +10,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig13_serving_concurrency");
 
     core::Table t("Fig 13 / §IV-C: Sequential vs concurrent agent "
                   "serving (ReAct)");
@@ -27,6 +29,7 @@ main()
         seq.closedLoop = true;
         seq.numRequests = 40;
         seq.seed = kSeed;
+        telemetry.apply(seq);
         const auto r_seq = core::runServing(seq);
 
         ServeConfig con = seq;
@@ -34,6 +37,7 @@ main()
         // Offer enough load to saturate the engine.
         con.qps = bench == Benchmark::HotpotQA ? 3.0 : 2.0;
         con.numRequests = 120;
+        telemetry.apply(con);
         const auto r_con = core::runServing(con);
 
         t.row({std::string(workload::benchmarkName(bench)),
@@ -55,5 +59,7 @@ main()
                 "25x (HotpotQA) and 6.2x (WebShop) at a 2.1x average "
                 "latency cost; HotpotQA gains more because slow "
                 "Wikipedia calls leave the GPU idle for overlap.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -29,12 +29,13 @@ struct SweepPoint
 
 std::vector<SweepPoint>
 sweep(bool chatbot, Benchmark bench, bool caching,
-      const std::vector<double> &qps_points, int requests)
+      const std::vector<double> &qps_points, int requests,
+      TelemetryCli &telemetry)
 {
     std::vector<SweepPoint> out;
     for (double qps : qps_points) {
         const auto r = serveAt(qps, chatbot, AgentKind::ReAct, bench,
-                               requests, caching);
+                               requests, caching, 0, &telemetry);
         out.push_back(
             {qps, r.throughputQps(), r.p95(), r.cacheHitRate});
     }
@@ -55,11 +56,13 @@ kneeQps(const std::vector<SweepPoint> &points, double base_p95)
 /** Run one workload, print the curve pair, return the gain. */
 double
 runWorkload(const char *name, bool chatbot, Benchmark bench,
-            const std::vector<double> &qps_points, int requests)
+            const std::vector<double> &qps_points, int requests,
+            TelemetryCli &telemetry)
 {
-    const auto on = sweep(chatbot, bench, true, qps_points, requests);
-    const auto off = sweep(chatbot, bench, false, qps_points,
-                           requests);
+    const auto on =
+        sweep(chatbot, bench, true, qps_points, requests, telemetry);
+    const auto off =
+        sweep(chatbot, bench, false, qps_points, requests, telemetry);
 
     core::Table t(std::string("Fig 15: ") + name +
                   " p95 latency vs QPS");
@@ -86,23 +89,28 @@ runWorkload(const char *name, bool chatbot, Benchmark bench,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig15_prefix_throughput");
 
     const double chat_gain = runWorkload(
         "Chatbot (ShareGPT)", true, Benchmark::ShareGpt,
-        {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, 200);
+        {0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}, 200, telemetry);
     const double hotpot_gain = runWorkload(
         "Agent ReAct (HotpotQA)", false, Benchmark::HotpotQA,
-        {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0}, 150);
+        {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0}, 150,
+        telemetry);
     const double shop_gain = runWorkload(
         "Agent ReAct (WebShop)", false, Benchmark::WebShop,
-        {0.125, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5}, 150);
+        {0.125, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5}, 150, telemetry);
 
     std::printf("Prefix-caching throughput gain: chatbot %.2fx "
                 "(paper: 1.03x), agents %.2fx / %.2fx "
                 "(paper: 5.62x average).\n",
                 chat_gain, hotpot_gain, shop_gain);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

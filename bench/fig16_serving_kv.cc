@@ -10,9 +10,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig16_serving_kv");
 
     core::Table t("Fig 16: KV-cache memory in agent serving, with vs "
                   "without prefix caching");
@@ -31,9 +33,9 @@ main()
     for (const Point p : {Point{Benchmark::HotpotQA, 0.2},
                           Point{Benchmark::WebShop, 0.1}}) {
         const auto off = serveAt(p.qps, false, AgentKind::ReAct,
-                                 p.bench, 80, false);
+                                 p.bench, 80, false, 0, &telemetry);
         const auto on = serveAt(p.qps, false, AgentKind::ReAct,
-                                p.bench, 80, true);
+                                p.bench, 80, true, 0, &telemetry);
         const double avg_cut = 1.0 - on.kvAvgBytes / off.kvAvgBytes;
         const double max_cut = 1.0 - on.kvMaxBytes / off.kvMaxBytes;
         avg_cut_total += avg_cut;
@@ -54,5 +56,7 @@ main()
                 "(paper: 63.5%%).\n",
                 100.0 * avg_cut_total / count,
                 100.0 * max_cut_total / count);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

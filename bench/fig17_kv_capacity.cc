@@ -29,7 +29,8 @@ struct PoolResult
  *  unloaded latency. */
 PoolResult
 measurePool(Benchmark bench, double fraction, double base_p95,
-            const std::vector<double> &qps_points)
+            const std::vector<double> &qps_points,
+            TelemetryCli &telemetry)
 {
     const auto weight_bytes = llm::llama31_8b().weightBytes();
     const auto pool = static_cast<std::int64_t>(
@@ -38,7 +39,7 @@ measurePool(Benchmark bench, double fraction, double base_p95,
     out.fraction = fraction;
     for (double qps : qps_points) {
         const auto r = serveAt(qps, false, AgentKind::ReAct, bench,
-                               100, true, pool);
+                               100, true, pool, &telemetry);
         if (r.p95() <= 2.5 * base_p95 &&
             r.throughputQps() > out.peakQps) {
             out.peakQps = r.throughputQps();
@@ -52,9 +53,11 @@ measurePool(Benchmark bench, double fraction, double base_p95,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig17_kv_capacity");
 
     for (Benchmark bench : {Benchmark::HotpotQA, Benchmark::WebShop}) {
         const std::vector<double> qps_points =
@@ -65,7 +68,7 @@ main()
         // Unloaded reference latency on the full pool.
         const double base_p95 =
             serveAt(qps_points.front(), false, AgentKind::ReAct,
-                    bench, 60, true, 0)
+                    bench, 60, true, 0, &telemetry)
                 .p95();
 
         core::Table t(
@@ -76,7 +79,8 @@ main()
         std::vector<PoolResult> results;
         for (double frac : {0.10, 0.20, 0.30, 1.00, 2.00})
             results.push_back(
-                measurePool(bench, frac, base_p95, qps_points));
+                measurePool(bench, frac, base_p95, qps_points,
+                            telemetry));
         const double reference = results.back().peakQps;
         for (const auto &r : results) {
             t.row({core::fmtPercent(r.fraction, 0),
@@ -90,5 +94,7 @@ main()
                     "-35%%/-18%% at 30%% (cache thrashing), relative "
                     "to the 200%% configuration.\n\n");
     }
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -69,9 +69,11 @@ designSpace()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig18_pareto");
 
     for (Benchmark bench : workload::agenticBenchmarks) {
         core::Table t("Fig 18: Accuracy vs cost design space — " +
@@ -92,6 +94,7 @@ main()
             auto cfg = defaultProbe(variant.agent, bench, true, false,
                                     30);
             cfg.agentConfig = variant.config;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             const double lat = r.e2eSeconds().mean();
             rows.push_back(
@@ -120,5 +123,7 @@ main()
                 "diminishing returns; ReAct is cost-efficient, LATS "
                 "accurate but expensive, LLMCompiler beats ReAct on "
                 "HotpotQA yet loses efficiency on WebShop.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

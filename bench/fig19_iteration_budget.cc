@@ -12,9 +12,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig19_iteration_budget");
 
     for (Benchmark bench : {Benchmark::HotpotQA, Benchmark::WebShop}) {
         core::Table t("Fig 19: Iteration-budget sweep — ReAct on " +
@@ -31,6 +33,7 @@ main()
         for (int iters : {1, 2, 3, 4, 5, 6, 7, 8, 10, 12}) {
             auto cfg = defaultProbe(AgentKind::ReAct, bench);
             cfg.agentConfig.maxIterations = iters;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             const auto e2e = r.e2eSeconds();
             rows.push_back({iters, r.accuracy(), e2e.mean(),
@@ -65,5 +68,7 @@ main()
                     rows.back().acc /
                         std::max(0.01, rows.front().acc));
     }
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -12,9 +12,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig20_fewshot");
 
     for (Benchmark bench : {Benchmark::HotpotQA, Benchmark::Math}) {
         core::Table t("Fig 20: Few-shot sweep — ReAct on " +
@@ -31,6 +33,7 @@ main()
         for (int fs : {0, 1, 2, 3, 4, 6, 8, 10, 12}) {
             auto cfg = defaultProbe(AgentKind::ReAct, bench);
             cfg.agentConfig.fewShotExamples = fs;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             rows.push_back({fs, r.accuracy(), r.e2eSeconds().mean(),
                             r.meanLlmCalls(),
@@ -62,5 +65,7 @@ main()
     std::printf("Paper reference: a few well-chosen examples improve "
                 "accuracy AND latency (fewer steps beat longer "
                 "prompts); excessive prompting regresses.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

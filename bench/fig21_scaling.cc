@@ -50,9 +50,11 @@ printSeries(const std::string &title, const std::string &level_name,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig21_scaling");
     const Benchmark bench = Benchmark::HotpotQA;
 
     // (a) Reflexion: sequential scaling via reflection budget.
@@ -61,6 +63,7 @@ main()
         for (int refl : {0, 1, 2, 4, 8}) {
             auto cfg = defaultProbe(AgentKind::Reflexion, bench);
             cfg.agentConfig.maxReflections = refl;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             pts.push_back({"refl=" + std::to_string(refl),
                            r.accuracy(), r.e2eSeconds().mean()});
@@ -76,6 +79,7 @@ main()
         for (int rounds : {2, 3, 5, 7, 10}) {
             auto cfg = defaultProbe(AgentKind::Lats, bench);
             cfg.agentConfig.maxIterations = rounds;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             pts.push_back({"rounds=" + std::to_string(rounds),
                            r.accuracy(), r.e2eSeconds().mean()});
@@ -91,6 +95,7 @@ main()
         for (int kids : {1, 2, 4, 8, 16}) {
             auto cfg = defaultProbe(AgentKind::Lats, bench);
             cfg.agentConfig.latsChildren = kids;
+            telemetry.apply(cfg);
             const auto r = core::runProbe(cfg);
             pts.push_back({"children=" + std::to_string(kids),
                            r.accuracy(), r.e2eSeconds().mean()});
@@ -105,5 +110,7 @@ main()
                     "latency (+14.4pp, -196 s from 1 to 16 children) "
                     "at the cost of concurrent LLM load.\n");
     }
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -17,7 +17,7 @@ namespace
 using namespace benchutil;
 
 void
-sweepModel(AgentKind agent, bool use70b)
+sweepModel(AgentKind agent, bool use70b, TelemetryCli &telemetry)
 {
     const char *model = use70b ? "70B" : "8B";
     core::Table t(std::string("Fig 22: ") +
@@ -37,6 +37,7 @@ sweepModel(AgentKind agent, bool use70b)
             cfg.agentConfig.maxReflections = level;
         else
             cfg.agentConfig.latsChildren = level;
+        telemetry.apply(cfg);
         const auto r = core::runProbe(cfg);
         double tokens = 0.0;
         for (const auto &req : r.requests) {
@@ -61,13 +62,15 @@ sweepModel(AgentKind agent, bool use70b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig22_model_size");
 
     for (AgentKind agent : {AgentKind::Reflexion, AgentKind::Lats}) {
-        sweepModel(agent, false);
-        sweepModel(agent, true);
+        sweepModel(agent, false, telemetry);
+        sweepModel(agent, true, telemetry);
     }
     std::printf(
         "Paper reference: 70B reaches high accuracy with fewer steps "
@@ -75,5 +78,7 @@ main()
         "costs less energy per request, and with LATS-style parallel "
         "scaling approaches 70B accuracy — test-time strategy "
         "compensates for model size.\n");
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

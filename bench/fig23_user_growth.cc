@@ -9,9 +9,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("fig23_user_growth");
 
     core::Table t("Fig 23: ChatGPT weekly active users");
     t.header({"Date", "WAU (millions)", "Bar"});
@@ -28,5 +30,7 @@ main()
                 "%.1f M queries/day assumption of Table III (one "
                 "agentic query per user per day).\n",
                 wau, wau / 7.0, energy::chatGptDailyQueries / 1e6);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -6,9 +6,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("table1_agents");
 
     core::Table t("Table I: Comparison of AI agents");
     t.header({"Agent", "Reasoning", "Tool Use", "Reflection",
@@ -22,5 +24,7 @@ main()
                mark(cap.structuredPlanning)});
     }
     t.print();
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

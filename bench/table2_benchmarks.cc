@@ -7,9 +7,11 @@
 #include "common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("table2_benchmarks");
 
     core::Table t("Table II: Description of benchmarks");
     t.header({"Benchmark", "Task", "Tool", "Agents"});
@@ -27,5 +29,7 @@ main()
                agents_list});
     }
     t.print();
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

@@ -69,9 +69,11 @@ shareGptPoint(bool use70b)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("table3_energy_power");
 
     core::Table t("Table III: Energy and power demands of agent "
                   "serving (HotpotQA)");
@@ -115,5 +117,7 @@ main()
         "scale: Seattle uses %.1f GWh/day; the average U.S. grid load "
         "is %.0f GW.\n",
         energy::seattleDailyGWh, energy::usGridAverageGW);
+    if (!telemetry.write())
+        return 1;
     return 0;
 }

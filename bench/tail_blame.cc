@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tail blame — where the p95 goes vs where the mean goes, at the
+ * iteration-budget knee of Fig 19 (ReAct, HotpotQA, maxIterations=8)
+ * under open-loop load near saturation.
+ *
+ * Every request collects a causal span tree; the critical-path
+ * extractor collapses each to a blame vector. The mean request is
+ * dominated by decode (the agent's own token generation), while the
+ * p95 request is dominated by waiting — queue episodes and tool calls
+ * stacked across iterations — which no mean-based accounting surfaces.
+ * Full trees are retained only for the tail exemplars, so memory stays
+ * bounded no matter how many requests the sweep serves.
+ *
+ * `--smoke` shrinks the run for CI. The usual --trace/--metrics/--csv
+ * flags emit the session artifacts, including the exemplar span track.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common.hh"
+#include "core/bottleneck_report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace benchutil;
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("tail_blame");
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+
+    ServeConfig cfg;
+    cfg.agent = AgentKind::ReAct;
+    cfg.bench = Benchmark::HotpotQA;
+    cfg.agentConfig.maxIterations = 8;
+    cfg.engineConfig = core::enginePreset8b();
+    // A bounded running batch makes admission an actual queue
+    // (unbounded, overload shows up only as decode-time inflation and
+    // the queue category never fires).
+    cfg.engineConfig.maxRunningSeqs = 24;
+    cfg.qps = 2.0;
+    cfg.numRequests = smoke ? 40 : 120;
+    cfg.seed = kSeed;
+    telemetry.apply(cfg);
+
+    // The blame pipeline is this bench's subject, so collect spans
+    // into a local collector regardless of the CLI flags (after
+    // apply(), so it also feeds the session's exports).
+    telemetry::SpanCollector::Config span_cfg;
+    span_cfg.maxExemplars = 16;
+    span_cfg.sloLatencySeconds = 30.0;
+    telemetry::SpanCollector spans(span_cfg);
+    cfg.spans = &spans;
+
+    const auto r = core::runServing(cfg);
+
+    core::renderBlameTable(spans,
+                           "Tail blame — ReAct/HotpotQA at the "
+                           "iteration-budget knee")
+        .print();
+
+    using telemetry::BlameCategory;
+    const telemetry::BlameAggregate *agg = nullptr;
+    for (const auto &a : spans.aggregates()) {
+        if (a.requests > 0 && (agg == nullptr ||
+                               a.requests > agg->requests))
+            agg = &a;
+    }
+    if (agg == nullptr) {
+        std::fprintf(stderr, "error: no blame aggregates collected\n");
+        return 1;
+    }
+
+    auto share = [&](BlameCategory cat, bool tail) {
+        const double denom = tail ? agg->latencyP95.value()
+                                  : agg->meanLatency();
+        const double v = tail ? agg->p95Blame(cat)
+                              : agg->meanBlame(cat);
+        return denom > 0.0 ? v / denom : 0.0;
+    };
+    std::printf("\nBlame shares (of %s latency):\n", agg->workflow.c_str());
+    std::printf("  %-10s %8s %8s\n", "category", "mean", "p95");
+    for (std::size_t i = 0; i < telemetry::kBlameCategories; ++i) {
+        const auto cat = static_cast<BlameCategory>(i);
+        std::printf("  %-10s %7.1f%% %7.1f%%\n",
+                    telemetry::blameCategoryName(cat),
+                    100.0 * share(cat, false),
+                    100.0 * share(cat, true));
+    }
+
+    const double mean_decode = share(BlameCategory::Decode, false);
+    const double mean_wait = share(BlameCategory::Queue, false) +
+                             share(BlameCategory::Tool, false);
+    const double p95_decode = share(BlameCategory::Decode, true);
+    const double p95_wait = share(BlameCategory::Queue, true) +
+                            share(BlameCategory::Tool, true);
+    std::printf("\nMean request: decode %.1f%% vs queue+tool %.1f%%; "
+                "p95 request: decode %.1f%% vs queue+tool %.1f%% — "
+                "the tail is %s.\n",
+                100.0 * mean_decode, 100.0 * mean_wait,
+                100.0 * p95_decode, 100.0 * p95_wait,
+                p95_wait > p95_decode ? "wait-dominated"
+                                      : "decode-dominated");
+    std::printf("Tail exemplars: %zu retained (cap %zu), %lld "
+                "candidates evicted; %lld requests finished.\n",
+                spans.exemplars().size(), spans.config().maxExemplars,
+                static_cast<long long>(spans.exemplarsEvicted()),
+                static_cast<long long>(spans.requestsFinished()));
+
+    if (spans.exemplars().size() > spans.config().maxExemplars) {
+        std::fprintf(stderr,
+                     "error: exemplar retention exceeded its cap\n");
+        return 1;
+    }
+    if (telemetry.reportRequested()) {
+        reportServePoint(telemetry.report(), "tail_blame", r);
+        telemetry.report().set("tail_blame_p95_wait_share", p95_wait);
+        telemetry.report().set("tail_blame_mean_decode_share",
+                               mean_decode);
+    }
+    if (!telemetry.write())
+        return 1;
+    return 0;
+}

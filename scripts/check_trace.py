@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Trace-validity gate: assert a bench run emitted a well-formed
+Chrome trace and a non-empty blame export.
+
+    check_trace.py trace.json [metrics.prom]
+
+Checks, in order:
+  1. The trace parses as Chrome trace-event JSON ({"traceEvents": [...]})
+     and every event carries a name and a known phase.
+  2. The span-exemplar track (pid 6) is present and well-formed:
+     nestable-async begins/ends balance per span id, no "e" before
+     its "b", nothing left open at end of trace.
+  3. The metrics file (when given) contains a non-empty blame export:
+     agentsim_blame_* families with a positive request count.
+
+Exits non-zero with a one-line reason on the first violation.
+"""
+
+import json
+import sys
+
+SPAN_PID = 6  # telemetry::TracePid::kSpans
+KNOWN_PHASES = {"X", "i", "C", "M", "b", "e"}
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not parseable as JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+
+    open_spans: dict[tuple[int, str], int] = {}
+    span_events = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{path}: event #{i} has unknown phase {ph!r}")
+        if ph != "M" and "name" not in ev:
+            fail(f"{path}: event #{i} ({ph}) has no name")
+        if ev.get("pid") != SPAN_PID or ph not in ("b", "e"):
+            continue
+        span_events += 1
+        key = (ev["pid"], ev.get("id", ""))
+        if ph == "b":
+            open_spans[key] = open_spans.get(key, 0) + 1
+        else:
+            depth = open_spans.get(key, 0)
+            if depth == 0:
+                fail(f"{path}: event #{i} ends span id "
+                     f"{key[1]} that was never begun")
+            open_spans[key] = depth - 1
+
+    if span_events == 0:
+        fail(f"{path}: no span exemplars on trace pid {SPAN_PID}")
+    leaked = {k: d for k, d in open_spans.items() if d != 0}
+    if leaked:
+        fail(f"{path}: {len(leaked)} span id(s) left open: "
+             f"{sorted(k[1] for k in leaked)[:5]}")
+    print(f"check_trace: {path}: {len(events)} events, "
+          f"{span_events} span events, all balanced")
+
+
+def check_metrics(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: unreadable: {e}")
+
+    blame = [l for l in lines
+             if l.startswith("agentsim_blame_") and not l.startswith("#")]
+    if not blame:
+        fail(f"{path}: no agentsim_blame_* samples (empty blame table)")
+    requests = 0.0
+    for line in blame:
+        if line.startswith("agentsim_blame_requests"):
+            try:
+                requests += float(line.rsplit(None, 1)[-1])
+            except ValueError:
+                fail(f"{path}: unparseable sample: {line!r}")
+    if requests <= 0:
+        fail(f"{path}: blame export covers zero requests")
+    print(f"check_trace: {path}: {len(blame)} blame samples, "
+          f"{requests:.0f} requests blamed")
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    check_trace(argv[1])
+    if len(argv) == 3:
+        check_metrics(argv[2])
+    print("check_trace: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

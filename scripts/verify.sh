@@ -25,9 +25,19 @@ done
 # behaviour change; sim_* self-timing entries are informational only.
 echo "==> perf report gate (fig14_qps_sweep vs BENCH_agentsim.json)"
 report="$(mktemp)"
-trap 'rm -f "${report}"' EXIT
+trace="$(mktemp)"
+prom="$(mktemp)"
+trap 'rm -f "${report}" "${trace}" "${prom}"' EXIT
 build/bench/fig14_qps_sweep --report "${report}" > /dev/null
 build/bench/perf_report_diff BENCH_agentsim.json "${report}" \
     --threshold "${AGENTSIM_PERF_THRESHOLD:-0.05}"
+
+# Trace-validity gate: a smoke serving run must emit a parseable
+# Chrome trace with balanced span exemplars and a non-empty blame
+# export (DESIGN.md §3g).
+echo "==> trace validity gate (tail_blame --smoke)"
+build/bench/tail_blame --smoke --trace "${trace}" \
+    --metrics "${prom}" > /dev/null
+python3 scripts/check_trace.py "${trace}" "${prom}"
 
 echo "verify: OK (${presets[*]})"

@@ -173,9 +173,17 @@ callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
         ctx.task.taskId);
 
     const sim::Tick start = ctx.sim->now();
+    telemetry::SpanRef call_span;
+    if (ctx.spans != nullptr && ctx.spanParent.valid()) {
+        call_span = ctx.spans->child(
+            ctx.spanParent, telemetry::SpanKind::LlmCall, label, start);
+        req.parentSpan = call_span;
+    }
     serving::GenResult gen =
         co_await ctx.engine->generate(std::move(req));
     const sim::Tick end = ctx.sim->now();
+    if (call_span.valid())
+        ctx.spans->end(call_span, end);
 
     if (gen.retryable()) {
         throw NodeFailureError(
@@ -210,7 +218,15 @@ callTool(AgentContext &ctx, Trace &trace, sim::Rng &rng,
          tools::Tool &tool)
 {
     const sim::Tick start = ctx.sim->now();
+    telemetry::SpanRef call_span;
+    if (ctx.spans != nullptr && ctx.spanParent.valid()) {
+        call_span =
+            ctx.spans->child(ctx.spanParent, telemetry::SpanKind::ToolCall,
+                             std::string(tool.name()), start);
+    }
     tools::ToolResult result = co_await tool.invoke(rng);
+    if (call_span.valid())
+        ctx.spans->end(call_span, ctx.sim->now());
     trace.addToolCall(tool.name(), start, ctx.sim->now());
     if (ctx.traceSink != nullptr) {
         ctx.traceSink->complete(telemetry::TracePid::kAgents,

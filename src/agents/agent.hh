@@ -137,6 +137,18 @@ struct AgentContext
     /** Trace lane for this rollout (e.g. the task index). */
     std::uint64_t traceTid = 0;
 
+    /**
+     * Optional causal span collector: when set (with a valid
+     * @ref spanParent), callLlm/callTool attach LlmCall/ToolCall
+     * spans under the current parent, and workflows scope iteration
+     * spans via SpanScope. The engine picks the LlmCall span up
+     * through GenRequest::parentSpan.
+     */
+    telemetry::SpanCollector *spans = nullptr;
+    /** Current span to attach children under (episode, attempt or
+     *  iteration — SpanScope pushes/pops it). */
+    telemetry::SpanRef spanParent;
+
     const workload::BenchmarkProfile &
     profile() const
     {
@@ -216,6 +228,48 @@ callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
  */
 sim::Task<tools::ToolResult> callTool(AgentContext &ctx, Trace &trace,
                                       sim::Rng &rng, tools::Tool &tool);
+
+/**
+ * RAII scope for a structural span (an agent iteration, a fan-out
+ * stage): opens a child of ctx.spanParent and redirects the context's
+ * parent to it for the scope's lifetime, so nested callLlm/callTool
+ * (and parallel children launched inside the scope) attach under it.
+ * The destructor closes the span at the current sim time — also on
+ * exception unwind — and restores the previous parent. No-op when no
+ * collector is attached.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(AgentContext &ctx, telemetry::SpanKind kind,
+              std::string label)
+        : ctx_(ctx), saved_(ctx.spanParent)
+    {
+        if (ctx_.spans != nullptr && ctx_.spanParent.valid()) {
+            span_ = ctx_.spans->child(ctx_.spanParent, kind,
+                                      std::move(label),
+                                      ctx_.sim->now());
+            ctx_.spanParent = span_;
+        }
+    }
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    ~SpanScope()
+    {
+        if (span_.valid())
+            ctx_.spans->end(span_, ctx_.sim->now());
+        ctx_.spanParent = saved_;
+    }
+
+    const telemetry::SpanRef &ref() const { return span_; }
+
+  private:
+    AgentContext &ctx_;
+    telemetry::SpanRef saved_;
+    telemetry::SpanRef span_;
+};
 
 /** The agent interface: one workflow, stateless across runs. */
 class Agent

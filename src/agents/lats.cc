@@ -144,6 +144,8 @@ LatsAgent::run(AgentContext ctx)
     int rounds_used = 0;
 
     for (int round = 0; round < ctx.config.maxIterations; ++round) {
+        SpanScope iteration(ctx, telemetry::SpanKind::Iteration,
+                            "lats.round");
         ++rounds_used;
         Node *leaf = selectLeaf(root.get());
         if (leaf->hops >= required) {

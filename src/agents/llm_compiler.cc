@@ -74,6 +74,8 @@ LlmCompilerAgent::run(AgentContext ctx)
     int rounds_used = 0;
 
     for (int round = 0; round < ctx.config.compilerMaxRounds; ++round) {
+        SpanScope iteration(ctx, telemetry::SpanKind::Iteration,
+                            "compiler.round");
         ++rounds_used;
 
         // Plan size: remaining hops inflated by DAG over-fetch.

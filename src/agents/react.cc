@@ -32,6 +32,8 @@ runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
 
     TrialOutcome outcome;
     for (int iter = 0; iter < ctx.config.maxIterations; ++iter) {
+        SpanScope iteration(ctx, telemetry::SpanKind::Iteration,
+                            "react.iter");
         PromptBuilder builder;
         builder.add(SegmentKind::Instruction, ctx.instructionTokens());
         builder.add(SegmentKind::FewShot, ctx.fewShotTokens());

@@ -56,18 +56,25 @@ SelfConsistencyAgent::run(AgentContext ctx)
     builder.add(SegmentKind::User, ctx.userTokens());
     const Prompt prompt = builder.build();
 
-    std::vector<sim::Task<bool>> tasks;
-    tasks.reserve(static_cast<std::size_t>(samples));
-    for (int s = 0; s < samples; ++s) {
-        sim::Rng sample_rng(ctx.seed, "sc.sample",
-                            sim::hashCombine(
-                                ctx.task.taskId,
-                                static_cast<std::uint64_t>(s)));
-        tasks.push_back(
-            sampleRationale(ctx, trace, prompt, sample_rng));
+    // One iteration span scopes the sample fan-out: the N sc.sample
+    // LlmCall children overlap, and critical-path blame lands on the
+    // last-finishing sibling.
+    std::vector<bool> verdicts;
+    {
+        SpanScope fanout(ctx, telemetry::SpanKind::Iteration,
+                         "sc.fanout");
+        std::vector<sim::Task<bool>> tasks;
+        tasks.reserve(static_cast<std::size_t>(samples));
+        for (int s = 0; s < samples; ++s) {
+            sim::Rng sample_rng(ctx.seed, "sc.sample",
+                                sim::hashCombine(
+                                    ctx.task.taskId,
+                                    static_cast<std::uint64_t>(s)));
+            tasks.push_back(
+                sampleRationale(ctx, trace, prompt, sample_rng));
+        }
+        verdicts = co_await sim::allOf(std::move(tasks));
     }
-    const std::vector<bool> verdicts =
-        co_await sim::allOf(std::move(tasks));
 
     // Plurality vote: correct answers agree; incorrect ones scatter,
     // so two agreeing correct samples beat any wrong singleton. A

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "agents/accuracy.hh"
+#include "core/bottleneck_report.hh"
 #include "sim/logging.hh"
 #include "workload/token_stream.hh"
 #include "workload/toolset_factory.hh"
@@ -352,9 +353,25 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
     workload::TaskGenerator gen(spec.bench, config.seed);
     sim::Rng backoff(config.seed, "cluster.retry", index);
     const sim::Tick submit = sim.now();
+    telemetry::SpanRef root;
+    if (config.spans != nullptr) {
+        root = config.spans->beginRequest(
+            index,
+            std::string(workload::benchmarkName(spec.bench)) + "/" +
+                std::string(agents::agentName(spec.agent)),
+            submit);
+    }
+    telemetry::SpanRef prev_attempt;
     int prev_node = -1;
     int attempt = 0;
     for (;;) {
+        telemetry::SpanRef attempt_span;
+        if (config.spans != nullptr) {
+            attempt_span = config.spans->child(
+                root, telemetry::SpanKind::Attempt, "attempt",
+                sim.now());
+            config.spans->link(attempt_span, prev_attempt);
+        }
         const int target = co_await routeWithFailover(
             config, sim, router, spec, index, prev_node, state);
         prev_node = target;
@@ -366,14 +383,27 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
         // wait through the same queue).
         if (!admitAttempt(config, sim, node, index,
                           spec.agentConfig.llmDeadlineSeconds, state)) {
+            if (config.spans != nullptr)
+                config.spans->end(attempt_span, sim.now());
             if (attempt >= config.retry.maxAttempts) {
+                if (config.spans != nullptr)
+                    config.spans->finishRequest(root, sim.now(), true);
                 noteFailure(state, submit, sim.now(), false);
                 co_return;
             }
+            prev_attempt = attempt_span;
             ++state.result.retries;
+            telemetry::SpanRef sleep_span;
+            if (config.spans != nullptr) {
+                sleep_span = config.spans->child(
+                    root, telemetry::SpanKind::Backoff, "backoff",
+                    sim.now());
+            }
             co_await sim::delaySec(
                 sim,
                 retrySleepSeconds(config.retry, attempt, backoff));
+            if (config.spans != nullptr)
+                config.spans->end(sleep_span, sim.now());
             continue;
         }
         ++node.assigned;
@@ -396,11 +426,19 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
         ctx.seed = config.seed;
         ctx.traceSink = config.traceSink;
         ctx.traceTid = index;
+        if (config.spans != nullptr) {
+            ctx.spans = config.spans;
+            ctx.spanParent = attempt_span;
+        }
 
         auto agent = agents::makeAgent(kind);
         bool retry_pending = false;
         try {
             agents::AgentResult result = co_await agent->run(ctx);
+            if (config.spans != nullptr) {
+                config.spans->end(attempt_span, sim.now());
+                config.spans->finishRequest(root, sim.now());
+            }
             if (state.autoscaler != nullptr && result.llmCalls > 0) {
                 state.autoscaler->recordQueueDelay(
                     result.queueSeconds /
@@ -414,24 +452,41 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
             co_return;
         } catch (const agents::DeadlineExceededError &) {
             // The SLO is already blown; a retry cannot un-miss it.
+            if (config.spans != nullptr) {
+                config.spans->end(attempt_span, sim.now());
+                config.spans->finishRequest(root, sim.now(), true);
+            }
             router.health.reportFailure(
                 static_cast<std::size_t>(target), sim.now());
             noteFailure(state, submit, sim.now(), true);
             co_return;
         } catch (const agents::NodeFailureError &) {
+            if (config.spans != nullptr)
+                config.spans->end(attempt_span, sim.now());
             router.health.reportFailure(
                 static_cast<std::size_t>(target), sim.now());
             if (attempt >= config.retry.maxAttempts) {
+                if (config.spans != nullptr)
+                    config.spans->finishRequest(root, sim.now(), true);
                 noteFailure(state, submit, sim.now(), false);
                 co_return;
             }
             retry_pending = true; // co_await is illegal in a handler
         }
         if (retry_pending) {
+            prev_attempt = attempt_span;
             ++state.result.retries;
+            telemetry::SpanRef sleep_span;
+            if (config.spans != nullptr) {
+                sleep_span = config.spans->child(
+                    root, telemetry::SpanKind::Backoff, "backoff",
+                    sim.now());
+            }
             co_await sim::delaySec(
                 sim,
                 retrySleepSeconds(config.retry, attempt, backoff));
+            if (config.spans != nullptr)
+                config.spans->end(sleep_span, sim.now());
             // The rollout restarts from scratch on the next pick —
             // on a different node its workflow prefix is cold.
         }
@@ -459,9 +514,21 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
 
     sim::Rng backoff(config.seed, "cluster.retry", index);
     const sim::Tick submit = sim.now();
+    telemetry::SpanRef root;
+    if (config.spans != nullptr)
+        root = config.spans->beginRequest(index, "ShareGPT/chat",
+                                          submit);
+    telemetry::SpanRef prev_attempt;
     int prev_node = -1;
     int attempt = 0;
     for (;;) {
+        telemetry::SpanRef attempt_span;
+        if (config.spans != nullptr) {
+            attempt_span = config.spans->child(
+                root, telemetry::SpanKind::Attempt, "attempt",
+                sim.now());
+            config.spans->link(attempt_span, prev_attempt);
+        }
         const int target = co_await routeWithFailover(
             config, sim, router, spec, index, prev_node, state);
         prev_node = target;
@@ -473,28 +540,26 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
                 ? config.chatDeadlineSeconds -
                       sim::toSeconds(sim.now() - submit)
                 : 0.0;
-        if (!admitAttempt(config, sim, node, index, budget, state)) {
-            if (attempt >= config.retry.maxAttempts) {
-                noteFailure(state, submit, sim.now(), false);
-                co_return;
-            }
-            ++state.result.retries;
-            co_await sim::delaySec(
-                sim,
-                retrySleepSeconds(config.retry, attempt, backoff));
-            continue;
+        bool admitted =
+            admitAttempt(config, sim, node, index, budget, state);
+        serving::GenResult gen;
+        if (admitted) {
+            ++node.assigned;
+
+            serving::GenRequest req;
+            req.prompt = prompt;
+            req.maxNewTokens = chat.outputTokens;
+            req.sessionId = sim::hashCombine(config.seed, index);
+            req.deadlineSeconds = config.chatDeadlineSeconds;
+            req.parentSpan = attempt_span;
+            gen = co_await node.engine->generate(std::move(req));
         }
-        ++node.assigned;
+        if (config.spans != nullptr)
+            config.spans->end(attempt_span, sim.now());
 
-        serving::GenRequest req;
-        req.prompt = prompt;
-        req.maxNewTokens = chat.outputTokens;
-        req.sessionId = sim::hashCombine(config.seed, index);
-        req.deadlineSeconds = config.chatDeadlineSeconds;
-        const serving::GenResult gen =
-            co_await node.engine->generate(std::move(req));
-
-        if (gen.ok() || gen.truncated) {
+        if (admitted && (gen.ok() || gen.truncated)) {
+            if (config.spans != nullptr)
+                config.spans->finishRequest(root, sim.now());
             if (state.autoscaler != nullptr)
                 state.autoscaler->recordQueueDelay(gen.queueSeconds);
             if (state.admission != nullptr)
@@ -504,7 +569,7 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
             noteCompletion(state, submit, sim.now(), workload_index);
             co_return;
         }
-        if (gen.timedOut || gen.failed) {
+        if (admitted && (gen.timedOut || gen.failed)) {
             if (gen.timedOut) {
                 // A context-window failure is the request's fault, a
                 // deadline miss is (partly) the node's: only the
@@ -512,19 +577,35 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
                 router.health.reportFailure(
                     static_cast<std::size_t>(target), sim.now());
             }
+            if (config.spans != nullptr)
+                config.spans->finishRequest(root, sim.now(), true);
             noteFailure(state, submit, sim.now(), gen.timedOut);
             co_return;
         }
-        // Retryable: shed at admission or lost to a node failure.
-        router.health.reportFailure(static_cast<std::size_t>(target),
-                                    sim.now());
+        // Retryable: rejected by the admission gate, shed at the
+        // engine or lost to a node failure.
+        if (admitted) {
+            router.health.reportFailure(
+                static_cast<std::size_t>(target), sim.now());
+        }
         if (attempt >= config.retry.maxAttempts) {
+            if (config.spans != nullptr)
+                config.spans->finishRequest(root, sim.now(), true);
             noteFailure(state, submit, sim.now(), false);
             co_return;
         }
+        prev_attempt = attempt_span;
         ++state.result.retries;
+        telemetry::SpanRef sleep_span;
+        if (config.spans != nullptr) {
+            sleep_span = config.spans->child(
+                root, telemetry::SpanKind::Backoff, "backoff",
+                sim.now());
+        }
         co_await sim::delaySec(
             sim, retrySleepSeconds(config.retry, attempt, backoff));
+        if (config.spans != nullptr)
+            config.spans->end(sleep_span, sim.now());
     }
 }
 
@@ -1009,6 +1090,8 @@ runCluster(const ClusterConfig &config)
             node.engine->attachTrace(config.traceSink);
         if (config.slo != nullptr)
             node.engine->attachSlo(config.slo);
+        if (config.spans != nullptr)
+            node.engine->attachSpans(config.spans);
         for (int b = 0; b <= static_cast<int>(
                                  workload::Benchmark::HumanEval);
              ++b) {
@@ -1228,6 +1311,20 @@ runCluster(const ClusterConfig &config)
             brownout->exportMetrics(*config.metrics, sim.now());
         if (config.slo != nullptr)
             config.slo->exportMetrics(*config.metrics, sim.now());
+        if (config.spans != nullptr && !config.spans->empty()) {
+            exportBlameMetrics(*config.spans, *config.metrics,
+                               sim.now());
+            if (config.traceSink != nullptr)
+                emitSpanExemplars(*config.spans, *config.traceSink);
+        }
+        if (config.traceSink != nullptr) {
+            config.metrics
+                ->gauge("agentsim_trace_dropped_events",
+                        "Trace events dropped by the sink's memory "
+                        "cap")
+                .set(sim.now(), static_cast<double>(
+                                    config.traceSink->droppedEvents()));
+        }
         if (autoscaler) {
             autoscaler->exportMetrics(*config.metrics, sim.now());
             set("agentsim_autoscale_admission_rejects_total",

@@ -186,6 +186,15 @@ struct ClusterConfig
      * set. Must outlive runCluster().
      */
     telemetry::SloTracker *slo = nullptr;
+    /**
+     * Optional causal span collector shared by every node's engine:
+     * per-request trees gain Attempt spans per retry/failover hop
+     * (linked follows-from), Backoff spans for retry sleeps and
+     * Migration spans for live KV moves. Blame aggregates are
+     * exported into `metrics` when both are set. Must outlive
+     * runCluster().
+     */
+    telemetry::SpanCollector *spans = nullptr;
 };
 
 /** Per-node measurements. */

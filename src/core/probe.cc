@@ -59,6 +59,15 @@ runProbe(const ProbeConfig &config)
         config.telemetry->trace.processName(
             telemetry::TracePid::kAgents, "agents");
     }
+    telemetry::SpanCollector *spans =
+        config.spans != nullptr
+            ? config.spans
+            : (config.telemetry != nullptr ? &config.telemetry->spans
+                                           : nullptr);
+    engine.attachSpans(spans);
+    const std::string workflow_label =
+        std::string(workload::benchmarkName(config.bench)) + "/" +
+        std::string(agents::agentName(config.agent));
     auto tools = workload::makeToolSet(config.bench, sim, engine,
                                        config.seed);
     workload::TaskGenerator gen(config.bench, config.seed);
@@ -96,6 +105,14 @@ runProbe(const ProbeConfig &config)
                             i));
         }
 
+        telemetry::SpanRef root;
+        if (spans != nullptr) {
+            root = spans->beginRequest(static_cast<std::uint64_t>(i),
+                                       workflow_label, sim.now());
+            ctx.spans = spans;
+            ctx.spanParent = root;
+        }
+
         const sim::Tick start = sim.now();
         const double joules0 = engine.energyJoules(start);
         const auto stats0 = engine.stats();
@@ -131,6 +148,8 @@ runProbe(const ProbeConfig &config)
         probe.kvMaxBytes =
             engine.kvUsageGauge().maxSinceMark() * block_bytes;
         probe.flops = engine.stats().totalFlops - flops0;
+        if (spans != nullptr)
+            probe.blame = spans->finishRequest(root, end);
         out.requests.push_back(std::move(probe));
 
         if (config.telemetry != nullptr) {

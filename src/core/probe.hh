@@ -43,6 +43,14 @@ struct ProbeConfig
      * task, giving a per-request metrics time series.
      */
     telemetry::SessionTelemetry *telemetry = nullptr;
+
+    /**
+     * Optional causal span collector. Defaults to the session's
+     * collector when `telemetry` is set; point it elsewhere to keep
+     * span trees out of the session. Every task then yields a
+     * critical-path blame vector in RequestProbe::blame.
+     */
+    telemetry::SpanCollector *spans = nullptr;
 };
 
 /** Per-request window measurements around one agent run. */
@@ -62,6 +70,8 @@ struct RequestProbe
     double kvMaxBytes = 0.0;
     /** FLOPs the engine attributed to this request's calls. */
     double flops = 0.0;
+    /** Critical-path blame (all zero unless spans were collected). */
+    telemetry::BlameVector blame;
 };
 
 /** Probe output: all requests plus common aggregates. */

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "agents/accuracy.hh"
+#include "core/bottleneck_report.hh"
 #include "sim/logging.hh"
 #include "telemetry/sim_metrics.hh"
 #include "workload/token_stream.hh"
@@ -20,6 +21,10 @@ struct ServeState
     ServeResult result;
     sim::Tick firstSubmit = -1;
     sim::Tick lastFinish = 0;
+    /** Span collector (nullptr: spans off) and the workflow label
+     *  every request of this run aggregates under. */
+    telemetry::SpanCollector *spans = nullptr;
+    std::string workflowLabel;
 };
 
 void
@@ -63,7 +68,16 @@ agentWorker(const ServeConfig &config, sim::Simulation &sim,
 
     auto agent = agents::makeAgent(config.agent);
     const sim::Tick submit = sim.now();
+    telemetry::SpanRef root;
+    if (state.spans != nullptr) {
+        root = state.spans->beginRequest(index, state.workflowLabel,
+                                         submit);
+        ctx.spans = state.spans;
+        ctx.spanParent = root;
+    }
     agents::AgentResult result = co_await agent->run(ctx);
+    if (state.spans != nullptr)
+        state.spans->finishRequest(root, sim.now());
     state.result.totalCost += result.cost;
     noteCompletion(state, submit, sim.now(), result.solved);
 }
@@ -94,7 +108,15 @@ chatWorker(const ServeConfig &config, sim::Simulation &sim,
     req.sessionId = sim::hashCombine(config.seed, index);
 
     const sim::Tick submit = sim.now();
+    telemetry::SpanRef root;
+    if (state.spans != nullptr) {
+        root = state.spans->beginRequest(index, state.workflowLabel,
+                                         submit);
+        req.parentSpan = root;
+    }
     serving::GenResult r = co_await engine.generate(std::move(req));
+    if (state.spans != nullptr)
+        state.spans->finishRequest(root, sim.now());
     state.result.ttftSeconds.add(r.ttftSeconds);
     state.result.totalCost += r.ledger;
     noteCompletion(state, submit, sim.now(), !r.failed);
@@ -117,6 +139,11 @@ sessionWorker(const ServeConfig &config, sim::Simulation &sim,
         workload::streamId(config.seed, "chat.system"), system_tokens);
 
     const sim::Tick session_start = sim.now();
+    telemetry::SpanRef root;
+    if (state.spans != nullptr) {
+        root = state.spans->beginRequest(index, state.workflowLabel,
+                                         session_start);
+    }
     for (int t = 0; t < turns; ++t) {
         if (t > 0) {
             co_await sim::delaySec(sim,
@@ -137,8 +164,17 @@ sessionWorker(const ServeConfig &config, sim::Simulation &sim,
         req.maxNewTokens = turn.outputTokens;
         req.sessionId = sim::hashCombine(config.seed, ~index);
         const sim::Tick turn_start = sim.now();
+        telemetry::SpanRef turn_span;
+        if (state.spans != nullptr) {
+            turn_span = state.spans->child(
+                root, telemetry::SpanKind::Iteration, "chat.turn",
+                turn_start);
+            req.parentSpan = turn_span;
+        }
         serving::GenResult r =
             co_await engine.generate(std::move(req));
+        if (state.spans != nullptr)
+            state.spans->end(turn_span, sim.now());
         state.result.turnSeconds.add(
             sim::toSeconds(sim.now() - turn_start));
         state.result.ttftSeconds.add(r.ttftSeconds);
@@ -146,6 +182,8 @@ sessionWorker(const ServeConfig &config, sim::Simulation &sim,
         history.insert(history.end(), r.tokens.begin(),
                        r.tokens.end());
     }
+    if (state.spans != nullptr)
+        state.spans->finishRequest(root, sim.now());
     noteCompletion(state, session_start, sim.now(), true);
 }
 
@@ -204,6 +242,12 @@ runServing(const ServeConfig &config)
     }
     if (config.slo != nullptr)
         engine.attachSlo(config.slo);
+    telemetry::SpanCollector *spans =
+        config.spans != nullptr
+            ? config.spans
+            : (config.telemetry != nullptr ? &config.telemetry->spans
+                                           : nullptr);
+    engine.attachSpans(spans);
     std::unique_ptr<tools::ToolSet> tools;
     if (!config.chatbot) {
         tools = workload::makeToolSet(config.bench, sim, engine,
@@ -215,6 +259,15 @@ runServing(const ServeConfig &config)
         agents::modelQuality(config.engineConfig.model.name);
 
     ServeState state;
+    state.spans = spans;
+    if (config.chatbot) {
+        state.workflowLabel =
+            config.multiTurn ? "ShareGPT/session" : "ShareGPT/chat";
+    } else {
+        state.workflowLabel =
+            std::string(workload::benchmarkName(config.bench)) + "/" +
+            std::string(agents::agentName(config.agent));
+    }
     auto drive = driver(config, sim, engine, tools.get(), agent_cfg,
                         state);
     sim.run();
@@ -265,6 +318,14 @@ runServing(const ServeConfig &config)
             for (double v : out.ttftSeconds.values())
                 h.observe(v);
         }
+        if (spans != nullptr && !spans->empty()) {
+            exportBlameMetrics(*spans, t.registry, end);
+            emitSpanExemplars(*spans, t.trace);
+        }
+        t.registry
+            .gauge("agentsim_trace_dropped_events",
+                   "Trace events dropped by the sink's capacity cap")
+            .set(end, static_cast<double>(t.trace.droppedEvents()));
         t.registry.snapshot(end);
         t.engineSamples = engine.sampler().samples();
     }

@@ -87,6 +87,12 @@ LlmEngine::attachSlo(telemetry::SloTracker *slo)
 }
 
 void
+LlmEngine::attachSpans(telemetry::SpanCollector *spans)
+{
+    spans_ = spans;
+}
+
+void
 LlmEngine::chargeKv(Req &req)
 {
     const sim::Tick now = sim_.now();
@@ -123,10 +129,15 @@ LlmEngine::sloFailure(const Req &req)
 }
 
 void
-LlmEngine::tracePhaseBegin(Req &req, const char *phase)
+LlmEngine::tracePhaseBegin(Req &req, const char *phase,
+                           telemetry::SpanKind kind)
 {
     req.tracePhase = phase;
     req.tracePhaseStart = sim_.now();
+    req.phaseSpan = {};
+    if (spans_ != nullptr && req.parentSpan.valid())
+        req.phaseSpan =
+            spans_->child(req.parentSpan, kind, phase, sim_.now());
 }
 
 void
@@ -139,6 +150,9 @@ LlmEngine::tracePhaseEnd(Req &req)
                          req.tracePhase, "request",
                          req.tracePhaseStart, sim_.now());
     }
+    if (spans_ != nullptr && req.phaseSpan.valid())
+        spans_->end(req.phaseSpan, sim_.now());
+    req.phaseSpan = {};
     req.tracePhase = nullptr;
 }
 
@@ -241,6 +255,7 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
     if (handle_out != nullptr)
         *handle_out = req->id;
 
+    req->parentSpan = request.parentSpan;
     req->queuedSince = sim_.now();
     waiting_.push_back(req);
     if (trace_ != nullptr) {
@@ -249,7 +264,7 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
                                        static_cast<unsigned long long>(
                                            req->id)));
     }
-    tracePhaseBegin(*req, "queued");
+    tracePhaseBegin(*req, "queued", telemetry::SpanKind::Queue);
     if (wake_ && !wake_->ready())
         wake_->set(1);
 
@@ -306,6 +321,12 @@ LlmEngine::preemptOne(StepPlan &plan)
         trace_->instant(telemetry::TracePid::kRequests, victim->id,
                         "preempt", "request", sim_.now());
     }
+    if (spans_ != nullptr && victim->parentSpan.valid()) {
+        auto marker =
+            spans_->child(victim->parentSpan, telemetry::SpanKind::Preempt,
+                          "preempt", sim_.now());
+        spans_->end(marker, sim_.now());
+    }
     requeueRequest(victim, /*front=*/true);
 }
 
@@ -323,7 +344,7 @@ LlmEngine::noteLeftWaiting(Req &req)
 void
 LlmEngine::requeueRequest(const ReqPtr &req, bool front)
 {
-    tracePhaseBegin(*req, "queued");
+    tracePhaseBegin(*req, "queued", telemetry::SpanKind::Queue);
     req->queuedSince = sim_.now();
     req->requeued = true;
     ++requeuedInWaiting_;
@@ -756,6 +777,14 @@ LlmEngine::importRequest(MigratedRequest migrated,
                         warm ? "migrate_in" : "migrate_in_cold",
                         "request", sim_.now());
     }
+    if (transfer_seconds > 0.0 && spans_ != nullptr &&
+        req->parentSpan.valid()) {
+        auto transfer = spans_->child(req->parentSpan,
+                                      telemetry::SpanKind::Migration,
+                                      "migrate_kv", sim_.now());
+        spans_->end(transfer,
+                    sim_.now() + sim::fromSeconds(transfer_seconds));
+    }
 
     if (transfer_seconds <= 0.0) {
         activateImported(req, std::move(migrated.chainTokens),
@@ -795,7 +824,9 @@ LlmEngine::activateImported(const ReqPtr &req,
         // prefill) exactly where the source left off.
         running_.push_back(req);
         chargeKv(*req);
-        tracePhaseBegin(*req, req->decoding ? "decode" : "prefill");
+        tracePhaseBegin(*req, req->decoding ? "decode" : "prefill",
+                        req->decoding ? telemetry::SpanKind::Decode
+                                      : telemetry::SpanKind::Prefill);
     } else {
         // Cold landing: recompute-preemption semantics. Generated
         // tokens fold into the prompt (the chain snapshot is exactly
@@ -956,8 +987,9 @@ LlmEngine::buildStep()
         chargeKv(*req); // opens the occupancy charging interval
 
         // Host-tier restores skip prefill but pay a PCIe transfer.
+        double restore_seconds = 0.0;
         if (alloc->restoredTokens > 0) {
-            const double restore_seconds =
+            restore_seconds =
                 static_cast<double>(alloc->restoredTokens *
                                     config_.model.kvBytesPerToken()) /
                 config_.node.hostOffloadBandwidth;
@@ -985,7 +1017,18 @@ LlmEngine::buildStep()
             req->cachedPromptTokens = alloc->reusedTokens();
         }
         tracePhaseEnd(*req); // queued
-        tracePhaseBegin(*req, "prefill");
+        tracePhaseBegin(*req, "prefill", telemetry::SpanKind::Prefill);
+        // The restore happens inside the prefill step's wall time;
+        // nesting it under the prefill span routes those seconds to
+        // Migration blame while the remainder stays Prefill.
+        if (restore_seconds > 0.0 && spans_ != nullptr &&
+            req->phaseSpan.valid()) {
+            auto restore = spans_->child(req->phaseSpan,
+                                         telemetry::SpanKind::KvRestore,
+                                         "kv_restore", sim_.now());
+            spans_->end(restore,
+                        sim_.now() + sim::fromSeconds(restore_seconds));
+        }
 
         std::int64_t chunk =
             std::min(budget, prompt_len - req->prefillDone);
@@ -1116,7 +1159,7 @@ LlmEngine::commitStep(const StepPlan &plan, const llm::StepCost &cost,
             req->output.push_back(tok);
             req->decoding = true;
             tracePhaseEnd(*req); // prefill
-            tracePhaseBegin(*req, "decode");
+            tracePhaseBegin(*req, "decode", telemetry::SpanKind::Decode);
             if (req->firstTokenTick < 0) {
                 req->firstTokenTick = sim_.now();
                 if (slo_ != nullptr) {

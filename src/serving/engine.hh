@@ -38,6 +38,7 @@
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/slo.hh"
+#include "telemetry/span.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace agentsim::serving
@@ -408,6 +409,16 @@ class LlmEngine
     void attachSlo(telemetry::SloTracker *slo);
 
     /**
+     * Attach a causal span collector. Requests arriving with a valid
+     * GenRequest::parentSpan then get Queue/Prefill/Decode phase
+     * spans, Preempt markers, KvRestore and Migration transfer spans
+     * attached under that parent, feeding per-request critical-path
+     * blame (telemetry/critical_path.hh). Pass nullptr to detach.
+     * The collector must outlive the engine (or be detached first).
+     */
+    void attachSpans(telemetry::SpanCollector *spans);
+
+    /**
      * Export current engine/cache totals and occupancy gauges into a
      * metrics registry (Prometheus-style families, agentsim_ prefix).
      */
@@ -491,6 +502,11 @@ class LlmEngine
         const char *tracePhase = nullptr;
         sim::Tick tracePhaseStart = 0;
 
+        /** Caller's span to attach engine phase spans under. */
+        telemetry::SpanRef parentSpan;
+        /** Open phase span mirroring tracePhase. */
+        telemetry::SpanRef phaseSpan;
+
         sim::Completion<GenResult> done;
 
         Req(sim::Simulation &sim) : done(sim) {}
@@ -541,6 +557,7 @@ class LlmEngine
     telemetry::EngineSampler sampler_;
     telemetry::TraceSink *trace_ = nullptr;
     telemetry::SloTracker *slo_ = nullptr;
+    telemetry::SpanCollector *spans_ = nullptr;
 
     sim::Task<void> loop_;
 
@@ -552,8 +569,9 @@ class LlmEngine
     void commitStep(const StepPlan &plan, const llm::StepCost &cost,
                     sim::Tick step_start);
 
-    /** Open a request-lifecycle phase span on the trace. */
-    void tracePhaseBegin(Req &req, const char *phase);
+    /** Open a request-lifecycle phase span (trace + span tree). */
+    void tracePhaseBegin(Req &req, const char *phase,
+                         telemetry::SpanKind kind);
 
     /** Close the request's open phase span, if any. */
     void tracePhaseEnd(Req &req);

@@ -12,6 +12,7 @@
 #include "kv/block_manager.hh"
 #include "serving/cost.hh"
 #include "sim/types.hh"
+#include "telemetry/span.hh"
 
 namespace agentsim::serving
 {
@@ -40,6 +41,14 @@ struct GenRequest
      * it is still queued or already decoding. 0 disables.
      */
     double deadlineSeconds = 0.0;
+
+    /**
+     * Caller's causal span (the LlmCall of an agent step, or a chat
+     * turn root). When valid and a SpanCollector is attached, the
+     * engine hangs queue/prefill/decode/migration phase spans under
+     * it. Invalid (default) = no span emission.
+     */
+    telemetry::SpanRef parentSpan;
 };
 
 /** Completed generation with full accounting. */

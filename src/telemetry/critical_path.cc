@@ -1,0 +1,104 @@
+#include "telemetry/critical_path.hh"
+
+#include <algorithm>
+
+namespace agentsim::telemetry
+{
+
+namespace
+{
+
+struct Walker
+{
+    const SpanTree &tree;
+    const std::vector<std::vector<std::uint32_t>> &children;
+    CriticalPath &out;
+    std::vector<bool> used;
+
+    Walker(const SpanTree &t,
+           const std::vector<std::vector<std::uint32_t>> &c,
+           CriticalPath &o)
+        : tree(t), children(c), out(o), used(t.spans.size(), false)
+    {
+    }
+
+    void
+    blame(BlameCategory cat, sim::Tick lo, sim::Tick hi)
+    {
+        if (hi > lo)
+            out.blame[cat] += sim::toSeconds(hi - lo);
+    }
+
+    /**
+     * Attribute the window [lo, hi] of span @p index. Walk backwards
+     * from hi: repeatedly pick the not-yet-used child overlapping the
+     * cursor whose clipped end is latest (the last finisher), charge
+     * the gap between that end and the cursor to the span's own
+     * category, recurse into the child, and continue from the child's
+     * start. Whatever remains at the front is the span's own time.
+     */
+    void
+    walk(std::uint32_t index, sim::Tick lo, sim::Tick hi)
+    {
+        out.spans.push_back(index);
+        BlameCategory own = blameCategory(tree.spans[index].kind);
+        sim::Tick cursor = hi;
+        while (cursor > lo) {
+            std::uint32_t best = kNoSpan;
+            sim::Tick best_end = 0;
+            for (std::uint32_t c : children[index]) {
+                if (used[c])
+                    continue;
+                const Span &child = tree.spans[c];
+                if (child.start >= cursor || child.end <= lo)
+                    continue;
+                sim::Tick eff_end = std::min(child.end, cursor);
+                // Ties go to the later-starting (shorter) child so
+                // the walk is deterministic.
+                if (best == kNoSpan || eff_end > best_end ||
+                    (eff_end == best_end &&
+                     child.start > tree.spans[best].start)) {
+                    best = c;
+                    best_end = eff_end;
+                }
+            }
+            if (best == kNoSpan) {
+                blame(own, lo, cursor);
+                return;
+            }
+            used[best] = true;
+            blame(own, best_end, cursor);
+            sim::Tick eff_lo = std::max(tree.spans[best].start, lo);
+            walk(best, eff_lo, best_end);
+            cursor = eff_lo;
+        }
+    }
+};
+
+} // namespace
+
+CriticalPath
+criticalPath(const SpanTree &tree)
+{
+    CriticalPath out;
+    if (tree.spans.empty())
+        return out;
+    std::vector<std::vector<std::uint32_t>> children(tree.spans.size());
+    for (std::uint32_t i = 1; i < tree.spans.size(); ++i) {
+        std::uint32_t parent = tree.spans[i].parent;
+        if (parent < tree.spans.size())
+            children[parent].push_back(i);
+    }
+    Walker walker(tree, children, out);
+    const Span &root = tree.spans.front();
+    walker.walk(0, root.start, std::max(root.end, root.start));
+    return out;
+}
+
+BlameVector
+criticalPathBlame(const SpanTree &tree)
+{
+    return criticalPath(tree).blame;
+}
+
+} // namespace agentsim::telemetry

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Critical-path extraction over finished span trees.
+ *
+ * Walks a tree backwards from each span's end, always descending into
+ * the child whose (clipped) end is latest — so at fan-out nodes (LATS
+ * siblings, self-consistency samples, LLMCompiler DAG nodes) the
+ * *last-finishing* sibling takes the blame, which is exactly the
+ * sibling that gated the join. Every tick of the root's window is
+ * attributed to exactly one category, so the blame vector sums to the
+ * request latency by construction (conservation).
+ */
+
+#ifndef AGENTSIM_TELEMETRY_CRITICAL_PATH_HH
+#define AGENTSIM_TELEMETRY_CRITICAL_PATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/span.hh"
+
+namespace agentsim::telemetry
+{
+
+/** Blame vector plus the spans visited on the critical path. */
+struct CriticalPath
+{
+    BlameVector blame;
+    /** Tree-local indices of spans on the path, root first. */
+    std::vector<std::uint32_t> spans;
+};
+
+/**
+ * Extract the critical path of a finished tree. Requires every span
+ * closed (end >= start); spans extending past their parent's window
+ * are clipped. Empty trees yield an empty result.
+ */
+CriticalPath criticalPath(const SpanTree &tree);
+
+/** Just the blame vector of criticalPath(). */
+BlameVector criticalPathBlame(const SpanTree &tree);
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_CRITICAL_PATH_HH

@@ -14,6 +14,7 @@
 
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
+#include "telemetry/span.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace agentsim::telemetry
@@ -29,6 +30,8 @@ struct SessionTelemetry
 {
     MetricsRegistry registry;
     TraceSink trace;
+    /** Causal span trees, blame aggregates and tail exemplars. */
+    SpanCollector spans;
     /** Engine iteration series, copied out of the engine post-run. */
     std::vector<IterationSample> engineSamples;
 
@@ -38,6 +41,7 @@ struct SessionTelemetry
     {
         registry.clear();
         trace.clear();
+        spans.clear();
         engineSamples.clear();
     }
 

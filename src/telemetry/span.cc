@@ -1,0 +1,256 @@
+#include "telemetry/span.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "telemetry/critical_path.hh"
+
+namespace agentsim::telemetry
+{
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Episode:
+        return "episode";
+      case SpanKind::Attempt:
+        return "attempt";
+      case SpanKind::Backoff:
+        return "backoff";
+      case SpanKind::Iteration:
+        return "iteration";
+      case SpanKind::LlmCall:
+        return "llm_call";
+      case SpanKind::ToolCall:
+        return "tool_call";
+      case SpanKind::Queue:
+        return "queue";
+      case SpanKind::Prefill:
+        return "prefill";
+      case SpanKind::Decode:
+        return "decode";
+      case SpanKind::Preempt:
+        return "preempt";
+      case SpanKind::KvRestore:
+        return "kv_restore";
+      case SpanKind::Migration:
+        return "migration";
+    }
+    return "unknown";
+}
+
+const char *
+blameCategoryName(BlameCategory cat)
+{
+    switch (cat) {
+      case BlameCategory::Queue:
+        return "queue";
+      case BlameCategory::Prefill:
+        return "prefill";
+      case BlameCategory::Decode:
+        return "decode";
+      case BlameCategory::Tool:
+        return "tool";
+      case BlameCategory::Migration:
+        return "migration";
+      case BlameCategory::Idle:
+        return "idle";
+    }
+    return "unknown";
+}
+
+BlameCategory
+blameCategory(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Queue:
+      case SpanKind::Backoff:
+        return BlameCategory::Queue;
+      case SpanKind::Prefill:
+        return BlameCategory::Prefill;
+      case SpanKind::Decode:
+        return BlameCategory::Decode;
+      case SpanKind::ToolCall:
+        return BlameCategory::Tool;
+      case SpanKind::KvRestore:
+      case SpanKind::Migration:
+        return BlameCategory::Migration;
+      case SpanKind::Episode:
+      case SpanKind::Attempt:
+      case SpanKind::Iteration:
+      case SpanKind::LlmCall:
+      case SpanKind::Preempt:
+        break;
+    }
+    return BlameCategory::Idle;
+}
+
+SpanRef
+SpanCollector::beginRequest(std::uint64_t request_key,
+                            std::string workflow, sim::Tick now)
+{
+    std::uint64_t id = nextTree_++;
+    SpanTree &tree = open_[id];
+    tree.requestKey = request_key;
+    tree.workflow = std::move(workflow);
+    Span root;
+    root.kind = SpanKind::Episode;
+    root.label = tree.workflow;
+    root.start = now;
+    tree.spans.push_back(std::move(root));
+    return SpanRef{id, 0};
+}
+
+SpanRef
+SpanCollector::child(SpanRef parent, SpanKind kind, std::string label,
+                     sim::Tick start)
+{
+    if (!parent.valid())
+        return {};
+    auto it = open_.find(parent.tree);
+    if (it == open_.end() || parent.span >= it->second.spans.size())
+        return {};
+    SpanTree &tree = it->second;
+    Span span;
+    span.kind = kind;
+    span.label = std::move(label);
+    span.start = start;
+    span.parent = parent.span;
+    std::uint32_t index = static_cast<std::uint32_t>(tree.spans.size());
+    tree.spans.push_back(std::move(span));
+    return SpanRef{parent.tree, index};
+}
+
+void
+SpanCollector::end(SpanRef span, sim::Tick end_tick)
+{
+    if (!span.valid())
+        return;
+    auto it = open_.find(span.tree);
+    if (it == open_.end() || span.span >= it->second.spans.size())
+        return;
+    Span &s = it->second.spans[span.span];
+    s.end = std::max(end_tick, s.start);
+}
+
+void
+SpanCollector::link(SpanRef span, SpanRef predecessor)
+{
+    if (!span.valid() || !predecessor.valid() ||
+        span.tree != predecessor.tree)
+        return;
+    auto it = open_.find(span.tree);
+    if (it == open_.end() || span.span >= it->second.spans.size() ||
+        predecessor.span >= it->second.spans.size())
+        return;
+    it->second.spans[span.span].followsFrom = predecessor.span;
+}
+
+BlameVector
+SpanCollector::finishRequest(SpanRef root, sim::Tick now,
+                             bool slo_violated)
+{
+    if (!root.valid())
+        return {};
+    auto it = open_.find(root.tree);
+    if (it == open_.end())
+        return {};
+    SpanTree tree = std::move(it->second);
+    open_.erase(it);
+
+    // Close the root and, defensively, anything a layer left open
+    // (abandoned coroutines on failure paths).
+    for (Span &span : tree.spans) {
+        if (span.open())
+            span.end = std::max(now, span.start);
+    }
+
+    BlameVector blame = criticalPathBlame(tree);
+    double latency = tree.root().seconds();
+
+    if (config_.sloLatencySeconds > 0.0 &&
+        latency > config_.sloLatencySeconds)
+        slo_violated = true;
+
+    BlameAggregate &agg = aggregateFor(tree.workflow);
+    ++agg.requests;
+    agg.sum += blame;
+    for (std::size_t i = 0; i < kBlameCategories; ++i)
+        agg.p95[i].add(blame.seconds[i]);
+    agg.latencySum += latency;
+    agg.latencyP95.add(latency);
+    ++finished_;
+
+    retain(std::move(tree), blame, latency, slo_violated);
+    return blame;
+}
+
+BlameAggregate &
+SpanCollector::aggregateFor(const std::string &workflow)
+{
+    auto it = aggregateIndex_.find(workflow);
+    if (it != aggregateIndex_.end())
+        return aggregates_[it->second];
+    aggregateIndex_.emplace(workflow, aggregates_.size());
+    aggregates_.emplace_back(workflow);
+    return aggregates_.back();
+}
+
+void
+SpanCollector::retain(SpanTree &&tree, const BlameVector &blame,
+                      double latency_seconds, bool slo_violated)
+{
+    if (config_.maxExemplars == 0) {
+        ++evicted_;
+        return;
+    }
+    // Retention score: SLO violators outrank clean requests; within a
+    // class, higher latency wins. The cap is absolute — when full, the
+    // lowest-scoring retained exemplar is displaced, so memory stays
+    // bounded at maxExemplars full trees.
+    auto score = [](bool violated, double latency) {
+        return std::make_pair(violated ? 1 : 0, latency);
+    };
+    auto candidate = score(slo_violated, latency_seconds);
+    if (exemplars_.size() >= config_.maxExemplars) {
+        std::size_t weakest = 0;
+        auto weakest_score = score(exemplars_[0].sloViolated,
+                                   exemplars_[0].latencySeconds);
+        for (std::size_t i = 1; i < exemplars_.size(); ++i) {
+            auto s = score(exemplars_[i].sloViolated,
+                           exemplars_[i].latencySeconds);
+            if (s < weakest_score) {
+                weakest = i;
+                weakest_score = s;
+            }
+        }
+        if (candidate <= weakest_score) {
+            ++evicted_;
+            return;
+        }
+        exemplars_.erase(exemplars_.begin() +
+                         static_cast<std::ptrdiff_t>(weakest));
+        ++evicted_;
+    }
+    SpanExemplar ex;
+    ex.tree = std::move(tree);
+    ex.blame = blame;
+    ex.latencySeconds = latency_seconds;
+    ex.sloViolated = slo_violated;
+    exemplars_.push_back(std::move(ex));
+}
+
+void
+SpanCollector::clear()
+{
+    open_.clear();
+    aggregates_.clear();
+    aggregateIndex_.clear();
+    exemplars_.clear();
+    nextTree_ = 1;
+    finished_ = 0;
+    evicted_ = 0;
+}
+
+} // namespace agentsim::telemetry

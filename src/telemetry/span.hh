@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Causal span trees: per-request distributed-tracing-style spans on
+ * the shared sim clock, with parent/child and follows-from links.
+ *
+ * Every request (a chat turn, an agent episode, a probe task) owns one
+ * tree rooted at an Episode span. Layers attach children as the
+ * request moves through them:
+ *
+ *   Episode                        agent rollout / chat turn
+ *   ├── Attempt                    one retry/failover hop (cluster)
+ *   │   ├── Iteration              agent loop round (react.iter, ...)
+ *   │   │   ├── LlmCall            agents::callLlm
+ *   │   │   │   ├── Queue          engine admission queue episode
+ *   │   │   │   ├── Prefill        chunked prefill phase
+ *   │   │   │   │   └── KvRestore  host-spill restore inside prefill
+ *   │   │   │   ├── Preempt        recompute preemption (instant)
+ *   │   │   │   ├── Migration      live KV migration transfer
+ *   │   │   │   └── Decode         decode phase
+ *   │   │   └── ToolCall           agents::callTool
+ *   │   └── ...
+ *   └── Backoff                    retry backoff sleep
+ *
+ * Sibling fan-out (LATS expansion, self-consistency samples,
+ * LLMCompiler DAG nodes) is expressed by multiple children sharing a
+ * parent and overlapping in time; retry chains add follows-from links
+ * between consecutive Attempt spans.
+ *
+ * The collector keeps memory bounded: when a request finishes, its
+ * tree is collapsed to a per-category blame vector (see
+ * critical_path.hh) folded into per-workflow aggregates, and the full
+ * tree is retained only for SLO-violating and top-k-latency requests
+ * (the tail exemplars), up to a configurable cap.
+ */
+
+#ifndef AGENTSIM_TELEMETRY_SPAN_HH
+#define AGENTSIM_TELEMETRY_SPAN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "stats/quantile.hh"
+
+namespace agentsim::telemetry
+{
+
+/** What a span represents; determines its blame category. */
+enum class SpanKind
+{
+    /** Whole request: agent episode, chat turn, probe task. */
+    Episode,
+    /** One retry/failover hop of an episode (cluster workers). */
+    Attempt,
+    /** Client-side retry backoff sleep. */
+    Backoff,
+    /** One agent loop round (react.iter, lats.round, ...). */
+    Iteration,
+    /** agents::callLlm — submit to completion of one generate. */
+    LlmCall,
+    /** agents::callTool — one tool invocation. */
+    ToolCall,
+    /** Engine admission queue episode (initial or post-preempt). */
+    Queue,
+    /** Engine chunked-prefill phase. */
+    Prefill,
+    /** Engine decode phase. */
+    Decode,
+    /** Recompute preemption event (zero duration). */
+    Preempt,
+    /** KV restore from host spill, nested inside Prefill. */
+    KvRestore,
+    /** Live KV migration transfer between engines. */
+    Migration,
+};
+
+/** Stable lower-case name for traces and tables. */
+const char *spanKindName(SpanKind kind);
+
+/** Where critical-path seconds are attributed. */
+enum class BlameCategory
+{
+    Queue,
+    Prefill,
+    Decode,
+    Tool,
+    Migration,
+    /** Time on the critical path covered by no finer span: agent
+     *  think-gaps between iterations, client think time. */
+    Idle,
+};
+
+constexpr std::size_t kBlameCategories = 6;
+
+const char *blameCategoryName(BlameCategory cat);
+
+/**
+ * Blame category charged for a span's *own* time (the part of its
+ * critical-path window not covered by any child). Structural kinds
+ * (Episode, Attempt, Iteration, LlmCall, Preempt) charge Idle;
+ * Backoff charges Queue (it is time spent waiting for service).
+ */
+BlameCategory blameCategory(SpanKind kind);
+
+/** Per-request seconds attributed to each blame category. */
+struct BlameVector
+{
+    std::array<double, kBlameCategories> seconds{};
+
+    double &operator[](BlameCategory cat)
+    {
+        return seconds[static_cast<std::size_t>(cat)];
+    }
+    double operator[](BlameCategory cat) const
+    {
+        return seconds[static_cast<std::size_t>(cat)];
+    }
+
+    /** Sum over categories == request latency (conservation). */
+    double total() const
+    {
+        double t = 0.0;
+        for (double s : seconds)
+            t += s;
+        return t;
+    }
+
+    BlameVector &operator+=(const BlameVector &other)
+    {
+        for (std::size_t i = 0; i < kBlameCategories; ++i)
+            seconds[i] += other.seconds[i];
+        return *this;
+    }
+};
+
+/** Index of a span within its tree; kNoSpan means "none". */
+constexpr std::uint32_t kNoSpan = 0xffffffffu;
+
+/** One node of a span tree. Timestamps are sim ticks. */
+struct Span
+{
+    SpanKind kind = SpanKind::Episode;
+    std::string label;
+    sim::Tick start = 0;
+    /** End tick; negative while the span is still open. */
+    sim::Tick end = -1;
+    /** Parent span index within the tree (kNoSpan for the root). */
+    std::uint32_t parent = kNoSpan;
+    /** Causal-but-not-nested predecessor (retry chains). */
+    std::uint32_t followsFrom = kNoSpan;
+
+    bool open() const { return end < start; }
+    double seconds() const
+    {
+        return open() ? 0.0 : sim::toSeconds(end - start);
+    }
+};
+
+/** A finished (or in-flight) per-request span tree; spans[0] is the
+ *  root and every parent index precedes its children. */
+struct SpanTree
+{
+    /** Harness-assigned request key (task/request index). */
+    std::uint64_t requestKey = 0;
+    /** Workflow label aggregates group by ("HotpotQA/ReAct", ...). */
+    std::string workflow;
+    std::vector<Span> spans;
+
+    const Span &root() const { return spans.front(); }
+};
+
+/**
+ * Cheap copyable handle to a span in a collector. Carried inside
+ * GenRequest and AgentContext so lower layers can attach children
+ * without knowing about the collector's internals. A default
+ * constructed ref is invalid and makes every operation a no-op.
+ */
+struct SpanRef
+{
+    std::uint64_t tree = 0;
+    std::uint32_t span = kNoSpan;
+
+    bool valid() const { return tree != 0 && span != kNoSpan; }
+};
+
+/** A fully retained tail exemplar. */
+struct SpanExemplar
+{
+    SpanTree tree;
+    BlameVector blame;
+    double latencySeconds = 0.0;
+    bool sloViolated = false;
+};
+
+/** Mean + p95 blame aggregate for one workflow label. */
+struct BlameAggregate
+{
+    explicit BlameAggregate(std::string workflow_label)
+        : workflow(std::move(workflow_label)),
+          p95{stats::P2Quantile(0.95), stats::P2Quantile(0.95),
+              stats::P2Quantile(0.95), stats::P2Quantile(0.95),
+              stats::P2Quantile(0.95), stats::P2Quantile(0.95)},
+          latencyP95(0.95)
+    {
+    }
+
+    std::string workflow;
+    std::int64_t requests = 0;
+    /** Per-category blame sums (mean = sum / requests). */
+    BlameVector sum;
+    /** Streaming per-category p95 of per-request blame seconds. */
+    std::array<stats::P2Quantile, kBlameCategories> p95;
+    double latencySum = 0.0;
+    stats::P2Quantile latencyP95;
+
+    double meanLatency() const
+    {
+        return requests > 0 ? latencySum / requests : 0.0;
+    }
+    double meanBlame(BlameCategory cat) const
+    {
+        return requests > 0 ? sum[cat] / requests : 0.0;
+    }
+    double p95Blame(BlameCategory cat) const
+    {
+        return p95[static_cast<std::size_t>(cat)].value();
+    }
+};
+
+/**
+ * Owns in-flight span trees, runs critical-path blame extraction on
+ * finish, folds results into per-workflow aggregates and retains tail
+ * exemplars under a bounded cap. Single-threaded, like the simulator.
+ */
+class SpanCollector
+{
+  public:
+    struct Config
+    {
+        /** Max fully retained span trees (tail exemplars). */
+        std::size_t maxExemplars = 32;
+        /** Latency above this marks a request SLO-violating for
+         *  retention (0 disables the latency criterion). */
+        double sloLatencySeconds = 0.0;
+    };
+
+    SpanCollector() = default;
+    explicit SpanCollector(Config config) : config_(config) {}
+
+    /** Reconfigure (call between runs; does not drop state). */
+    void setConfig(Config config) { config_ = config; }
+    const Config &config() const { return config_; }
+
+    /** Open a request tree; the returned ref is the Episode root. */
+    SpanRef beginRequest(std::uint64_t request_key,
+                         std::string workflow, sim::Tick now);
+
+    /**
+     * Attach a child span under @p parent starting at @p start.
+     * Returns an invalid ref (all downstream calls no-ops) if
+     * @p parent is invalid or its tree has already finished.
+     */
+    SpanRef child(SpanRef parent, SpanKind kind, std::string label,
+                  sim::Tick start);
+
+    /** Close @p span at @p end (may lie in the future, e.g. a
+     *  migration transfer completing after the call site). */
+    void end(SpanRef span, sim::Tick end_tick);
+
+    /** Record a follows-from link (retry chains). Both refs must
+     *  belong to the same tree. */
+    void link(SpanRef span, SpanRef predecessor);
+
+    /**
+     * Finish the request: closes the root (and defensively any span
+     * still open) at @p now, extracts the critical-path blame vector,
+     * folds it into the workflow aggregate and decides retention.
+     * The tree is destroyed unless retained as a tail exemplar.
+     */
+    BlameVector finishRequest(SpanRef root, sim::Tick now,
+                              bool slo_violated = false);
+
+    /** Per-workflow aggregates in first-seen order. */
+    const std::vector<BlameAggregate> &aggregates() const
+    {
+        return aggregates_;
+    }
+
+    /** Retained tail exemplars (at most config().maxExemplars). */
+    const std::vector<SpanExemplar> &exemplars() const
+    {
+        return exemplars_;
+    }
+
+    std::int64_t requestsFinished() const { return finished_; }
+    /** Exemplar candidates dropped or displaced by the cap. */
+    std::int64_t exemplarsEvicted() const { return evicted_; }
+    /** Trees begun but not yet finished. */
+    std::size_t openTrees() const { return open_.size(); }
+
+    bool empty() const { return finished_ == 0 && open_.empty(); }
+
+    /** Drop all state (reused across bench sweep points). */
+    void clear();
+
+  private:
+    Config config_;
+    std::uint64_t nextTree_ = 1;
+    std::unordered_map<std::uint64_t, SpanTree> open_;
+    std::vector<BlameAggregate> aggregates_;
+    std::unordered_map<std::string, std::size_t> aggregateIndex_;
+    std::vector<SpanExemplar> exemplars_;
+    std::int64_t finished_ = 0;
+    std::int64_t evicted_ = 0;
+
+    BlameAggregate &aggregateFor(const std::string &workflow);
+    void retain(SpanTree &&tree, const BlameVector &blame,
+                double latency_seconds, bool slo_violated);
+};
+
+} // namespace agentsim::telemetry
+
+#endif // AGENTSIM_TELEMETRY_SPAN_HH

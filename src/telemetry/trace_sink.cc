@@ -72,11 +72,23 @@ TraceSink::threadName(int pid, std::uint64_t tid,
         jsonEscape(name).c_str()));
 }
 
+bool
+TraceSink::admit()
+{
+    if (capacity_ != 0 && events_.size() >= capacity_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
 void
 TraceSink::complete(int pid, std::uint64_t tid, const std::string &name,
                     const char *cat, sim::Tick start, sim::Tick end,
                     const std::string &args_json)
 {
+    if (!admit())
+        return;
     std::string ev = sim::strfmt(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
         "\"dur\":%lld,\"pid\":%d,\"tid\":%llu",
@@ -93,6 +105,8 @@ void
 TraceSink::instant(int pid, std::uint64_t tid, const std::string &name,
                    const char *cat, sim::Tick at)
 {
+    if (!admit())
+        return;
     events_.push_back(sim::strfmt(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%lld,"
         "\"pid\":%d,\"tid\":%llu,\"s\":\"t\"}",
@@ -104,11 +118,48 @@ void
 TraceSink::counter(int pid, const std::string &name, sim::Tick at,
                    const std::string &args_json)
 {
+    if (!admit())
+        return;
     events_.push_back(sim::strfmt(
         "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%lld,\"pid\":%d,"
         "\"args\":{%s}}",
         jsonEscape(name).c_str(), static_cast<long long>(at), pid,
         args_json.c_str()));
+}
+
+void
+TraceSink::asyncBegin(int pid, std::uint64_t id,
+                      const std::string &name, const char *cat,
+                      sim::Tick at, const std::string &args_json)
+{
+    if (!admit())
+        return;
+    std::string ev = sim::strfmt(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"b\",\"id\":\"0x%llx\","
+        "\"ts\":%lld,\"pid\":%d,\"tid\":%llu",
+        jsonEscape(name).c_str(), cat,
+        static_cast<unsigned long long>(id),
+        static_cast<long long>(at), pid,
+        static_cast<unsigned long long>(id));
+    if (!args_json.empty())
+        ev += ",\"args\":{" + args_json + "}";
+    ev += "}";
+    events_.push_back(std::move(ev));
+}
+
+void
+TraceSink::asyncEnd(int pid, std::uint64_t id, const std::string &name,
+                    const char *cat, sim::Tick at)
+{
+    if (!admit())
+        return;
+    events_.push_back(sim::strfmt(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"e\",\"id\":\"0x%llx\","
+        "\"ts\":%lld,\"pid\":%d,\"tid\":%llu}",
+        jsonEscape(name).c_str(), cat,
+        static_cast<unsigned long long>(id),
+        static_cast<long long>(at), pid,
+        static_cast<unsigned long long>(id)));
 }
 
 std::string
@@ -134,6 +185,7 @@ TraceSink::clear()
 {
     events_.clear();
     named_.clear();
+    dropped_ = 0;
 }
 
 } // namespace agentsim::telemetry

@@ -49,15 +49,26 @@ struct TracePid
     /** Operational resilience: circuit-breaker transitions (tid =
      *  node index) and brownout level changes (tid 0). */
     static constexpr int kResilience = 5;
+    /** Tail exemplars: retained causal span trees rendered as async
+     *  lanes (one id per request) with blame annotations. */
+    static constexpr int kSpans = 6;
 };
 
 /**
  * Append-only trace-event accumulator. Events are rendered to JSON at
  * emit time; toJson() only joins them. Single-threaded.
+ *
+ * Retention is bounded: once eventCount() reaches the capacity, new
+ * data events are dropped (and counted) instead of growing the sink
+ * without limit across million-event sims. Track/lane metadata is
+ * always admitted so the trace stays well-formed.
  */
 class TraceSink
 {
   public:
+    /** Default data-event capacity (~a few hundred MB of JSON). */
+    static constexpr std::size_t kDefaultEventCapacity = 2'000'000;
+
     /** Name a track (emitted once per pid). */
     void processName(int pid, const std::string &name);
 
@@ -86,6 +97,33 @@ class TraceSink
     void counter(int pid, const std::string &name, sim::Tick at,
                  const std::string &args_json);
 
+    /**
+     * Open a nestable async ("b") span on lane @p id. Async events
+     * may overlap within one id, which Perfetto renders as stacked
+     * slices — used for the tail-exemplar span-tree track where
+     * sibling fan-out genuinely overlaps.
+     */
+    void asyncBegin(int pid, std::uint64_t id, const std::string &name,
+                    const char *cat, sim::Tick at,
+                    const std::string &args_json = "");
+
+    /** Close the innermost open async span of (pid, cat, id). */
+    void asyncEnd(int pid, std::uint64_t id, const std::string &name,
+                  const char *cat, sim::Tick at);
+
+    /**
+     * Cap retained data events (0 = unlimited). Events beyond the cap
+     * are dropped and counted in droppedEvents().
+     */
+    void setEventCapacity(std::size_t capacity)
+    {
+        capacity_ = capacity;
+    }
+    std::size_t eventCapacity() const { return capacity_; }
+
+    /** Data events dropped because the capacity was reached. */
+    std::uint64_t droppedEvents() const { return dropped_; }
+
     /** Events emitted so far (metadata included). */
     std::size_t eventCount() const { return events_.size(); }
 
@@ -101,6 +139,11 @@ class TraceSink
     std::vector<std::string> events_;
     /** (pid, tid) lanes already named; pid alone uses tid = -1. */
     std::set<std::pair<int, std::int64_t>> named_;
+    std::size_t capacity_ = kDefaultEventCapacity;
+    std::uint64_t dropped_ = 0;
+
+    /** @return whether a data event may be appended (counts drops). */
+    bool admit();
 };
 
 } // namespace agentsim::telemetry

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 #include <string>
@@ -17,7 +18,9 @@
 #include "sim/logging.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
+#include "telemetry/session.hh"
 #include "telemetry/slo.hh"
+#include "telemetry/span.hh"
 #include "telemetry/trace_sink.hh"
 
 using namespace agentsim;
@@ -315,15 +318,20 @@ TEST(Telemetry, ChromeTraceIsValidCrossLayerJson)
     EXPECT_NE(json.find("\"decode\""), std::string::npos);
     EXPECT_NE(json.find("react.step"), std::string::npos);
 
-    // Only M/X/C/i phases are emitted; B/E must balance (we emit
-    // none, so both counts are zero).
+    // Only M/X/C/i plus nestable-async b/e (the tail-exemplar span
+    // track) are emitted; B/E must balance (we emit none, so both
+    // counts are zero) and so must b/e.
     EXPECT_EQ(countOf(json, "\"ph\":\"B\""),
               countOf(json, "\"ph\":\"E\""));
+    EXPECT_EQ(countOf(json, "\"ph\":\"b\""),
+              countOf(json, "\"ph\":\"e\""));
     const int events = countOf(json, "\"ph\":\"");
     const int known = countOf(json, "\"ph\":\"M\"") +
                       countOf(json, "\"ph\":\"X\"") +
                       countOf(json, "\"ph\":\"C\"") +
-                      countOf(json, "\"ph\":\"i\"");
+                      countOf(json, "\"ph\":\"i\"") +
+                      countOf(json, "\"ph\":\"b\"") +
+                      countOf(json, "\"ph\":\"e\"");
     EXPECT_EQ(events, known);
     EXPECT_GT(events, 100);
 
@@ -617,6 +625,205 @@ TEST(Slo, ResetPreservesTargets)
     // Still tracking TTFT after reset (target survived).
     slo.observe(SloMetric::Ttft, 0, 0.5);
     EXPECT_EQ(slo.observations(SloMetric::Ttft), 1);
+}
+
+// ---- Causal span trees + critical-path blame ------------------------
+
+using telemetry::SessionTelemetry;
+using telemetry::BlameCategory;
+using telemetry::SpanCollector;
+using telemetry::SpanKind;
+using telemetry::SpanRef;
+
+TEST(Spans, NestingAndLinksStayValid)
+{
+    SpanCollector spans;
+    const sim::Tick t0 = sim::fromSeconds(1.0);
+    const SpanRef root = spans.beginRequest(7, "test/wf", t0);
+    ASSERT_TRUE(root.valid());
+    EXPECT_EQ(spans.openTrees(), 1u);
+
+    const SpanRef iter = spans.child(root, SpanKind::Iteration,
+                                     "iter", t0);
+    const SpanRef call = spans.child(iter, SpanKind::LlmCall, "llm",
+                                     t0);
+    const SpanRef decode = spans.child(call, SpanKind::Decode,
+                                       "decode", t0);
+    const SpanRef retry = spans.child(root, SpanKind::Attempt,
+                                      "attempt", sim::fromSeconds(2.0));
+    spans.link(retry, iter);
+    spans.end(decode, sim::fromSeconds(1.5));
+    spans.end(call, sim::fromSeconds(1.5));
+    spans.end(iter, sim::fromSeconds(2.0));
+    // `retry` left open: finishRequest must close it defensively.
+    spans.finishRequest(root, sim::fromSeconds(3.0));
+    EXPECT_EQ(spans.openTrees(), 0u);
+    EXPECT_EQ(spans.requestsFinished(), 1);
+
+    ASSERT_EQ(spans.exemplars().size(), 1u);
+    const auto &tree = spans.exemplars().front().tree;
+    EXPECT_EQ(tree.workflow, "test/wf");
+    EXPECT_EQ(tree.requestKey, 7u);
+    ASSERT_GE(tree.spans.size(), 5u);
+    // Root first; every parent/link index precedes its span and no
+    // span is left open or extends past its parent-of-record window.
+    EXPECT_EQ(tree.spans.front().parent, telemetry::kNoSpan);
+    for (std::uint32_t i = 0; i < tree.spans.size(); ++i) {
+        const auto &s = tree.spans[i];
+        EXPECT_FALSE(s.open()) << "span " << i;
+        if (i == 0)
+            continue;
+        ASSERT_NE(s.parent, telemetry::kNoSpan);
+        EXPECT_LT(s.parent, i);
+        EXPECT_GE(s.start, tree.spans[s.parent].start);
+        if (s.followsFrom != telemetry::kNoSpan)
+            EXPECT_LT(s.followsFrom, i);
+    }
+    // A child of a finished tree is refused.
+    EXPECT_FALSE(
+        spans.child(root, SpanKind::Decode, "late", t0).valid());
+}
+
+TEST(Spans, FanOutBlamesLastFinishingSibling)
+{
+    SpanCollector spans;
+    const SpanRef root = spans.beginRequest(1, "test/fanout", 0);
+    const SpanRef fan = spans.child(root, SpanKind::Iteration,
+                                    "sc.fanout", 0);
+    // Two overlapping siblings; the last finisher owns the shared
+    // window, the earlier one only its uncovered prefix.
+    const SpanRef a = spans.child(fan, SpanKind::ToolCall, "a", 0);
+    const SpanRef b = spans.child(fan, SpanKind::ToolCall, "b", 0);
+    spans.end(a, sim::fromSeconds(6.0));
+    spans.end(b, sim::fromSeconds(10.0));
+    spans.end(fan, sim::fromSeconds(10.0));
+    const auto blame =
+        spans.finishRequest(root, sim::fromSeconds(10.0));
+    EXPECT_NEAR(blame[BlameCategory::Tool], 10.0, 1e-9);
+    EXPECT_NEAR(blame[BlameCategory::Idle], 0.0, 1e-9);
+    EXPECT_NEAR(blame.total(), 10.0, 1e-9);
+}
+
+TEST(Spans, BlameConservationOnGappyTree)
+{
+    SpanCollector spans;
+    const SpanRef root = spans.beginRequest(1, "test/gaps", 0);
+    const SpanRef iter = spans.child(root, SpanKind::Iteration, "it",
+                                     sim::fromSeconds(1.0));
+    const SpanRef call = spans.child(iter, SpanKind::LlmCall, "llm",
+                                     sim::fromSeconds(1.5));
+    const SpanRef pre = spans.child(call, SpanKind::Prefill, "prefill",
+                                    sim::fromSeconds(1.5));
+    spans.end(pre, sim::fromSeconds(2.0));
+    const SpanRef dec = spans.child(call, SpanKind::Decode, "decode",
+                                    sim::fromSeconds(2.5));
+    spans.end(dec, sim::fromSeconds(5.0));
+    spans.end(call, sim::fromSeconds(5.0));
+    const SpanRef tool = spans.child(iter, SpanKind::ToolCall, "tool",
+                                     sim::fromSeconds(5.0));
+    spans.end(tool, sim::fromSeconds(7.0));
+    spans.end(iter, sim::fromSeconds(8.0));
+    const auto blame =
+        spans.finishRequest(root, sim::fromSeconds(9.0));
+    // Every uncovered gap lands in Idle; the sum is exactly the
+    // request latency (conservation).
+    EXPECT_NEAR(blame[BlameCategory::Prefill], 0.5, 1e-9);
+    EXPECT_NEAR(blame[BlameCategory::Decode], 2.5, 1e-9);
+    EXPECT_NEAR(blame[BlameCategory::Tool], 2.0, 1e-9);
+    EXPECT_NEAR(blame[BlameCategory::Idle], 4.0, 1e-9);
+    EXPECT_NEAR(blame.total(), 9.0, 1e-9);
+}
+
+TEST(Spans, ProbeBlameConservesEndToEndLatency)
+{
+    core::ProbeConfig cfg;
+    cfg.agent = agents::AgentKind::ReAct;
+    cfg.bench = workload::Benchmark::HotpotQA;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.numTasks = 3;
+    cfg.seed = 11;
+    telemetry::SpanCollector spans;
+    cfg.spans = &spans;
+    const auto r = core::runProbe(cfg);
+    ASSERT_EQ(r.requests.size(), 3u);
+    for (const auto &req : r.requests) {
+        EXPECT_GT(req.blame.total(), 0.0);
+        EXPECT_NEAR(req.blame.total(), req.result.e2eSeconds,
+                    1e-6 + 1e-6 * req.result.e2eSeconds);
+        // A tool-using agent must attribute both decode and tool
+        // time somewhere.
+        EXPECT_GT(req.blame[BlameCategory::Decode], 0.0);
+    }
+    EXPECT_EQ(spans.requestsFinished(), 3);
+    EXPECT_EQ(spans.openTrees(), 0u);
+}
+
+TEST(Spans, TailRetainerEvictsWeakestUnderCap)
+{
+    SpanCollector::Config cfg;
+    cfg.maxExemplars = 4;
+    SpanCollector spans(cfg);
+    for (int i = 1; i <= 10; ++i) {
+        const SpanRef root = spans.beginRequest(
+            static_cast<std::uint64_t>(i), "test/tail", 0);
+        spans.finishRequest(root, sim::fromSeconds(i));
+    }
+    ASSERT_EQ(spans.exemplars().size(), 4u);
+    EXPECT_EQ(spans.exemplarsEvicted(), 6);
+    // The four slowest requests survive.
+    double min_latency = 1e300;
+    for (const auto &e : spans.exemplars())
+        min_latency = std::min(min_latency, e.latencySeconds);
+    EXPECT_NEAR(min_latency, 7.0, 1e-9);
+}
+
+TEST(Spans, SloViolationOutranksLatencyForRetention)
+{
+    SpanCollector::Config cfg;
+    cfg.maxExemplars = 2;
+    SpanCollector spans(cfg);
+    auto run = [&](std::uint64_t key, double latency, bool violated) {
+        const SpanRef root = spans.beginRequest(key, "test/slo", 0);
+        spans.finishRequest(root, sim::fromSeconds(latency), violated);
+    };
+    run(1, 5.0, false);
+    run(2, 1.0, true); // fast but SLO-violating: must be retained
+    run(3, 4.0, false);
+    ASSERT_EQ(spans.exemplars().size(), 2u);
+    bool has_violated = false;
+    for (const auto &e : spans.exemplars())
+        has_violated = has_violated || e.sloViolated;
+    EXPECT_TRUE(has_violated);
+}
+
+TEST(Spans, SessionResetClearsSpansAndEngineSamples)
+{
+    SessionTelemetry session;
+    session.engineSamples.push_back({});
+    const SpanRef root = session.spans.beginRequest(1, "test/reset", 0);
+    session.spans.finishRequest(root, sim::fromSeconds(1.0));
+    ASSERT_FALSE(session.spans.empty());
+    session.reset();
+    EXPECT_TRUE(session.engineSamples.empty());
+    EXPECT_TRUE(session.spans.empty());
+    EXPECT_EQ(session.spans.requestsFinished(), 0);
+    EXPECT_TRUE(session.spans.exemplars().empty());
+}
+
+TEST(Spans, TraceSinkCapsEventsAndCountsDrops)
+{
+    telemetry::TraceSink trace;
+    trace.setEventCapacity(5);
+    for (int i = 0; i < 10; ++i)
+        trace.instant(telemetry::TracePid::kEngine, 0, "tick", "test",
+                      sim::fromSeconds(i));
+    EXPECT_EQ(trace.eventCount(), 5u);
+    EXPECT_EQ(trace.droppedEvents(), 5u);
+    // Metadata is exempt (process/thread names must always land).
+    trace.processName(telemetry::TracePid::kSpans, "spans");
+    EXPECT_TRUE(JsonValidator(trace.toJson()).valid());
+    trace.clear();
+    EXPECT_EQ(trace.droppedEvents(), 0u);
 }
 
 } // namespace
