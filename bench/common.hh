@@ -210,6 +210,16 @@ reportServePoint(core::PerfReport &report, const std::string &prefix,
     report.set(prefix + "_energy_wh", r.energyWh);
     report.set(prefix + "_gpu_busy_seconds",
                r.engineStats.busySeconds);
+    // KV-tier effectiveness: hit rate and restored tokens are wins
+    // the diff gate holds (higher is better); demotions are context.
+    report.set(prefix + "_kv_prefix_hit_rate",
+               r.cacheStats.hitRate());
+    report.set(prefix + "_kv_tier_restored_tokens",
+               static_cast<double>(r.cacheStats.dram.restoredTokens +
+                                   r.cacheStats.nvme.restoredTokens));
+    report.set(prefix + "_kv_tier_demotions",
+               static_cast<double>(r.cacheStats.dram.demotedBlocks +
+                                   r.cacheStats.nvme.demotedBlocks));
 
     auto bump = [&](const std::string &name, double delta) {
         report.set(name, report.get(name).value_or(0.0) + delta);
@@ -255,12 +265,18 @@ shareGptClosedLoop(int requests, bool use70b = false,
     return core::runServing(cfg);
 }
 
-/** Open-loop serving run at a given QPS. */
+/**
+ * Open-loop serving run at a given QPS. The trailing block counts
+ * enable the DRAM / NVMe KV spill tiers (0 = disabled, the default —
+ * identical to the pre-tier engine).
+ */
 inline ServeResult
 serveAt(double qps, bool chatbot, AgentKind agent, Benchmark bench,
         int requests, bool prefix_caching = true,
         std::int64_t kv_pool_bytes = 0,
-        TelemetryCli *telemetry = nullptr)
+        TelemetryCli *telemetry = nullptr,
+        std::int64_t dram_cache_blocks = 0,
+        std::int64_t nvme_cache_blocks = 0)
 {
     ServeConfig cfg;
     cfg.chatbot = chatbot;
@@ -269,6 +285,8 @@ serveAt(double qps, bool chatbot, AgentKind agent, Benchmark bench,
     cfg.engineConfig = core::enginePreset8b();
     cfg.engineConfig.enablePrefixCaching = prefix_caching;
     cfg.engineConfig.kvPoolBytes = kv_pool_bytes;
+    cfg.engineConfig.hostCacheBlocks = dram_cache_blocks;
+    cfg.engineConfig.nvmeCacheBlocks = nvme_cache_blocks;
     cfg.qps = qps;
     cfg.numRequests = requests;
     cfg.seed = kSeed;

@@ -159,13 +159,15 @@ AgentContext::reflectionTokens(std::int64_t count,
 
 sim::Task<serving::GenResult>
 callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
-        double output_mean, std::string label)
+        double output_mean, std::string label,
+        double expected_park_seconds)
 {
     serving::GenRequest req;
     req.prompt = std::move(prompt.tokens);
     req.maxNewTokens =
         ctx.profile().sampleOutputTokens(rng, output_mean);
     req.deadlineSeconds = ctx.config.llmDeadlineSeconds;
+    req.expectedParkSeconds = expected_park_seconds;
     // All calls of one rollout share a session id so program-aware
     // schedulers (Autellix-style LAS) can track attained service.
     req.sessionId = sim::hashCombine(

@@ -218,10 +218,14 @@ class DeadlineExceededError : public std::runtime_error
  *
  * @param output_mean mean output length for this call role.
  * @param label trace label, e.g. "react.step" or "lats.value".
+ * @param expected_park_seconds expected GPU-idle wait *after* this
+ *        call (an imminent tool invocation); forwarded to the engine
+ *        as the KV-parking hint. 0 when nothing idle follows.
  */
 sim::Task<serving::GenResult>
 callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
-        double output_mean, std::string label);
+        double output_mean, std::string label,
+        double expected_park_seconds = 0.0);
 
 /**
  * Invoke a tool and record the span; returns the observation.

@@ -273,7 +273,8 @@ LatsAgent::run(AgentContext ctx)
         while (roll_budget-- > 0 && roll->hops < required) {
             serving::GenResult step = co_await callLlm(
                 ctx, trace, rng, pathPrompt(ctx, episodic, roll),
-                prof.stepOutputMean, "lats.rollout");
+                prof.stepOutputMean, "lats.rollout",
+                ctx.tools->meanLatencySeconds());
             tools::Tool &tool = ctx.tools->pick(rng);
             tools::ToolResult obs =
                 co_await callTool(ctx, trace, rng, tool);

@@ -118,9 +118,16 @@ LlmCompilerAgent::run(AgentContext ctx)
             builder.add(SegmentKind::User, ctx.userTokens());
             memory.appendTo(builder);
 
+            // Earlier fragments overlap with already-launched tool
+            // tasks (the GPU stays busy planning); only after the
+            // *last* fragment does the agent block on the DAG's
+            // remaining tool calls, so only it carries a parking hint.
+            const double park = i == plan_size - 1
+                                    ? ctx.tools->meanLatencySeconds()
+                                    : 0.0;
             serving::GenResult fragment = co_await callLlm(
                 ctx, trace, rng, builder.build(), fragment_mean,
-                "compiler.plan");
+                "compiler.plan", park);
             memory.append(SegmentKind::LlmHistory, fragment.tokens);
 
             const auto obs_index =

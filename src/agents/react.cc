@@ -52,9 +52,16 @@ runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
             speculated.emplace(callTool(ctx, trace, rng, guess));
         }
 
+        // A tool call follows unless this step is the Finish action
+        // (or the tool already runs concurrently via speculation), so
+        // hint the engine to park this chain over the expected wait.
+        const double park =
+            (outcome.hopsFound < required && !speculated)
+                ? ctx.tools->meanLatencySeconds()
+                : 0.0;
         serving::GenResult gen = co_await callLlm(
             ctx, trace, rng, builder.build(), prof.stepOutputMean,
-            "react.step");
+            "react.step", park);
         memory.append(SegmentKind::LlmHistory, gen.tokens);
         ++outcome.iterations;
 

@@ -973,6 +973,29 @@ validateClusterConfig(const ClusterConfig &config)
     if (config.chatDeadlineSeconds < 0)
         AGENTSIM_FATAL("cluster config: negative chat deadline");
 
+    const serving::EngineConfig &eng = config.engineConfig;
+    if (eng.hostCacheBlocks < 0)
+        AGENTSIM_FATAL("kv tiers: negative DRAM tier capacity");
+    if (eng.nvmeCacheBlocks < 0)
+        AGENTSIM_FATAL("kv tiers: negative NVMe tier capacity");
+    if (eng.kvDramAdmitProb < 0 || eng.kvDramAdmitProb > 1) {
+        AGENTSIM_FATAL("kv tiers: dram admit probability outside "
+                       "[0, 1] (got %g)", eng.kvDramAdmitProb);
+    }
+    if (eng.kvNvmeAdmitProb < 0 || eng.kvNvmeAdmitProb > 1) {
+        AGENTSIM_FATAL("kv tiers: nvme admit probability outside "
+                       "[0, 1] (got %g)", eng.kvNvmeAdmitProb);
+    }
+    if ((eng.hostCacheBlocks > 0 || eng.nvmeCacheBlocks > 0) &&
+        !eng.enablePrefixCaching) {
+        AGENTSIM_FATAL("kv tiers: spill tiers need prefix caching "
+                       "(tier entries are identified by chain hash)");
+    }
+    if (!(eng.node.hostOffloadBandwidth > 0))
+        AGENTSIM_FATAL("kv tiers: host offload bandwidth must be > 0");
+    if (!(eng.node.nvmeReadBandwidth > 0))
+        AGENTSIM_FATAL("kv tiers: NVMe read bandwidth must be > 0");
+
     const ArrivalPattern &arr = config.arrival;
     if (arr.kind == ArrivalPattern::Kind::Diurnal) {
         if (!(arr.periodSeconds > 0))

@@ -223,6 +223,11 @@ metricDirection(const std::string &name)
         contains(name, "attainment")) {
         return MetricDirection::HigherIsBetter;
     }
+    // KV spill-tier effectiveness: tokens restored instead of
+    // recomputed are a win to hold; tier churn (demotions) is context
+    // only and stays informational via the fallthrough.
+    if (endsWith(name, "_restored_tokens"))
+        return MetricDirection::HigherIsBetter;
     if (endsWith(name, "_seconds") || endsWith(name, "_p50") ||
         endsWith(name, "_p95") || endsWith(name, "_p99") ||
         endsWith(name, "_joules") || endsWith(name, "_wh") ||

@@ -1,6 +1,7 @@
 #include "kv/block_manager.hh"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "sim/logging.hh"
 #include "sim/rng.hh"
@@ -17,12 +18,34 @@ BlockManager::BlockManager(const BlockManagerConfig &config)
         AGENTSIM_FATAL("KV block size must be positive");
     if (config_.hostCacheBlocks < 0)
         AGENTSIM_FATAL("negative host cache size");
+    if (config_.nvmeCacheBlocks < 0)
+        AGENTSIM_FATAL("negative NVMe cache size");
+    if (config_.dramAdmitProb < 0.0 || config_.dramAdmitProb > 1.0)
+        AGENTSIM_FATAL("dramAdmitProb outside [0, 1]");
+    if (config_.nvmeAdmitProb < 0.0 || config_.nvmeAdmitProb > 1.0)
+        AGENTSIM_FATAL("nvmeAdmitProb outside [0, 1]");
 
     blocks_.resize(static_cast<std::size_t>(config_.numBlocks));
     freeList_.reserve(blocks_.size());
     // Pop order: ascending ids first (cosmetic determinism).
     for (std::int64_t i = config_.numBlocks - 1; i >= 0; --i)
         freeList_.push_back(static_cast<BlockId>(i));
+
+    tiers_[0].capacity = config_.hostCacheBlocks;
+    tiers_[0].admitProb = config_.dramAdmitProb;
+    tiers_[0].mode = config_.dramMode;
+    tiers_[1].capacity = config_.nvmeCacheBlocks;
+    tiers_[1].admitProb = config_.nvmeAdmitProb;
+    tiers_[1].mode = config_.nvmeMode;
+
+    // The migration stream exists only when a probabilistic decision
+    // can actually occur; deterministic configs never construct (or
+    // advance) it, so they stay bit-identical to a build without it.
+    const bool probabilistic =
+        (tiers_[0].enabled() && tiers_[0].admitProb < 1.0) ||
+        (tiers_[1].enabled() && tiers_[1].admitProb < 1.0);
+    if (probabilistic)
+        tierRng_.emplace(config_.seed, "kv.tier");
 }
 
 std::uint64_t
@@ -33,6 +56,24 @@ BlockManager::chunkHash(std::uint64_t prev_hash,
     for (TokenId t : chunk)
         h = sim::hashCombine(h, t);
     return h;
+}
+
+std::vector<std::uint64_t>
+BlockManager::chainHashes(std::span<const TokenId> tokens) const
+{
+    const int bs = config_.blockSize;
+    const std::int64_t n_full =
+        static_cast<std::int64_t>(tokens.size()) / bs;
+    std::vector<std::uint64_t> hashes;
+    hashes.reserve(static_cast<std::size_t>(n_full));
+    std::uint64_t prev = 0;
+    for (std::int64_t b = 0; b < n_full; ++b) {
+        prev = chunkHash(
+            prev, tokens.subspan(static_cast<std::size_t>(b * bs),
+                                 static_cast<std::size_t>(bs)));
+        hashes.push_back(prev);
+    }
+    return hashes;
 }
 
 std::int64_t
@@ -77,18 +118,20 @@ BlockManager::allocatePrompt(SeqId seq_id,
     const std::int64_t n_blocks = blocksNeeded(n_tokens);
 
     // Phase 1: probe for the longest contiguous run of reusable full
-    // blocks from position zero — GPU-cached (hit) or host-resident
-    // (restore). No state is mutated.
+    // blocks from position zero — GPU-cached (hit) or spill-tier
+    // resident (restore; DRAM probed before NVMe so a dual-resident
+    // block restores at the cheaper price). No state is mutated.
     enum class Reuse
     {
         GpuHit,
-        HostRestore,
+        TierRestore,
     };
     struct Probe
     {
         Reuse kind;
         BlockId block; // valid for GpuHit
         std::uint64_t hash;
+        std::size_t tier; // valid for TierRestore
     };
     std::vector<std::uint64_t> hashes;
     std::vector<Probe> reuse;
@@ -105,10 +148,11 @@ BlockManager::allocatePrompt(SeqId seq_id,
                 continue;
             if (auto it = cacheTable_.find(h);
                 it != cacheTable_.end()) {
-                reuse.push_back({Reuse::GpuHit, it->second, h});
-            } else if (hostCache_.contains(h)) {
-                reuse.push_back(
-                    {Reuse::HostRestore, BlockId{-1}, h});
+                reuse.push_back({Reuse::GpuHit, it->second, h, 0});
+            } else if (tiers_[0].contains(h)) {
+                reuse.push_back({Reuse::TierRestore, BlockId{-1}, h, 0});
+            } else if (tiers_[1].contains(h)) {
+                reuse.push_back({Reuse::TierRestore, BlockId{-1}, h, 1});
             } else {
                 chain_alive = false;
             }
@@ -116,17 +160,23 @@ BlockManager::allocatePrompt(SeqId seq_id,
     }
 
     std::int64_t gpu_hits = 0;
-    std::int64_t restores = 0;
+    std::int64_t dram_restores = 0;
+    std::int64_t nvme_restores = 0;
     for (const auto &p : reuse) {
         if (p.kind == Reuse::GpuHit)
             ++gpu_hits;
+        else if (p.tier == 0)
+            ++dram_restores;
         else
-            ++restores;
+            ++nvme_restores;
     }
+    const std::int64_t restores = dram_restores + nvme_restores;
     if (config_.enablePrefixCaching) {
         stats_.lookupTokens += n_full * bs;
         stats_.hitTokens += gpu_hits * bs;
         stats_.restoredTokens += restores * bs;
+        stats_.dram.restoredTokens += dram_restores * bs;
+        stats_.nvme.restoredTokens += nvme_restores * bs;
     }
 
     // Phase 2: feasibility. GPU-hit blocks that are currently
@@ -162,13 +212,15 @@ BlockManager::allocatePrompt(SeqId seq_id,
         }
     }
     for (std::size_t i = 0; i < reuse.size(); ++i) {
-        if (reuse[i].kind == Reuse::HostRestore) {
-            // Restore from host: a fresh GPU block receives the
-            // transferred contents and is re-published.
+        if (reuse[i].kind == Reuse::TierRestore) {
+            // Restore from the spill tier: a fresh GPU block receives
+            // the transferred contents and is re-published. The tier
+            // entry is consumed per the tier's residency mode.
             const BlockId id = acquireFreshBlock();
             blocks_[static_cast<std::size_t>(id)].refCount = 1;
             seq.blocks[i] = id;
             publishBlock(id, reuse[i].hash);
+            noteTierRestore(reuse[i].tier, reuse[i].hash);
         }
     }
     for (std::int64_t b = static_cast<std::int64_t>(reuse.size());
@@ -185,6 +237,8 @@ BlockManager::allocatePrompt(SeqId seq_id,
     PromptAlloc result;
     result.cachedTokens = gpu_hits * bs;
     result.restoredTokens = restores * bs;
+    result.dramRestoredTokens = dram_restores * bs;
+    result.nvmeRestoredTokens = nvme_restores * bs;
     result.freshBlocks = fresh_needed;
     seqs_.emplace(seq_id, std::move(seq));
     // The restore+hit interleaving is the risky path; verify the
@@ -240,7 +294,6 @@ BlockManager::exportChain(SeqId seq_id) const
                     "exportChain of unknown sequence");
     ChainExport out;
     out.tokens = it->second.tokens;
-    out.blocks = static_cast<std::int64_t>(it->second.blocks.size());
     return out;
 }
 
@@ -275,8 +328,10 @@ BlockManager::reset()
     cacheTable_.clear();
     evictable_.clear();
     seqs_.clear();
-    hostCache_.clear();
-    hostLru_.clear();
+    for (auto &tier : tiers_) {
+        tier.entries.clear();
+        tier.lru.clear();
+    }
 }
 
 std::int64_t
@@ -288,8 +343,14 @@ BlockManager::preloadPrefix(std::span<const TokenId> tokens)
     const std::int64_t n_full =
         static_cast<std::int64_t>(tokens.size()) / bs;
     if (n_full > config_.numBlocks)
-        return -1;
+        return -1; // can never fit, even in an empty pool
 
+    // Blocks of *this* prefix: every one already resident or placed
+    // below. The eviction guard keeps them off the victim list so a
+    // partial preload is always a contiguous, resident head — without
+    // the guard, acquireFreshBlock() could silently cannibalize the
+    // blocks this very loop just paid to transfer.
+    std::unordered_set<BlockId> prefix_blocks;
     std::int64_t populated = 0;
     std::uint64_t prev = 0;
     for (std::int64_t b = 0; b < n_full; ++b) {
@@ -297,21 +358,104 @@ BlockManager::preloadPrefix(std::span<const TokenId> tokens)
             prev, tokens.subspan(static_cast<std::size_t>(b * bs),
                                  static_cast<std::size_t>(bs)));
         prev = h;
-        if (cacheTable_.contains(h))
-            continue; // already resident
+        if (auto it = cacheTable_.find(h); it != cacheTable_.end()) {
+            // Already resident. Shield it like a placed block, and
+            // under LRU refresh its recency (a preload is an access).
+            Block &block = blocks_[static_cast<std::size_t>(it->second)];
+            if (block.refCount == 0 &&
+                config_.evictionPolicy == EvictionPolicy::Lru) {
+                evictable_.erase(block.lruKey);
+                block.lruKey = lruCounter_++;
+                evictable_.emplace(block.lruKey, it->second);
+            }
+            prefix_blocks.insert(it->second);
+            continue;
+        }
         if (availableBlocks() == 0)
-            return populated; // pool full: partial preload
+            return populated; // pool full: honest partial preload
+        if (freeList_.empty() &&
+            prefix_blocks.contains(evictable_.begin()->second)) {
+            // The only eviction victim left is part of this prefix:
+            // placing one more block would un-place another.
+            return populated;
+        }
         const BlockId id = acquireFreshBlock();
-        Block &block = blocks_[static_cast<std::size_t>(id)];
-        publishBlock(id, h);
-        // Immediately evictable: owned by the cache, not a sequence.
-        block.lruKey = config_.evictionPolicy == EvictionPolicy::Lru
-                           ? lruCounter_++
-                           : block.publishKey;
-        evictable_.emplace(block.lruKey, id);
+        publishEvictable(id, h);
+        prefix_blocks.insert(id);
         ++populated;
     }
     return populated;
+}
+
+std::int64_t
+BlockManager::parkChain(std::span<const TokenId> tokens)
+{
+    if (!config_.enablePrefixCaching || !spillTiersEnabled())
+        return 0;
+    const auto hashes = chainHashes(tokens);
+    std::int64_t parked = 0;
+    // Tail first: the restore probe dies at the first missing block,
+    // so the chain head must be the *youngest* tier entry — losing the
+    // tail truncates, losing the head forfeits the whole chain.
+    for (auto it = hashes.rbegin(); it != hashes.rend(); ++it) {
+        auto entry = cacheTable_.find(*it);
+        if (entry == cacheTable_.end())
+            continue;
+        const BlockId id = entry->second;
+        Block &b = blocks_[static_cast<std::size_t>(id)];
+        if (b.refCount > 0)
+            continue; // pinned by a live sequence: not idle
+        AGENTSIM_ASSERT(b.lruKey != 0, "idle cached block not on LRU");
+        evictable_.erase(b.lruKey);
+        cacheTable_.erase(entry);
+        // Deliberate demotion bypasses the probabilistic filter.
+        demoteFromGpu(b.hash, /*forced=*/true);
+        freeList_.push_back(id);
+        b = Block{};
+        ++parked;
+    }
+    return parked;
+}
+
+PrefetchResult
+BlockManager::prefetchChain(std::span<const TokenId> tokens)
+{
+    PrefetchResult out;
+    if (!config_.enablePrefixCaching)
+        return out;
+    const int bs = config_.blockSize;
+    const auto hashes = chainHashes(tokens);
+    std::unordered_set<BlockId> placed;
+    for (const std::uint64_t h : hashes) {
+        if (cacheTable_.contains(h))
+            continue; // already on the GPU
+        std::size_t tier = kNumSpillTiers;
+        if (tiers_[0].contains(h))
+            tier = 0;
+        else if (tiers_[1].contains(h))
+            tier = 1;
+        if (tier == kNumSpillTiers)
+            break; // chain dead beyond this point
+        if (availableBlocks() == 0)
+            break; // pool full: promote what we could
+        if (freeList_.empty() &&
+            placed.contains(evictable_.begin()->second))
+            break; // would cannibalize a block promoted just now
+        const BlockId id = acquireFreshBlock();
+        publishEvictable(id, h);
+        placed.insert(id);
+        noteTierRestore(tier, h);
+        ++out.blocks;
+        if (tier == 0) {
+            out.dramTokens += bs;
+            stats_.dram.restoredTokens += bs;
+        } else {
+            out.nvmeTokens += bs;
+            stats_.nvme.restoredTokens += bs;
+        }
+        stats_.restoredTokens += bs;
+    }
+    return out;
 }
 
 BlockId
@@ -334,9 +478,9 @@ BlockManager::acquireFreshBlock()
     Block &b = blocks_[static_cast<std::size_t>(id)];
     if (b.inTable) {
         cacheTable_.erase(b.hash);
-        // The contents spill to the host tier instead of vanishing.
-        if (config_.hostCacheBlocks > 0)
-            spillToHost(b.hash);
+        // The contents demote into the spill hierarchy instead of
+        // vanishing (subject to probabilistic admission).
+        demoteFromGpu(b.hash, /*forced=*/false);
     }
     ++stats_.evictions;
     b = Block{};
@@ -370,6 +514,20 @@ BlockManager::publishBlock(BlockId id, std::uint64_t hash)
 }
 
 void
+BlockManager::publishEvictable(BlockId id, std::uint64_t hash)
+{
+    Block &block = blocks_[static_cast<std::size_t>(id)];
+    publishBlock(id, hash);
+    AGENTSIM_ASSERT(block.inTable,
+                    "publishEvictable of already-cached hash");
+    // Immediately evictable: owned by the cache, not a sequence.
+    block.lruKey = config_.evictionPolicy == EvictionPolicy::Lru
+                       ? lruCounter_++
+                       : block.publishKey;
+    evictable_.emplace(block.lruKey, id);
+}
+
+void
 BlockManager::unrefBlock(BlockId id)
 {
     Block &b = blocks_[static_cast<std::size_t>(id)];
@@ -388,26 +546,99 @@ BlockManager::unrefBlock(BlockId id)
     }
 }
 
-void
-BlockManager::spillToHost(std::uint64_t hash)
+TierStats &
+BlockManager::tierStats(std::size_t index)
 {
-    if (auto it = hostCache_.find(hash); it != hostCache_.end()) {
-        // Refresh recency.
-        hostLru_.erase(it->second);
-        it->second = lruCounter_++;
-        hostLru_.emplace(it->second, hash);
+    return index == 0 ? stats_.dram : stats_.nvme;
+}
+
+bool
+BlockManager::tierAdmits(std::size_t index)
+{
+    const double p = tiers_[index].admitProb;
+    // Degenerate probabilities never draw, so configs without real
+    // randomness leave the stream untouched (and unconstructed).
+    if (p >= 1.0)
+        return true;
+    if (p <= 0.0)
+        return false;
+    AGENTSIM_ASSERT(tierRng_.has_value(),
+                    "probabilistic tier without migration stream");
+    return tierRng_->bernoulli(p);
+}
+
+void
+BlockManager::demoteFromGpu(std::uint64_t hash, bool forced)
+{
+    for (std::size_t i = 0; i < kNumSpillTiers; ++i) {
+        if (!tiers_[i].enabled())
+            continue;
+        if (forced || tierAdmits(i))
+            spillToTier(i, hash);
+        else
+            ++tierStats(i).rejectedBlocks;
         return;
     }
-    if (static_cast<std::int64_t>(hostCache_.size()) >=
-        config_.hostCacheBlocks) {
-        // Evict the oldest host entry.
-        auto oldest = hostLru_.begin();
-        hostCache_.erase(oldest->second);
-        hostLru_.erase(oldest);
+}
+
+void
+BlockManager::spillToTier(std::size_t index, std::uint64_t hash)
+{
+    SpillTier &tier = tiers_[index];
+    AGENTSIM_ASSERT(tier.enabled(), "spill into disabled tier");
+    if (auto it = tier.entries.find(hash); it != tier.entries.end()) {
+        // Already resident: refresh recency.
+        tier.lru.erase(it->second);
+        it->second = lruCounter_++;
+        tier.lru.emplace(it->second, hash);
+        return;
+    }
+    if (static_cast<std::int64_t>(tier.entries.size()) >=
+        tier.capacity) {
+        // Capacity victim sinks into the next enabled tier (through
+        // its own admission filter) or falls out of the hierarchy.
+        auto oldest = tier.lru.begin();
+        const std::uint64_t victim = oldest->second;
+        tier.entries.erase(victim);
+        tier.lru.erase(oldest);
+        ++tierStats(index).evictedBlocks;
+        for (std::size_t next = index + 1; next < kNumSpillTiers;
+             ++next) {
+            if (!tiers_[next].enabled())
+                continue;
+            if (tierAdmits(next))
+                spillToTier(next, victim);
+            else
+                ++tierStats(next).rejectedBlocks;
+            break;
+        }
     }
     const std::uint64_t key = lruCounter_++;
-    hostCache_.emplace(hash, key);
-    hostLru_.emplace(key, hash);
+    tier.entries.emplace(hash, key);
+    tier.lru.emplace(key, hash);
+    ++tierStats(index).demotedBlocks;
+}
+
+void
+BlockManager::noteTierRestore(std::size_t index, std::uint64_t hash)
+{
+    SpillTier &tier = tiers_[index];
+    auto it = tier.entries.find(hash);
+    if (it == tier.entries.end())
+        return; // pushed out by demotions earlier in this commit
+    if (tier.mode == TierMode::Exclusive) {
+        // Reclaim: the contents now live on the GPU; keeping the tier
+        // copy would waste capacity on a duplicate whose recency
+        // never updates (the pre-tier design's exact bug).
+        tier.lru.erase(it->second);
+        tier.entries.erase(it);
+    } else {
+        // Inclusive: keep the copy, but mark it as just-used so cold
+        // entries are evicted before it.
+        tier.lru.erase(it->second);
+        it->second = lruCounter_++;
+        tier.lru.emplace(it->second, hash);
+    }
 }
 
 void
@@ -439,16 +670,19 @@ BlockManager::checkInvariants() const
         AGENTSIM_ASSERT(b.inTable && b.hash == hash,
                         "corrupt cache-table entry");
     }
-    AGENTSIM_ASSERT(hostCache_.size() == hostLru_.size(),
-                    "host tier maps out of sync");
-    AGENTSIM_ASSERT(static_cast<std::int64_t>(hostCache_.size()) <=
-                        std::max<std::int64_t>(config_.hostCacheBlocks,
-                                               0),
-                    "host tier over capacity");
-    for (const auto &[key, hash] : hostLru_) {
-        auto it = hostCache_.find(hash);
-        AGENTSIM_ASSERT(it != hostCache_.end() && it->second == key,
-                        "corrupt host LRU entry");
+    for (std::size_t i = 0; i < kNumSpillTiers; ++i) {
+        const SpillTier &tier = tiers_[i];
+        AGENTSIM_ASSERT(tier.entries.size() == tier.lru.size(),
+                        "tier %zu maps out of sync", i);
+        AGENTSIM_ASSERT(static_cast<std::int64_t>(tier.entries.size()) <=
+                            std::max<std::int64_t>(tier.capacity, 0),
+                        "tier %zu over capacity", i);
+        for (const auto &[key, hash] : tier.lru) {
+            auto it = tier.entries.find(hash);
+            AGENTSIM_ASSERT(it != tier.entries.end() &&
+                                it->second == key,
+                            "corrupt tier %zu LRU entry", i);
+        }
     }
 }
 

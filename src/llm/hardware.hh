@@ -71,6 +71,12 @@ struct NodeSpec
      * CPU-memory spill tier (PCIe 4.0 x16 effective), bytes/s.
      */
     double hostOffloadBandwidth = 25e9;
+    /**
+     * Sustained read bandwidth of the node's NVMe KV spill tier
+     * (datacenter Gen4 SSD), bytes/s. Writes ride the same budget —
+     * the simulator prices tier traffic symmetrically.
+     */
+    double nvmeReadBandwidth = 3.5e9;
 
     /** Aggregate achievable FLOP/s across the node. */
     double effectiveFlops() const;

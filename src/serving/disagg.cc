@@ -43,15 +43,23 @@ DisaggServer::generate(GenRequest request)
         co_return head;
     }
 
-    // Phase 2: the prompt's KV crosses the interconnect.
-    const double kv_bytes =
-        static_cast<double>(prompt.size() + 1) *
-        static_cast<double>(
-            config_.decodeNode.model.kvBytesPerToken());
-    co_await sim::delaySec(sim_,
-                           kv_bytes / config_.interconnectBandwidth);
+    // Phase 2: the prompt's KV crosses the interconnect. Preload
+    // first, then charge for what actually landed: blocks the decode
+    // node already holds (a shared workflow prefix, an earlier turn)
+    // never cross the wire, and a partial preload — the pool filled,
+    // or one more block would have evicted this prefix's own head —
+    // only pays for the blocks that stayed resident.
     prompt.push_back(head.tokens.front());
-    decode_->preloadPrefix(prompt);
+    const std::int64_t populated = decode_->preloadPrefix(prompt);
+    if (populated > 0) {
+        const double wire_bytes =
+            static_cast<double>(populated) *
+            static_cast<double>(config_.decodeNode.blockSize) *
+            static_cast<double>(
+                config_.decodeNode.model.kvBytesPerToken());
+        co_await sim::delaySec(
+            sim_, wire_bytes / config_.interconnectBandwidth);
+    }
 
     // Phase 3: remaining tokens on the decode node; the preloaded
     // prefix turns its "prefill" into a cache hit.

@@ -51,7 +51,13 @@ LlmEngine::LlmEngine(sim::Simulation &sim, const EngineConfig &config)
                                      config.blockSize,
                                      config.enablePrefixCaching,
                                      config.evictionPolicy,
-                                     config.hostCacheBlocks}),
+                                     config.hostCacheBlocks,
+                                     config.kvDramAdmitProb,
+                                     config.kvDramTierMode,
+                                     config.nvmeCacheBlocks,
+                                     config.kvNvmeAdmitProb,
+                                     config.kvNvmeTierMode,
+                                     config.seed}),
       sampler_(telemetry::SamplerConfig{config.samplerStride,
                                         config.samplerCapacity}),
       loop_(runLoop())
@@ -246,6 +252,7 @@ LlmEngine::generate(GenRequest request, std::uint64_t *handle_out)
     req->sessionId = request.sessionId;
     req->prompt = std::move(request.prompt);
     req->maxNewTokens = request.maxNewTokens;
+    req->parkSeconds = request.expectedParkSeconds;
     req->submitTick = sim_.now();
     req->firstPromptLen = static_cast<std::int64_t>(req->prompt.size());
     if (request.deadlineSeconds > 0) {
@@ -388,6 +395,7 @@ LlmEngine::finishRequest(const ReqPtr &req)
     ++stats_.requestsCompleted;
     sessionService_[req->sessionId] +=
         req->prefillSecondsAcc + req->decodeSecondsAcc;
+    maybeParkChain(req);
 
     GenResult r;
     r.tokens = req->output;
@@ -414,6 +422,83 @@ LlmEngine::finishRequest(const ReqPtr &req)
                       r.totalSeconds);
     }
     req->done.set(std::move(r));
+}
+
+void
+LlmEngine::maybeParkChain(const ReqPtr &req)
+{
+    if (req->parkSeconds <= 0.0 || !config_.enablePrefixCaching ||
+        !blocks_.spillTiersEnabled()) {
+        return;
+    }
+    // Parking trades a free HBM hit for a priced restore, so it only
+    // pays off under contention: someone is waiting for blocks, or
+    // live sequences pin most of the pool (the finishing request's
+    // own blocks were already released above).
+    const double pinned_fraction =
+        static_cast<double>(blocks_.usedBlocks()) /
+        static_cast<double>(std::max<std::int64_t>(
+            blocks_.totalBlocks(), 1));
+    if (waiting_.empty() &&
+        pinned_fraction < config_.parkUtilizationThreshold) {
+        return;
+    }
+    // The continuation's prompt extends this request's full chain
+    // (prompt + output); that is what must survive the tool wait.
+    std::vector<kv::TokenId> chain = req->prompt;
+    chain.insert(chain.end(), req->output.begin(), req->output.end());
+    const std::int64_t parked = blocks_.parkChain(chain);
+    if (parked <= 0)
+        return;
+    ++stats_.parkedChains;
+    stats_.parkedBlocks += parked;
+
+    const double block_bytes = static_cast<double>(blockBytes());
+    const double demote_seconds =
+        static_cast<double>(parked) * block_bytes /
+        config_.node.hostOffloadBandwidth;
+    stats_.parkDemoteSeconds += demote_seconds;
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kRequests, req->id,
+                        "kv_park", "request", sim_.now());
+    }
+
+    // Schedule the promotion so it completes just before the
+    // continuation wakes: lead time = the restore estimate (parking
+    // demotes into the first enabled tier — DRAM unless only NVMe is
+    // configured). Never earlier than the demotion itself finishes.
+    const double restore_bw = blocks_.tierCapacity(kv::Tier::Dram) > 0
+                                  ? config_.node.hostOffloadBandwidth
+                                  : config_.node.nvmeReadBandwidth;
+    const double restore_estimate =
+        static_cast<double>(parked) * block_bytes / restore_bw;
+    const double delay = std::max(
+        demote_seconds, req->parkSeconds - restore_estimate);
+    const std::uint64_t trace_id = req->id;
+    sim_.schedule(
+        sim::fromSeconds(delay),
+        [this, trace_id, chain = std::move(chain)]() {
+            if (!online_)
+                return; // chain died with the node's memory
+            const auto got = blocks_.prefetchChain(chain);
+            if (got.blocks <= 0)
+                return;
+            stats_.prefetchedBlocks += got.blocks;
+            const double kv_bytes = static_cast<double>(
+                config_.model.kvBytesPerToken());
+            stats_.parkRestoreSeconds +=
+                static_cast<double>(got.dramTokens) * kv_bytes /
+                    config_.node.hostOffloadBandwidth +
+                static_cast<double>(got.nvmeTokens) * kv_bytes /
+                    config_.node.nvmeReadBandwidth;
+            updateGauges();
+            if (trace_ != nullptr) {
+                trace_->instant(telemetry::TracePid::kRequests,
+                                trace_id, "kv_prefetch", "request",
+                                sim_.now());
+            }
+        });
+    updateGauges();
 }
 
 void
@@ -750,8 +835,11 @@ LlmEngine::importRequest(MigratedRequest migrated,
         auto alloc = blocks_.importChain(req->id, migrated.chainTokens);
         if (alloc.has_value()) {
             warm = true;
-            // Locally cached (or host-resident) prefix blocks never
-            // cross the interconnect; host restores pay PCIe instead.
+            // Locally cached (or tier-resident) prefix blocks never
+            // cross the interconnect; tier restores pay PCIe (DRAM)
+            // or the NVMe read instead. Wire size comes from this
+            // import-side allocation — the source's block count would
+            // include prefix-cached blocks we reuse locally.
             const std::int64_t wire_tokens = std::max<std::int64_t>(
                 0, migrated.computedTokens - alloc->reusedTokens());
             const double kv_bytes = static_cast<double>(
@@ -759,8 +847,10 @@ LlmEngine::importRequest(MigratedRequest migrated,
             transfer_seconds =
                 static_cast<double>(wire_tokens) * kv_bytes /
                     interconnect_bandwidth +
-                static_cast<double>(alloc->restoredTokens) * kv_bytes /
-                    config_.node.hostOffloadBandwidth;
+                static_cast<double>(alloc->dramRestoredTokens) *
+                    kv_bytes / config_.node.hostOffloadBandwidth +
+                static_cast<double>(alloc->nvmeRestoredTokens) *
+                    kv_bytes / config_.node.nvmeReadBandwidth;
             req->transferSecondsAcc += transfer_seconds;
             req->ledger.transferSeconds += transfer_seconds;
             stats_.migrationSeconds += transfer_seconds;
@@ -986,13 +1076,18 @@ LlmEngine::buildStep()
         chargeQueue(*req);
         chargeKv(*req); // opens the occupancy charging interval
 
-        // Host-tier restores skip prefill but pay a PCIe transfer.
+        // Spill-tier restores skip prefill but pay the transfer back
+        // to HBM: PCIe for the DRAM tier, NVMe read for the flash
+        // tier.
         double restore_seconds = 0.0;
         if (alloc->restoredTokens > 0) {
+            const double kv_bytes = static_cast<double>(
+                config_.model.kvBytesPerToken());
             restore_seconds =
-                static_cast<double>(alloc->restoredTokens *
-                                    config_.model.kvBytesPerToken()) /
-                config_.node.hostOffloadBandwidth;
+                static_cast<double>(alloc->dramRestoredTokens) *
+                    kv_bytes / config_.node.hostOffloadBandwidth +
+                static_cast<double>(alloc->nvmeRestoredTokens) *
+                    kv_bytes / config_.node.nvmeReadBandwidth;
             plan.extraSeconds += restore_seconds;
             req->transferSecondsAcc += restore_seconds;
             req->ledger.transferSeconds += restore_seconds;
@@ -1394,11 +1489,61 @@ LlmEngine::exportMetrics(telemetry::MetricsRegistry &registry) const
                 "Prompt tokens served from the prefix cache",
                 static_cast<double>(cache.hitTokens));
     set_counter("agentsim_kv_restored_tokens_total",
-                "Tokens restored from the host spill tier",
+                "Tokens restored from the KV spill tiers",
                 static_cast<double>(cache.restoredTokens));
     set_counter("agentsim_kv_evictions_total",
                 "Cached blocks evicted",
                 static_cast<double>(cache.evictions));
+
+    auto tier_counters = [&](const char *tier, const kv::TierStats &t,
+                             std::int64_t resident,
+                             std::int64_t capacity) {
+        auto name = [&](const char *suffix) {
+            return sim::strfmt("agentsim_kv_tier_%s_%s", tier, suffix);
+        };
+        registry
+            .counter(name("demotions_total"),
+                     "Blocks admitted into this KV spill tier")
+            .set(static_cast<double>(t.demotedBlocks));
+        registry
+            .counter(name("rejects_total"),
+                     "Demotion candidates skipped by probabilistic "
+                     "admission")
+            .set(static_cast<double>(t.rejectedBlocks));
+        registry
+            .counter(name("evictions_total"),
+                     "Blocks pushed out of this tier by its capacity")
+            .set(static_cast<double>(t.evictedBlocks));
+        registry
+            .counter(name("restored_tokens_total"),
+                     "Tokens restored from this tier back to HBM")
+            .set(static_cast<double>(t.restoredTokens));
+        registry.gauge(name("blocks"), "Blocks resident in this tier")
+            .set(now, static_cast<double>(resident));
+        registry
+            .gauge(name("capacity_blocks"),
+                   "Configured tier capacity in blocks")
+            .set(now, static_cast<double>(capacity));
+    };
+    tier_counters("dram", cache.dram, blocks_.hostCachedBlocks(),
+                  blocks_.tierCapacity(kv::Tier::Dram));
+    tier_counters("nvme", cache.nvme, blocks_.nvmeCachedBlocks(),
+                  blocks_.tierCapacity(kv::Tier::Nvme));
+    set_counter("agentsim_kv_park_chains_total",
+                "Chains demoted by tool-call-aware parking",
+                static_cast<double>(stats_.parkedChains));
+    set_counter("agentsim_kv_park_blocks_total",
+                "Blocks demoted by tool-call-aware parking",
+                static_cast<double>(stats_.parkedBlocks));
+    set_counter("agentsim_kv_park_prefetched_blocks_total",
+                "Blocks promoted back by the pre-wake prefetch",
+                static_cast<double>(stats_.prefetchedBlocks));
+    set_counter("agentsim_kv_park_demote_seconds_total",
+                "Background PCIe seconds writing parked chains out",
+                stats_.parkDemoteSeconds);
+    set_counter("agentsim_kv_park_restore_seconds_total",
+                "Background seconds prefetching parked chains back",
+                stats_.parkRestoreSeconds);
 
     set_gauge("agentsim_kv_blocks_used",
               "KV blocks pinned by live sequences",

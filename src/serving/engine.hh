@@ -76,6 +76,27 @@ struct EngineConfig
     kv::EvictionPolicy evictionPolicy = kv::EvictionPolicy::Lru;
     /** Host-memory KV spill tier, in blocks (0 disables). */
     std::int64_t hostCacheBlocks = 0;
+    /** Probability an HBM eviction victim is admitted into the DRAM
+     *  tier (Spitfire-style probabilistic migration). */
+    double kvDramAdmitProb = 1.0;
+    /** Residency discipline of the DRAM tier. */
+    kv::TierMode kvDramTierMode = kv::TierMode::Exclusive;
+    /** Simulated NVMe KV spill tier, in blocks (0 disables). DRAM
+     *  capacity victims sink here; restores pay the NVMe read. */
+    std::int64_t nvmeCacheBlocks = 0;
+    /** Probability a DRAM victim (or HBM victim when the DRAM tier is
+     *  disabled) is admitted into the NVMe tier. */
+    double kvNvmeAdmitProb = 1.0;
+    /** Residency discipline of the NVMe tier. */
+    kv::TierMode kvNvmeTierMode = kv::TierMode::Exclusive;
+    /**
+     * Tool-call parking engages only when the HBM pool is contended:
+     * requests are waiting, or live sequences pin at least this
+     * fraction of the pool. An uncontended pool keeps the chain
+     * resident — demoting it would trade a free HBM hit for a priced
+     * restore. 0 parks every hinted chain unconditionally.
+     */
+    double parkUtilizationThreshold = 0.5;
     /**
      * Bytes of GPU memory reserved for the KV pool. Zero means
      * "derive from hardware": total HBM minus weights minus a 10%
@@ -187,6 +208,27 @@ struct EngineStats
      * to keep this near zero.
      */
     double lostPrefillSeconds = 0.0;
+
+    /**
+     * Tool-call-aware parking: finished requests that announced an
+     * expected park duration and had their chain demoted to the spill
+     * tiers while the agent waits on its tool call.
+     */
+    std::int64_t parkedChains = 0;
+    /** Blocks demoted by parking (freed HBM during the tool wait). */
+    std::int64_t parkedBlocks = 0;
+    /** Blocks promoted back to HBM by the pre-wake prefetch. */
+    std::int64_t prefetchedBlocks = 0;
+    /**
+     * Background PCIe seconds writing parked chains to DRAM. Off the
+     * step critical path: the GPU serves other work meanwhile.
+     */
+    double parkDemoteSeconds = 0.0;
+    /**
+     * Background restore seconds (PCIe and/or NVMe read) spent
+     * prefetching parked chains before their continuation arrives.
+     */
+    double parkRestoreSeconds = 0.0;
 };
 
 /**
@@ -483,6 +525,9 @@ class LlmEngine
         std::int64_t cachedPromptTokens = 0;
         std::int64_t firstPromptLen = 0;
         int preemptions = 0;
+        /** Agent's expected tool-call wait after this request (s);
+         *  > 0 arms tool-call-aware KV parking at completion. */
+        double parkSeconds = 0.0;
 
         /** Attributed resource charges (serving/cost.hh). */
         CostLedger ledger;
@@ -584,6 +629,15 @@ class LlmEngine
 
     /** Complete a request and release its sequence. */
     void finishRequest(const ReqPtr &req);
+
+    /**
+     * Tool-call-aware parking, run at request completion: when the
+     * request announced an expected tool wait and a spill tier is
+     * enabled, demote its now-idle chain out of HBM and schedule a
+     * prefetch that promotes it back just before the continuation
+     * wakes. Both transfers happen off the step critical path.
+     */
+    void maybeParkChain(const ReqPtr &req);
 
     /** Why a request is being cancelled. */
     enum class CancelCause

@@ -43,6 +43,17 @@ struct GenRequest
     double deadlineSeconds = 0.0;
 
     /**
+     * Agent-layer hint: expected seconds until this session's next
+     * request, because the agent will block on a tool call in between
+     * (paper §IV-A: ~1.2 s Wikipedia lookups with the GPU idle). When
+     * > 0 and a KV spill tier is configured, the engine parks the
+     * finished request's chain — demoting it out of HBM for the wait
+     * and prefetching it back just before the continuation arrives.
+     * 0 (default) disables parking.
+     */
+    double expectedParkSeconds = 0.0;
+
+    /**
      * Caller's causal span (the LlmCall of an agent step, or a chat
      * turn root). When valid and a SpanCollector is attached, the
      * engine hangs queue/prefill/decode/migration phase spans under

@@ -158,4 +158,15 @@ ToolSet::totalInvocations() const
     return total;
 }
 
+double
+ToolSet::meanLatencySeconds() const
+{
+    if (tools_.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto &t : tools_)
+        total += t->expectedLatencySeconds();
+    return total / static_cast<double>(tools_.size());
+}
+
 } // namespace agentsim::tools

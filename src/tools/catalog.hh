@@ -52,6 +52,14 @@ class SelfTestTool : public Tool
 
     bool usesGpu() const override { return true; }
 
+    double expectedLatencySeconds() const override
+    {
+        // Only the sandboxed execution leaves the GPU idle; the
+        // test-generation LLM call keeps it busy and must not be
+        // counted as parkable time.
+        return 0.25;
+    }
+
   protected:
     sim::Task<ToolResult> execute(sim::Rng &rng) override;
 
@@ -87,6 +95,14 @@ class ToolSet
 
     /** Total invocations across all tools. */
     std::int64_t totalInvocations() const;
+
+    /**
+     * Expected GPU-idle seconds of an upcoming tool call under the
+     * uniform pick policy: the mean of the tools' own estimates. The
+     * agent layer passes this as the KV-parking hint when it knows a
+     * tool call follows the LLM step it is about to issue.
+     */
+    double meanLatencySeconds() const;
 
   private:
     std::vector<std::unique_ptr<Tool>> tools_;

@@ -120,6 +120,13 @@ class Tool
     virtual bool usesGpu() const { return false; }
 
     /**
+     * Expected GPU-idle wall time of one invocation, seconds — the
+     * agent layer's KV-parking hint (how long its chain will sit idle
+     * while this tool runs). 0 for tools with no usable estimate.
+     */
+    virtual double expectedLatencySeconds() const { return 0.0; }
+
+    /**
      * Invoke the tool. @p rng is the caller's request-level stream so
      * results are deterministic per request regardless of tool
      * sharing.
@@ -172,6 +179,11 @@ class StochasticTool : public Tool
 
     const LatencySpec &latency() const { return latency_; }
     const ObservationSpec &observation() const { return observation_; }
+
+    double expectedLatencySeconds() const override
+    {
+        return latency_.mean();
+    }
 
   protected:
     sim::Task<ToolResult> execute(sim::Rng &rng) override;

@@ -196,6 +196,51 @@ TEST(CostLedger, LiveMigrationConservesGpuWork)
     target.blockManager().checkInvariants();
 }
 
+TEST(CostLedger, WarmTargetMigrationChargesOnlyMissingBlocks)
+{
+    // Regression (KV wire accounting): the migration transfer is
+    // sized by the *importing* side's allocation — blocks the target
+    // already holds never cross the interconnect. A source-side chain
+    // count would bill prefix-cached blocks the target reuses.
+    auto runMigration = [](bool warm_target) {
+        Simulation sim;
+        LlmEngine source(sim, smallConfig());
+        LlmEngine target(sim, smallConfig());
+        if (warm_target) {
+            // Same prompt stream: primes the target's prefix cache.
+            auto w = submit(target, 70, 400, 1);
+            sim.run();
+            EXPECT_TRUE(w.result().ok());
+        }
+        std::uint64_t handle = 0;
+        auto t = submitTracked(source, 70, 400, 200, &handle);
+        sim.schedule(sim::fromSeconds(1.5), [&] {
+            auto m = source.exportRequest(handle);
+            ASSERT_TRUE(m.has_value());
+            target.importRequest(std::move(*m), /*interconnect=*/200e9);
+        });
+        sim.run();
+        GenResult r = t.result();
+        EXPECT_TRUE(r.ok());
+        return std::pair(std::move(r),
+                         target.stats().migrationSeconds);
+    };
+    const auto [cold, cold_wire] = runMigration(false);
+    const auto [warm, warm_wire] = runMigration(true);
+
+    ASSERT_GT(cold_wire, 0.0);
+    // The generated (unshared) tail still crosses the wire, but the
+    // 400-token prompt prefix does not.
+    EXPECT_GT(warm_wire, 0.0);
+    EXPECT_LT(warm_wire, 0.5 * cold_wire);
+    // Conservation: the cheaper wire charge is exactly what lands in
+    // the request's ledger, and the reuse changes no GPU work.
+    EXPECT_NEAR(warm.ledger.transferSeconds, warm_wire, 1e-9);
+    EXPECT_NEAR(warm.ledger.gpuSeconds(), cold.ledger.gpuSeconds(),
+                0.02 * cold.ledger.gpuSeconds());
+    EXPECT_DOUBLE_EQ(warm.ledger.wastedGpuSeconds, 0.0);
+}
+
 TEST(CostLedger, ServingRunConservesWithinOnePercent)
 {
     // Fig14-style open-loop agent serving: the sum of every rollout's

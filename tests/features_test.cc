@@ -721,6 +721,33 @@ TEST(Disagg, TransferTimeScalesWithPrompt)
     EXPECT_GT(slow, fast + 0.05);
 }
 
+// Regression (KV wire accounting): the decode-side preload reports
+// how many blocks actually landed, and only those are charged to the
+// interconnect. A second identical request finds the prefix already
+// resident on the decode node and pays (nearly) nothing — pre-fix the
+// caller billed the full prompt every time.
+TEST(Disagg, WarmDecodePrefixSkipsWireTransfer)
+{
+    sim::Simulation sim;
+    serving::DisaggConfig cfg;
+    cfg.prefillNode = core::enginePreset8b();
+    cfg.decodeNode = core::enginePreset8b();
+    cfg.interconnectBandwidth = 2e9; // slow: the transfer dominates
+    serving::DisaggServer server(sim, cfg);
+
+    auto a = disaggSubmit(server, workload::makeTokens(7, 2000), 16);
+    sim.run();
+    const auto cold = a.result();
+    ASSERT_FALSE(cold.failed);
+    auto b = disaggSubmit(server, workload::makeTokens(7, 2000), 16);
+    sim.run();
+    const auto warm = b.result();
+    ASSERT_FALSE(warm.failed);
+    // 2000 tokens of KV at 2 GB/s is >100 ms of wire time the warm
+    // request must not pay again.
+    EXPECT_LT(warm.totalSeconds, cold.totalSeconds - 0.05);
+}
+
 // ---------------------------------------------------------------
 // TTFT metric.
 // ---------------------------------------------------------------

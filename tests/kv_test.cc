@@ -430,4 +430,382 @@ TEST_P(BlockManagerHostFuzz, InvariantsHoldWithHostTier)
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockManagerHostFuzz,
                          ::testing::Values(1, 2, 3, 7, 42, 2026));
 
+BlockManagerConfig
+tierCfg(std::int64_t blocks, std::int64_t dram_blocks,
+        std::int64_t nvme_blocks = 0, int block_size = 16)
+{
+    BlockManagerConfig c = cfg(blocks, block_size, true, dram_blocks);
+    c.nvmeCacheBlocks = nvme_blocks;
+    return c;
+}
+
+// Regression (tier residency): an Exclusive-mode restore must reclaim
+// the tier entry. The pre-fix restore path left the DRAM copy behind
+// with untouched recency — a stale duplicate wasting tier capacity.
+TEST(BlockManagerTiers, ExclusiveRestoreReclaimsTierEntry)
+{
+    BlockManager mgr(tierCfg(4, 4)); // Exclusive is the default
+    const auto shared = tokenRange(0, 32); // 2 full blocks
+    ASSERT_TRUE(mgr.allocatePrompt(1, shared).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.parkChain(shared), 2);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 2);
+    EXPECT_EQ(mgr.freeBlocks(), 4);
+
+    auto alloc = mgr.allocatePrompt(2, shared);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->restoredTokens, 32);
+    EXPECT_EQ(alloc->dramRestoredTokens, 32);
+    EXPECT_EQ(alloc->nvmeRestoredTokens, 0);
+    // Exclusive: both tier entries were consumed by the restore.
+    EXPECT_EQ(mgr.hostCachedBlocks(), 0);
+    EXPECT_EQ(mgr.stats().dram.restoredTokens, 32);
+    mgr.checkInvariants();
+}
+
+// Regression (tier recency): an Inclusive-mode restore keeps the tier
+// copy but must refresh its recency, so a restored-and-reused entry
+// outlives colder ones. Pre-fix, the untouched entry stayed oldest and
+// was evicted first despite being the hottest.
+TEST(BlockManagerTiers, InclusiveRestoreRefreshesRecency)
+{
+    BlockManagerConfig c = tierCfg(8, 2);
+    c.dramMode = kv::TierMode::Inclusive;
+    BlockManager mgr(c);
+    const auto a = tokenRange(0, 16);
+    const auto b = tokenRange(1000, 16);
+    const auto d = tokenRange(2000, 16);
+
+    ASSERT_TRUE(mgr.allocatePrompt(1, a).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.parkChain(a), 1); // DRAM: {a}
+    ASSERT_TRUE(mgr.allocatePrompt(2, b).has_value());
+    mgr.release(2);
+    EXPECT_EQ(mgr.parkChain(b), 1); // DRAM: {a, b}, a older
+
+    // Restoring a refreshes its recency (Inclusive keeps the copy).
+    auto ra = mgr.allocatePrompt(3, a);
+    ASSERT_TRUE(ra.has_value());
+    EXPECT_EQ(ra->dramRestoredTokens, 16);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 2);
+    mgr.release(3);
+
+    // A third parked chain hits DRAM capacity: the victim must be b
+    // (now the coldest), not the just-restored a.
+    ASSERT_TRUE(mgr.allocatePrompt(4, d).has_value());
+    mgr.release(4);
+    EXPECT_EQ(mgr.parkChain(d), 1);
+    EXPECT_EQ(mgr.stats().dram.evictedBlocks, 1);
+
+    auto rb = mgr.allocatePrompt(5, b);
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_EQ(rb->restoredTokens, 0); // b fell out of the hierarchy
+    EXPECT_EQ(rb->freshBlocks, 1);
+    mgr.checkInvariants();
+}
+
+// Regression (honest preload contract): -1 is reserved for a prefix
+// that can never fit; a preload that stops early returns the count of
+// blocks actually placed.
+TEST(BlockManager, PreloadPrefixMinusOneOnlyWhenImpossible)
+{
+    BlockManager mgr(cfg(4));
+    // 5 full blocks can never fit a 4-block pool.
+    EXPECT_EQ(mgr.preloadPrefix(tokenRange(0, 80)), -1);
+    EXPECT_EQ(mgr.evictableBlocks(), 0);
+    // 4 full blocks + a partial tail fit exactly (the partial block is
+    // not preloaded).
+    EXPECT_EQ(mgr.preloadPrefix(tokenRange(0, 72)), 4);
+    mgr.checkInvariants();
+}
+
+// Regression (preload self-eviction): filling the pool mid-preload
+// must stop with a contiguous resident head, not evict the blocks the
+// loop itself just placed. Pre-fix, the 4-block preload below
+// "populated" all 4 by cannibalizing its own head, leaving only the
+// tail resident — which no prefix probe can ever reach.
+TEST(BlockManager, PreloadPrefixStopsAtPinnedPool)
+{
+    BlockManager mgr(cfg(4));
+    // Pin half the pool with a live sequence.
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(9000, 32)).has_value());
+    EXPECT_EQ(mgr.preloadPrefix(tokenRange(0, 64)), 2);
+    // Nothing was evicted to make room: the loop stopped instead of
+    // un-placing its own blocks, so the resident run is the *head*.
+    EXPECT_EQ(mgr.stats().evictions, 0);
+    EXPECT_EQ(mgr.usedBlocks(), 2);
+    auto head = mgr.allocatePrompt(2, tokenRange(0, 32));
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(head->cachedTokens, 32);
+    EXPECT_EQ(head->freshBlocks, 0);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManagerTiers, DramVictimSinksToNvme)
+{
+    BlockManager mgr(tierCfg(4, 1, 4));
+    const auto a = tokenRange(0, 16);
+    const auto b = tokenRange(1000, 16);
+    ASSERT_TRUE(mgr.allocatePrompt(1, a).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.parkChain(a), 1); // DRAM: {a}
+    ASSERT_TRUE(mgr.allocatePrompt(2, b).has_value());
+    mgr.release(2);
+    EXPECT_EQ(mgr.parkChain(b), 1); // a sinks: DRAM {b}, NVMe {a}
+    EXPECT_EQ(mgr.hostCachedBlocks(), 1);
+    EXPECT_EQ(mgr.nvmeCachedBlocks(), 1);
+    EXPECT_EQ(mgr.stats().dram.evictedBlocks, 1);
+    EXPECT_EQ(mgr.stats().nvme.demotedBlocks, 1);
+
+    auto ra = mgr.allocatePrompt(3, a);
+    ASSERT_TRUE(ra.has_value());
+    EXPECT_EQ(ra->nvmeRestoredTokens, 16);
+    EXPECT_EQ(ra->dramRestoredTokens, 0);
+    auto rb = mgr.allocatePrompt(4, b);
+    ASSERT_TRUE(rb.has_value());
+    EXPECT_EQ(rb->dramRestoredTokens, 16);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManagerTiers, NvmeOnlyTierTakesHbmEvictions)
+{
+    BlockManager mgr(tierCfg(2, 0, 8));
+    const auto shared = tokenRange(0, 32);
+    ASSERT_TRUE(mgr.allocatePrompt(1, shared).has_value());
+    mgr.release(1);
+    // Different content evicts both shared blocks straight into NVMe.
+    ASSERT_TRUE(mgr.allocatePrompt(2, tokenRange(9000, 32)).has_value());
+    EXPECT_EQ(mgr.hostCachedBlocks(), 0);
+    EXPECT_EQ(mgr.nvmeCachedBlocks(), 2);
+    mgr.release(2);
+
+    auto alloc = mgr.allocatePrompt(3, shared);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->nvmeRestoredTokens, 32);
+    EXPECT_EQ(alloc->dramRestoredTokens, 0);
+    mgr.checkInvariants();
+}
+
+// A block resident in both tiers restores from DRAM (the cheaper
+// transfer): the probe order is GPU, then DRAM, then NVMe.
+TEST(BlockManagerTiers, DualResidencyRestoresFromDram)
+{
+    BlockManagerConfig c = tierCfg(4, 1, 4);
+    c.nvmeMode = kv::TierMode::Inclusive;
+    BlockManager mgr(c);
+    const auto a = tokenRange(0, 16);
+    const auto b = tokenRange(1000, 16);
+    ASSERT_TRUE(mgr.allocatePrompt(1, a).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.parkChain(a), 1); // DRAM {a}
+    ASSERT_TRUE(mgr.allocatePrompt(2, b).has_value());
+    mgr.release(2);
+    EXPECT_EQ(mgr.parkChain(b), 1); // DRAM {b}, NVMe {a}
+
+    // Restore a from NVMe; Inclusive keeps the NVMe copy.
+    auto ra = mgr.allocatePrompt(3, a);
+    ASSERT_TRUE(ra.has_value());
+    EXPECT_EQ(ra->nvmeRestoredTokens, 16);
+    EXPECT_EQ(mgr.nvmeCachedBlocks(), 1);
+    mgr.release(3);
+
+    // Re-parking a puts it back in DRAM: now dual-resident.
+    EXPECT_EQ(mgr.parkChain(a), 1);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 1);
+    EXPECT_EQ(mgr.nvmeCachedBlocks(), 2); // b sank, a still there
+
+    auto again = mgr.allocatePrompt(4, a);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->dramRestoredTokens, 16);
+    EXPECT_EQ(again->nvmeRestoredTokens, 0);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManagerTiers, ZeroAdmitProbRejectsEveryVictim)
+{
+    BlockManagerConfig c = tierCfg(2, 4);
+    c.dramAdmitProb = 0.0;
+    BlockManager mgr(c);
+    ASSERT_TRUE(mgr.allocatePrompt(1, tokenRange(0, 32)).has_value());
+    mgr.release(1);
+    ASSERT_TRUE(mgr.allocatePrompt(2, tokenRange(9000, 32)).has_value());
+    EXPECT_EQ(mgr.stats().evictions, 2);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 0);
+    EXPECT_EQ(mgr.stats().dram.rejectedBlocks, 2);
+    EXPECT_EQ(mgr.stats().dram.demotedBlocks, 0);
+    mgr.checkInvariants();
+}
+
+// Probabilistic admission draws from a dedicated seeded stream: two
+// managers with the same seed make identical admit/reject decisions.
+TEST(BlockManagerTiers, ProbabilisticAdmissionIsSeedDeterministic)
+{
+    BlockManagerConfig c = tierCfg(2, 8);
+    c.dramAdmitProb = 0.5;
+    c.seed = 7;
+    BlockManager a(c);
+    BlockManager b(c);
+    for (int i = 0; i < 20; ++i) {
+        const auto prompt =
+            tokenRange(static_cast<TokenId>(i) * 10000, 32);
+        ASSERT_TRUE(a.allocatePrompt(1, prompt).has_value());
+        a.release(1);
+        ASSERT_TRUE(b.allocatePrompt(1, prompt).has_value());
+        b.release(1);
+    }
+    EXPECT_EQ(a.hostCachedBlocks(), b.hostCachedBlocks());
+    EXPECT_EQ(a.stats().dram.demotedBlocks,
+              b.stats().dram.demotedBlocks);
+    EXPECT_EQ(a.stats().dram.rejectedBlocks,
+              b.stats().dram.rejectedBlocks);
+    // The filter actually fired both ways at p = 0.5 over 38 draws.
+    EXPECT_GT(a.stats().dram.demotedBlocks, 0);
+    EXPECT_GT(a.stats().dram.rejectedBlocks, 0);
+    a.checkInvariants();
+    b.checkInvariants();
+}
+
+TEST(BlockManagerTiers, ParkChainFreesGpuAndPrefetchRestores)
+{
+    BlockManager mgr(tierCfg(4, 8));
+    const auto chain = tokenRange(0, 64); // 4 full blocks
+    ASSERT_TRUE(mgr.allocatePrompt(1, chain).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.parkChain(chain), 4);
+    EXPECT_EQ(mgr.freeBlocks(), 4);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 4);
+    EXPECT_EQ(mgr.stats().dram.demotedBlocks, 4);
+
+    const kv::PrefetchResult pf = mgr.prefetchChain(chain);
+    EXPECT_EQ(pf.blocks, 4);
+    EXPECT_EQ(pf.dramTokens, 64);
+    EXPECT_EQ(pf.nvmeTokens, 0);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 0); // Exclusive reclaim
+
+    // The continuation now hits the GPU cache with no restore charge.
+    auto alloc = mgr.allocatePrompt(2, chain);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->cachedTokens, 64);
+    EXPECT_EQ(alloc->restoredTokens, 0);
+    EXPECT_EQ(alloc->freshBlocks, 0);
+    mgr.checkInvariants();
+}
+
+TEST(BlockManagerTiers, ParkChainSkipsLiveBlocks)
+{
+    BlockManager mgr(tierCfg(4, 8));
+    const auto chain = tokenRange(0, 64);
+    ASSERT_TRUE(mgr.allocatePrompt(1, chain).has_value());
+    // Still referenced: nothing is idle, nothing parks.
+    EXPECT_EQ(mgr.parkChain(chain), 0);
+    EXPECT_EQ(mgr.usedBlocks(), 4);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 0);
+    mgr.checkInvariants();
+}
+
+// Parking demotes tail-first so the chain *head* is the youngest tier
+// entry: when the tier is too small for the chain, the head survives
+// (a truncated tail still restores; a lost head forfeits everything).
+TEST(BlockManagerTiers, ParkTailFirstKeepsHeadWhenTierTight)
+{
+    BlockManager mgr(tierCfg(4, 1));
+    const auto chain = tokenRange(0, 32); // h0, h1
+    ASSERT_TRUE(mgr.allocatePrompt(1, chain).has_value());
+    mgr.release(1);
+    EXPECT_EQ(mgr.parkChain(chain), 2);
+    EXPECT_EQ(mgr.hostCachedBlocks(), 1); // h1 displaced by h0
+    EXPECT_EQ(mgr.stats().dram.evictedBlocks, 1);
+
+    // Prefetch promotes the head, then stops at the missing block.
+    const kv::PrefetchResult pf = mgr.prefetchChain(chain);
+    EXPECT_EQ(pf.blocks, 1);
+    EXPECT_EQ(pf.dramTokens, 16);
+
+    auto alloc = mgr.allocatePrompt(2, chain);
+    ASSERT_TRUE(alloc.has_value());
+    EXPECT_EQ(alloc->cachedTokens, 16); // the head, GPU-hot
+    EXPECT_EQ(alloc->freshBlocks, 1);
+    mgr.checkInvariants();
+}
+
+// Tiered fuzz (DRAM + NVMe, probabilistic admission, park/prefetch/
+// preload/import interleaved): invariants are checked after every
+// operation. Seed parity flips the residency modes so both disciplines
+// are fuzzed.
+class BlockManagerTierFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BlockManagerTierFuzz, InvariantsHoldWithTieredWorkload)
+{
+    const std::uint64_t seed = GetParam();
+    sim::Rng rng(seed, "kv-tier-fuzz", 0);
+    BlockManagerConfig c = tierCfg(24, 16, 24, 8);
+    c.dramAdmitProb = 0.8;
+    c.nvmeAdmitProb = 0.9;
+    c.dramMode = seed % 2 == 0 ? kv::TierMode::Exclusive
+                               : kv::TierMode::Inclusive;
+    c.nvmeMode = seed % 2 == 0 ? kv::TierMode::Inclusive
+                               : kv::TierMode::Exclusive;
+    c.seed = seed;
+    BlockManager mgr(c);
+
+    auto somePrompt = [&rng](bool popular) {
+        const TokenId base =
+            popular
+                ? static_cast<TokenId>(rng.uniformInt(0, 3) * 100000)
+                : static_cast<TokenId>(rng.uniformInt(1, 1000) * 10000);
+        const auto len =
+            static_cast<std::size_t>(rng.uniformInt(1, 64));
+        return tokenRange(base, len);
+    };
+
+    std::vector<kv::SeqId> live;
+    kv::SeqId next_id = 1;
+    for (int step = 0; step < 3000; ++step) {
+        const double action = rng.uniform();
+        if (action < 0.35) {
+            const kv::SeqId id = next_id++;
+            if (mgr.allocatePrompt(id, somePrompt(rng.bernoulli(0.7)))
+                    .has_value()) {
+                live.push_back(id);
+            }
+        } else if (action < 0.45) {
+            const kv::SeqId id = next_id++;
+            if (mgr.importChain(id, somePrompt(rng.bernoulli(0.5)))
+                    .has_value()) {
+                live.push_back(id);
+            }
+        } else if (action < 0.6 && !live.empty()) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            mgr.appendToken(live[idx],
+                            static_cast<TokenId>(rng.next()));
+        } else if (action < 0.7) {
+            mgr.preloadPrefix(somePrompt(rng.bernoulli(0.5)));
+        } else if (action < 0.8) {
+            mgr.parkChain(somePrompt(true));
+        } else if (action < 0.88) {
+            mgr.prefetchChain(somePrompt(true));
+        } else if (!live.empty()) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(live.size()) - 1));
+            mgr.release(live[idx]);
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+        mgr.checkInvariants();
+    }
+    for (kv::SeqId id : live)
+        mgr.release(id);
+    mgr.checkInvariants();
+    EXPECT_EQ(mgr.usedBlocks(), 0);
+    // The probabilistic filter exercised both outcomes.
+    EXPECT_GT(mgr.stats().dram.demotedBlocks, 0);
+    EXPECT_GT(mgr.stats().dram.rejectedBlocks, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlockManagerTierFuzz,
+                         ::testing::Values(1, 2, 3, 7, 42, 2026));
+
 } // namespace

@@ -519,6 +519,134 @@ TEST(Engine, HostRestoreTimeIsAccounted)
     engine.blockManager().checkInvariants();
 }
 
+TEST(Engine, NvmeRestoreCostsMoreThanDramRestore)
+{
+    // Same spill workload through a DRAM-only and an NVMe-only
+    // hierarchy: the flash restore pays the (much lower) NVMe read
+    // bandwidth, so its transfer charge is a multiple of the PCIe one.
+    auto run = [](std::int64_t dram_blocks, std::int64_t nvme_blocks) {
+        auto cfg = smallConfig();
+        cfg.kvPoolBytes = 48 * 16 * cfg.model.kvBytesPerToken();
+        cfg.hostCacheBlocks = dram_blocks;
+        cfg.nvmeCacheBlocks = nvme_blocks;
+        Simulation sim;
+        LlmEngine engine(sim, cfg);
+        auto a = submit(engine, prompt(21, 512), 1);
+        sim.run();
+        EXPECT_TRUE(a.result().ok());
+        auto b = submit(engine, prompt(22, 704), 1);
+        sim.run();
+        EXPECT_TRUE(b.result().ok());
+        auto c = submit(engine, prompt(21, 512), 1);
+        sim.run();
+        return c.result();
+    };
+    const GenResult dram = run(64, 0);
+    const GenResult nvme = run(0, 64);
+    // Identical eviction/restore pattern, different price.
+    EXPECT_EQ(dram.cachedPromptTokens, nvme.cachedPromptTokens);
+    EXPECT_GT(dram.transferSeconds, 0.0);
+    // A100 PCIe 25 GB/s vs NVMe read 3.5 GB/s: ~7x.
+    EXPECT_GT(nvme.transferSeconds, 5.0 * dram.transferSeconds);
+}
+
+Task<GenResult>
+submitParked(LlmEngine &engine, std::vector<kv::TokenId> tokens,
+             std::int64_t out, double park_seconds)
+{
+    GenRequest req;
+    req.prompt = std::move(tokens);
+    req.maxNewTokens = out;
+    req.expectedParkSeconds = park_seconds;
+    co_return co_await engine.generate(std::move(req));
+}
+
+TEST(Engine, ToolParkingDemotesAndPrefetchesChain)
+{
+    auto cfg = smallConfig();
+    cfg.hostCacheBlocks = 256;
+    // Exercise the parking mechanics unconditionally; the pressure
+    // gate has its own test below.
+    cfg.parkUtilizationThreshold = 0.0;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+
+    // Without a hint, finishing a request parks nothing.
+    auto control = submit(engine, prompt(30, 256), 16);
+    sim.run();
+    ASSERT_TRUE(control.result().ok());
+    EXPECT_EQ(engine.stats().parkedChains, 0);
+
+    // A request carrying an expected tool wait parks its chain on
+    // completion; the scheduled prefetch promotes it back before the
+    // continuation arrives.
+    const auto p = prompt(31, 512);
+    auto t = submitParked(engine, p, 32, 1.2);
+    sim.run();
+    const GenResult parked = t.result();
+    ASSERT_TRUE(parked.ok());
+    EXPECT_EQ(engine.stats().parkedChains, 1);
+    EXPECT_GT(engine.stats().parkedBlocks, 0);
+    EXPECT_EQ(engine.stats().prefetchedBlocks,
+              engine.stats().parkedBlocks);
+    EXPECT_GT(engine.stats().parkDemoteSeconds, 0.0);
+    EXPECT_GT(engine.stats().parkRestoreSeconds, 0.0);
+
+    // The continuation (prompt + previous output) hits the GPU cache;
+    // no restore transfer is charged on its critical path.
+    auto continuation = p;
+    continuation.insert(continuation.end(), parked.tokens.begin(),
+                        parked.tokens.end());
+    auto t2 = submit(engine, continuation, 8);
+    sim.run();
+    const GenResult cont = t2.result();
+    ASSERT_TRUE(cont.ok());
+    EXPECT_GT(cont.cachedPromptTokens, 500);
+    EXPECT_DOUBLE_EQ(cont.transferSeconds, 0.0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, ParkingSkippedWhenPoolUncontended)
+{
+    // With the default pressure gate, a hinted request finishing on
+    // an idle, mostly-empty pool keeps its chain in HBM: demoting it
+    // would trade a free HBM hit for a priced restore.
+    auto cfg = smallConfig();
+    cfg.hostCacheBlocks = 256;
+    Simulation sim;
+    LlmEngine engine(sim, cfg);
+    auto t = submitParked(engine, prompt(33, 512), 16, 1.2);
+    sim.run();
+    const GenResult r = t.result();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(engine.stats().parkedChains, 0);
+    EXPECT_EQ(engine.stats().parkedBlocks, 0);
+    EXPECT_EQ(engine.blockManager().hostCachedBlocks(), 0);
+    engine.blockManager().checkInvariants();
+}
+
+TEST(Engine, ParkingIsInertWithoutSpillTiers)
+{
+    // The hint is advisory: with no tier configured the engine must
+    // not park (and the run must match a hint-less run exactly).
+    Simulation sim;
+    LlmEngine engine(sim, smallConfig());
+    auto t = submitParked(engine, prompt(32, 256), 16, 1.2);
+    sim.run();
+    const GenResult hinted = t.result();
+    ASSERT_TRUE(hinted.ok());
+    EXPECT_EQ(engine.stats().parkedChains, 0);
+    EXPECT_EQ(engine.stats().parkedBlocks, 0);
+
+    Simulation sim2;
+    LlmEngine plain(sim2, smallConfig());
+    auto t2 = submit(plain, prompt(32, 256), 16);
+    sim2.run();
+    const GenResult bare = t2.result();
+    EXPECT_EQ(hinted.tokens, bare.tokens);
+    EXPECT_DOUBLE_EQ(hinted.totalSeconds, bare.totalSeconds);
+}
+
 TEST(Engine, InjectedStallExtendsWallClockNotBusyTime)
 {
     Simulation sim;
