@@ -56,10 +56,14 @@ supportedPairs()
 
 /**
  * Shared --trace/--metrics/--csv/--report plumbing for the fig*
- * binaries (--trace-out is accepted as an alias of --trace).
+ * binaries (--trace-out is accepted as an alias of --trace), plus
+ * --flight-record / --incident-dir <dir> for anomaly-triggered
+ * incident capture (either flag arms the flight recorder; bundles
+ * land under the incident dir, default "incidents").
  *
  *   fig14_qps_sweep --trace out.json --metrics out.prom \
  *                   --csv out.csv --report BENCH_agentsim.json
+ *   chaos_slo --flight-record --incident-dir out/incidents
  *
  * Each instrumented run resets the session, so the emitted telemetry
  * files describe the *last* configuration the binary executed (the
@@ -78,6 +82,21 @@ class TelemetryCli
     {
         for (int i = 1; i < argc; ++i) {
             const bool has_value = i + 1 < argc;
+            if (std::strcmp(argv[i], "--flight-record") == 0) {
+                flightRecord_ = true;
+                continue;
+            }
+            if (std::strcmp(argv[i], "--incident-dir") == 0) {
+                if (!has_value) {
+                    std::fprintf(stderr,
+                                 "warn: --incident-dir requires a "
+                                 "directory path; ignored\n");
+                    continue;
+                }
+                incidentDir_ = argv[++i];
+                flightRecord_ = true;
+                continue;
+            }
             if (std::strcmp(argv[i], "--trace") == 0 ||
                 std::strcmp(argv[i], "--trace-out") == 0 ||
                 std::strcmp(argv[i], "--metrics") == 0 ||
@@ -106,11 +125,18 @@ class TelemetryCli
     bool
     enabled() const
     {
-        return !trace_.empty() || !metrics_.empty() || !csv_.empty();
+        return !trace_.empty() || !metrics_.empty() || !csv_.empty() ||
+               flightRecord_;
     }
 
     /** True when --report <path> was given. */
     bool reportRequested() const { return !reportPath_.empty(); }
+
+    /** True when --flight-record (or --incident-dir) was given. */
+    bool flightRecordRequested() const { return flightRecord_; }
+
+    /** Incident bundle directory ("incidents" unless --incident-dir). */
+    const std::string &incidentDir() const { return incidentDir_; }
 
     /** The perf report the binary fills before calling write(). */
     core::PerfReport &report() { return report_; }
@@ -123,6 +149,11 @@ class TelemetryCli
             return;
         session_.reset();
         cfg.telemetry = &session_;
+        if (flightRecord_) {
+            armRecorder();
+            cfg.recorder = &session_.recorder;
+            cfg.timeseries = &session_.timeseries;
+        }
     }
 
     /** Attach (fresh) session telemetry to a probe run. */
@@ -142,9 +173,18 @@ class TelemetryCli
         if (!enabled())
             return;
         session_.reset();
-        if (!trace_.empty())
+        if (!trace_.empty() || flightRecord_)
             cfg.traceSink = &session_.trace;
         cfg.metrics = &session_.registry;
+        if (flightRecord_) {
+            armRecorder();
+            cfg.recorder = &session_.recorder;
+            cfg.timeseries = &session_.timeseries;
+            // Bundles carry a windowed blame table, so incident runs
+            // also need the span collector.
+            if (cfg.spans == nullptr)
+                cfg.spans = &session_.spans;
+        }
     }
 
     /** Write whatever outputs were requested. @return success. */
@@ -187,10 +227,21 @@ class TelemetryCli
     }
 
   private:
+    /** Point the (freshly reset) recorder at the incident dir. */
+    void
+    armRecorder()
+    {
+        telemetry::FlightRecorder::Config rc;
+        rc.incidentDir = incidentDir_;
+        session_.recorder.setConfig(rc);
+    }
+
     std::string trace_;
     std::string metrics_;
     std::string csv_;
     std::string reportPath_;
+    bool flightRecord_ = false;
+    std::string incidentDir_ = "incidents";
     telemetry::SessionTelemetry session_;
     core::PerfReport report_;
 };

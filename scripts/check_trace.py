@@ -3,8 +3,9 @@
 Chrome trace and a non-empty blame export.
 
     check_trace.py trace.json [metrics.prom]
+    check_trace.py --bundle <incident-bundle-dir | incidents-dir>
 
-Checks, in order:
+Positional mode checks, in order:
   1. The trace parses as Chrome trace-event JSON ({"traceEvents": [...]})
      and every event carries a name and a known phase.
   2. The span-exemplar track (pid 6) is present and well-formed:
@@ -13,14 +14,28 @@ Checks, in order:
   3. The metrics file (when given) contains a non-empty blame export:
      agentsim_blame_* families with a positive request count.
 
+--bundle mode validates a flight-recorder incident bundle (or every
+incident-*/ bundle under a directory of them):
+  1. manifest.json follows the agentsim-incident-v1 schema with a
+     known trigger, a well-ordered retroactive window ending at the
+     trigger time, and a non-empty windowed blame table.
+  2. trace.json parses; every event intersects the manifest window;
+     the recorder's own "incident" span lanes balance begins/ends.
+  3. timeseries.csv is non-empty, every sample lies inside the window,
+     and its clock agrees with the trace's (shared sim timebase).
+
 Exits non-zero with a one-line reason on the first violation.
 """
 
 import json
+import os
 import sys
 
 SPAN_PID = 6  # telemetry::TracePid::kSpans
 KNOWN_PHASES = {"X", "i", "C", "M", "b", "e"}
+KNOWN_TRIGGERS = {"slo_burn", "brownout", "breaker_open", "autoscale",
+                  "deadline_miss_spike"}
+CLOCK_EPS_S = 1e-3  # tolerance between trace/timeseries clocks
 
 
 def fail(msg: str) -> None:
@@ -96,7 +111,163 @@ def check_metrics(path: str) -> None:
           f"{requests:.0f} requests blamed")
 
 
+def check_bundle(bundle: str) -> None:
+    manifest_path = os.path.join(bundle, "manifest.json")
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            manifest = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{manifest_path}: not parseable as JSON: {e}")
+
+    # 1. Manifest schema, window ordering, non-empty windowed blame.
+    if manifest.get("schema") != "agentsim-incident-v1":
+        fail(f"{manifest_path}: unknown schema "
+             f"{manifest.get('schema')!r}")
+    trigger = manifest.get("trigger")
+    if trigger not in KNOWN_TRIGGERS:
+        fail(f"{manifest_path}: unknown trigger {trigger!r}")
+    try:
+        w_from = float(manifest["window_from_s"])
+        w_to = float(manifest["window_to_s"])
+        t_trig = float(manifest["trigger_time_s"])
+    except (KeyError, TypeError, ValueError) as e:
+        fail(f"{manifest_path}: bad window bounds: {e}")
+    if not w_from <= w_to:
+        fail(f"{manifest_path}: window [{w_from}, {w_to}] is reversed")
+    if abs(w_to - t_trig) > CLOCK_EPS_S:
+        fail(f"{manifest_path}: window ends at {w_to} but trigger "
+             f"fired at {t_trig}")
+    blame = manifest.get("blame_seconds")
+    if not isinstance(blame, dict) or not blame:
+        fail(f"{manifest_path}: missing blame_seconds table")
+    spans_in_window = int(manifest.get("span_completions", 0))
+    if spans_in_window > 0:
+        total = float(manifest.get("blame_total_seconds", 0.0))
+        if total <= 0 or all(v <= 0 for v in blame.values()):
+            fail(f"{manifest_path}: {spans_in_window} span "
+                 f"completions but an empty windowed blame table")
+
+    # 2. Bundle trace: parses, events intersect the window, the
+    #    recorder's own incident span lanes balance.
+    trace_path = os.path.join(bundle, "trace.json")
+    try:
+        with open(trace_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{trace_path}: not parseable as JSON: {e}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{trace_path}: no traceEvents array")
+
+    from_us = (w_from - CLOCK_EPS_S) * 1e6
+    to_us = (w_to + CLOCK_EPS_S) * 1e6
+    open_lanes: dict[str, int] = {}
+    incident_begins = 0
+    trace_min_us = None
+    trace_max_us = None
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            fail(f"{trace_path}: event #{i} has unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{trace_path}: event #{i} has no timestamp")
+        end = ts + ev.get("dur", 0)
+        if end < from_us or ts > to_us:
+            fail(f"{trace_path}: event #{i} ({ev.get('name')!r}) "
+                 f"lies outside the window "
+                 f"[{w_from:.3f}s, {w_to:.3f}s]")
+        trace_min_us = ts if trace_min_us is None else min(
+            trace_min_us, ts)
+        trace_max_us = end if trace_max_us is None else max(
+            trace_max_us, end)
+        if ev.get("cat") != "incident" or ph not in ("b", "e"):
+            continue
+        lane = str(ev.get("id", ""))
+        if ph == "b":
+            incident_begins += 1
+            open_lanes[lane] = open_lanes.get(lane, 0) + 1
+        else:
+            if open_lanes.get(lane, 0) == 0:
+                fail(f"{trace_path}: incident lane {lane} ends "
+                     f"before it begins")
+            open_lanes[lane] -= 1
+    leaked = [k for k, d in open_lanes.items() if d != 0]
+    if leaked:
+        fail(f"{trace_path}: {len(leaked)} incident lane(s) left "
+             f"open: {leaked[:5]}")
+    if incident_begins != spans_in_window:
+        fail(f"{trace_path}: {incident_begins} incident lanes but "
+             f"manifest declares {spans_in_window} span completions")
+
+    # 3. Time series: in-window samples on the same clock.
+    ts_path = os.path.join(bundle, "timeseries.csv")
+    try:
+        with open(ts_path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{ts_path}: unreadable: {e}")
+    if not lines or lines[0] != "series,time_s,value":
+        fail(f"{ts_path}: missing series,time_s,value header")
+    samples = 0
+    ts_min = None
+    ts_max = None
+    for line in lines[1:]:
+        if not line:
+            continue
+        parts = line.split(",")
+        if len(parts) != 3:
+            fail(f"{ts_path}: malformed row {line!r}")
+        try:
+            t = float(parts[1])
+            float(parts[2])
+        except ValueError:
+            fail(f"{ts_path}: unparseable row {line!r}")
+        if t < w_from - CLOCK_EPS_S or t > w_to + CLOCK_EPS_S:
+            fail(f"{ts_path}: sample at {t}s outside the window "
+                 f"[{w_from:.3f}s, {w_to:.3f}s]")
+        ts_min = t if ts_min is None else min(ts_min, t)
+        ts_max = t if ts_max is None else max(ts_max, t)
+        samples += 1
+    if samples == 0:
+        fail(f"{ts_path}: no time-series samples in the window")
+    # Clock agreement: both artifacts cover overlapping sim time.
+    if trace_min_us is not None and ts_min is not None:
+        if ts_max * 1e6 < trace_min_us - CLOCK_EPS_S * 1e6 or \
+           ts_min * 1e6 > trace_max_us + CLOCK_EPS_S * 1e6:
+            fail(f"{bundle}: time-series span [{ts_min}, {ts_max}]s "
+                 f"never overlaps the trace span "
+                 f"[{trace_min_us / 1e6}, {trace_max_us / 1e6}]s — "
+                 f"clock disagreement")
+
+    print(f"check_trace: {bundle}: trigger {trigger}, window "
+          f"[{w_from:.3f}s, {w_to:.3f}s], {len(events)} events, "
+          f"{incident_begins} blamed spans, {samples} time-series "
+          f"samples")
+
+
+def check_bundles(path: str) -> None:
+    if os.path.isfile(os.path.join(path, "manifest.json")):
+        check_bundle(path)
+        return
+    bundles = sorted(
+        os.path.join(path, d) for d in os.listdir(path)
+        if d.startswith("incident-") and
+        os.path.isdir(os.path.join(path, d))) if os.path.isdir(
+            path) else []
+    if not bundles:
+        fail(f"{path}: no incident bundles found")
+    for bundle in bundles:
+        check_bundle(bundle)
+
+
 def main(argv: list[str]) -> None:
+    if len(argv) == 3 and argv[1] == "--bundle":
+        check_bundles(argv[2])
+        print("check_trace: OK")
+        return
     if len(argv) < 2 or len(argv) > 3:
         print(__doc__, file=sys.stderr)
         sys.exit(2)

@@ -40,4 +40,15 @@ build/bench/tail_blame --smoke --trace "${trace}" \
     --metrics "${prom}" > /dev/null
 python3 scripts/check_trace.py "${trace}" "${prom}"
 
+# Incident-capture gate: the chaos smoke run's injected engine stalls
+# must trip the SLO burn alerter and dump at least one incident
+# bundle whose window and blame table pass schema validation
+# (DESIGN.md §3i).
+echo "==> incident capture gate (chaos_slo --smoke --flight-record)"
+incidents="$(mktemp -d)"
+trap 'rm -f "${report}" "${trace}" "${prom}"; rm -rf "${incidents}"' EXIT
+build/bench/chaos_slo --smoke --flight-record \
+    --incident-dir "${incidents}" > /dev/null
+python3 scripts/check_trace.py --bundle "${incidents}"
+
 echo "verify: OK (${presets[*]})"

@@ -10,6 +10,8 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace agentsim::core
 {
@@ -156,6 +158,21 @@ AutoscalerController::evaluate(sim::Tick now, int active, int warming,
             std::string(reason_).c_str(), sim::toSeconds(now), qhat,
             config_.queueDelayQuantile * 100.0, delay, burn_rate,
             provisioned);
+        if (recorder_ != nullptr) {
+            // A scale-out shortly after a scale-in is a flap — the
+            // clearest sign the hysteresis thresholds are fighting
+            // the workload, and worth its own incident label.
+            const bool flap =
+                scaleIns_ > 0 &&
+                since_in < 3.0 * config_.scaleOutCooldownSeconds;
+            recorder_->trigger(
+                telemetry::IncidentTrigger::Autoscale, now,
+                sim::strfmt("%s (%s) qhat=%.2f/s delay=%.2fs "
+                            "burn=%.2f provisioned=%d",
+                            flap ? "scale flap" : "scale-out",
+                            std::string(reason_).c_str(), qhat, delay,
+                            burn_rate, provisioned));
+        }
         return ScaleDecision::ScaleOut;
     }
 

@@ -168,6 +168,13 @@ class AutoscalerController
      *  count at decision time). */
     void attachTrace(telemetry::TraceSink *sink) { trace_ = sink; }
 
+    /** Every scale-out (and scale flap) becomes an incident trigger
+     *  (nullptr detaches). */
+    void attachRecorder(telemetry::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /** Feed one request arrival (EWMA rate estimator). */
     void recordArrival(sim::Tick now);
 
@@ -215,6 +222,7 @@ class AutoscalerController
 
     AutoscalerConfig config_;
     telemetry::TraceSink *trace_ = nullptr;
+    telemetry::FlightRecorder *recorder_ = nullptr;
 
     /** EWMA of the instantaneous arrival rate, requests/s. */
     double arrivalRate_ = 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace agentsim::core
 {
@@ -64,6 +66,10 @@ BrownoutController::setLevel(sim::Tick now, int level)
                                           : "brownout_level_2";
         trace_->instant(telemetry::TracePid::kResilience, 0, label,
                         "resilience", now);
+    }
+    if (recorder_ != nullptr) {
+        recorder_->trigger(telemetry::IncidentTrigger::Brownout, now,
+                           sim::strfmt("brownout level -> %d", level_));
     }
 }
 

@@ -77,6 +77,13 @@ class BrownoutController
     /** Emit level changes as trace instants (kResilience, tid 0). */
     void attachTrace(telemetry::TraceSink *sink) { trace_ = sink; }
 
+    /** Every level change becomes an incident trigger (nullptr
+     *  detaches). */
+    void attachRecorder(telemetry::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /** Feed one pressure sample; may change the level. */
     void observe(sim::Tick now, double kv_utilization,
                  double burn_rate);
@@ -104,6 +111,7 @@ class BrownoutController
 
     BrownoutConfig config_;
     telemetry::TraceSink *trace_ = nullptr;
+    telemetry::FlightRecorder *recorder_ = nullptr;
     int level_ = 0;
     int maxLevelReached_ = 0;
     sim::Tick lastChange_ = 0;

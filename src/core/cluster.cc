@@ -95,6 +95,10 @@ struct ClusterState
     /** Workload drained; periodic coroutines exit at next wake. */
     bool stopped = false;
 
+    /** Flight recorder tee for deadline-miss spike detection (null
+     *  unless a recorder is attached). */
+    telemetry::FlightRecorder *recorder = nullptr;
+
     /** Elasticity wiring (null unless the autoscaler is enabled). */
     AutoscalerController *autoscaler = nullptr;
     AdmissionController *admission = nullptr;
@@ -275,8 +279,11 @@ noteFailure(ClusterState &state, sim::Tick submit, sim::Tick finish,
         state.firstSubmit = submit;
     state.lastFinish = std::max(state.lastFinish, finish);
     ++state.result.failed;
-    if (timed_out)
+    if (timed_out) {
         ++state.result.timedOut;
+        if (state.recorder != nullptr)
+            state.recorder->noteDeadlineMiss(finish);
+    }
 }
 
 /**
@@ -860,6 +867,74 @@ clusterMonitor(const ClusterConfig &config, sim::Simulation &sim,
     }
 }
 
+/**
+ * Read-only time-series sampler: records cluster vitals (queue
+ * depths, running batches, KV pressure, burn rates, outcome counts)
+ * and every registry scalar into the windowed store at a fixed
+ * cadence. Consumes no RNG and mutates no sim state, so attaching it
+ * never changes a run's outcome; it merely adds wake-up events. Not
+ * spawned at all when no store is attached — recorder-off runs are
+ * bit-identical.
+ */
+sim::Task<void>
+timeseriesSampler(const ClusterConfig &config, sim::Simulation &sim,
+                  std::vector<Node> &nodes, ClusterState &state)
+{
+    telemetry::TimeSeriesStore &ts = *config.timeseries;
+    for (;;) {
+        co_await sim::delaySec(sim, config.timeseriesPeriodSeconds);
+        const sim::Tick now = sim.now();
+        double queued = 0.0;
+        double running = 0.0;
+        double kv_util = 0.0;
+        int online = 0;
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const serving::LlmEngine &engine = *nodes[i].engine;
+            const double depth =
+                static_cast<double>(engine.queueDepth());
+            queued += depth;
+            running += static_cast<double>(engine.runningCount());
+            if (engine.online())
+                ++online;
+            ts.record(sim::strfmt("node%zu_queue_depth", i), now,
+                      depth);
+            const auto &blocks = engine.blockManager();
+            if (blocks.totalBlocks() > 0) {
+                kv_util = std::max(
+                    kv_util,
+                    static_cast<double>(blocks.blocksInUse()) /
+                        static_cast<double>(blocks.totalBlocks()));
+            }
+        }
+        ts.record("cluster_queue_depth", now, queued);
+        ts.record("cluster_running", now, running);
+        ts.record("cluster_kv_util_max", now, kv_util);
+        ts.record("cluster_online_nodes", now,
+                  static_cast<double>(online));
+        ts.record("cluster_completed", now,
+                  static_cast<double>(state.result.completed));
+        ts.record("cluster_failed", now,
+                  static_cast<double>(state.result.failed));
+        ts.record("cluster_timed_out", now,
+                  static_cast<double>(state.result.timedOut));
+        if (config.slo != nullptr) {
+            ts.record("slo_burn_ttft", now,
+                      config.slo->windowBurnRate(
+                          telemetry::SloMetric::Ttft, now));
+            ts.record("slo_burn_tbt", now,
+                      config.slo->windowBurnRate(
+                          telemetry::SloMetric::Tbt, now));
+            ts.record("slo_burn_e2e", now,
+                      config.slo->windowBurnRate(
+                          telemetry::SloMetric::E2e, now));
+        }
+        if (config.metrics != nullptr)
+            ts.sample(*config.metrics, now);
+        if (state.stopped)
+            co_return;
+    }
+}
+
 sim::Task<void>
 clusterDriver(const ClusterConfig &config, sim::Simulation &sim,
               std::vector<Node> &nodes, Router &router,
@@ -1166,6 +1241,27 @@ runCluster(const ClusterConfig &config)
         }
     }
 
+    // Flight-recorder wiring: tee trace events and span completions
+    // into the retroactive rings and arm every anomaly trigger. The
+    // sink/collector attach calls run even with a null recorder so a
+    // session reused across sweep points detaches cleanly when this
+    // run records nothing.
+    if (config.traceSink != nullptr)
+        config.traceSink->attachRecorder(config.recorder);
+    if (config.spans != nullptr)
+        config.spans->attachRecorder(config.recorder);
+    if (config.slo != nullptr)
+        config.slo->attachRecorder(config.recorder);
+    if (config.recorder != nullptr) {
+        config.recorder->attachTimeSeries(config.timeseries);
+        health.attachRecorder(config.recorder);
+        if (brownout)
+            brownout->attachRecorder(config.recorder);
+        if (autoscaler)
+            autoscaler->attachRecorder(config.recorder);
+        state.recorder = config.recorder;
+    }
+
     // Chaos wiring: node-level faults drive the engines through the
     // injector's hooks; tool-level faults are sampled inside each
     // tool from its own deterministic stream. The hooks are guarded
@@ -1225,6 +1321,9 @@ runCluster(const ClusterConfig &config)
                                        brownout ? &*brownout : nullptr,
                                        state));
     }
+    std::optional<sim::Task<void>> sampler;
+    if (config.timeseries != nullptr)
+        sampler.emplace(timeseriesSampler(config, sim, nodes, state));
 
     auto drive = clusterDriver(config, sim, nodes, router,
                                brownout ? &*brownout : nullptr,
@@ -1270,6 +1369,8 @@ runCluster(const ClusterConfig &config)
         out.scaleOuts = autoscaler->scaleOuts();
         out.scaleIns = autoscaler->scaleIns();
     }
+    if (config.recorder != nullptr)
+        out.incidentBundles = config.recorder->incidentsDumped();
     for (const auto &node : nodes) {
         // Every cancelled/crashed/finished request must have returned
         // its blocks; chaos runs exercise this hard.
@@ -1332,6 +1433,8 @@ runCluster(const ClusterConfig &config)
         health.exportMetrics(*config.metrics, sim.now());
         if (brownout)
             brownout->exportMetrics(*config.metrics, sim.now());
+        if (config.recorder != nullptr)
+            config.recorder->exportMetrics(*config.metrics);
         if (config.slo != nullptr)
             config.slo->exportMetrics(*config.metrics, sim.now());
         if (config.spans != nullptr && !config.spans->empty()) {

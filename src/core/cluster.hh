@@ -30,8 +30,10 @@
 #include "serving/engine.hh"
 #include "sim/fault.hh"
 #include "stats/summary.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/slo.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 #include "workload/benchmark.hh"
 
@@ -195,6 +197,25 @@ struct ClusterConfig
      * runCluster().
      */
     telemetry::SpanCollector *spans = nullptr;
+    /**
+     * Optional flight recorder: trace events and span completions tee
+     * into its retroactive rings, anomaly triggers (SLO burn,
+     * brownout, breaker open, autoscale, deadline-miss spikes) dump
+     * incident bundles, and incident counters are exported into
+     * `metrics` when both are set. Must outlive runCluster().
+     */
+    telemetry::FlightRecorder *recorder = nullptr;
+    /**
+     * Optional windowed time-series store: a read-only sampling
+     * coroutine records per-node queue depth / running count / KV
+     * utilization, cluster burn rates and completion counters at
+     * timeseriesPeriodSeconds cadence (plus every registry scalar
+     * when `metrics` is set). Pure observer — attaching it never
+     * changes sim outcomes. Must outlive runCluster().
+     */
+    telemetry::TimeSeriesStore *timeseries = nullptr;
+    /** Sampling cadence of the time-series coroutine, seconds. */
+    double timeseriesPeriodSeconds = 0.5;
 };
 
 /** Per-node measurements. */
@@ -230,6 +251,9 @@ struct ClusterResult
     /** SLO burn-rate alerts fired during the run (0 without a
      *  ClusterConfig::slo tracker). */
     std::int64_t sloAlerts = 0;
+    /** Incident bundles dumped by the flight recorder (0 without a
+     *  ClusterConfig::recorder). */
+    std::int64_t incidentBundles = 0;
 
     /** Circuit-breaker transitions and fail-open routing picks. */
     std::int64_t breakerOpens = 0;

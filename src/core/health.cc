@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/strfmt.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace agentsim::core
 {
@@ -116,6 +118,13 @@ HealthRegistry::transition(std::size_t node, BreakerState to,
         trace_->instant(telemetry::TracePid::kResilience,
                         static_cast<std::uint64_t>(node), label,
                         "resilience", now);
+    }
+    if (recorder_ != nullptr && to == BreakerState::Open) {
+        recorder_->trigger(
+            telemetry::IncidentTrigger::BreakerOpen, now,
+            sim::strfmt("node %zu circuit breaker opened "
+                        "(failure rate %.2f)",
+                        node, e.health.failureRate(now)));
     }
 }
 

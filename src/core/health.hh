@@ -105,6 +105,13 @@ class HealthRegistry
     /** Emit breaker transitions as trace instants (kResilience). */
     void attachTrace(telemetry::TraceSink *sink) { trace_ = sink; }
 
+    /** Every breaker *open* becomes an incident trigger (nullptr
+     *  detaches). */
+    void attachRecorder(telemetry::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /**
      * May the router send traffic to @p node now? Transitions an Open
      * breaker to HalfOpen once its cool-down elapses (every HalfOpen
@@ -156,6 +163,7 @@ class HealthRegistry
     HealthConfig config_;
     std::vector<Entry> entries_;
     telemetry::TraceSink *trace_ = nullptr;
+    telemetry::FlightRecorder *recorder_ = nullptr;
     std::int64_t opens_ = 0;
     std::int64_t closes_ = 0;
     std::int64_t failOpenPicks_ = 0;

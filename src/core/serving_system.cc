@@ -1,6 +1,7 @@
 #include "core/serving_system.hh"
 
 #include <memory>
+#include <optional>
 
 #include "agents/accuracy.hh"
 #include "core/bottleneck_report.hh"
@@ -25,6 +26,8 @@ struct ServeState
      *  every request of this run aggregates under. */
     telemetry::SpanCollector *spans = nullptr;
     std::string workflowLabel;
+    /** Workload drained; periodic observers exit at next wake. */
+    bool stopped = false;
 };
 
 void
@@ -217,6 +220,44 @@ driver(const ServeConfig &config, sim::Simulation &sim,
             co_await workers.back();
     }
     co_await sim::allOf(std::move(workers));
+    state.stopped = true;
+}
+
+/**
+ * Read-only time-series sampler for the single-engine path: the
+ * serving twin of the cluster's timeseriesSampler. Pure observer —
+ * consumes no RNG, mutates nothing; not spawned without a store.
+ */
+sim::Task<void>
+timeseriesSampler(const ServeConfig &config, sim::Simulation &sim,
+                  serving::LlmEngine &engine, ServeState &state)
+{
+    telemetry::TimeSeriesStore &ts = *config.timeseries;
+    for (;;) {
+        co_await sim::delaySec(sim, config.timeseriesPeriodSeconds);
+        const sim::Tick now = sim.now();
+        ts.record("engine_queue_depth", now,
+                  static_cast<double>(engine.queueDepth()));
+        ts.record("engine_running", now,
+                  static_cast<double>(engine.runningCount()));
+        const auto &blocks = engine.blockManager();
+        if (blocks.totalBlocks() > 0) {
+            ts.record("engine_kv_util", now,
+                      static_cast<double>(blocks.blocksInUse()) /
+                          static_cast<double>(blocks.totalBlocks()));
+        }
+        ts.record("requests_completed", now,
+                  static_cast<double>(state.result.completed));
+        if (config.slo != nullptr) {
+            ts.record("slo_burn_e2e", now,
+                      config.slo->windowBurnRate(
+                          telemetry::SloMetric::E2e, now));
+        }
+        if (config.telemetry != nullptr)
+            ts.sample(config.telemetry->registry, now);
+        if (state.stopped)
+            co_return;
+    }
 }
 
 } // namespace
@@ -248,6 +289,16 @@ runServing(const ServeConfig &config)
             : (config.telemetry != nullptr ? &config.telemetry->spans
                                            : nullptr);
     engine.attachSpans(spans);
+    // Flight-recorder tees; attach calls run even with a null
+    // recorder so reused sinks detach between sweep points.
+    if (config.telemetry != nullptr)
+        config.telemetry->trace.attachRecorder(config.recorder);
+    if (spans != nullptr)
+        spans->attachRecorder(config.recorder);
+    if (config.slo != nullptr)
+        config.slo->attachRecorder(config.recorder);
+    if (config.recorder != nullptr)
+        config.recorder->attachTimeSeries(config.timeseries);
     std::unique_ptr<tools::ToolSet> tools;
     if (!config.chatbot) {
         tools = workload::makeToolSet(config.bench, sim, engine,
@@ -270,6 +321,9 @@ runServing(const ServeConfig &config)
     }
     auto drive = driver(config, sim, engine, tools.get(), agent_cfg,
                         state);
+    std::optional<sim::Task<void>> sampler;
+    if (config.timeseries != nullptr)
+        sampler.emplace(timeseriesSampler(config, sim, engine, state));
     sim.run();
     AGENTSIM_ASSERT(drive.done(), "serving driver did not finish");
     AGENTSIM_ASSERT(state.result.completed == config.numRequests,
@@ -322,6 +376,8 @@ runServing(const ServeConfig &config)
             exportBlameMetrics(*spans, t.registry, end);
             emitSpanExemplars(*spans, t.trace);
         }
+        if (config.recorder != nullptr)
+            config.recorder->exportMetrics(t.registry);
         t.registry
             .gauge("agentsim_trace_dropped_events",
                    "Trace events dropped by the sink's capacity cap")

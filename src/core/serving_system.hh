@@ -73,6 +73,20 @@ struct ServeConfig
      * (core/bottleneck_report.hh). Must outlive the call.
      */
     telemetry::SpanCollector *spans = nullptr;
+
+    /**
+     * Optional flight recorder: trace events and span completions
+     * tee into its retroactive rings and SLO burn alerts (when `slo`
+     * is also set) dump incident bundles. Must outlive the call.
+     */
+    telemetry::FlightRecorder *recorder = nullptr;
+    /**
+     * Optional windowed time-series store fed by a read-only sampler
+     * coroutine at timeseriesPeriodSeconds cadence. Pure observer.
+     * Must outlive the call.
+     */
+    telemetry::TimeSeriesStore *timeseries = nullptr;
+    double timeseriesPeriodSeconds = 0.5;
 };
 
 /** Serving-experiment measurements. */

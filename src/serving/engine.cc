@@ -953,6 +953,11 @@ LlmEngine::injectStall(double seconds)
 {
     AGENTSIM_ASSERT(seconds >= 0, "negative stall");
     pendingStallSeconds_ += seconds;
+    if (trace_ != nullptr) {
+        trace_->instant(telemetry::TracePid::kEngine, 1,
+                        sim::strfmt("stall %.2fs", seconds), "engine",
+                        sim_.now());
+    }
 }
 
 kv::TokenId

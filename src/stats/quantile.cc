@@ -1,6 +1,7 @@
 #include "stats/quantile.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
 
@@ -93,16 +94,19 @@ P2Quantile::value() const
     if (count_ == 0)
         return 0.0;
     if (count_ < 5) {
-        // Exact order statistic over the buffered observations.
+        // Exact type-1 empirical quantile over the buffered
+        // observations: the smallest stored sample whose empirical
+        // CDF reaches p. Interpolating here would invent values never
+        // observed (and, at n=1..2, badly misstate tail quantiles).
         std::array<double, 5> sorted = q_;
         std::sort(sorted.begin(),
                   sorted.begin() + static_cast<std::ptrdiff_t>(count_));
-        const double rank =
-            p_ * static_cast<double>(count_ - 1);
-        const auto lo = static_cast<std::size_t>(rank);
-        const std::size_t hi = std::min(lo + 1, count_ - 1);
-        const double frac = rank - static_cast<double>(lo);
-        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+        const double scaled = p_ * static_cast<double>(count_);
+        auto rank = static_cast<std::size_t>(std::ceil(scaled));
+        if (rank == 0)
+            rank = 1;
+        rank = std::min(rank, count_);
+        return sorted[rank - 1];
     }
     return q_[2];
 }

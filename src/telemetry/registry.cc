@@ -103,6 +103,29 @@ MetricsRegistry::snapshot(sim::Tick now)
     rows_.push_back({now, csvValues()});
 }
 
+void
+MetricsRegistry::forEachScalar(
+    const std::function<void(const std::string &, double)> &fn) const
+{
+    for (const auto &m : metrics_) {
+        switch (m->kind()) {
+          case MetricKind::Counter:
+            fn(m->name(), static_cast<const Counter &>(*m).value());
+            break;
+          case MetricKind::Gauge:
+            fn(m->name(), static_cast<const Gauge &>(*m).value());
+            break;
+          case MetricKind::Histogram: {
+              const auto &h = static_cast<const HistogramMetric &>(*m);
+              fn(m->name() + "_count",
+                 static_cast<double>(h.count()));
+              fn(m->name() + "_sum", h.sum());
+              break;
+          }
+        }
+    }
+}
+
 std::string
 MetricsRegistry::renderPrometheus() const
 {

@@ -15,6 +15,7 @@
 #define AGENTSIM_TELEMETRY_REGISTRY_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -165,6 +166,16 @@ class MetricsRegistry
 
     /** Rows recorded by snapshot(). */
     std::size_t snapshots() const { return rows_.size(); }
+
+    /**
+     * Visit every scalar the registry exposes (counters and gauges by
+     * value; histograms as <name>_count and <name>_sum), in
+     * registration order. This is the hook the time-series store uses
+     * to sample the whole registry at a fixed cadence.
+     */
+    void forEachScalar(
+        const std::function<void(const std::string &, double)> &fn)
+        const;
 
     /**
      * Prometheus text exposition of current values: # HELP / # TYPE

@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/registry.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/span.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace_sink.hh"
 
 namespace agentsim::telemetry
@@ -32,6 +34,10 @@ struct SessionTelemetry
     TraceSink trace;
     /** Causal span trees, blame aggregates and tail exemplars. */
     SpanCollector spans;
+    /** Windowed metric rings sampled at a fixed sim-clock cadence. */
+    TimeSeriesStore timeseries;
+    /** Retroactive incident capture (off unless a run attaches it). */
+    FlightRecorder recorder;
     /** Engine iteration series, copied out of the engine post-run. */
     std::vector<IterationSample> engineSamples;
 
@@ -42,6 +48,8 @@ struct SessionTelemetry
         registry.clear();
         trace.clear();
         spans.clear();
+        timeseries.clear();
+        recorder.clear();
         engineSamples.clear();
     }
 

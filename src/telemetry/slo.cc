@@ -2,6 +2,7 @@
 
 #include "sim/logging.hh"
 #include "sim/strfmt.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace agentsim::telemetry
 {
@@ -131,6 +132,17 @@ SloTracker::maybeAlert(SloMetric metric, Tracker &t, sim::Tick now)
                         sim::strfmt("slo_alert_%s burn=%.1fx",
                                     name.c_str(), burn),
                         "slo", now);
+    }
+    if (recorder_ != nullptr) {
+        recorder_->trigger(IncidentTrigger::SloBurn, now,
+                           sim::strfmt("%s burn %.1fx budget "
+                                       "(%lld/%lld over %.3fs)",
+                                       name.c_str(), burn,
+                                       static_cast<long long>(
+                                           t.windowViolations),
+                                       static_cast<long long>(
+                                           t.windowTotal),
+                                       t.targetSeconds));
     }
 }
 

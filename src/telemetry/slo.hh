@@ -82,6 +82,13 @@ class SloTracker
     /** Attach a trace sink for alert instants (nullptr detaches). */
     void attachTrace(TraceSink *sink);
 
+    /** Attach a flight recorder: every burn-rate alert becomes an
+     *  incident trigger (nullptr detaches). */
+    void attachRecorder(FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /** Record a latency observation for @p metric at time @p now. */
     void observe(SloMetric metric, sim::Tick now, double seconds);
 
@@ -145,6 +152,7 @@ class SloTracker
     sim::Tick windowTicks_ = 0;
     std::array<Tracker, 3> trackers_;
     TraceSink *trace_ = nullptr;
+    FlightRecorder *recorder_ = nullptr;
 
     Tracker &tracker(SloMetric m);
     const Tracker &tracker(SloMetric m) const;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "telemetry/critical_path.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace agentsim::telemetry
 {
@@ -181,6 +182,13 @@ SpanCollector::finishRequest(SpanRef root, sim::Tick now,
     agg.latencySum += latency;
     agg.latencyP95.add(latency);
     ++finished_;
+
+    if (recorder_ != nullptr) {
+        recorder_->noteSpanCompletion({tree.requestKey, tree.workflow,
+                                       blame, latency, slo_violated,
+                                       tree.root().start,
+                                       tree.root().end});
+    }
 
     retain(std::move(tree), blame, latency, slo_violated);
     return blame;

@@ -48,6 +48,8 @@
 namespace agentsim::telemetry
 {
 
+class FlightRecorder;
+
 /** What a span represents; determines its blame category. */
 enum class SpanKind
 {
@@ -254,6 +256,16 @@ class SpanCollector
     void setConfig(Config config) { config_ = config; }
     const Config &config() const { return config_; }
 
+    /**
+     * Tee every finished request (key, workflow, blame, latency,
+     * root window) into a flight recorder's span-completion ring
+     * (nullptr detaches).
+     */
+    void attachRecorder(FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /** Open a request tree; the returned ref is the Episode root. */
     SpanRef beginRequest(std::uint64_t request_key,
                          std::string workflow, sim::Tick now);
@@ -315,6 +327,7 @@ class SpanCollector
     std::vector<SpanExemplar> exemplars_;
     std::int64_t finished_ = 0;
     std::int64_t evicted_ = 0;
+    FlightRecorder *recorder_ = nullptr;
 
     BlameAggregate &aggregateFor(const std::string &workflow);
     void retain(SpanTree &&tree, const BlameVector &blame,

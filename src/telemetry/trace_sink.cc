@@ -1,5 +1,6 @@
 #include "telemetry/trace_sink.hh"
 
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/registry.hh"
 
 #include "sim/strfmt.hh"
@@ -57,6 +58,8 @@ TraceSink::processName(int pid, const std::string &name)
         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
         "\"args\":{\"name\":\"%s\"}}",
         pid, jsonEscape(name).c_str()));
+    if (recorder_ != nullptr)
+        recorder_->noteMetadata(events_.back());
 }
 
 void
@@ -70,6 +73,8 @@ TraceSink::threadName(int pid, std::uint64_t tid,
         "\"tid\":%llu,\"args\":{\"name\":\"%s\"}}",
         pid, static_cast<unsigned long long>(tid),
         jsonEscape(name).c_str()));
+    if (recorder_ != nullptr)
+        recorder_->noteMetadata(events_.back());
 }
 
 bool
@@ -87,7 +92,10 @@ TraceSink::complete(int pid, std::uint64_t tid, const std::string &name,
                     const char *cat, sim::Tick start, sim::Tick end,
                     const std::string &args_json)
 {
-    if (!admit())
+    // The recorder's ring keeps capturing even once this sink's own
+    // capacity saturates, so it sees every event.
+    const bool keep = admit();
+    if (!keep && recorder_ == nullptr)
         return;
     std::string ev = sim::strfmt(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%lld,"
@@ -98,33 +106,46 @@ TraceSink::complete(int pid, std::uint64_t tid, const std::string &name,
     if (!args_json.empty())
         ev += ",\"args\":{" + args_json + "}";
     ev += "}";
-    events_.push_back(std::move(ev));
+    if (recorder_ != nullptr)
+        recorder_->noteTraceEvent(start, end, ev);
+    if (keep)
+        events_.push_back(std::move(ev));
 }
 
 void
 TraceSink::instant(int pid, std::uint64_t tid, const std::string &name,
                    const char *cat, sim::Tick at)
 {
-    if (!admit())
+    const bool keep = admit();
+    if (!keep && recorder_ == nullptr)
         return;
-    events_.push_back(sim::strfmt(
+    std::string ev = sim::strfmt(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%lld,"
         "\"pid\":%d,\"tid\":%llu,\"s\":\"t\"}",
         jsonEscape(name).c_str(), cat, static_cast<long long>(at), pid,
-        static_cast<unsigned long long>(tid)));
+        static_cast<unsigned long long>(tid));
+    if (recorder_ != nullptr)
+        recorder_->noteTraceEvent(at, at, ev);
+    if (keep)
+        events_.push_back(std::move(ev));
 }
 
 void
 TraceSink::counter(int pid, const std::string &name, sim::Tick at,
                    const std::string &args_json)
 {
-    if (!admit())
+    const bool keep = admit();
+    if (!keep && recorder_ == nullptr)
         return;
-    events_.push_back(sim::strfmt(
+    std::string ev = sim::strfmt(
         "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%lld,\"pid\":%d,"
         "\"args\":{%s}}",
         jsonEscape(name).c_str(), static_cast<long long>(at), pid,
-        args_json.c_str()));
+        args_json.c_str());
+    if (recorder_ != nullptr)
+        recorder_->noteTraceEvent(at, at, ev);
+    if (keep)
+        events_.push_back(std::move(ev));
 }
 
 void
@@ -132,7 +153,8 @@ TraceSink::asyncBegin(int pid, std::uint64_t id,
                       const std::string &name, const char *cat,
                       sim::Tick at, const std::string &args_json)
 {
-    if (!admit())
+    const bool keep = admit();
+    if (!keep && recorder_ == nullptr)
         return;
     std::string ev = sim::strfmt(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"b\",\"id\":\"0x%llx\","
@@ -144,22 +166,30 @@ TraceSink::asyncBegin(int pid, std::uint64_t id,
     if (!args_json.empty())
         ev += ",\"args\":{" + args_json + "}";
     ev += "}";
-    events_.push_back(std::move(ev));
+    if (recorder_ != nullptr)
+        recorder_->noteTraceEvent(at, at, ev);
+    if (keep)
+        events_.push_back(std::move(ev));
 }
 
 void
 TraceSink::asyncEnd(int pid, std::uint64_t id, const std::string &name,
                     const char *cat, sim::Tick at)
 {
-    if (!admit())
+    const bool keep = admit();
+    if (!keep && recorder_ == nullptr)
         return;
-    events_.push_back(sim::strfmt(
+    std::string ev = sim::strfmt(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"e\",\"id\":\"0x%llx\","
         "\"ts\":%lld,\"pid\":%d,\"tid\":%llu}",
         jsonEscape(name).c_str(), cat,
         static_cast<unsigned long long>(id),
         static_cast<long long>(at), pid,
-        static_cast<unsigned long long>(id)));
+        static_cast<unsigned long long>(id));
+    if (recorder_ != nullptr)
+        recorder_->noteTraceEvent(at, at, ev);
+    if (keep)
+        events_.push_back(std::move(ev));
 }
 
 std::string

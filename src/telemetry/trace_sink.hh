@@ -30,6 +30,8 @@
 namespace agentsim::telemetry
 {
 
+class FlightRecorder;
+
 /**
  * Escape a string for inclusion in a JSON string literal. Handles the
  * short escapes (quote, backslash, \b \f \n \r \t) and renders every
@@ -124,6 +126,18 @@ class TraceSink
     /** Data events dropped because the capacity was reached. */
     std::uint64_t droppedEvents() const { return dropped_; }
 
+    /**
+     * Tee every emitted event into a flight recorder's retroactive
+     * ring (nullptr detaches). The recorder keeps receiving events
+     * even after this sink's own capacity saturates — its ring is
+     * separately bounded, so incident bundles stay fresh on runs long
+     * enough to fill the main trace.
+     */
+    void attachRecorder(FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /** Events emitted so far (metadata included). */
     std::size_t eventCount() const { return events_.size(); }
 
@@ -141,6 +155,7 @@ class TraceSink
     std::set<std::pair<int, std::int64_t>> named_;
     std::size_t capacity_ = kDefaultEventCapacity;
     std::uint64_t dropped_ = 0;
+    FlightRecorder *recorder_ = nullptr;
 
     /** @return whether a data event may be appended (counts drops). */
     bool admit();

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the windowed time-series store and the flight
+ * recorder: ring wraparound, windowed queries, trigger debounce, the
+ * disk budget, the deadline-miss spike detector, and the recorder-off
+ * bit-identity contract at the serving layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/probe.hh"
+#include "core/serving_system.hh"
+#include "sim/types.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/session.hh"
+#include "telemetry/timeseries.hh"
+
+namespace
+{
+
+using namespace agentsim;
+using sim::fromSeconds;
+using telemetry::FlightRecorder;
+using telemetry::IncidentTrigger;
+using telemetry::TimeSeriesStore;
+
+/** Fresh per-test incident directory under the gtest temp dir. */
+std::string
+incidentDir(const std::string &name)
+{
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) / "agentsim" / name;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+TEST(TimeSeries, RingWrapKeepsNewestPointsInOrder)
+{
+    TimeSeriesStore ts;
+    TimeSeriesStore::Config cfg;
+    cfg.capacity = 8;
+    ts.setConfig(cfg);
+    for (int i = 0; i < 20; ++i)
+        ts.record("queue", fromSeconds(i), static_cast<double>(i));
+    EXPECT_EQ(ts.seriesCount(), 1u);
+    EXPECT_EQ(ts.pointsRetained(), 8u);
+
+    const auto w = ts.window("queue", 0, fromSeconds(100));
+    ASSERT_EQ(w.size(), 8u); // only the newest 8 survive the wrap
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(w[i].tick, fromSeconds(12 + static_cast<int>(i)));
+        EXPECT_DOUBLE_EQ(w[i].value, 12.0 + static_cast<double>(i));
+    }
+}
+
+TEST(TimeSeries, WindowedRateAndDerivative)
+{
+    TimeSeriesStore ts;
+    // A counter climbing 10/s, sampled once a second.
+    for (int i = 0; i <= 10; ++i)
+        ts.record("requests_total", fromSeconds(i), 10.0 * i);
+
+    EXPECT_NEAR(ts.windowRate("requests_total", 0, fromSeconds(10)),
+                10.0, 1e-9);
+    // Restricting the window restricts the rate computation to the
+    // in-window endpoints: (50 - 20) / 3s.
+    EXPECT_NEAR(ts.windowRate("requests_total", fromSeconds(2),
+                              fromSeconds(5)),
+                10.0, 1e-9);
+    EXPECT_NEAR(ts.windowDerivative("requests_total", 0,
+                                    fromSeconds(10)),
+                10.0, 1e-9);
+    // Sub-two-point windows report 0 rather than inventing a slope.
+    EXPECT_DOUBLE_EQ(ts.windowRate("requests_total", fromSeconds(4),
+                                   fromSeconds(4)),
+                     0.0);
+    EXPECT_DOUBLE_EQ(ts.windowRate("absent", 0, fromSeconds(10)), 0.0);
+
+    const auto stats =
+        ts.windowStats("requests_total", fromSeconds(3), fromSeconds(7));
+    EXPECT_EQ(stats.samples, 5u);
+    EXPECT_DOUBLE_EQ(stats.min, 30.0);
+    EXPECT_DOUBLE_EQ(stats.max, 70.0);
+    EXPECT_DOUBLE_EQ(stats.mean, 50.0);
+    EXPECT_DOUBLE_EQ(stats.last, 70.0);
+}
+
+TEST(TimeSeries, CsvWindowIsLongFormatAndClipped)
+{
+    TimeSeriesStore ts;
+    ts.record("a", fromSeconds(1), 1.0);
+    ts.record("a", fromSeconds(9), 9.0);
+    ts.record("b", fromSeconds(5), 5.0);
+    const std::string csv =
+        ts.renderCsvWindow(fromSeconds(4), fromSeconds(10));
+    EXPECT_NE(csv.find("series,time_s,value"), std::string::npos);
+    EXPECT_NE(csv.find("a,9.000000,9"), std::string::npos);
+    EXPECT_NE(csv.find("b,5.000000,5"), std::string::npos);
+    EXPECT_EQ(csv.find("a,1.000000"), std::string::npos); // clipped
+}
+
+TEST(FlightRecorderTest, DebouncePerTriggerKind)
+{
+    FlightRecorder::Config cfg;
+    cfg.incidentDir = incidentDir("debounce");
+    cfg.debounceSeconds = 30.0;
+    cfg.windowSeconds = 10.0;
+    FlightRecorder rec(cfg);
+
+    rec.trigger(IncidentTrigger::SloBurn, fromSeconds(10), "first");
+    rec.trigger(IncidentTrigger::SloBurn, fromSeconds(20), "debounced");
+    // A different kind has its own debounce clock.
+    rec.trigger(IncidentTrigger::Brownout, fromSeconds(20), "other");
+    // Past the debounce interval the kind may fire again.
+    rec.trigger(IncidentTrigger::SloBurn, fromSeconds(45), "second");
+
+    EXPECT_EQ(rec.incidentsDumped(), 3);
+    EXPECT_EQ(rec.skippedDebounce(), 1);
+    EXPECT_EQ(rec.writeFailures(), 0);
+    for (const auto &path : rec.incidentPaths()) {
+        EXPECT_TRUE(std::filesystem::exists(
+            std::filesystem::path(path) / "manifest.json"))
+            << path;
+        EXPECT_TRUE(std::filesystem::exists(
+            std::filesystem::path(path) / "trace.json"))
+            << path;
+        EXPECT_TRUE(std::filesystem::exists(
+            std::filesystem::path(path) / "timeseries.csv"))
+            << path;
+    }
+}
+
+TEST(FlightRecorderTest, DiskBudgetStopsDumps)
+{
+    FlightRecorder::Config cfg;
+    cfg.incidentDir = incidentDir("budget");
+    cfg.debounceSeconds = 0.001;
+    cfg.diskBudgetBytes = 64; // smaller than any bundle
+    FlightRecorder rec(cfg);
+
+    rec.trigger(IncidentTrigger::BreakerOpen, fromSeconds(1), "x");
+    rec.trigger(IncidentTrigger::BreakerOpen, fromSeconds(2), "y");
+
+    EXPECT_EQ(rec.incidentsDumped(), 0);
+    EXPECT_EQ(rec.skippedBudget(), 2);
+    EXPECT_EQ(rec.bytesWritten(), 0);
+    EXPECT_FALSE(std::filesystem::exists(cfg.incidentDir));
+}
+
+TEST(FlightRecorderTest, DeadlineMissSpikeSelfTriggers)
+{
+    FlightRecorder::Config cfg;
+    cfg.incidentDir = incidentDir("miss_spike");
+    cfg.missSpikeCount = 3;
+    cfg.missWindowSeconds = 5.0;
+    FlightRecorder rec(cfg);
+
+    // Two misses spread outside the window: no spike.
+    rec.noteDeadlineMiss(fromSeconds(1));
+    rec.noteDeadlineMiss(fromSeconds(10));
+    EXPECT_EQ(rec.incidentsDumped(), 0);
+    // A third miss within 5s of the second completes the spike.
+    rec.noteDeadlineMiss(fromSeconds(11));
+    rec.noteDeadlineMiss(fromSeconds(12));
+    EXPECT_EQ(rec.incidentsDumped(), 1);
+}
+
+TEST(FlightRecorderTest, BundleWindowClipsRingContent)
+{
+    FlightRecorder::Config cfg;
+    cfg.incidentDir = incidentDir("window");
+    cfg.windowSeconds = 10.0;
+    FlightRecorder rec(cfg);
+
+    // One event well before the window, one inside it.
+    rec.noteTraceEvent(fromSeconds(1), fromSeconds(2),
+                       "{\"name\":\"ancient\",\"ph\":\"X\",\"ts\":1}");
+    rec.noteTraceEvent(fromSeconds(55), fromSeconds(56),
+                       "{\"name\":\"recent\",\"ph\":\"X\",\"ts\":2}");
+    telemetry::SpanCompletion sc;
+    sc.requestKey = 7;
+    sc.workflow = "w";
+    sc.latencySeconds = 3.0;
+    sc.start = fromSeconds(53);
+    sc.end = fromSeconds(56);
+    rec.noteSpanCompletion(sc);
+
+    rec.trigger(IncidentTrigger::Autoscale, fromSeconds(60), "clip");
+    ASSERT_EQ(rec.incidentsDumped(), 1);
+
+    std::ifstream in(std::filesystem::path(rec.incidentPaths()[0]) /
+                     "trace.json");
+    const std::string trace((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    EXPECT_NE(trace.find("recent"), std::string::npos);
+    EXPECT_EQ(trace.find("ancient"), std::string::npos);
+
+    std::ifstream min(std::filesystem::path(rec.incidentPaths()[0]) /
+                      "manifest.json");
+    const std::string manifest((std::istreambuf_iterator<char>(min)),
+                               std::istreambuf_iterator<char>());
+    EXPECT_NE(manifest.find("\"schema\": \"agentsim-incident-v1\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"trigger\": \"autoscale\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"span_completions\": 1"),
+              std::string::npos);
+}
+
+TEST(FlightRecorderTest, ClearDropsStateButKeepsConfig)
+{
+    FlightRecorder::Config cfg;
+    cfg.incidentDir = incidentDir("clear");
+    FlightRecorder rec(cfg);
+    rec.noteTraceEvent(fromSeconds(1), fromSeconds(2), "{}");
+    rec.trigger(IncidentTrigger::SloBurn, fromSeconds(5), "x");
+    EXPECT_EQ(rec.incidentsDumped(), 1);
+
+    rec.clear();
+    EXPECT_EQ(rec.incidentsDumped(), 0);
+    EXPECT_EQ(rec.traceEventsRetained(), 0u);
+    EXPECT_EQ(rec.bytesWritten(), 0);
+    EXPECT_EQ(rec.config().incidentDir, cfg.incidentDir);
+}
+
+TEST(FlightRecorderTest, RecorderOffRunIsBitIdentical)
+{
+    // The whole observability stack must be a pure observer: a run
+    // with time-series sampling + recorder rings attached produces
+    // exactly the same sim-domain results as a bare run.
+    core::ServeConfig bare;
+    bare.chatbot = true;
+    bare.closedLoop = true;
+    bare.numRequests = 12;
+    bare.seed = 99;
+    bare.engineConfig = core::enginePreset8b();
+    const auto r1 = core::runServing(bare);
+
+    telemetry::SessionTelemetry session;
+    session.recorder.setConfig(
+        {.incidentDir = incidentDir("identity")});
+    core::ServeConfig wired = bare;
+    wired.telemetry = &session;
+    wired.recorder = &session.recorder;
+    wired.timeseries = &session.timeseries;
+    const auto r2 = core::runServing(wired);
+
+    EXPECT_EQ(r1.completed, r2.completed);
+    EXPECT_EQ(r1.solved, r2.solved);
+    EXPECT_DOUBLE_EQ(r1.p50(), r2.p50());
+    EXPECT_DOUBLE_EQ(r1.p95(), r2.p95());
+    EXPECT_DOUBLE_EQ(r1.makespanSeconds, r2.makespanSeconds);
+    EXPECT_DOUBLE_EQ(r1.engineStats.busySeconds,
+                     r2.engineStats.busySeconds);
+    // energyWh is deliberately NOT compared: the sampler's final wake
+    // extends the sim end by at most one period (the same idiom the
+    // cluster monitor uses), so idle energy billed to sim teardown
+    // may include up to periodSeconds of extra idle draw. Bounded:
+    EXPECT_NEAR(r1.energyWh, r2.energyWh,
+                r1.energyWh * 0.001 + 1e-6);
+    // And the observers did observe.
+    EXPECT_GT(session.timeseries.pointsRetained(), 0u);
+    EXPECT_GT(session.recorder.traceEventsRetained(), 0u);
+}
+
+} // namespace

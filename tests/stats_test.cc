@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "stats/gauge.hh"
+#include "stats/hdr_histogram.hh"
 #include "stats/histogram.hh"
 #include "stats/pareto.hh"
 #include "stats/quantile.hh"
@@ -245,17 +246,35 @@ class UniformStream
 
 TEST(P2Quantile, ExactOrderStatisticBelowFiveSamples)
 {
+    // Until the five markers are primed, value() must return an exact
+    // order statistic of the buffered observations (type-1 empirical
+    // quantile: smallest sample whose empirical CDF reaches p) —
+    // never an interpolated value no sample ever took.
     stats::P2Quantile med(0.5);
     EXPECT_DOUBLE_EQ(med.value(), 0.0);
     med.add(30.0);
     EXPECT_DOUBLE_EQ(med.value(), 30.0);
     med.add(10.0);
-    EXPECT_DOUBLE_EQ(med.value(), 20.0); // interpolated median
+    EXPECT_DOUBLE_EQ(med.value(), 10.0); // lower median of {10,30}
     med.add(20.0);
     EXPECT_DOUBLE_EQ(med.value(), 20.0);
     med.add(40.0);
-    EXPECT_DOUBLE_EQ(med.value(), 25.0); // {10,20,30,40} rank 1.5
+    EXPECT_DOUBLE_EQ(med.value(), 20.0); // rank ceil(0.5*4)=2
     EXPECT_EQ(med.count(), 4u);
+}
+
+TEST(P2Quantile, SmallNTailQuantileIsAnObservedSample)
+{
+    // Regression: a p99 fed two samples used to interpolate between
+    // them (rank 0.99 of {lo, hi}), reporting a latency nobody saw.
+    stats::P2Quantile p99(0.99);
+    p99.add(1.0);
+    EXPECT_DOUBLE_EQ(p99.value(), 1.0);
+    p99.add(100.0);
+    EXPECT_DOUBLE_EQ(p99.value(), 100.0); // ceil(1.98) = 2nd of 2
+    p99.add(2.0);
+    p99.add(3.0);
+    EXPECT_DOUBLE_EQ(p99.value(), 100.0); // ceil(3.96) = 4th of 4
 }
 
 TEST(P2Quantile, ConvergesOnUniformStream)
@@ -302,6 +321,63 @@ TEST(P2Quantile, MonotoneShiftIsFollowed)
     for (int i = 0; i < 9000; ++i)
         p50.add(1.0);
     EXPECT_GT(p50.value(), 0.5);
+}
+
+TEST(HdrHistogram, QuantileHoldsRelativeErrorBoundAcrossOctaves)
+{
+    // Every reported quantile must sit within the advertised relative
+    // error of the true value, at every magnitude in range.
+    stats::HdrHistogram h(1e-3, 3600.0, 0.01);
+    EXPECT_LE(h.relError(), 0.01);
+    for (double v = 1.5e-3; v < 3600.0; v *= 1.37) {
+        stats::HdrHistogram one(1e-3, 3600.0, 0.01);
+        one.add(v);
+        const double q = one.quantile(0.5);
+        EXPECT_NEAR(q, v, v * one.relError())
+            << "value " << v << " reported as " << q;
+    }
+}
+
+TEST(HdrHistogram, QuantilesMatchExactOnKnownStream)
+{
+    stats::HdrHistogram h(0.01, 100.0, 0.01);
+    for (int i = 1; i <= 1000; ++i)
+        h.add(i * 0.01); // uniform 0.01 .. 10.00
+    EXPECT_EQ(h.count(), 1000);
+    EXPECT_NEAR(h.quantile(0.50), 5.0, 5.0 * 2 * h.relError());
+    EXPECT_NEAR(h.quantile(0.99), 9.9, 9.9 * 2 * h.relError());
+    EXPECT_NEAR(h.mean(), 5.005, 0.001);
+    EXPECT_DOUBLE_EQ(h.min(), 0.01);
+    EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(HdrHistogram, OutOfRangeValuesClampAndCountOverflow)
+{
+    stats::HdrHistogram h(1.0, 8.0, 0.05);
+    h.add(0.25);  // below min: clamps into the first bucket
+    h.add(100.0); // above max: counted as overflow
+    EXPECT_EQ(h.count(), 2);
+    EXPECT_EQ(h.overflow(), 1);
+    EXPECT_DOUBLE_EQ(h.min(), 0.25);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    // The clamped sample reports as the histogram floor, not zero.
+    EXPECT_GE(h.quantile(0.01), 0.0);
+}
+
+TEST(HdrHistogram, TailExemplarsKeepLargestAndEvictWeakest)
+{
+    stats::HdrHistogram h(0.001, 100.0, 0.01, 3);
+    for (std::uint64_t id = 1; id <= 10; ++id)
+        h.add(static_cast<double>(id), id);
+    const auto tail = h.tailExemplars();
+    ASSERT_EQ(tail.size(), 3u);
+    // Sorted descending; the three largest survive with their ids.
+    EXPECT_DOUBLE_EQ(tail[0].value, 10.0);
+    EXPECT_EQ(tail[0].id, 10u);
+    EXPECT_DOUBLE_EQ(tail[1].value, 9.0);
+    EXPECT_EQ(tail[1].id, 9u);
+    EXPECT_DOUBLE_EQ(tail[2].value, 8.0);
+    EXPECT_EQ(tail[2].id, 8u);
 }
 
 } // namespace
