@@ -51,4 +51,16 @@ build/bench/chaos_slo --smoke --flight-record \
     --incident-dir "${incidents}" > /dev/null
 python3 scripts/check_trace.py --bundle "${incidents}"
 
+# Chaos/recovery gate: both chaos smokes must pass under asan — the
+# crash/resume path (checkpointed state, parked tier blocks,
+# cancelled coroutines) is where lifetime bugs hide. chaos_recovery
+# additionally gates fault-schedule determinism and the >= 50%
+# recomputed-GPU-seconds reduction (DESIGN.md §3j). Skipped when the
+# asan preset was excluded from AGENTSIM_PRESETS.
+if [[ " ${presets[*]} " == *" asan "* ]]; then
+    echo "==> chaos recovery gate (chaos_slo + chaos_recovery --smoke, asan)"
+    build-asan/bench/chaos_slo --smoke > /dev/null
+    build-asan/bench/chaos_recovery --smoke > /dev/null
+fi
+
 echo "verify: OK (${presets[*]})"

@@ -188,10 +188,15 @@ callLlm(AgentContext &ctx, Trace &trace, sim::Rng &rng, Prompt prompt,
         ctx.spans->end(call_span, end);
 
     if (gen.retryable()) {
-        throw NodeFailureError(
+        NodeFailureError err(
             sim::strfmt("%s: %s", label.c_str(),
                         gen.shed ? "request shed" : "node failure"),
             gen.shed);
+        // Price what a from-scratch retry would recompute: everything
+        // the episode has attributed so far (the failed call itself
+        // charges nothing — it never ran).
+        err.investedGpuSeconds = trace.cost().gpuSeconds();
+        throw err;
     }
     if (gen.timedOut) {
         throw DeadlineExceededError(sim::strfmt(

@@ -14,6 +14,7 @@
 
 #include "agents/prompt.hh"
 #include "agents/trace.hh"
+#include "serving/checkpoint.hh"
 #include "serving/engine.hh"
 #include "sim/rng.hh"
 #include "sim/task.hh"
@@ -149,6 +150,24 @@ struct AgentContext
      *  iteration — SpanScope pushes/pops it). */
     telemetry::SpanRef spanParent;
 
+    /**
+     * Optional episode checkpoint store. When set (and its policy
+     * enabled), workflows journal an EpisodeCheckpoint at iteration
+     * boundaries under @ref episodeKey so the cluster's retry path
+     * can resume instead of replaying the episode (DESIGN.md §3j).
+     */
+    serving::CheckpointStore *checkpoints = nullptr;
+    /** Store key of this episode (the cluster request index). */
+    std::uint64_t episodeKey = 0;
+    /**
+     * Checkpoint to resume from, or null for a fresh start. The
+     * caller must have matched kindTag against @ref kind (brownout
+     * may downgrade the workflow between attempts) and restored the
+     * prefix KV if priced cheaper than recompute; the workflow casts
+     * `state` back and replays the journal.
+     */
+    const serving::EpisodeCheckpoint *resumeFrom = nullptr;
+
     const workload::BenchmarkProfile &
     profile() const
     {
@@ -194,6 +213,13 @@ class NodeFailureError : public std::runtime_error
 
     /** True for admission-control shedding, false for a crash. */
     bool shed = false;
+    /**
+     * GPU-seconds the episode had attributed when the failure hit —
+     * what a from-scratch retry recomputes. The cluster's recovery
+     * accounting subtracts the last checkpoint's share to price what
+     * checkpoint-resume actually saved.
+     */
+    double investedGpuSeconds = 0.0;
 };
 
 /**

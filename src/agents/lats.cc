@@ -19,6 +19,7 @@
 
 #include "agents/accuracy.hh"
 #include "agents/workflows.hh"
+#include "sim/logging.hh"
 
 namespace agentsim::agents
 {
@@ -123,6 +124,80 @@ valueChild(AgentContext &ctx, Trace &trace,
                                "lats.value");
 }
 
+/** Deep copy of a search (sub)tree with parent pointers rebuilt. */
+std::unique_ptr<Node>
+cloneTree(const Node &src, Node *parent)
+{
+    auto dst = std::make_unique<Node>();
+    dst->parent = parent;
+    dst->hops = src.hops;
+    dst->depth = src.depth;
+    dst->valueSum = src.valueSum;
+    dst->visits = src.visits;
+    dst->capability = src.capability;
+    dst->llmTokens = src.llmTokens;
+    dst->obsTokens = src.obsTokens;
+    dst->children.reserve(src.children.size());
+    for (const auto &child : src.children)
+        dst->children.push_back(cloneTree(*child, dst.get()));
+    return dst;
+}
+
+/** Preorder position of @p target in the tree, -1 if absent. */
+int
+preorderIndexOf(const Node *node, const Node *target, int &counter)
+{
+    if (node == target)
+        return counter;
+    ++counter;
+    for (const auto &child : node->children) {
+        const int found =
+            preorderIndexOf(child.get(), target, counter);
+        if (found >= 0)
+            return found;
+    }
+    return -1;
+}
+
+/** Node at preorder position @p index (counterpart of the above). */
+Node *
+nodeAtPreorder(Node *node, int index, int &counter)
+{
+    if (counter == index)
+        return node;
+    ++counter;
+    for (const auto &child : node->children) {
+        Node *found = nodeAtPreorder(child.get(), index, counter);
+        if (found != nullptr)
+            return found;
+    }
+    return nullptr;
+}
+
+/**
+ * Journaled LATS episode snapshot: the search tree (deep-copied so
+ * the live tree keeps mutating), the incumbent best node as a
+ * preorder index, and the round-loop position. Snapshots are taken
+ * only at round boundaries with no terminal found, so a resume always
+ * re-enters the loop. Per-child RNG streams need no journaling — they
+ * reconstruct from (seed, round, child) discriminators.
+ */
+struct LatsEpisodeState
+{
+    std::unique_ptr<Node> root;
+    int bestIndex = 0;
+    int reflections = 0;
+    int roundsUsed = 0;
+    EpisodicMemory episodic;
+    sim::Rng rng;
+    Trace trace;
+
+    LatsEpisodeState(const sim::Rng &rng_, const Trace &trace_)
+        : rng(rng_), trace(trace_)
+    {
+    }
+};
+
 } // namespace
 
 sim::Task<AgentResult>
@@ -142,8 +217,33 @@ LatsAgent::run(AgentContext ctx)
     Node *terminal = nullptr;
     int reflections = 0;
     int rounds_used = 0;
+    int first_round = 0;
 
-    for (int round = 0; round < ctx.config.maxIterations; ++round) {
+    // Journal replay: re-clone the checkpointed tree (the stored copy
+    // stays immutable for repeated resumes) and rejoin the round loop.
+    if (ctx.resumeFrom != nullptr &&
+        ctx.resumeFrom->kindTag == static_cast<int>(AgentKind::Lats)) {
+        // The tree is re-cloned and scalars copied below, so no
+        // keepalive is needed past this block — but the store entry
+        // must not be touched while we read it, which holds: the
+        // first re-checkpoint happens at the earliest one round in.
+        const auto *state = static_cast<const LatsEpisodeState *>(
+            ctx.resumeFrom->state.get());
+        trace = state->trace;
+        rng = state->rng;
+        episodic = state->episodic;
+        reflections = state->reflections;
+        rounds_used = state->roundsUsed;
+        first_round = state->roundsUsed;
+        root = cloneTree(*state->root, nullptr);
+        int counter = 0;
+        best = nodeAtPreorder(root.get(), state->bestIndex, counter);
+        AGENTSIM_ASSERT(best != nullptr,
+                        "LATS resume lost its best node");
+    }
+
+    for (int round = first_round; round < ctx.config.maxIterations;
+         ++round) {
         SpanScope iteration(ctx, telemetry::SpanKind::Iteration,
                             "lats.round");
         ++rounds_used;
@@ -322,6 +422,33 @@ LatsAgent::run(AgentContext ctx)
                 prof.reflectionOutputMean, "lats.reflect");
             episodic.addReflection(reflection.tokens);
             ++reflections;
+        }
+
+        // Round complete without a terminal: journal the tree. The
+        // chain snapshot is the incumbent best path — the prefix the
+        // resumed answer/rollout calls are most likely to reuse.
+        if (ctx.checkpoints != nullptr &&
+            ctx.checkpoints->policy().enabled &&
+            ctx.checkpoints->shouldCheckpoint(ctx.episodeKey,
+                                              rounds_used)) {
+            auto state = std::make_shared<LatsEpisodeState>(rng, trace);
+            state->root = cloneTree(*root, nullptr);
+            int counter = 0;
+            state->bestIndex =
+                preorderIndexOf(root.get(), best, counter);
+            state->reflections = reflections;
+            state->roundsUsed = rounds_used;
+            state->episodic = episodic;
+            serving::EpisodeCheckpoint ckpt;
+            ckpt.kindTag = static_cast<int>(AgentKind::Lats);
+            ckpt.iteration = rounds_used;
+            ckpt.takenTick = ctx.sim->now();
+            ckpt.chainTokens =
+                pathPrompt(ctx, episodic, best).tokens;
+            ckpt.gpuSeconds = trace.cost().gpuSeconds();
+            ckpt.state = std::move(state);
+            ctx.checkpoints->put(ctx.episodeKey, std::move(ckpt),
+                                 kvBytesPerToken(*ctx.engine));
         }
     }
 

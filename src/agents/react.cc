@@ -11,11 +11,34 @@
 namespace agentsim::agents
 {
 
+std::vector<kv::TokenId>
+trialChainTokens(const AgentContext &ctx,
+                 const EpisodicMemory &episodic,
+                 const TrajectoryMemory &memory)
+{
+    PromptBuilder builder;
+    builder.add(SegmentKind::Instruction, ctx.instructionTokens());
+    builder.add(SegmentKind::FewShot, ctx.fewShotTokens());
+    builder.add(SegmentKind::User, ctx.userTokens());
+    episodic.appendTo(builder);
+    memory.appendTo(builder);
+    return builder.build().tokens;
+}
+
+double
+kvBytesPerToken(const serving::LlmEngine &engine)
+{
+    return static_cast<double>(engine.blockBytes()) /
+           static_cast<double>(engine.config().blockSize);
+}
+
 sim::Task<TrialOutcome>
 runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
                  TrajectoryMemory &memory,
                  const EpisodicMemory &episodic, int reflections,
-                 std::uint64_t call_base)
+                 std::uint64_t call_base,
+                 const ReactEpisodeState *resume,
+                 const TrialCheckpointFn &checkpoint)
 {
     const auto &prof = ctx.profile();
     const int few_shot = ctx.config.resolveFewShot(prof);
@@ -23,15 +46,24 @@ runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
 
     // One trial = one execution context: its capability is drawn once
     // (latent-threshold model, accuracy.hh), so repeating trials on a
-    // hard task mostly repeats the failure.
+    // hard task mostly repeats the failure. A resumed trial reuses
+    // the journaled draw (the restored rng stream sits past it); a
+    // trial-boundary snapshot draws from the restored stream exactly
+    // where the uninterrupted run would have.
     const double base = hopSuccessProb(ctx.config.modelQuality,
                                        few_shot, reflections,
                                        ctx.task.difficulty);
-    const double capability = contextCapability(
-        rng, base, Calibration::exploreSigmaTrial);
+    const double capability =
+        (resume != nullptr && resume->capabilityDrawn)
+            ? resume->capability
+            : contextCapability(rng, base,
+                                Calibration::exploreSigmaTrial);
 
     TrialOutcome outcome;
-    for (int iter = 0; iter < ctx.config.maxIterations; ++iter) {
+    if (resume != nullptr)
+        outcome = resume->outcome;
+    for (int iter = outcome.iterations;
+         iter < ctx.config.maxIterations; ++iter) {
         SpanScope iteration(ctx, telemetry::SpanKind::Iteration,
                             "react.iter");
         PromptBuilder builder;
@@ -103,6 +135,11 @@ runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
                 sampleAnswer(rng, outcome.hopsFound, required);
             co_return outcome;
         }
+
+        // Iteration complete (every draw included): journal. Episodes
+        // that return above finished — nothing left to recover.
+        if (checkpoint)
+            checkpoint(outcome, memory, capability, rng);
     }
 
     // Budget exhausted: forced answer from partial evidence.
@@ -119,8 +156,54 @@ ReActAgent::run(AgentContext ctx)
 
     TrajectoryMemory memory;
     EpisodicMemory episodic;
+
+    // Journal replay: restore the trial exactly as checkpointed at
+    // the last completed iteration of the previous attempt.
+    const ReactEpisodeState *resume = nullptr;
+    std::shared_ptr<const void> resume_keepalive;
+    if (ctx.resumeFrom != nullptr &&
+        ctx.resumeFrom->kindTag ==
+            static_cast<int>(AgentKind::ReAct)) {
+        // Re-checkpointing overwrites the store entry mid-run; pin
+        // the snapshot we are replaying from.
+        resume_keepalive = ctx.resumeFrom->state;
+        resume = static_cast<const ReactEpisodeState *>(
+            resume_keepalive.get());
+        trace = resume->trace;
+        rng = resume->rng;
+        memory = resume->memory;
+    }
+
+    TrialCheckpointFn checkpoint;
+    if (ctx.checkpoints != nullptr && ctx.checkpoints->policy().enabled) {
+        checkpoint = [&ctx, &trace, &episodic](
+                         const TrialOutcome &outcome,
+                         const TrajectoryMemory &memory_now,
+                         double capability, const sim::Rng &rng_now) {
+            if (!ctx.checkpoints->shouldCheckpoint(ctx.episodeKey,
+                                                   outcome.iterations))
+                return;
+            auto state =
+                std::make_shared<ReactEpisodeState>(rng_now, trace);
+            state->outcome = outcome;
+            state->memory = memory_now;
+            state->capabilityDrawn = true;
+            state->capability = capability;
+            serving::EpisodeCheckpoint ckpt;
+            ckpt.kindTag = static_cast<int>(AgentKind::ReAct);
+            ckpt.iteration = outcome.iterations;
+            ckpt.takenTick = ctx.sim->now();
+            ckpt.chainTokens =
+                trialChainTokens(ctx, episodic, memory_now);
+            ckpt.gpuSeconds = trace.cost().gpuSeconds();
+            ckpt.state = std::move(state);
+            ctx.checkpoints->put(ctx.episodeKey, std::move(ckpt),
+                                 kvBytesPerToken(*ctx.engine));
+        };
+    }
+
     TrialOutcome outcome = co_await runToolLoopTrial(
-        ctx, trace, rng, memory, episodic, 0, 0);
+        ctx, trace, rng, memory, episodic, 0, 0, resume, checkpoint);
 
     trace.setIterations(outcome.iterations);
     co_return trace.finish(outcome.answeredCorrectly, ctx.sim->now());

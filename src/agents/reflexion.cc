@@ -14,6 +14,33 @@
 namespace agentsim::agents
 {
 
+namespace
+{
+
+/**
+ * Full Reflexion episode snapshot: the inner trial state plus the
+ * cross-trial loop position. Snapshots taken between trials (after a
+ * reflection) carry a fresh inner state with capabilityDrawn=false —
+ * the resumed trial draws its capability from the restored stream,
+ * exactly as the uninterrupted run would have.
+ */
+struct ReflexionEpisodeState
+{
+    ReactEpisodeState inner;
+    EpisodicMemory episodic;
+    int trial = 0;
+    /** iterations_total before the current trial started. */
+    int iterationsBefore = 0;
+    int reflectionsUsed = 0;
+
+    ReflexionEpisodeState(const sim::Rng &rng, const Trace &trace)
+        : inner(rng, trace)
+    {
+    }
+};
+
+} // namespace
+
 sim::Task<AgentResult>
 ReflexionAgent::run(AgentContext ctx)
 {
@@ -25,12 +52,84 @@ ReflexionAgent::run(AgentContext ctx)
     bool solved = false;
     int iterations_total = 0;
     int reflections_used = 0;
+    int first_trial = 0;
 
-    for (int trial = 0; trial <= ctx.config.maxReflections; ++trial) {
+    // Journal replay: rejoin the trial loop exactly where the last
+    // checkpoint of the previous attempt left it.
+    const ReflexionEpisodeState *resume = nullptr;
+    std::shared_ptr<const void> resume_keepalive;
+    if (ctx.resumeFrom != nullptr &&
+        ctx.resumeFrom->kindTag ==
+            static_cast<int>(AgentKind::Reflexion)) {
+        // Re-checkpointing overwrites the store entry mid-run; pin
+        // the snapshot we are replaying from.
+        resume_keepalive = ctx.resumeFrom->state;
+        resume = static_cast<const ReflexionEpisodeState *>(
+            resume_keepalive.get());
+        trace = resume->inner.trace;
+        rng = resume->inner.rng;
+        episodic = resume->episodic;
+        iterations_total = resume->iterationsBefore;
+        reflections_used = resume->reflectionsUsed;
+        first_trial = resume->trial;
+    }
+
+    const bool journaling = ctx.checkpoints != nullptr &&
+                            ctx.checkpoints->policy().enabled;
+    auto journal = [&](std::shared_ptr<ReflexionEpisodeState> state,
+                       int completed_iterations,
+                       const TrajectoryMemory &memory_now) {
+        serving::EpisodeCheckpoint ckpt;
+        ckpt.kindTag = static_cast<int>(AgentKind::Reflexion);
+        ckpt.iteration = completed_iterations;
+        ckpt.takenTick = ctx.sim->now();
+        ckpt.chainTokens = trialChainTokens(ctx, episodic, memory_now);
+        ckpt.gpuSeconds = trace.cost().gpuSeconds();
+        ckpt.state = std::move(state);
+        ctx.checkpoints->put(ctx.episodeKey, std::move(ckpt),
+                             kvBytesPerToken(*ctx.engine));
+    };
+
+    for (int trial = first_trial; trial <= ctx.config.maxReflections;
+         ++trial) {
         TrajectoryMemory memory; // short-term memory resets per trial
+        const ReactEpisodeState *inner_resume = nullptr;
+        if (resume != nullptr && trial == first_trial) {
+            inner_resume = &resume->inner;
+            memory = resume->inner.memory;
+        }
+
+        TrialCheckpointFn checkpoint;
+        if (journaling) {
+            const int iterations_before = iterations_total;
+            checkpoint = [&, trial, iterations_before](
+                             const TrialOutcome &outcome,
+                             const TrajectoryMemory &memory_now,
+                             double capability,
+                             const sim::Rng &rng_now) {
+                const int completed =
+                    iterations_before + outcome.iterations;
+                if (!ctx.checkpoints->shouldCheckpoint(ctx.episodeKey,
+                                                       completed))
+                    return;
+                auto state = std::make_shared<ReflexionEpisodeState>(
+                    rng_now, trace);
+                state->inner.outcome = outcome;
+                state->inner.memory = memory_now;
+                state->inner.capabilityDrawn = true;
+                state->inner.capability = capability;
+                state->episodic = episodic;
+                state->trial = trial;
+                state->iterationsBefore = iterations_before;
+                state->reflectionsUsed = reflections_used;
+                journal(std::move(state), completed, memory_now);
+            };
+        }
+
         TrialOutcome outcome = co_await runToolLoopTrial(
             ctx, trace, rng, memory, episodic, reflections_used,
-            static_cast<std::uint64_t>(trial) << 32);
+            static_cast<std::uint64_t>(trial) << 32, inner_resume,
+            checkpoint);
         iterations_total += outcome.iterations;
 
         if (outcome.answeredCorrectly) {
@@ -64,6 +163,24 @@ ReflexionAgent::run(AgentContext ctx)
             prof.reflectionOutputMean, "reflexion.reflect");
         episodic.addReflection(reflection.tokens);
         ++reflections_used;
+
+        // Trial-boundary snapshot: without it, a crash during the
+        // next trial's first iteration (or during evaluate/reflect)
+        // would replay this whole trial's tail. The fresh inner state
+        // (capabilityDrawn=false) makes the resumed trial draw its
+        // capability from the restored stream.
+        if (journaling &&
+            ctx.checkpoints->shouldCheckpoint(ctx.episodeKey,
+                                              iterations_total)) {
+            auto state =
+                std::make_shared<ReflexionEpisodeState>(rng, trace);
+            state->episodic = episodic;
+            state->trial = trial + 1;
+            state->iterationsBefore = iterations_total;
+            state->reflectionsUsed = reflections_used;
+            journal(std::move(state), iterations_total,
+                    TrajectoryMemory{});
+        }
     }
 
     trace.setIterations(iterations_total);

@@ -139,6 +139,10 @@ class Trace
     int llmCalls() const { return llmCalls_; }
     int toolCalls() const { return toolCalls_; }
 
+    /** Attributed cost so far (checkpoint/recovery pricing reads the
+     *  invested GPU-seconds mid-episode). */
+    const serving::CostLedger &cost() const { return cost_; }
+
     /** Finalize into an AgentResult at time @p end. */
     AgentResult finish(bool solved, sim::Tick end) const;
 

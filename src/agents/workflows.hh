@@ -14,6 +14,8 @@
 #ifndef AGENTSIM_AGENTS_WORKFLOWS_HH
 #define AGENTSIM_AGENTS_WORKFLOWS_HH
 
+#include <functional>
+
 #include "agents/agent.hh"
 
 namespace agentsim::agents
@@ -124,6 +126,41 @@ struct TrialOutcome
 };
 
 /**
+ * Journaled snapshot of an in-progress tool-loop trial — everything
+ * runToolLoopTrial needs to continue at the next iteration exactly as
+ * if the episode had never been interrupted: outcome counters, the
+ * trajectory, the drawn per-trial capability, the behavioural RNG
+ * positioned at the iteration boundary, and the accumulated trace.
+ * ReAct journals this directly; Reflexion wraps it with its
+ * cross-trial loop position (DESIGN.md §3j).
+ */
+struct ReactEpisodeState
+{
+    TrialOutcome outcome;
+    TrajectoryMemory memory;
+    /** False for a snapshot taken before the trial's capability draw
+     *  (a Reflexion trial boundary) — resume draws it from `rng`. */
+    bool capabilityDrawn = false;
+    double capability = 0.0;
+    sim::Rng rng;
+    Trace trace;
+
+    ReactEpisodeState(const sim::Rng &rng_, const Trace &trace_)
+        : rng(rng_), trace(trace_)
+    {
+    }
+};
+
+/**
+ * Checkpoint hook runToolLoopTrial invokes after each completed
+ * iteration (all of the iteration's RNG draws included), with the
+ * live loop state. The workflow decides whether/what to journal.
+ */
+using TrialCheckpointFn = std::function<void(
+    const TrialOutcome &outcome, const TrajectoryMemory &memory,
+    double capability, const sim::Rng &rng)>;
+
+/**
  * One ReAct-style trial: up to config.maxIterations iterations of
  * (LLM step, tool call, progress). Used directly by ReActAgent and as
  * the inner loop of ReflexionAgent.
@@ -131,12 +168,30 @@ struct TrialOutcome
  * @param reflections reflections accumulated so far (boosts the hop
  *        success probability).
  * @param call_base discriminator for observation token streams.
+ * @param resume restored mid-trial state to continue from (caller
+ *        already copied its memory into @p memory and its rng/trace
+ *        into @p rng / @p trace); null starts fresh.
+ * @param checkpoint per-iteration journal hook (empty disables).
  */
 sim::Task<TrialOutcome>
 runToolLoopTrial(AgentContext &ctx, Trace &trace, sim::Rng &rng,
                  TrajectoryMemory &memory,
                  const EpisodicMemory &episodic, int reflections,
-                 std::uint64_t call_base);
+                 std::uint64_t call_base,
+                 const ReactEpisodeState *resume = nullptr,
+                 const TrialCheckpointFn &checkpoint = {});
+
+/**
+ * Conversation-prefix token chain the next trial iteration would
+ * prefill with — what an episode checkpoint records for KV restore on
+ * the surviving node.
+ */
+std::vector<kv::TokenId>
+trialChainTokens(const AgentContext &ctx, const EpisodicMemory &episodic,
+                 const TrajectoryMemory &memory);
+
+/** KV bytes per token on @p engine (prices checkpoint snapshots). */
+double kvBytesPerToken(const serving::LlmEngine &engine);
 
 } // namespace agentsim::agents
 

@@ -99,6 +99,10 @@ struct ClusterState
      *  unless a recorder is attached). */
     telemetry::FlightRecorder *recorder = nullptr;
 
+    /** Episode checkpoint store (null unless checkpointing is
+     *  enabled — workers then journal and resume through it). */
+    serving::CheckpointStore *checkpoints = nullptr;
+
     /** Elasticity wiring (null unless the autoscaler is enabled). */
     AutoscalerController *autoscaler = nullptr;
     AdmissionController *admission = nullptr;
@@ -304,6 +308,18 @@ routeWithFailover(const ClusterConfig &config, sim::Simulation &sim,
     }
     if (prev_node >= 0 && target != prev_node) {
         ++state.result.failovers;
+        // Attribute why the previous node was avoided: gone entirely,
+        // breaker-denied, or merely out-loaded by a peer. state() is
+        // a pure query — unlike allows() it cannot consume a
+        // half-open probe slot.
+        if (!router.accepting(prev_node)) {
+            ++state.result.failoversOffline;
+        } else if (router.health.state(static_cast<std::size_t>(
+                       prev_node)) == BreakerState::Open) {
+            ++state.result.failoversBreaker;
+        } else {
+            ++state.result.failoversRebalance;
+        }
         if (config.traceSink != nullptr) {
             config.traceSink->instant(telemetry::TracePid::kAgents,
                                       index, "failover", "cluster",
@@ -371,12 +387,20 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
     telemetry::SpanRef prev_attempt;
     int prev_node = -1;
     int attempt = 0;
+    /** Checkpointed GPU-seconds already counted as recovered for this
+     *  episode (a later crash only credits the delta). */
+    double recovered_credit = 0.0;
     for (;;) {
+        // A retry that finds a journaled snapshot is a resume, not a
+        // from-scratch attempt; blame tooling sees the difference.
+        const bool resuming = state.checkpoints != nullptr &&
+                              attempt > 0 &&
+                              state.checkpoints->find(index) != nullptr;
         telemetry::SpanRef attempt_span;
         if (config.spans != nullptr) {
             attempt_span = config.spans->child(
-                root, telemetry::SpanKind::Attempt, "attempt",
-                sim.now());
+                root, telemetry::SpanKind::Attempt,
+                resuming ? "resume" : "attempt", sim.now());
             config.spans->link(attempt_span, prev_attempt);
         }
         const int target = co_await routeWithFailover(
@@ -393,6 +417,8 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
             if (config.spans != nullptr)
                 config.spans->end(attempt_span, sim.now());
             if (attempt >= config.retry.maxAttempts) {
+                if (state.checkpoints != nullptr)
+                    state.checkpoints->erase(index);
                 if (config.spans != nullptr)
                     config.spans->finishRequest(root, sim.now(), true);
                 noteFailure(state, submit, sim.now(), false);
@@ -400,6 +426,7 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
             }
             prev_attempt = attempt_span;
             ++state.result.retries;
+            ++state.result.retriesAdmission;
             telemetry::SpanRef sleep_span;
             if (config.spans != nullptr) {
                 sleep_span = config.spans->child(
@@ -438,6 +465,78 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
             ctx.spanParent = attempt_span;
         }
 
+        // Episode recovery: hand the workflow the store and, on a
+        // retry, the last journaled snapshot — unless brownout has
+        // since downgraded the workflow kind, in which case the
+        // journal no longer matches the code that would replay it.
+        if (state.checkpoints != nullptr) {
+            ctx.checkpoints = state.checkpoints;
+            ctx.episodeKey = index;
+            const serving::EpisodeCheckpoint *ckpt =
+                state.checkpoints->find(index);
+            if (ckpt != nullptr &&
+                ckpt->kindTag != static_cast<int>(kind)) {
+                state.checkpoints->erase(index);
+                ckpt = nullptr;
+            }
+            ctx.resumeFrom = ckpt;
+        }
+        if (ctx.resumeFrom != nullptr) {
+            auto &rec = state.result.recovery;
+            ++rec.resumes;
+            // Warm the conversation-prefix KV on the landing node —
+            // or recompute it cold during the first prefill,
+            // whichever the priced estimate says is cheaper
+            // (migration-style wire vs PerfModel prefill).
+            const auto &chain = ctx.resumeFrom->chainTokens;
+            bool restored = false;
+            if (!chain.empty()) {
+                serving::LlmEngine &eng = *node.engine;
+                const double wire_seconds =
+                    static_cast<double>(chain.size()) *
+                    agents::kvBytesPerToken(eng) /
+                    config.migrationBandwidth;
+                const double recompute_seconds =
+                    eng.perfModel().prefillSeconds(
+                        static_cast<std::int64_t>(chain.size()));
+                if (wire_seconds < recompute_seconds) {
+                    const std::int64_t blocks =
+                        eng.preloadPrefix(chain);
+                    if (blocks >= 0) {
+                        // Pay wire time only for the blocks actually
+                        // populated (the rest were cache-resident).
+                        const double actual =
+                            static_cast<double>(blocks) *
+                            static_cast<double>(eng.blockBytes()) /
+                            config.migrationBandwidth;
+                        telemetry::SpanRef restore_span;
+                        if (config.spans != nullptr) {
+                            restore_span = config.spans->child(
+                                attempt_span,
+                                telemetry::SpanKind::KvRestore,
+                                "checkpoint.restore", sim.now());
+                        }
+                        if (actual > 0.0)
+                            co_await sim::delaySec(sim, actual);
+                        if (config.spans != nullptr) {
+                            config.spans->end(restore_span,
+                                              sim.now());
+                        }
+                        rec.restoreSeconds += actual;
+                        ++rec.kvRestores;
+                        restored = true;
+                    }
+                }
+            }
+            if (!restored)
+                ++rec.coldFallbacks;
+            if (config.traceSink != nullptr) {
+                config.traceSink->instant(telemetry::TracePid::kAgents,
+                                          index, "resume", "cluster",
+                                          sim.now());
+            }
+        }
+
         auto agent = agents::makeAgent(kind);
         bool retry_pending = false;
         try {
@@ -455,6 +554,9 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
                 state.admission->recordCompletion(sim.now());
             router.health.reportSuccess(
                 static_cast<std::size_t>(target), sim.now());
+            state.result.episodeCost += result.cost;
+            if (state.checkpoints != nullptr)
+                state.checkpoints->erase(index);
             noteCompletion(state, submit, sim.now(), workload_index);
             co_return;
         } catch (const agents::DeadlineExceededError &) {
@@ -465,19 +567,49 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
             }
             router.health.reportFailure(
                 static_cast<std::size_t>(target), sim.now());
+            if (state.checkpoints != nullptr)
+                state.checkpoints->erase(index);
             noteFailure(state, submit, sim.now(), true);
             co_return;
-        } catch (const agents::NodeFailureError &) {
+        } catch (const agents::NodeFailureError &e) {
             if (config.spans != nullptr)
                 config.spans->end(attempt_span, sim.now());
             router.health.reportFailure(
                 static_cast<std::size_t>(target), sim.now());
             if (attempt >= config.retry.maxAttempts) {
+                if (state.checkpoints != nullptr)
+                    state.checkpoints->erase(index);
                 if (config.spans != nullptr)
                     config.spans->finishRequest(root, sim.now(), true);
                 noteFailure(state, submit, sim.now(), false);
                 co_return;
             }
+            // Recovery accounting for the upcoming retry: work since
+            // the last snapshot is recomputed (lost); the snapshotted
+            // share survives (recovered — credited once per episode,
+            // later crashes only add the delta). With checkpointing
+            // off this degrades to lost = everything invested.
+            auto &rec = state.result.recovery;
+            const serving::EpisodeCheckpoint *ckpt =
+                state.checkpoints != nullptr
+                    ? state.checkpoints->find(index)
+                    : nullptr;
+            const double recoverable =
+                ckpt != nullptr ? ckpt->gpuSeconds : 0.0;
+            rec.lostGpuSeconds +=
+                std::max(0.0, e.investedGpuSeconds - recoverable);
+            const double newly =
+                std::max(0.0, recoverable - recovered_credit);
+            rec.recoveredGpuSeconds += newly;
+            if (e.shed)
+                rec.recoveredShedGpuSeconds += newly;
+            else
+                rec.recoveredCrashGpuSeconds += newly;
+            recovered_credit = recoverable;
+            if (e.shed)
+                ++state.result.retriesShed;
+            else
+                ++state.result.retriesCrash;
             retry_pending = true; // co_await is illegal in a handler
         }
         if (retry_pending) {
@@ -494,8 +626,10 @@ clusterAgentWorker(const ClusterConfig &config, sim::Simulation &sim,
                 retrySleepSeconds(config.retry, attempt, backoff));
             if (config.spans != nullptr)
                 config.spans->end(sleep_span, sim.now());
-            // The rollout restarts from scratch on the next pick —
-            // on a different node its workflow prefix is cold.
+            // Without a checkpoint the rollout restarts from scratch
+            // on the next pick (cold workflow prefix on a different
+            // node); with one, the next attempt resumes at the last
+            // journaled iteration.
         }
     }
 }
@@ -603,6 +737,12 @@ clusterChatWorker(const ClusterConfig &config, sim::Simulation &sim,
         }
         prev_attempt = attempt_span;
         ++state.result.retries;
+        if (!admitted)
+            ++state.result.retriesAdmission;
+        else if (gen.shed)
+            ++state.result.retriesShed;
+        else
+            ++state.result.retriesCrash;
         telemetry::SpanRef sleep_span;
         if (config.spans != nullptr) {
             sleep_span = config.spans->child(
@@ -1162,6 +1302,19 @@ validateClusterConfig(const ClusterConfig &config)
         if (!(a.arrivalTauSeconds > 0))
             AGENTSIM_FATAL("autoscaler: arrival EWMA tau must be > 0");
     }
+    if (config.checkpoint.enabled) {
+        const auto &ck = config.checkpoint;
+        if (ck.everyIterations < 1)
+            AGENTSIM_FATAL("checkpoint: everyIterations must be >= 1");
+        if (ck.minIterations < 1)
+            AGENTSIM_FATAL("checkpoint: minIterations must be >= 1");
+        if (ck.admitProb < 0 || ck.admitProb > 1)
+            AGENTSIM_FATAL("checkpoint: admitProb outside [0, 1]");
+        if (!(ck.wireBandwidth > 0))
+            AGENTSIM_FATAL("checkpoint: wire bandwidth must be > 0");
+        if (ck.journalBytes < 0)
+            AGENTSIM_FATAL("checkpoint: negative journal overhead");
+    }
 }
 
 ClusterResult
@@ -1227,6 +1380,15 @@ runCluster(const ClusterConfig &config)
     state.activeNodes = config.numNodes;
     state.result.peakActiveNodes = config.numNodes;
     Router router{config.policy, nodes, health, 0};
+
+    // Episode checkpoint store: only constructed when enabled, so a
+    // disabled run touches no new state (bit-identity with the
+    // pre-checkpoint builds).
+    std::optional<serving::CheckpointStore> checkpoints;
+    if (config.checkpoint.enabled) {
+        checkpoints.emplace(config.checkpoint, config.seed);
+        state.checkpoints = &*checkpoints;
+    }
 
     std::optional<AutoscalerController> autoscaler;
     std::optional<AdmissionController> admission;
@@ -1371,6 +1533,14 @@ runCluster(const ClusterConfig &config)
     }
     if (config.recorder != nullptr)
         out.incidentBundles = config.recorder->incidentsDumped();
+    if (checkpoints) {
+        // Merge store-side accounting (snapshots/bytes/write time)
+        // into the worker-accumulated resume/recovered/lost figures.
+        const auto &cs = checkpoints->stats();
+        out.recovery.checkpointsTaken = cs.checkpointsTaken;
+        out.recovery.bytesWritten = cs.bytesWritten;
+        out.recovery.snapshotSeconds = cs.snapshotSeconds;
+    }
     for (const auto &node : nodes) {
         // Every cancelled/crashed/finished request must have returned
         // its blocks; chaos runs exercise this hard.
@@ -1401,8 +1571,28 @@ runCluster(const ClusterConfig &config)
         };
         set("agentsim_client_retries_total",
             "Client retry attempts across all requests", out.retries);
+        // Per-cause splits (the registry has no label dimension, so
+        // causes are family suffixes; see sanitizeMetricLabel).
+        set("agentsim_client_retries_crash_total",
+            "Retries caused by node failure or offline routing",
+            out.retriesCrash);
+        set("agentsim_client_retries_shed_total",
+            "Retries caused by engine admission shedding",
+            out.retriesShed);
+        set("agentsim_client_retries_admission_total",
+            "Retries caused by predictive admission reject-fast",
+            out.retriesAdmission);
         set("agentsim_client_failovers_total",
             "Retries rerouted to a different node", out.failovers);
+        set("agentsim_client_failovers_offline_total",
+            "Failovers off a crashed or draining node",
+            out.failoversOffline);
+        set("agentsim_client_failovers_breaker_total",
+            "Failovers off a breaker-open node",
+            out.failoversBreaker);
+        set("agentsim_client_failovers_rebalance_total",
+            "Failovers to a less-loaded peer (previous node healthy)",
+            out.failoversRebalance);
         set("agentsim_cluster_requests_cancelled_total",
             "Requests cancelled across all nodes",
             static_cast<double>(sum.requestsCancelled));
@@ -1430,6 +1620,45 @@ runCluster(const ClusterConfig &config)
         set("agentsim_resilience_lost_prefill_seconds_total",
             "Prefill GPU-s thrown away by crash-cancelled requests",
             out.lostPrefillSeconds);
+        set("agentsim_recovery_lost_gpu_seconds_total",
+            "Episode GPU-seconds recomputed by retries (work since "
+            "the last checkpoint; everything when checkpointing is "
+            "off)",
+            out.recovery.lostGpuSeconds);
+        if (config.checkpoint.enabled) {
+            set("agentsim_recovery_checkpoints_total",
+                "Episode snapshots journaled",
+                static_cast<double>(out.recovery.checkpointsTaken));
+            set("agentsim_recovery_snapshot_bytes_total",
+                "Bytes written into the checkpoint store "
+                "(delta-journaled)",
+                static_cast<double>(out.recovery.bytesWritten));
+            set("agentsim_recovery_snapshot_seconds_total",
+                "Background wire-seconds spent writing snapshots",
+                out.recovery.snapshotSeconds);
+            set("agentsim_recovery_resumes_total",
+                "Retries that resumed from a checkpoint",
+                static_cast<double>(out.recovery.resumes));
+            set("agentsim_recovery_kv_restores_total",
+                "Resumes that warmed prefix KV over the wire",
+                static_cast<double>(out.recovery.kvRestores));
+            set("agentsim_recovery_cold_fallbacks_total",
+                "Resumes that recomputed the prefix cold",
+                static_cast<double>(out.recovery.coldFallbacks));
+            set("agentsim_recovery_restore_seconds_total",
+                "Wire-seconds spent restoring prefix KV on resume",
+                out.recovery.restoreSeconds);
+            set("agentsim_recovery_recovered_gpu_seconds_total",
+                "Episode GPU-seconds checkpoint-resume did not "
+                "recompute",
+                out.recovery.recoveredGpuSeconds);
+            set("agentsim_recovery_recovered_crash_gpu_seconds_total",
+                "Recovered GPU-seconds attributed to node crashes",
+                out.recovery.recoveredCrashGpuSeconds);
+            set("agentsim_recovery_recovered_shed_gpu_seconds_total",
+                "Recovered GPU-seconds attributed to load shedding",
+                out.recovery.recoveredShedGpuSeconds);
+        }
         health.exportMetrics(*config.metrics, sim.now());
         if (brownout)
             brownout->exportMetrics(*config.metrics, sim.now());

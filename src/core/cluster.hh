@@ -27,6 +27,8 @@
 #include "core/autoscaler.hh"
 #include "core/brownout.hh"
 #include "core/health.hh"
+#include "serving/checkpoint.hh"
+#include "serving/cost.hh"
 #include "serving/engine.hh"
 #include "sim/fault.hh"
 #include "stats/summary.hh"
@@ -166,6 +168,15 @@ struct ClusterConfig
     double monitorPeriodSeconds = 1.0;
     /** Client retry discipline for retryable failures. */
     RetryPolicy retry;
+    /**
+     * Episode checkpointing for agent rollouts (off by default).
+     * When enabled, workflows journal resumable snapshots at
+     * iteration boundaries and the retry path resumes at the last
+     * completed iteration instead of replaying the episode
+     * (DESIGN.md §3j). Disabled, the run is bit-identical to a build
+     * without the subsystem.
+     */
+    serving::CheckpointPolicy checkpoint;
     /** Per-request SLO deadline for chatbot traffic, seconds (0 off). */
     double chatDeadlineSeconds = 0.0;
     /**
@@ -240,8 +251,21 @@ struct ClusterResult
     int timedOut = 0;
     /** Client-side retry attempts across all requests. */
     int retries = 0;
+    /** Retries split by failure cause (crash = node failure/offline,
+     *  shed = engine admission shed, admission = predictive
+     *  admission reject-fast). Sums to `retries`. */
+    int retriesCrash = 0;
+    int retriesShed = 0;
+    int retriesAdmission = 0;
     /** Retries that re-routed to a different node (cold cache). */
     int failovers = 0;
+    /** Failovers split by why the previous node was avoided: it was
+     *  offline (crashed/draining), its breaker was open, or the
+     *  router simply preferred a less-loaded peer. Sums to
+     *  `failovers`. */
+    int failoversOffline = 0;
+    int failoversBreaker = 0;
+    int failoversRebalance = 0;
     double makespanSeconds = 0.0;
     std::vector<NodeResult> nodes;
     /** What the injector actually did (crashes, stalls, downtime). */
@@ -272,6 +296,17 @@ struct ClusterResult
     double migrationSeconds = 0.0;
     /** Prefill GPU-s thrown away by crash-cancelled requests. */
     double lostPrefillSeconds = 0.0;
+
+    /**
+     * Episode checkpoint/recovery accounting. With checkpointing off
+     * everything is zero except lostGpuSeconds, which still prices
+     * the work each retry recomputed (pure observation — tracking it
+     * draws nothing and schedules nothing).
+     */
+    serving::RecoveryStats recovery;
+    /** Attributed cost summed over completed agent episodes (feeds
+     *  CostReport rows in recovery benches). */
+    serving::CostLedger episodeCost;
 
     /** Autoscaler activity (0 unless ClusterConfig::autoscaler is
      *  enabled). */

@@ -82,6 +82,13 @@ CostReport::render(const std::string &title) const
         total_count += row.count;
     }
     emit("TOTAL", total(), total_count);
+    for (const auto &[cause, seconds] : recovered_) {
+        // Footer: work a resume did NOT recompute, by failure cause —
+        // reads against TOTAL's gpu_s (what was actually paid).
+        table.row({"RECOVERED (" + cause + ")", "-",
+                   fmtDouble(seconds, 3), "-", "-", "-", "-", "-", "-",
+                   "-"});
+    }
     if (provisioned_ > 0.0) {
         const double busy = total().gpuSeconds();
         table.row({"PROVISIONED", "-", fmtDouble(provisioned_, 3), "-",
@@ -99,6 +106,29 @@ CostReport::setProvisionedGpuSeconds(double seconds)
     AGENTSIM_ASSERT(seconds >= 0.0,
                     "negative provisioned GPU seconds");
     provisioned_ = seconds;
+}
+
+void
+CostReport::addRecoveredGpuSeconds(const std::string &cause,
+                                   double seconds)
+{
+    AGENTSIM_ASSERT(seconds >= 0.0, "negative recovered GPU seconds");
+    for (auto &[name, total] : recovered_) {
+        if (name == cause) {
+            total += seconds;
+            return;
+        }
+    }
+    recovered_.emplace_back(cause, seconds);
+}
+
+double
+CostReport::recoveredGpuSeconds() const
+{
+    double sum = 0.0;
+    for (const auto &[name, seconds] : recovered_)
+        sum += seconds;
+    return sum;
 }
 
 void
@@ -137,6 +167,16 @@ CostReport::exportMetrics(telemetry::MetricsRegistry &registry,
     emit("", total());
     for (const Row &row : rows_)
         emit("_" + sanitizeMetricLabel(row.label), row.ledger);
+    for (const auto &[cause, seconds] : recovered_) {
+        registry
+            .counter(sim::strfmt(
+                         "agentsim_cost_recovered_gpu_seconds_%s_"
+                         "total",
+                         sanitizeMetricLabel(cause).c_str()),
+                     "GPU seconds checkpoint-resume saved from "
+                     "recomputation")
+            .set(seconds);
+    }
     if (provisioned_ > 0.0) {
         registry
             .counter("agentsim_cost_provisioned_gpu_seconds_total",
@@ -155,6 +195,7 @@ CostReport::clear()
 {
     rows_.clear();
     provisioned_ = 0.0;
+    recovered_.clear();
 }
 
 std::string

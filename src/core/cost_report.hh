@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/table.hh"
@@ -62,6 +63,19 @@ class CostReport
     double provisionedGpuSeconds() const { return provisioned_; }
 
     /**
+     * Record GPU-seconds that checkpoint-resume saved from being
+     * recomputed, attributed to a failure cause ("crash", "shed",
+     * ...). Each cause adds a RECOVERED footer row to render() and an
+     * agentsim_cost_recovered_gpu_seconds_<cause>_total counter;
+     * repeated calls with the same cause accumulate.
+     */
+    void addRecoveredGpuSeconds(const std::string &cause,
+                                double seconds);
+
+    /** Recovered GPU-seconds summed over all causes. */
+    double recoveredGpuSeconds() const;
+
+    /**
      * Render the cost table: one row per label plus a TOTAL row, with
      * GPU-seconds split prefill/decode, waste, cache savings, KV
      * block-seconds and energy (via energy/projection watt-hours).
@@ -88,6 +102,8 @@ class CostReport
     std::vector<Row> rows_;
     /** Provisioned GPU-seconds; <= 0 means "not recorded". */
     double provisioned_ = 0.0;
+    /** Recovered GPU-seconds by failure cause (insertion-ordered). */
+    std::vector<std::pair<std::string, double>> recovered_;
 
     Row &rowFor(const std::string &label);
 };

@@ -39,6 +39,7 @@ FaultInjector::crashDriver(std::size_t node_index, NodeHooks hooks)
             co_return;
         hooks.crash();
         ++stats_.crashes;
+        stats_.crashSeconds.push_back(sim_.nowSec());
         const double down =
             rng.exponential(config_.nodeRestartMeanSeconds);
         co_await delaySec(sim_, down);

@@ -83,6 +83,15 @@ struct FaultStats
     std::int64_t stalls = 0;
     double stallSecondsInjected = 0.0;
     double downSecondsTotal = 0.0;
+    /**
+     * Sim time of each injected crash, in injection order. The fault
+     * streams are independent of the workload, so two runs of the
+     * same config must agree on every timestamp up to the shorter
+     * run's drain point — the determinism check for features (like
+     * checkpoint-resume) that change makespan but must not perturb
+     * the schedule itself.
+     */
+    std::vector<double> crashSeconds;
 };
 
 /**
