@@ -3,18 +3,30 @@
  * Regression gate over two BENCH_agentsim.json perf reports.
  *
  *   perf_report_diff base.json candidate.json [--threshold 0.05]
+ *                    [--floor <metric>=<min>]...
  *
  * Prints a per-metric delta table and exits non-zero when any metric
  * regressed beyond the threshold (relative change in the metric's
  * "worse" direction — see core::metricDirection). Metrics present in
  * only one report are listed but never fail the gate, so reports can
  * gain metrics without breaking CI.
+ *
+ * --floor adds an absolute lower bound on a candidate metric,
+ * independent of the base report and of the metric's direction class.
+ * This is how host-noisy Informational metrics (sim_events_per_second
+ * and friends — too jittery for a relative gate) still get a
+ * catastrophe gate: the simulator must clear an events/s floor the
+ * slowest supported CI host can sustain. A floored metric missing
+ * from the candidate report fails the gate.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/perf_report.hh"
 #include "core/table.hh"
@@ -53,9 +65,24 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <base.json> <candidate.json> "
-                 "[--threshold <frac>]\n",
+                 "[--threshold <frac>] "
+                 "[--floor <metric>=<min>]...\n",
                  argv0);
     return 2;
+}
+
+/** One --floor metric=min spec; parse failure returns nullopt. */
+std::optional<std::pair<std::string, double>>
+parseFloor(const char *spec)
+{
+    const char *eq = std::strchr(spec, '=');
+    if (eq == nullptr || eq == spec)
+        return std::nullopt;
+    char *end = nullptr;
+    const double value = std::strtod(eq + 1, &end);
+    if (end == eq + 1 || *end != '\0')
+        return std::nullopt;
+    return std::make_pair(std::string(spec, eq), value);
 }
 
 } // namespace
@@ -66,11 +93,24 @@ main(int argc, char **argv)
     std::string base_path;
     std::string cand_path;
     double threshold = 0.05;
+    std::vector<std::pair<std::string, double>> floors;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--threshold") == 0) {
             if (i + 1 >= argc)
                 return usage(argv[0]);
             threshold = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--floor") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            const auto floor = parseFloor(argv[++i]);
+            if (!floor) {
+                std::fprintf(stderr,
+                             "error: --floor wants <metric>=<min>, "
+                             "got \"%s\"\n",
+                             argv[i]);
+                return 2;
+            }
+            floors.push_back(*floor);
         } else if (base_path.empty()) {
             base_path = argv[i];
         } else if (cand_path.empty()) {
@@ -121,6 +161,31 @@ main(int argc, char **argv)
     for (const auto &name : cmp.missing)
         std::printf("note: %s present in only one report; skipped\n",
                     name.c_str());
+
+    int floor_failures = 0;
+    for (const auto &[name, min] : floors) {
+        const auto value = cand->get(name);
+        if (!value) {
+            std::fprintf(stderr,
+                         "FLOOR FAIL: %s missing from candidate "
+                         "report (floor %g)\n",
+                         name.c_str(), min);
+            ++floor_failures;
+        } else if (*value < min) {
+            std::fprintf(stderr,
+                         "FLOOR FAIL: %s = %g below floor %g\n",
+                         name.c_str(), *value, min);
+            ++floor_failures;
+        } else {
+            std::printf("floor ok: %s = %g >= %g\n", name.c_str(),
+                        *value, min);
+        }
+    }
+    if (floor_failures > 0) {
+        std::printf("FAIL: %d metric floor(s) violated\n",
+                    floor_failures);
+        return 1;
+    }
 
     if (cmp.hasRegression) {
         std::printf("FAIL: %d metric(s) regressed beyond %.1f%%\n",

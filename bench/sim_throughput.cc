@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Parallel-engine throughput bench: events per host second versus
+ * shard count on the fig14-calibrated serving workload (ReAct on
+ * HotpotQA, Poisson arrivals), weak-scaled so every node sees the
+ * same offered load.
+ *
+ * Each shard count runs three times on the sharded cluster
+ * (core/sharded_cluster.hh): sequential (the window loop on one
+ * thread), parallel, and parallel again. The bench *always* gates on
+ * the determinism contract (docs/DETERMINISM.md):
+ *
+ *   - parallel must be bit-identical to sequential, and
+ *   - parallel must be bit-identical run-to-run,
+ *
+ * for every shard count. The >= 4x speedup acceptance gate (8 shards
+ * vs the single-threaded engine) only arms on hosts with >= 8
+ * hardware threads and outside --smoke — on smaller hosts the
+ * speedup column is reported as informational (EXPERIMENTS.md
+ * records why).
+ *
+ *   sim_throughput [--report out.json] [--smoke]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "core/sharded_cluster.hh"
+#include "sim/strfmt.hh"
+
+namespace
+{
+
+using namespace benchutil;
+
+/** Everything that must match between two runs of the same
+ *  configuration for them to count as bit-identical. */
+struct Digest
+{
+    int completed = 0;
+    int solved = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double makespan = 0.0;
+    std::uint64_t totalEvents = 0;
+    std::vector<int> nodeRequests;
+
+    bool
+    operator==(const Digest &other) const
+    {
+        return completed == other.completed &&
+               solved == other.solved && p50 == other.p50 &&
+               p95 == other.p95 && makespan == other.makespan &&
+               totalEvents == other.totalEvents &&
+               nodeRequests == other.nodeRequests;
+    }
+};
+
+Digest
+digestOf(const core::ShardedClusterResult &r)
+{
+    Digest d;
+    d.completed = r.completed;
+    d.solved = r.solved;
+    d.p50 = r.p50();
+    d.p95 = r.p95();
+    d.makespan = r.makespanSeconds;
+    d.totalEvents = r.totalEvents;
+    for (const auto &node : r.nodes)
+        d.nodeRequests.push_back(node.requests);
+    return d;
+}
+
+core::ShardedClusterConfig
+makeConfig(int nodes, int requests_per_node, bool parallel)
+{
+    core::ShardedClusterConfig cfg;
+    cfg.simShards = nodes;
+    cfg.engineConfig = core::enginePreset8b();
+    cfg.policy = core::RoutePolicy::RoundRobin;
+    core::WorkloadSpec spec;
+    spec.agent = AgentKind::ReAct;
+    spec.bench = Benchmark::HotpotQA;
+    cfg.mix = {spec};
+    // Weak scaling: hold per-node offered load at the fig14 operating
+    // point (2 QPS/node) so shard count changes parallelism, not
+    // saturation.
+    cfg.qps = 2.0 * nodes;
+    cfg.numRequests = requests_per_node * nodes;
+    cfg.seed = kSeed;
+    cfg.parallel = parallel;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    }
+    TelemetryCli telemetry(argc, argv);
+    telemetry.report().setGenerator("sim_throughput");
+
+    const int requests_per_node = smoke ? 15 : 60;
+    const std::vector<int> shard_counts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    const unsigned hw = std::thread::hardware_concurrency();
+
+    core::Table table("Parallel engine throughput "
+                      "(ReAct/HotpotQA, 2 QPS/node weak scaling)");
+    table.header({"nodes", "requests", "events", "windows",
+                  "xshard msgs", "seq events/s", "par events/s",
+                  "speedup", "max stall s"});
+
+    bool gates_ok = true;
+    double single_thread_eps = 0.0;
+    double best_parallel_eps = 0.0;
+    double speedup_at_8 = 0.0;
+
+    for (int nodes : shard_counts) {
+        const auto seq = core::runShardedCluster(
+            makeConfig(nodes, requests_per_node, false));
+        const auto par = core::runShardedCluster(
+            makeConfig(nodes, requests_per_node, true));
+        const auto par2 = core::runShardedCluster(
+            makeConfig(nodes, requests_per_node, true));
+
+        if (!(digestOf(par) == digestOf(seq))) {
+            std::fprintf(stderr,
+                         "error: %d-node parallel run diverged from "
+                         "sequential run (determinism contract)\n",
+                         nodes);
+            gates_ok = false;
+        }
+        if (!(digestOf(par) == digestOf(par2))) {
+            std::fprintf(stderr,
+                         "error: %d-node parallel run not "
+                         "run-to-run deterministic\n",
+                         nodes);
+            gates_ok = false;
+        }
+
+        double max_stall = 0.0;
+        for (const auto &node : par.nodes)
+            max_stall = std::max(max_stall,
+                                 node.shardStats.stallSeconds);
+        const double speedup =
+            par.eventsPerSecond > 0 && single_thread_eps > 0
+                ? par.eventsPerSecond / single_thread_eps
+                : 1.0;
+        if (nodes == 1)
+            single_thread_eps = par.eventsPerSecond;
+        if (nodes == 8)
+            speedup_at_8 = speedup;
+        best_parallel_eps =
+            std::max(best_parallel_eps, par.eventsPerSecond);
+
+        table.row({std::to_string(nodes),
+                   std::to_string(par.completed),
+                   core::fmtCount(static_cast<double>(par.totalEvents)),
+                   std::to_string(par.windowsExecuted),
+                   std::to_string(par.crossShardMessages),
+                   core::fmtCount(seq.eventsPerSecond),
+                   core::fmtCount(par.eventsPerSecond),
+                   sim::strfmt("%.2fx", speedup),
+                   sim::strfmt("%.3f", max_stall)});
+
+        auto &rep = telemetry.report();
+        const std::string prefix =
+            "sim_shards_" + std::to_string(nodes);
+        rep.set(prefix + "_events_per_second", par.eventsPerSecond);
+        rep.set(prefix + "_seq_events_per_second",
+                seq.eventsPerSecond);
+        rep.set(prefix + "_windows",
+                static_cast<double>(par.windowsExecuted));
+        rep.set(prefix + "_cross_shard_messages",
+                static_cast<double>(par.crossShardMessages));
+        rep.set(prefix + "_max_stall_seconds", max_stall);
+    }
+    table.print();
+
+    std::printf("\nHost hardware threads: %u%s\n", hw,
+                hw < 8 ? " (speedup gate disarmed — needs >= 8)"
+                       : "");
+
+    // Headline metric for the perf floor gate (scripts/verify.sh):
+    // the best parallel throughput this host achieved.
+    telemetry.report().set("sim_events_per_second", best_parallel_eps);
+    telemetry.report().set("sim_speedup_8_shards", speedup_at_8);
+
+    if (!gates_ok) {
+        std::fprintf(stderr, "error: determinism gates failed\n");
+        return 1;
+    }
+    std::printf("Determinism: parallel == sequential and run-to-run "
+                "bit-identical at every shard count.\n");
+
+    if (!smoke && hw >= 8 && speedup_at_8 < 4.0) {
+        std::fprintf(stderr,
+                     "error: 8-shard speedup %.2fx below the 4x "
+                     "acceptance gate on a %u-thread host\n",
+                     speedup_at_8, hw);
+        return 1;
+    }
+
+    if (!telemetry.write())
+        return 1;
+    return 0;
+}

@@ -39,7 +39,38 @@ if [ "$status" -eq 0 ]; then
     echo "ok: ${#md_files[@]} markdown files, no dead relative links"
 fi
 
-# --- 2. Doxygen warnings ------------------------------------------
+# --- 2. Stale knob names in the operations guide ------------------
+# OPERATIONS.md documents knobs as `Struct::field`; every such token
+# must still exist in src/ (struct renamed or field dropped => the
+# runbook is lying). Method names ride along for free — they are
+# code identifiers too.
+echo "== checking OPERATIONS.md knob names against src/ =="
+stale=0
+checked=0
+while IFS= read -r token; do
+    struct="${token%%::*}"
+    field="${token##*::}"
+    checked=$((checked + 1))
+    # The struct (or class) must be declared, and the field/member
+    # must appear, somewhere under src/.
+    if ! grep -rqE "(struct|class) +$struct\b" src/; then
+        echo "STALE KNOB: $token — no struct/class $struct in src/"
+        stale=1
+        continue
+    fi
+    if ! grep -rq "$field" src/; then
+        echo "STALE KNOB: $token — identifier $field not found in src/"
+        stale=1
+    fi
+done < <(grep -oE '`[A-Z][A-Za-z]+::[A-Za-z]+' docs/OPERATIONS.md \
+             | sed 's/^`//' | sort -u)
+if [ "$stale" -ne 0 ]; then
+    status=1
+else
+    echo "ok: $checked documented knob names all exist in src/"
+fi
+
+# --- 3. Doxygen warnings ------------------------------------------
 if command -v doxygen > /dev/null 2>&1; then
     echo "== building API reference (doxygen) =="
     mkdir -p build/docs

@@ -1,0 +1,304 @@
+#include "core/sharded_cluster.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "agents/accuracy.hh"
+#include "agents/workflows.hh"
+#include "sim/awaitable.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "workload/token_stream.hh"
+#include "workload/toolset_factory.hh"
+
+namespace agentsim::core
+{
+
+namespace
+{
+
+/** Driver-side bookkeeping; every field is touched only by shard 0's
+ *  event loop (arrival coroutine + completion-report events). */
+struct DriverState
+{
+    stats::SampleSet e2eSeconds;
+    int completed = 0;
+    int solved = 0;
+    sim::Tick firstSubmit = -1;
+    sim::Tick lastReport = 0;
+    /** Dispatched-minus-reported per node: the router's (stale)
+     *  in-flight view for LeastLoaded. */
+    std::vector<int> inflight;
+    int nextRoundRobin = 0;
+};
+
+/** One serving node, owned by its shard. Everything in here is only
+ *  ever touched from the node shard's event loop. */
+struct NodeRuntime
+{
+    sim::Simulation *sim = nullptr;
+    std::unique_ptr<serving::LlmEngine> engine;
+    /** One tool belt per agent benchmark in the mix. */
+    std::map<workload::Benchmark, std::unique_ptr<tools::ToolSet>>
+        tools;
+    /** Keep-alive for in-flight episode coroutines. */
+    std::vector<sim::Task<void>> episodes;
+    int requests = 0;
+};
+
+int
+routeRequest(const ShardedClusterConfig &config, DriverState &state)
+{
+    if (config.policy == RoutePolicy::LeastLoaded) {
+        int best = 0;
+        for (int n = 1; n < config.simShards; ++n) {
+            if (state.inflight[static_cast<std::size_t>(n)] <
+                state.inflight[static_cast<std::size_t>(best)])
+                best = n;
+        }
+        return best;
+    }
+    const int node = state.nextRoundRobin;
+    state.nextRoundRobin =
+        (state.nextRoundRobin + 1) % config.simShards;
+    return node;
+}
+
+/** One chatbot request on the node's local engine (the sharded twin
+ *  of serving_system's chatWorker). */
+sim::Task<void>
+nodeChatEpisode(const ShardedClusterConfig &config, NodeRuntime &node,
+                std::uint64_t index, bool *solved_out)
+{
+    const workload::ShareGptSampler sampler(config.seed);
+    const workload::ChatRequest chat = sampler.sample(index);
+    constexpr std::int64_t system_tokens = 40;
+    serving::GenRequest req;
+    req.prompt = workload::makeTokens(
+        workload::streamId(config.seed, "chat.system"), system_tokens);
+    const auto convo = workload::makeTokens(
+        workload::substream(
+            workload::streamId(config.seed, "chat.convo"), index),
+        std::max<std::int64_t>(1, chat.promptTokens - system_tokens));
+    req.prompt.insert(req.prompt.end(), convo.begin(), convo.end());
+    req.maxNewTokens = chat.outputTokens;
+    req.sessionId = sim::hashCombine(config.seed, index);
+    serving::GenResult r =
+        co_await node.engine->generate(std::move(req));
+    *solved_out = !r.failed;
+}
+
+/** One agent rollout on the node's local engine/tool belt (the
+ *  sharded twin of serving_system's agentWorker). */
+sim::Task<void>
+nodeAgentEpisode(const ShardedClusterConfig &config, NodeRuntime &node,
+                 const WorkloadSpec &spec, std::uint64_t index,
+                 bool *solved_out)
+{
+    workload::TaskGenerator gen(spec.bench, config.seed);
+    agents::AgentContext ctx;
+    ctx.sim = node.sim;
+    ctx.engine = node.engine.get();
+    ctx.tools = node.tools.at(spec.bench).get();
+    ctx.task = gen.sample(index);
+    ctx.config = spec.agentConfig;
+    ctx.config.modelQuality =
+        agents::modelQuality(config.engineConfig.model.name);
+    ctx.kind = spec.agent;
+    ctx.seed = config.seed;
+    auto agent = agents::makeAgent(spec.agent);
+    agents::AgentResult result = co_await agent->run(ctx);
+    *solved_out = result.solved;
+}
+
+/**
+ * Episode wrapper: runs on the node shard from dispatch to
+ * completion, then posts the completion report back to the driver
+ * shard one completion latency later.
+ */
+sim::Task<void>
+nodeEpisode(const ShardedClusterConfig &config,
+            sim::ShardedSimulation &shards, NodeRuntime &node,
+            int nodeIndex, const WorkloadSpec &spec,
+            std::uint64_t index, sim::Tick submit, DriverState &state)
+{
+    bool solved = false;
+    if (spec.chatbot)
+        co_await nodeChatEpisode(config, node, index, &solved);
+    else
+        co_await nodeAgentEpisode(config, node, spec, index, &solved);
+    const sim::Tick report =
+        node.sim->now() +
+        sim::fromSeconds(config.completionLatencySeconds);
+    shards.post(nodeIndex + 1, 0, report,
+                [&state, nodeIndex, submit, solved, report] {
+                    state.e2eSeconds.add(
+                        sim::toSeconds(report - submit));
+                    ++state.completed;
+                    state.solved += solved ? 1 : 0;
+                    --state.inflight[static_cast<std::size_t>(
+                        nodeIndex)];
+                    state.lastReport =
+                        std::max(state.lastReport, report);
+                });
+}
+
+/** Arrival + routing process on the driver shard. */
+sim::Task<void>
+driverLoop(const ShardedClusterConfig &config,
+           sim::ShardedSimulation &shards,
+           std::vector<NodeRuntime> &nodes, DriverState &state)
+{
+    sim::Simulation &sim = shards.shard(0);
+    sim::Rng arrivals(config.seed, "arrivals", 0);
+    sim::Rng mixer(config.seed, "cluster.mix", 0);
+    std::vector<double> weights;
+    weights.reserve(config.mix.size());
+    for (const auto &spec : config.mix)
+        weights.push_back(spec.weight);
+
+    const sim::Tick routing =
+        sim::fromSeconds(config.routingLatencySeconds);
+    for (int i = 0; i < config.numRequests; ++i) {
+        if (i > 0) {
+            co_await sim::delaySec(
+                sim, arrivals.exponential(1.0 / config.qps));
+        }
+        const std::size_t which = config.mix.size() > 1
+                                      ? mixer.categorical(weights)
+                                      : 0;
+        const WorkloadSpec &spec = config.mix[which];
+        const int nodeIndex = routeRequest(config, state);
+        const auto index = static_cast<std::uint64_t>(i);
+        const sim::Tick submit = sim.now();
+        if (state.firstSubmit < 0)
+            state.firstSubmit = submit;
+        ++state.inflight[static_cast<std::size_t>(nodeIndex)];
+        NodeRuntime &node = nodes[static_cast<std::size_t>(nodeIndex)];
+        // The dispatch lands on the node shard one routing latency
+        // out; the episode coroutine is created *there*, on the
+        // node's own event loop.
+        shards.post(0, nodeIndex + 1, submit + routing,
+                    [&config, &shards, &node, nodeIndex, &spec, index,
+                     submit, &state] {
+                        ++node.requests;
+                        node.episodes.push_back(nodeEpisode(
+                            config, shards, node, nodeIndex, spec,
+                            index, submit, state));
+                    });
+    }
+}
+
+} // namespace
+
+void
+validateShardedClusterConfig(const ShardedClusterConfig &config)
+{
+    if (config.simShards < 1)
+        AGENTSIM_FATAL("sharded cluster needs >= 1 node shard");
+    if (config.numRequests <= 0)
+        AGENTSIM_FATAL("sharded cluster without requests");
+    if (config.qps <= 0)
+        AGENTSIM_FATAL("sharded cluster needs positive QPS");
+    if (config.mix.empty())
+        AGENTSIM_FATAL("sharded cluster needs a workload mix");
+    for (const auto &spec : config.mix) {
+        if (spec.weight <= 0)
+            AGENTSIM_FATAL("workload-mix weights must be positive");
+        if (!spec.chatbot &&
+            !agents::agentSupports(spec.agent, spec.bench))
+            AGENTSIM_FATAL("unsupported agent/benchmark pair in mix");
+    }
+    if (config.policy == RoutePolicy::CacheAffinity)
+        AGENTSIM_FATAL("sharded cluster routes RoundRobin or "
+                       "LeastLoaded (CacheAffinity needs the "
+                       "single-sim cluster)");
+    if (config.routingLatencySeconds <= 0 ||
+        config.completionLatencySeconds <= 0)
+        AGENTSIM_FATAL("cross-shard latencies must be positive — they "
+                       "are the conservative window's safety bound");
+    const double floor = std::min(config.routingLatencySeconds,
+                                  config.completionLatencySeconds);
+    if (config.windowSeconds > floor)
+        AGENTSIM_FATAL("windowSeconds %.6f exceeds the cross-shard "
+                       "latency floor %.6f — conservative sync would "
+                       "be unsound",
+                       config.windowSeconds, floor);
+}
+
+ShardedClusterResult
+runShardedCluster(const ShardedClusterConfig &config)
+{
+    validateShardedClusterConfig(config);
+
+    const double window_seconds = config.windowSeconds > 0
+                                      ? config.windowSeconds
+                                      : std::min(
+                                            config.routingLatencySeconds,
+                                            config.completionLatencySeconds);
+
+    sim::ShardedConfig sharded;
+    sharded.shards = config.simShards + 1; // + driver shard
+    sharded.windowTicks =
+        std::max<sim::Tick>(1, sim::fromSeconds(window_seconds));
+    sharded.parallel = config.parallel;
+    sim::ShardedSimulation shards(sharded);
+
+    // Build each node on its shard's executive. Construction runs on
+    // this thread before run(), which is the documented safe window.
+    std::vector<NodeRuntime> nodes(
+        static_cast<std::size_t>(config.simShards));
+    for (int n = 0; n < config.simShards; ++n) {
+        NodeRuntime &node = nodes[static_cast<std::size_t>(n)];
+        node.sim = &shards.shard(n + 1);
+        node.engine = std::make_unique<serving::LlmEngine>(
+            *node.sim, config.engineConfig);
+        for (const auto &spec : config.mix) {
+            if (spec.chatbot || node.tools.count(spec.bench) > 0)
+                continue;
+            node.tools.emplace(spec.bench,
+                               workload::makeToolSet(
+                                   spec.bench, *node.sim,
+                                   *node.engine, config.seed));
+        }
+    }
+
+    DriverState state;
+    state.inflight.assign(static_cast<std::size_t>(config.simShards),
+                          0);
+    auto drive = driverLoop(config, shards, nodes, state);
+    shards.run();
+    AGENTSIM_ASSERT(drive.done(), "sharded driver did not finish");
+    AGENTSIM_ASSERT(state.completed == config.numRequests,
+                    "sharded cluster lost requests: %d of %d",
+                    state.completed, config.numRequests);
+
+    ShardedClusterResult out;
+    out.e2eSeconds = std::move(state.e2eSeconds);
+    out.completed = state.completed;
+    out.solved = state.solved;
+    out.makespanSeconds = sim::toSeconds(
+        state.lastReport - std::max<sim::Tick>(0, state.firstSubmit));
+    out.nodes.resize(static_cast<std::size_t>(config.simShards));
+    for (int n = 0; n < config.simShards; ++n) {
+        auto &dst = out.nodes[static_cast<std::size_t>(n)];
+        const auto &node = nodes[static_cast<std::size_t>(n)];
+        dst.requests = node.requests;
+        dst.engineStats = node.engine->stats();
+        dst.cacheHitRate = node.engine->cacheStats().hitRate();
+        dst.shardStats =
+            shards.shardStats()[static_cast<std::size_t>(n + 1)];
+    }
+    out.driverStats = shards.shardStats()[0];
+    out.totalEvents = shards.totalEvents();
+    out.wallSeconds = shards.wallSeconds();
+    out.eventsPerSecond = shards.eventsPerSecond();
+    out.windowsExecuted = shards.windowsExecuted();
+    for (const auto &st : shards.shardStats())
+        out.crossShardMessages += st.messagesOut;
+    return out;
+}
+
+} // namespace agentsim::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sharded cluster serving on the parallel discrete-event engine.
+ *
+ * Each serving node — a full serving::LlmEngine with its local queues,
+ * KV pool, tool belt and agent rollouts — runs on its own
+ * ShardedSimulation shard (worker thread). Shard 0 hosts the driver:
+ * the Poisson arrival process, the workload mixer and the router. The
+ * only cross-shard interactions are the ones real clusters pay
+ * network latency for, and that latency is exactly what makes
+ * conservative synchronization safe (DESIGN.md §3k):
+ *
+ *   driver -> node   request dispatch    >= routingLatencySeconds
+ *   node -> driver   completion report   >= completionLatencySeconds
+ *
+ * The conservative window is bounded by the smaller of the two, so no
+ * shard can ever receive a message into its past.
+ *
+ * Determinism (docs/DETERMINISM.md): a run is bit-identical for a
+ * fixed (seed, simShards) pair — across repeated runs *and* across
+ * parallel vs sequential execution. Task content (what each request
+ * asks, and therefore what the agents answer) is keyed by the global
+ * request index, so it is identical across shard counts too; only
+ * queueing/timing interleavings differ between shard counts.
+ *
+ * This is the scale path for million-request traces: it trades the
+ * single-Simulation observability stack (shared trace sink, spans,
+ * SLO tracker) for linear shard parallelism. Per-node engine stats
+ * and the driver-side latency distribution are still collected.
+ */
+
+#ifndef AGENTSIM_CORE_SHARDED_CLUSTER_HH
+#define AGENTSIM_CORE_SHARDED_CLUSTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hh"
+#include "serving/engine.hh"
+#include "sim/parallel.hh"
+#include "stats/summary.hh"
+
+namespace agentsim::core
+{
+
+/** Sharded-cluster experiment configuration. */
+struct ShardedClusterConfig
+{
+    /** Serving nodes; one parallel-engine shard per node (the driver
+     *  adds an internal shard of its own). */
+    int simShards = 8;
+    serving::EngineConfig engineConfig;
+    /** RoundRobin or LeastLoaded (driver-side stale in-flight view —
+     *  completion reports lag by completionLatencySeconds). */
+    RoutePolicy policy = RoutePolicy::RoundRobin;
+    /** Workload mix, sampled per request like runCluster's. */
+    std::vector<WorkloadSpec> mix;
+    /** Cluster-wide offered load (Poisson arrivals). */
+    double qps = 4.0;
+    int numRequests = 400;
+    std::uint64_t seed = 1;
+    /** Driver -> node dispatch latency lower bound, seconds. */
+    double routingLatencySeconds = 0.002;
+    /** Node -> driver completion-report latency lower bound, s. */
+    double completionLatencySeconds = 0.002;
+    /**
+     * Conservative window, seconds. 0 derives the largest safe value:
+     * min(routingLatencySeconds, completionLatencySeconds). Must not
+     * exceed that bound (fatal otherwise).
+     */
+    double windowSeconds = 0.0;
+    /** false: identical window loop on one thread (bit-identical to
+     *  parallel; the determinism gate and single-core baseline). */
+    bool parallel = true;
+};
+
+/** Per-node measurements. */
+struct ShardNodeResult
+{
+    int requests = 0;
+    double cacheHitRate = 0.0;
+    serving::EngineStats engineStats;
+    /** Parallel-engine counters for this node's shard. */
+    sim::ShardStats shardStats;
+};
+
+/** Sharded-cluster measurements. */
+struct ShardedClusterResult
+{
+    /** Client-observed latency: dispatch to completion report. */
+    stats::SampleSet e2eSeconds;
+    int completed = 0;
+    int solved = 0;
+    double makespanSeconds = 0.0;
+    std::vector<ShardNodeResult> nodes;
+    /** Driver-shard counters (arrivals, routing, reports). */
+    sim::ShardStats driverStats;
+
+    /** Parallel-engine totals. */
+    std::uint64_t totalEvents = 0;
+    double wallSeconds = 0.0;
+    double eventsPerSecond = 0.0;
+    std::uint64_t windowsExecuted = 0;
+    std::uint64_t crossShardMessages = 0;
+
+    double p50() const { return e2eSeconds.percentile(50.0); }
+    double p95() const { return e2eSeconds.percentile(95.0); }
+
+    double
+    throughputQps() const
+    {
+        return makespanSeconds > 0 ? completed / makespanSeconds : 0.0;
+    }
+};
+
+/** Validate @p config (fatal on nonsense: zero latencies, a window
+ *  above the latency floor, an empty mix, ...). */
+void validateShardedClusterConfig(const ShardedClusterConfig &config);
+
+/** Run one sharded-cluster experiment. */
+ShardedClusterResult
+runShardedCluster(const ShardedClusterConfig &config);
+
+} // namespace agentsim::core
+
+#endif // AGENTSIM_CORE_SHARDED_CLUSTER_HH

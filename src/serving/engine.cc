@@ -289,7 +289,7 @@ LlmEngine::runLoop()
             wake_.reset();
         }
         expireDeadlines();
-        StepPlan plan = buildStep();
+        StepPlan &plan = buildStep();
         if (plan.work.empty())
             continue; // everything failed at admission; re-check
         const llm::StepCost cost = perf_.stepCost(plan.work);
@@ -974,10 +974,11 @@ LlmEngine::preloadPrefix(std::span<const kv::TokenId> tokens)
     return populated;
 }
 
-LlmEngine::StepPlan
+LlmEngine::StepPlan &
 LlmEngine::buildStep()
 {
-    StepPlan plan;
+    StepPlan &plan = planScratch_;
+    plan.reset();
     const int bs = config_.blockSize;
 
     // Injected stalls (fault layer) extend the next step's wall time.

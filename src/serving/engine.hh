@@ -575,6 +575,20 @@ class LlmEngine
             std::int64_t tokens;
         };
         std::vector<PrefillPart> prefills;
+
+        /** Empty the plan for reuse, keeping vector capacity — the
+         *  step loop builds one of these per engine step, so the
+         *  scratch plan amortizes to zero allocations. */
+        void
+        reset()
+        {
+            work.prefills.clear();
+            work.decodeContexts.clear();
+            extraSeconds = 0.0;
+            stallSeconds = 0.0;
+            decoders.clear();
+            prefills.clear();
+        }
     };
 
     sim::Simulation &sim_;
@@ -593,6 +607,8 @@ class LlmEngine
     std::size_t requeuedInWaiting_ = 0;
     /** Stall seconds awaiting the next step (injectStall). */
     double pendingStallSeconds_ = 0.0;
+    /** Reusable step plan (see StepPlan::reset). */
+    StepPlan planScratch_;
     /** Cumulative attributed GPU seconds per session (LAS policy). */
     std::unordered_map<std::uint64_t, double> sessionService_;
 
@@ -607,7 +623,9 @@ class LlmEngine
     sim::Task<void> loop_;
 
     sim::Task<void> runLoop();
-    StepPlan buildStep();
+    /** Select this step's work into planScratch_ (returned by
+     *  reference; valid until the next buildStep call). */
+    StepPlan &buildStep();
 
     /** Pick the next admission candidate per the scheduler policy. */
     std::deque<ReqPtr>::iterator nextAdmissionCandidate();

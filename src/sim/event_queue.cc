@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,22 +8,65 @@
 namespace agentsim::sim
 {
 
+EventQueue::Bucket *
+EventQueue::bucketFor(Tick when)
+{
+    if (when == cachedTick_ && cachedBucket_ != nullptr)
+        return cachedBucket_;
+    auto [it, inserted] = buckets_.try_emplace(when);
+    if (inserted) {
+        if (!free_.empty()) {
+            it->second = std::move(free_.back());
+            free_.pop_back();
+            ++bucketsRecycled_;
+        } else {
+            it->second = std::make_unique<Bucket>();
+            ++bucketsAllocated_;
+        }
+        heap_.push_back(when);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    }
+    cachedTick_ = when;
+    cachedBucket_ = it->second.get();
+    return cachedBucket_;
+}
+
 void
 EventQueue::push(Tick when, std::function<void()> action)
 {
     AGENTSIM_ASSERT(action, "scheduling a null event action");
-    heap_.push(Event{when, nextSeq_++, std::move(action)});
+    Bucket *bucket = bucketFor(when);
+    bucket->items.push_back(Item{nextSeq_++, std::move(action)});
+    ++size_;
 }
 
 Event
 EventQueue::pop()
 {
-    AGENTSIM_ASSERT(!heap_.empty(), "pop from empty event queue");
-    // std::priority_queue::top() is const; the event is copied out. The
-    // action is a std::function so the copy is cheap relative to event
-    // processing and keeps the queue's heap invariants simple.
-    Event ev = heap_.top();
-    heap_.pop();
+    AGENTSIM_ASSERT(size_ > 0, "pop from empty event queue");
+    const Tick when = heap_.front();
+    auto it = buckets_.find(when);
+    Bucket &bucket = *it->second;
+    Item &item = bucket.items[bucket.head];
+    Event ev{when, item.seq, std::move(item.action)};
+    ++bucket.head;
+    --size_;
+    if (bucket.head == bucket.items.size()) {
+        // Retire the bucket before the caller runs the action: if the
+        // action schedules back onto this tick, a fresh bucket (with
+        // later sequence numbers) is created, preserving order.
+        bucket.head = 0;
+        bucket.items.clear();
+        if (free_.size() < kMaxFreeBuckets)
+            free_.push_back(std::move(it->second));
+        buckets_.erase(it);
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        heap_.pop_back();
+        if (cachedTick_ == when) {
+            cachedTick_ = -1;
+            cachedBucket_ = nullptr;
+        }
+    }
     return ev;
 }
 

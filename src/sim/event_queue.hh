@@ -1,10 +1,22 @@
 /**
  * @file
- * The pending-event priority queue underlying the simulation clock.
+ * The pending-event queue underlying the simulation clock.
  *
  * Events at the same tick fire in insertion order (a monotonically
  * increasing sequence number breaks ties), which keeps coroutine
  * scheduling deterministic.
+ *
+ * Layout: a min-heap of *distinct ticks* plus one FIFO bucket of
+ * actions per tick (a bucketed calendar queue). Because the sequence
+ * number increases monotonically, append order within a bucket *is*
+ * (when, seq) order, so pop() still drains events in exactly the order
+ * the previous binary-heap implementation did — the flattening is
+ * bit-identical by construction. Heap operations are paid once per
+ * distinct tick instead of once per event, and same-tick chains (the
+ * zero-delay coroutine resumes that dominate engine scheduling) append
+ * and drain in O(1). Exhausted buckets are recycled through a free
+ * list, so steady-state pushes allocate nothing beyond what the
+ * caller's std::function capture needs.
  */
 
 #ifndef AGENTSIM_SIM_EVENT_QUEUE_HH
@@ -12,7 +24,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/types.hh"
@@ -29,7 +42,14 @@ struct Event
 };
 
 /**
- * Min-heap of events ordered by (when, seq).
+ * Pending events ordered by (when, seq).
+ *
+ * Invariant: `heap_` holds exactly the keys of `buckets_`, each once,
+ * so nextTime() is always the true minimum and no lazy deletion is
+ * needed. A bucket is retired (recycled onto the free list) the moment
+ * its last item is popped; a later push to the same tick simply
+ * creates a fresh bucket with later sequence numbers, which preserves
+ * global ordering.
  */
 class EventQueue
 {
@@ -38,13 +58,13 @@ class EventQueue
     void push(Tick when, std::function<void()> action);
 
     /** True if no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Tick of the earliest pending event; undefined if empty. */
-    Tick nextTime() const { return heap_.top().when; }
+    Tick nextTime() const { return heap_.front(); }
 
     /** Remove and return the earliest event. */
     Event pop();
@@ -52,20 +72,44 @@ class EventQueue
     /** Total events ever scheduled (determinism/debug aid). */
     std::uint64_t scheduledCount() const { return nextSeq_; }
 
+    /** Tick buckets constructed from scratch (allocation pressure). */
+    std::uint64_t bucketsAllocated() const { return bucketsAllocated_; }
+
+    /** Tick buckets reused from the free list instead of allocated. */
+    std::uint64_t bucketsRecycled() const { return bucketsRecycled_; }
+
   private:
-    struct Later
+    struct Item
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+        std::uint64_t seq = 0;
+        std::function<void()> action;
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** FIFO of same-tick actions; `head` indexes the next to fire. */
+    struct Bucket
+    {
+        std::size_t head = 0;
+        std::vector<Item> items;
+    };
+
+    Bucket *bucketFor(Tick when);
+
+    /** Min-heap (std::greater) over the distinct pending ticks. */
+    std::vector<Tick> heap_;
+    std::unordered_map<Tick, std::unique_ptr<Bucket>> buckets_;
+    /** Retired buckets kept warm (capacity intact) for reuse. */
+    std::vector<std::unique_ptr<Bucket>> free_;
+    /** One-entry cache for repeated pushes to the same tick. */
+    Tick cachedTick_ = -1;
+    Bucket *cachedBucket_ = nullptr;
+
+    std::size_t size_ = 0;
     std::uint64_t nextSeq_ = 0;
+    std::uint64_t bucketsAllocated_ = 0;
+    std::uint64_t bucketsRecycled_ = 0;
+
+    /** Free-list cap: beyond this, retired buckets are freed. */
+    static constexpr std::size_t kMaxFreeBuckets = 256;
 };
 
 } // namespace agentsim::sim

@@ -1,0 +1,120 @@
+#include "sim/frame_pool.hh"
+
+#include <array>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace agentsim::sim
+{
+
+#if defined(AGENTSIM_FRAME_POOL_PASSTHROUGH)
+
+void *
+framePoolAllocate(std::size_t bytes)
+{
+    return ::operator new(bytes);
+}
+
+void
+framePoolDeallocate(void *p, std::size_t bytes) noexcept
+{
+    ::operator delete(p, bytes);
+}
+
+FramePoolStats
+framePoolStats()
+{
+    return {};
+}
+
+#else
+
+namespace
+{
+
+/** Size classes: frames round up to the next class; larger requests
+ *  fall through to the global allocator. */
+constexpr std::array<std::size_t, 7> kClasses = {64,   128,  256, 512,
+                                                 1024, 2048, 4096};
+/** Per-class cap on parked blocks (bounds idle memory per thread). */
+constexpr std::size_t kMaxPerClass = 128;
+
+struct Pool
+{
+    std::array<std::vector<void *>, kClasses.size()> bins;
+    FramePoolStats stats;
+
+    ~Pool()
+    {
+        for (std::size_t c = 0; c < bins.size(); ++c) {
+            for (void *p : bins[c])
+                ::operator delete(p, kClasses[c]);
+        }
+    }
+};
+
+thread_local Pool t_pool;
+
+/** Index of the smallest class holding @p bytes; kClasses.size() if
+ *  the request is oversize. */
+std::size_t
+classFor(std::size_t bytes)
+{
+    for (std::size_t c = 0; c < kClasses.size(); ++c) {
+        if (bytes <= kClasses[c])
+            return c;
+    }
+    return kClasses.size();
+}
+
+} // namespace
+
+void *
+framePoolAllocate(std::size_t bytes)
+{
+    Pool &pool = t_pool;
+    ++pool.stats.allocations;
+    const std::size_t c = classFor(bytes);
+    if (c == kClasses.size()) {
+        ++pool.stats.oversize;
+        return ::operator new(bytes);
+    }
+    auto &bin = pool.bins[c];
+    if (!bin.empty()) {
+        void *p = bin.back();
+        bin.pop_back();
+        ++pool.stats.poolHits;
+        pool.stats.bytesHeld -= kClasses[c];
+        return p;
+    }
+    return ::operator new(kClasses[c]);
+}
+
+void
+framePoolDeallocate(void *p, std::size_t bytes) noexcept
+{
+    Pool &pool = t_pool;
+    const std::size_t c = classFor(bytes);
+    if (c == kClasses.size()) {
+        ::operator delete(p, bytes);
+        return;
+    }
+    auto &bin = pool.bins[c];
+    if (bin.size() >= kMaxPerClass) {
+        ::operator delete(p, kClasses[c]);
+        return;
+    }
+    bin.push_back(p);
+    pool.stats.bytesHeld += kClasses[c];
+}
+
+FramePoolStats
+framePoolStats()
+{
+    return t_pool.stats;
+}
+
+#endif // AGENTSIM_FRAME_POOL_PASSTHROUGH
+
+} // namespace agentsim::sim

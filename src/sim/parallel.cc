@@ -1,0 +1,207 @@
+#include "sim/parallel.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#if __has_include(<barrier>)
+#include <barrier>
+#endif
+
+#include "sim/logging.hh"
+
+namespace agentsim::sim
+{
+
+namespace
+{
+
+/** Shard whose worker thread is currently executing a window on this
+ *  thread; -1 outside run() (post() provenance check). */
+thread_local int t_runningShard = -1;
+
+constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+ShardedSimulation::ShardedSimulation(const ShardedConfig &config)
+    : config_(config)
+{
+    AGENTSIM_ASSERT(config.shards >= 1, "ShardedSimulation needs >= 1 "
+                                        "shard (got %d)",
+                    config.shards);
+    AGENTSIM_ASSERT(config.shards == 1 || config.windowTicks > 0,
+                    "parallel shards need a positive conservative "
+                    "window");
+    shards_.reserve(static_cast<std::size_t>(config.shards));
+    for (int i = 0; i < config.shards; ++i)
+        shards_.push_back(std::make_unique<Simulation>());
+    outboxes_.resize(static_cast<std::size_t>(config.shards));
+    stats_.resize(static_cast<std::size_t>(config.shards));
+}
+
+ShardedSimulation::~ShardedSimulation() = default;
+
+void
+ShardedSimulation::post(int from, int target, Tick when,
+                        std::function<void()> fn)
+{
+    AGENTSIM_ASSERT(from >= 0 && from < shardCount() && target >= 0 &&
+                        target < shardCount(),
+                    "post between unknown shards %d -> %d", from,
+                    target);
+    AGENTSIM_ASSERT(t_runningShard == -1 || t_runningShard == from,
+                    "post(from=%d) issued from shard %d's worker",
+                    from, t_runningShard);
+    if (shardCount() == 1) {
+        // Single-shard mode is the legacy engine: no window, no
+        // latency floor — deliver straight into the queue.
+        shards_[0]->scheduleAt(when, std::move(fn));
+        return;
+    }
+    Outbox &out = outboxes_[static_cast<std::size_t>(from)];
+    out.messages.push_back(Message{when, from, target, out.nextSeq++,
+                                   windowEnd_, std::move(fn)});
+    ++stats_[static_cast<std::size_t>(from)].messagesOut;
+}
+
+bool
+ShardedSimulation::coordinateWindow()
+{
+    // Deliver everything sent during the last window, in an order
+    // independent of thread scheduling: (when, sending shard, sending
+    // sequence). Local event-queue sequence numbers are assigned in
+    // this push order, so every shard's queue contents are canonical.
+    std::vector<Message> pending;
+    for (Outbox &out : outboxes_) {
+        for (Message &m : out.messages)
+            pending.push_back(std::move(m));
+        out.messages.clear();
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Message &a, const Message &b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  return a.srcSeq < b.srcSeq;
+              });
+    for (Message &m : pending) {
+        AGENTSIM_ASSERT(
+            m.when >= m.sentWindowEnd,
+            "conservative sync violated: shard %d posted an event "
+            "%lld ticks before its window end — cross-shard latency "
+            "must be >= the window",
+            m.from,
+            static_cast<long long>(m.sentWindowEnd - m.when));
+        shards_[static_cast<std::size_t>(m.target)]->scheduleAt(
+            m.when, std::move(m.fn));
+        ++stats_[static_cast<std::size_t>(m.target)].messagesIn;
+    }
+
+    // Next window opens at the earliest pending event anywhere (empty
+    // stretches of virtual time cost no barriers).
+    Tick next = kNever;
+    for (auto &shard : shards_) {
+        if (shard->pendingEvents() > 0)
+            next = std::min(next, shard->nextEventTime());
+    }
+    if (next == kNever) {
+        done_ = true;
+        return false;
+    }
+    windowEnd_ = next + config_.windowTicks;
+    ++windows_;
+    return true;
+}
+
+void
+ShardedSimulation::runSequential()
+{
+    while (coordinateWindow()) {
+        for (int i = 0; i < shardCount(); ++i) {
+            t_runningShard = i;
+            stats_[static_cast<std::size_t>(i)].eventsProcessed +=
+                shards_[static_cast<std::size_t>(i)]->runWindow(
+                    windowEnd_);
+            t_runningShard = -1;
+        }
+    }
+}
+
+void
+ShardedSimulation::runParallel()
+{
+    // One worker per shard; the barrier's completion step is the
+    // coordinator. Workers only ever touch their own shard + outbox
+    // during a window; the barrier orders those accesses against the
+    // coordinator's drain, so the loop is lock-free and race-free.
+    std::barrier barrier(shardCount(), [this]() noexcept {
+        if (!coordinateWindow())
+            done_ = true;
+    });
+    auto worker = [this, &barrier](int id) {
+        ShardStats &st = stats_[static_cast<std::size_t>(id)];
+        Simulation &sim = *shards_[static_cast<std::size_t>(id)];
+        for (;;) {
+            const auto wait = std::chrono::steady_clock::now();
+            barrier.arrive_and_wait();
+            st.stallSeconds += secondsSince(wait);
+            if (done_)
+                break;
+            t_runningShard = id;
+            st.eventsProcessed += sim.runWindow(windowEnd_);
+            t_runningShard = -1;
+        }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(shardCount()));
+    for (int i = 0; i < shardCount(); ++i)
+        threads.emplace_back(worker, i);
+    for (auto &t : threads)
+        t.join();
+}
+
+Tick
+ShardedSimulation::run()
+{
+    const auto start = std::chrono::steady_clock::now();
+    done_ = false;
+    if (shardCount() == 1) {
+        // Legacy engine: drain the lone shard with no windows at all.
+        shards_[0]->run();
+        stats_[0].eventsProcessed = shards_[0]->processedEvents();
+    } else if (config_.parallel) {
+        runParallel();
+    } else {
+        runSequential();
+    }
+    wallSeconds_ += secondsSince(start);
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        stats_[i].wallSeconds = shards_[i]->wallSeconds();
+    Tick end = 0;
+    for (auto &shard : shards_)
+        end = std::max(end, shard->now());
+    return end;
+}
+
+std::uint64_t
+ShardedSimulation::totalEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->processedEvents();
+    return total;
+}
+
+} // namespace agentsim::sim

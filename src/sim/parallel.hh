@@ -1,0 +1,182 @@
+/**
+ * @file
+ * ShardedSimulation — conservative-window parallel discrete-event
+ * execution over per-shard sim::Simulation instances.
+ *
+ * Each shard owns a full Simulation (its own event queue, clock and
+ * coroutine processes) and runs on its own worker thread. Time
+ * advances in globally agreed windows [T, T+W): during a window every
+ * shard drains its local events with timestamps below the window end
+ * without any locking, because the *only* way shards interact is
+ * post() — a cross-shard message that must be timestamped at least one
+ * full window into the future. That is the classic conservative
+ * (Chandy–Misra–Bryant style) synchronization argument: if every
+ * cross-shard interaction has a latency lower bound L >= W, no message
+ * sent during the current window can affect it, so no shard can ever
+ * observe an event out of order.
+ *
+ * Between windows a single coordinator (the barrier's completion step)
+ * drains all outboxes into the target shards in a canonical order —
+ * sorted by (when, sending shard, sending sequence) — so the local
+ * sequence numbers the messages receive are independent of thread
+ * scheduling. Consequently:
+ *
+ *  - a run is *run-to-run deterministic* for a fixed shard count, and
+ *  - parallel execution is bit-identical to sequential execution of
+ *    the same sharded topology (Config::parallel = false runs the
+ *    identical window loop round-robin on the calling thread — the
+ *    determinism regression tests compare the two directly).
+ *
+ * Changing the shard count changes which events share a queue and
+ * therefore their interleaving: results are deterministic per shard
+ * count, not bit-identical across shard counts (docs/DETERMINISM.md).
+ *
+ * A single-shard ShardedSimulation never creates threads, ignores
+ * windows, and delivers post() immediately — it *is* the legacy
+ * single-threaded engine.
+ */
+
+#ifndef AGENTSIM_SIM_PARALLEL_HH
+#define AGENTSIM_SIM_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/types.hh"
+
+namespace agentsim::sim
+{
+
+/** Parallel-engine configuration. */
+struct ShardedConfig
+{
+    /** Number of shards (>= 1). One worker thread per shard. */
+    int shards = 1;
+    /**
+     * Conservative window W, ticks. Every post() must be timestamped
+     * >= the end of the window it is sent in, so W must be <= the
+     * smallest cross-shard latency the model guarantees (routing /
+     * migration / checkpoint wire time). Required > 0 when shards > 1.
+     */
+    Tick windowTicks = 0;
+    /**
+     * false: run the identical window loop on the calling thread,
+     * shard 0 first. Bit-identical to parallel execution — used by the
+     * determinism gates and as the honest single-core baseline.
+     */
+    bool parallel = true;
+};
+
+/** Per-shard execution counters (valid after run()). */
+struct ShardStats
+{
+    std::uint64_t eventsProcessed = 0;
+    /** Host seconds inside this shard's event loop. */
+    double wallSeconds = 0.0;
+    /** Host seconds this shard's worker spent waiting at window
+     *  barriers (parallel mode only) — the load-imbalance signal. */
+    double stallSeconds = 0.0;
+    /** Cross-shard messages sent by / delivered to this shard. */
+    std::uint64_t messagesOut = 0;
+    std::uint64_t messagesIn = 0;
+};
+
+class ShardedSimulation
+{
+  public:
+    explicit ShardedSimulation(const ShardedConfig &config);
+    ~ShardedSimulation();
+
+    ShardedSimulation(const ShardedSimulation &) = delete;
+    ShardedSimulation &operator=(const ShardedSimulation &) = delete;
+
+    int shardCount() const { return static_cast<int>(shards_.size()); }
+    Tick windowTicks() const { return config_.windowTicks; }
+
+    /** The shard's own simulation executive (build processes on it). */
+    Simulation &shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+
+    /**
+     * Cross-shard send: run @p fn on shard @p target's event loop at
+     * absolute tick @p when. Legal from shard @p from's worker during
+     * run() or from the owning thread before run() starts. @p when
+     * must be >= the end of the window the send happens in — callers
+     * satisfy this by adding their modelled cross-shard latency, which
+     * the conservative window was sized under (asserted at delivery).
+     * Single-shard mode delivers directly with no window constraint.
+     */
+    void post(int from, int target, Tick when, std::function<void()> fn);
+
+    /**
+     * Drain every shard to quiescence (no pending events anywhere, no
+     * undelivered messages). @return the maximum shard clock.
+     */
+    Tick run();
+
+    /** Per-shard counters; meaningful after run(). */
+    const std::vector<ShardStats> &shardStats() const { return stats_; }
+
+    /** Windows executed by the barrier loop. */
+    std::uint64_t windowsExecuted() const { return windows_; }
+
+    /** Events processed across all shards. */
+    std::uint64_t totalEvents() const;
+
+    /** Host wall-clock seconds of the run() loop. */
+    double wallSeconds() const { return wallSeconds_; }
+
+    /** Aggregate events per host wall-clock second (0 if unrun). */
+    double
+    eventsPerSecond() const
+    {
+        return wallSeconds_ > 0.0
+                   ? static_cast<double>(totalEvents()) / wallSeconds_
+                   : 0.0;
+    }
+
+  private:
+    struct Message
+    {
+        Tick when = 0;
+        int from = 0;
+        int target = 0;
+        /** Per-sending-shard sequence (canonical merge order). */
+        std::uint64_t srcSeq = 0;
+        /** Window end active when the message was sent (conservative
+         *  lookahead check at delivery). */
+        Tick sentWindowEnd = 0;
+        std::function<void()> fn;
+    };
+
+    /** Outbox of one shard, touched only by its worker during a
+     *  window and by the coordinator between windows. */
+    struct Outbox
+    {
+        std::vector<Message> messages;
+        std::uint64_t nextSeq = 0;
+    };
+
+    /** Deliver all outbox messages in canonical order; then pick the
+     *  next window [start, start+W). @return false when quiescent. */
+    bool coordinateWindow();
+
+    void runSequential();
+    void runParallel();
+
+    ShardedConfig config_;
+    std::vector<std::unique_ptr<Simulation>> shards_;
+    std::vector<Outbox> outboxes_;
+    std::vector<ShardStats> stats_;
+    /** End (exclusive) of the window currently executing. */
+    Tick windowEnd_ = 0;
+    std::uint64_t windows_ = 0;
+    double wallSeconds_ = 0.0;
+    bool done_ = false;
+};
+
+} // namespace agentsim::sim
+
+#endif // AGENTSIM_SIM_PARALLEL_HH

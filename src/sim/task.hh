@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/frame_pool.hh"
 #include "sim/logging.hh"
 
 namespace agentsim::sim
@@ -41,6 +42,25 @@ namespace detail
 /** Promise state shared by all Task specializations. */
 struct PromiseBase
 {
+    /**
+     * Coroutine frames route through the thread-local frame pool
+     * (sim/frame_pool.hh): freed frames are recycled per size class
+     * instead of hitting the global allocator on every task spawn.
+     * The compiler passes the exact frame size to the sized delete,
+     * which is what lets the pool bin them.
+     */
+    static void *
+    operator new(std::size_t bytes)
+    {
+        return framePoolAllocate(bytes);
+    }
+
+    static void
+    operator delete(void *p, std::size_t bytes) noexcept
+    {
+        framePoolDeallocate(p, bytes);
+    }
+
     /** Coroutine to resume when this one finishes (the awaiter). */
     std::coroutine_handle<> continuation;
     /** Set when the owning Task was destroyed before completion. */

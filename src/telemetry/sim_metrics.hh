@@ -10,6 +10,7 @@
 #ifndef AGENTSIM_TELEMETRY_SIM_METRICS_HH
 #define AGENTSIM_TELEMETRY_SIM_METRICS_HH
 
+#include "sim/frame_pool.hh"
 #include "sim/simulation.hh"
 #include "telemetry/registry.hh"
 
@@ -37,6 +38,23 @@ exportSimMetrics(MetricsRegistry &registry, const sim::Simulation &sim)
         .gauge("agentsim_sim_virtual_seconds",
                "Virtual time reached by the simulation clock")
         .set(now, sim.nowSec());
+    registry
+        .gauge("agentsim_sim_queue_buckets_allocated",
+               "Event-queue tick buckets allocated (pool misses)")
+        .set(now, static_cast<double>(sim.queueBucketsAllocated()));
+    registry
+        .gauge("agentsim_sim_queue_buckets_recycled",
+               "Event-queue tick buckets served from the free list")
+        .set(now, static_cast<double>(sim.queueBucketsRecycled()));
+    const sim::FramePoolStats frames = sim::framePoolStats();
+    registry
+        .gauge("agentsim_sim_frame_pool_allocations",
+               "Coroutine frame allocations routed through the pool")
+        .set(now, static_cast<double>(frames.allocations));
+    registry
+        .gauge("agentsim_sim_frame_pool_hits",
+               "Coroutine frames served from a thread-local bin")
+        .set(now, static_cast<double>(frames.poolHits));
 }
 
 } // namespace agentsim::telemetry
